@@ -1,0 +1,163 @@
+//! The Sign domain of Fig. 2.5(b) with the `+Sign` semantics of Table 2.6.
+//!
+//! The Sign domain is the introductory example of the paper's abstract
+//! interpretation background chapter. It is not used by the alignment
+//! analysis itself but is kept (and tested) as the smallest full instance of
+//! the [`AbstractDomain`] trait.
+
+use crate::domain::AbstractDomain;
+
+/// Abstract sign of a set of integers: `⊥ ⊑ {-, 0, +} ⊑ ⊤`.
+///
+/// # Example
+///
+/// ```
+/// use lgen_absint::sign::Sign;
+/// use lgen_absint::domain::AbstractDomain;
+///
+/// assert_eq!(Sign::Zero.add(&Sign::Pos), Sign::Pos);
+/// assert_eq!(Sign::Neg.add(&Sign::Pos), Sign::Top);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Sign {
+    /// `⊥` — no value.
+    Bottom,
+    /// All values strictly negative.
+    Neg,
+    /// Exactly zero.
+    Zero,
+    /// All values strictly positive.
+    Pos,
+    /// `⊤` — any integer.
+    Top,
+}
+
+impl AbstractDomain for Sign {
+    fn bottom() -> Self {
+        Sign::Bottom
+    }
+
+    fn top() -> Self {
+        Sign::Top
+    }
+
+    fn constant(c: i64) -> Self {
+        match c.cmp(&0) {
+            std::cmp::Ordering::Less => Sign::Neg,
+            std::cmp::Ordering::Equal => Sign::Zero,
+            std::cmp::Ordering::Greater => Sign::Pos,
+        }
+    }
+
+    fn le(&self, other: &Self) -> bool {
+        self == other || matches!((self, other), (Sign::Bottom, _) | (_, Sign::Top))
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Sign::Bottom, x) | (x, Sign::Bottom) => *x,
+            (a, b) if a == b => *a,
+            _ => Sign::Top,
+        }
+    }
+
+    fn meet(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Sign::Top, x) | (x, Sign::Top) => *x,
+            (a, b) if a == b => *a,
+            _ => Sign::Bottom,
+        }
+    }
+
+    // Table 2.6.
+    fn add(&self, other: &Self) -> Self {
+        use Sign::*;
+        match (self, other) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Zero, x) | (x, Zero) => *x,
+            (Neg, Neg) => Neg,
+            (Pos, Pos) => Pos,
+            _ => Top,
+        }
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        use Sign::*;
+        match (self, other) {
+            (Bottom, _) | (_, Bottom) => Bottom,
+            (Zero, _) | (_, Zero) => Zero,
+            (Neg, Neg) | (Pos, Pos) => Pos,
+            (Neg, Pos) | (Pos, Neg) => Neg,
+            _ => Top,
+        }
+    }
+
+    fn gamma_contains(&self, v: i64) -> bool {
+        match self {
+            Sign::Bottom => false,
+            Sign::Neg => v < 0,
+            Sign::Zero => v == 0,
+            Sign::Pos => v > 0,
+            Sign::Top => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::check_lattice_laws;
+
+    const ALL: [Sign; 5] = [Sign::Bottom, Sign::Neg, Sign::Zero, Sign::Pos, Sign::Top];
+
+    #[test]
+    fn table_2_6_add_semantics() {
+        use Sign::*;
+        // Rows of Table 2.6.
+        assert_eq!(Neg.add(&Neg), Neg);
+        assert_eq!(Neg.add(&Zero), Neg);
+        assert_eq!(Neg.add(&Pos), Top);
+        assert_eq!(Zero.add(&Zero), Zero);
+        assert_eq!(Zero.add(&Pos), Pos);
+        assert_eq!(Pos.add(&Pos), Pos);
+        for s in ALL {
+            assert_eq!(Bottom.add(&s), Bottom);
+            assert_eq!(s.add(&Bottom), Bottom);
+            if s != Bottom {
+                assert_eq!(Top.add(&s), Top);
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_laws_hold() {
+        for a in ALL {
+            for b in ALL {
+                for c in ALL {
+                    check_lattice_laws(&a, &b, &c).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn abstraction_of_constants() {
+        assert_eq!(Sign::constant(-7), Sign::Neg);
+        assert_eq!(Sign::constant(0), Sign::Zero);
+        assert_eq!(Sign::constant(42), Sign::Pos);
+    }
+
+    #[test]
+    fn soundness_of_add_on_samples() {
+        // (0 +Sign +) = + : evaluating 0 + 1 per the paper's example.
+        assert_eq!(Sign::constant(0).add(&Sign::constant(1)), Sign::Pos);
+        for x in -5i64..=5 {
+            for y in -5i64..=5 {
+                let ax = Sign::constant(x);
+                let ay = Sign::constant(y);
+                assert!(ax.add(&ay).gamma_contains(x + y), "{x}+{y}");
+                assert!(ax.mul(&ay).gamma_contains(x * y), "{x}*{y}");
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The handwritten-code + model-compiler competitor ("Handwritten fixed" /
+//! "Handwritten gen").
+//!
+//! *Fixed*: problem sizes are compile-time constants, so the model
+//! auto-vectorizer kicks in — but only where real compilers succeed:
+//! element-wise loops everywhere, and reduction/product loops on x86 only
+//! (icc). On NEON it vectorizes element-wise loops and leaves everything
+//! else scalar, reproducing the scalar/vector mixing that the paper blames
+//! for the competitors' poor Cortex-A8/A9 showings (§5.3.1).
+//!
+//! *Gen*: sizes arrive as function arguments — no vectorization, plus
+//! per-access address arithmetic.
+
+use crate::emit::*;
+use crate::pattern::Pattern;
+use lgen_cir::passes::version_for_alignment;
+use lgen_cir::Kernel;
+use lgen_isa::{Microarch, VectorIsa};
+use lgen_ll::Blac;
+
+/// Builds the handwritten kernel for a recognized BLAC shape.
+pub fn build(blac: &Blac, p: &Pattern, arch: Microarch, gen: bool) -> Kernel {
+    let isa = arch.vector_isa();
+    // The model vectorizer: everything on x86, element-wise only on NEON,
+    // nothing with runtime sizes or on ARMv6.
+    let vec_all = !gen && isa == VectorIsa::Ssse3;
+    let vec_elem = !gen && isa != VectorIsa::Scalar;
+    let name = if gen { "handwritten_gen" } else { "handwritten_fixed" };
+    let (mut b, ar) = declare(blac, name);
+    let d = |id: lgen_ll::blac::OperandId| blac.dims(id);
+
+    match *p {
+        Pattern::Axpy { alpha, x } => {
+            let n = d(x).len();
+            if vec_elem {
+                vec_axpy(&mut b, ar[alpha.0], ar[x.0], ar[blac.output.0], n);
+                if vec_all {
+                    // icc multi-versions simple fixed-size loops on the
+                    // runtime alignment of their pointers — the reason
+                    // "Handwritten fixed (icc)" tops the competitors in
+                    // Fig. 5.8.
+                    return version_for_alignment(&b.finish(blac.flops()));
+                }
+            } else {
+                scalar_axpy(&mut b, ar[alpha.0], ar[x.0], ar[blac.output.0], n, gen);
+            }
+        }
+        Pattern::Madd { a, b: bb } => {
+            let len = d(a).len();
+            if vec_elem {
+                vec_madd(&mut b, ar[a.0], ar[bb.0], ar[blac.output.0], len);
+                if vec_all {
+                    return version_for_alignment(&b.finish(blac.flops()));
+                }
+            } else {
+                scalar_madd(&mut b, ar[a.0], ar[bb.0], ar[blac.output.0], len, gen);
+            }
+        }
+        Pattern::Mvm { a, x } => {
+            let (m, n) = (d(a).rows, d(a).cols);
+            if vec_all {
+                vec_gemv(&mut b, ar[a.0], ar[x.0], ar[blac.output.0], m, n, Scale::none(), false);
+            } else {
+                scalar_gemv(&mut b, ar[a.0], ar[x.0], ar[blac.output.0], m, n, Scale::none(), gen);
+            }
+        }
+        Pattern::Gemv { alpha, beta, a, x } => {
+            let (m, n) = (d(a).rows, d(a).cols);
+            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            if vec_all {
+                vec_gemv(&mut b, ar[a.0], ar[x.0], ar[blac.output.0], m, n, s, false);
+            } else {
+                scalar_gemv(&mut b, ar[a.0], ar[x.0], ar[blac.output.0], m, n, s, gen);
+            }
+        }
+        Pattern::TwoGemv { alpha, beta, a, b: bm, x } => {
+            let (m, n) = (d(a).rows, d(a).cols);
+            let s1 = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Zero };
+            let s2 = Scale { alpha: Some(ar[beta.0]), beta: Beta::One };
+            if vec_all {
+                vec_gemv(&mut b, ar[a.0], ar[x.0], ar[blac.output.0], m, n, s1, false);
+                vec_gemv(&mut b, ar[bm.0], ar[x.0], ar[blac.output.0], m, n, s2, false);
+            } else {
+                scalar_gemv(&mut b, ar[a.0], ar[x.0], ar[blac.output.0], m, n, s1, gen);
+                scalar_gemv(&mut b, ar[bm.0], ar[x.0], ar[blac.output.0], m, n, s2, gen);
+            }
+        }
+        Pattern::Bilinear { x, a, y } => {
+            let (m, n) = (d(a).rows, d(a).cols);
+            let t = b.local("t", m);
+            if vec_all {
+                vec_gemv(&mut b, ar[a.0], ar[y.0], t, m, n, Scale::none(), false);
+                vec_dot(&mut b, ar[x.0], t, ar[blac.output.0], m);
+            } else {
+                scalar_gemv(&mut b, ar[a.0], ar[y.0], t, m, n, Scale::none(), gen);
+                scalar_dot(&mut b, ar[x.0], t, ar[blac.output.0], m, gen);
+            }
+        }
+        Pattern::Mmm { a, b: bm } => {
+            let (m, k, n) = (d(a).rows, d(a).cols, d(bm).cols);
+            if vec_all {
+                vec_gemm_1row(&mut b, ar[a.0], ar[bm.0], ar[blac.output.0], m, k, n, Scale::none(), false);
+            } else {
+                scalar_gemm(&mut b, ar[a.0], ar[bm.0], ar[blac.output.0], m, k, n, Scale::none(), false, gen);
+            }
+        }
+        Pattern::Gemm { alpha, beta, a, b: bm } => {
+            let (m, k, n) = (d(a).rows, d(a).cols, d(bm).cols);
+            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            if vec_all {
+                vec_gemm_1row(&mut b, ar[a.0], ar[bm.0], ar[blac.output.0], m, k, n, s, false);
+            } else {
+                scalar_gemm(&mut b, ar[a.0], ar[bm.0], ar[blac.output.0], m, k, n, s, false, gen);
+            }
+        }
+        Pattern::AddTGemm { alpha, beta, a0, a1, b: bm } => {
+            let (k, m) = (d(a0).rows, d(a0).cols);
+            let n = d(bm).cols;
+            let t = b.local("t", m * k); // (A0+A1)ᵀ, m×k
+            scalar_transpose_add(&mut b, ar[a0.0], ar[a1.0], t, k, m);
+            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            if vec_all {
+                vec_gemm_1row(&mut b, t, ar[bm.0], ar[blac.output.0], m, k, n, s, false);
+            } else {
+                scalar_gemm(&mut b, t, ar[bm.0], ar[blac.output.0], m, k, n, s, false, gen);
+            }
+        }
+        Pattern::Transpose { a } => {
+            let (m, n) = (d(a).rows, d(a).cols);
+            scalar_transpose(&mut b, ar[a.0], ar[blac.output.0], m, n, gen);
+        }
+    }
+    b.finish(blac.flops())
+}

@@ -1,0 +1,91 @@
+//! Every competitor model must compute the right answer on every platform —
+//! otherwise the performance comparison is meaningless.
+
+use lgen_baselines::{compile_baseline, Competitor};
+use lgen_cir::{run_kernel, MemLayout};
+use lgen_isa::inst::NullSink;
+use lgen_isa::Microarch;
+use lgen_ll::reference::{eval_reference, max_abs_diff, test_data, MatrixValue};
+use lgen_ll::{paper, Blac};
+
+fn check(blac: &Blac, comp: Competitor, arch: Microarch, offsets: Option<&[usize]>) {
+    let Some(kernel) = compile_baseline(blac, comp, arch) else {
+        return;
+    };
+    let values: Vec<MatrixValue> = blac
+        .operands
+        .iter()
+        .enumerate()
+        .map(|(i, op)| test_data(op.dims, 31 + i as u64))
+        .collect();
+    let expected = eval_reference(blac, &values);
+    let mut bufs: Vec<Vec<f32>> = values.iter().map(|v| v.data.clone()).collect();
+    let layout = match offsets {
+        Some(o) => MemLayout::with_float_offsets(&kernel, o),
+        None => MemLayout::aligned(&kernel),
+    };
+    {
+        let mut refs: Vec<&mut [f32]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        run_kernel(&kernel, &mut refs, &layout, arch.vector_isa(), &mut NullSink)
+            .unwrap_or_else(|e| panic!("{} {:?} on {}: {e}", kernel.name, comp, arch));
+    }
+    let got = MatrixValue::new(blac.dims(blac.output), bufs[blac.output.0].clone());
+    let tol = 1e-4 + 1e-6 * blac.flops() as f32;
+    let diff = max_abs_diff(&got, &expected);
+    assert!(diff < tol, "{:?} on {} for {}: diff {diff} > {tol}", comp, arch, kernel.name);
+}
+
+fn suite() -> Vec<Blac> {
+    vec![
+        paper::mvm(4, 8),
+        paper::mvm(6, 10),
+        paper::mmm(4, 4, 4),
+        paper::mmm(5, 7, 3),
+        paper::axpy(16),
+        paper::axpy(13),
+        paper::gemv(4, 8),
+        paper::gemv(30, 11),
+        paper::gemm(4, 8, 4),
+        paper::gemm(3, 9, 6),
+        paper::two_gemv(4, 8),
+        paper::two_gemv(5, 9),
+        paper::bilinear(4, 8),
+        paper::bilinear(7, 6),
+        paper::addt_gemm(8, 4, 4),
+        paper::addt_gemm(9, 5, 6),
+        paper::madd(6, 7),
+        paper::transpose(5, 6),
+    ]
+}
+
+#[test]
+fn all_competitors_correct_on_all_architectures() {
+    for blac in suite() {
+        for comp in Competitor::ALL {
+            for arch in Microarch::EVALUATED {
+                check(&blac, comp, arch, None);
+            }
+        }
+    }
+}
+
+#[test]
+fn peeled_competitors_correct_on_misaligned_inputs() {
+    // Offsets exercise every dispatch version of the peeled kernels.
+    for blac in [paper::axpy(19), paper::gemv(6, 10), paper::mvm(5, 9)] {
+        let nparams = blac.operands.len();
+        for comp in [Competitor::Eigen, Competitor::Mkl] {
+            for shift in 0..4usize {
+                let offsets: Vec<usize> = (0..nparams).map(|i| (shift + i) % 4).collect();
+                check(&blac, comp, Microarch::Atom, Some(&offsets));
+            }
+        }
+    }
+}
+
+#[test]
+fn unavailable_competitors_return_none() {
+    let blac = paper::mvm(4, 8);
+    assert!(compile_baseline(&blac, Competitor::Mkl, Microarch::CortexA8).is_none());
+    assert!(compile_baseline(&blac, Competitor::Ipp, Microarch::Arm1176).is_none());
+}

@@ -1,0 +1,91 @@
+//! Criterion benchmarks of the compiler itself: per-pass cost and the
+//! ablations DESIGN.md calls out (generic-memory forwarding, alignment
+//! analysis, versioning, unparsing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lgen_cir::passes::{copy_prop, dce, detect_alignment, scalar_replacement, unroll, UnrollPolicy};
+use lgen_core::CompileConfig;
+use lgen_isa::Microarch;
+use lgen_ll::paper;
+use lgen_sigma::{compile_blac, CodegenOptions};
+use std::hint::black_box;
+
+fn bench_codegen(c: &mut Criterion) {
+    let blac = paper::gemm(30, 44, 30);
+    let opts = CodegenOptions::full(lgen_isa::VectorIsa::Ssse3);
+    let mut g = c.benchmark_group("codegen");
+    g.bench_function("emit/gemm-30x44x30", |b| {
+        b.iter(|| black_box(compile_blac(&blac, "k", &opts)))
+    });
+    g.bench_function("full-pipeline/gemm-30x44x30", |b| {
+        b.iter(|| black_box(lgen_core::compile(&blac, "k", &CompileConfig::full(Microarch::Atom))))
+    });
+    g.finish();
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let blac = paper::gemv(30, 100);
+    let opts = CodegenOptions::full(lgen_isa::VectorIsa::Ssse3);
+    let raw = compile_blac(&blac, "k", &opts);
+    let mut g = c.benchmark_group("passes");
+    g.bench_function("unroll-full", |b| {
+        b.iter(|| {
+            black_box(unroll(raw.body().to_vec(), UnrollPolicy::Full { max_trip: 32 }))
+        })
+    });
+    let unrolled = unroll(raw.body().to_vec(), UnrollPolicy::Full { max_trip: 32 });
+    g.bench_function("scalar-replacement", |b| {
+        b.iter(|| black_box(scalar_replacement(unrolled.clone(), &raw.arrays)))
+    });
+    let replaced = scalar_replacement(unrolled.clone(), &raw.arrays);
+    g.bench_function("copy-prop+dce", |b| {
+        b.iter(|| black_box(dce(copy_prop(replaced.clone()), &raw.arrays)))
+    });
+    let mut cleaned = dce(copy_prop(replaced), &raw.arrays);
+    g.bench_function("alignment-detection", |b| {
+        b.iter(|| {
+            detect_alignment(&mut cleaned, &vec![0; raw.arrays.len()]);
+            black_box(&cleaned);
+        })
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    // Versioning multiplies code size by 4^a + 1: measure its cost.
+    let blac = paper::gemv(30, 44);
+    g.bench_function("alignment-versioning/gemv-30x44", |b| {
+        b.iter(|| {
+            black_box(lgen_core::compile(
+                &blac,
+                "k",
+                &CompileConfig::full(Microarch::Atom).with_versioning(),
+            ))
+        })
+    });
+    // C unparsing.
+    let kernel = lgen_core::compile(&blac, "k", &CompileConfig::full(Microarch::Atom));
+    g.bench_function("unparse-c/gemv-30x44", |b| {
+        b.iter(|| black_box(lgen_cir::unparse::unparse(&kernel, lgen_isa::VectorIsa::Ssse3)))
+    });
+    // Simulator throughput.
+    g.bench_function("simulate/gemv-30x44-atom", |b| {
+        b.iter(|| {
+            black_box(lgen_core::measure_blac(&blac, &kernel, Microarch::Atom, &[0; 5], 1))
+        })
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    // Keep full-suite bench runs affordable; pass --measurement-time to
+    // override for precision runs.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_codegen, bench_passes, bench_ablations);
+criterion_main!(benches);

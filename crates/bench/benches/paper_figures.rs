@@ -1,0 +1,128 @@
+//! Criterion benchmarks: one group per paper artifact family.
+//!
+//! Each target regenerates a representative point of the corresponding
+//! table/figure (compile → simulate → f/c); the full sweeps live in the
+//! `experiments` binary. Criterion measures host-side regeneration time,
+//! making regressions in the compiler or simulator visible; the scientific
+//! output (flops/cycle series) is printed by `experiments`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lgen_baselines::Competitor;
+use lgen_bench::drivers::{measure_competitor, measure_lgen};
+use lgen_core::Variant;
+use lgen_isa::Microarch;
+use lgen_ll::paper;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table-2.1", |b| {
+        b.iter(|| black_box(lgen_bench::figures::run("table-2.1")))
+    });
+    g.bench_function("table-3.1", |b| {
+        b.iter(|| black_box(lgen_bench::figures::run("table-3.1")))
+    });
+    g.bench_function("table-3.2", |b| {
+        b.iter(|| black_box(lgen_bench::figures::run("table-3.2")))
+    });
+    g.finish();
+}
+
+fn bench_atom_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atom");
+    g.sample_size(10);
+    g.bench_function("fig-5.1a/mvm-4x64", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::mvm(4, 64), Microarch::Atom, Variant::Full)))
+    });
+    g.bench_function("fig-5.2a/gemv-64x4", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::gemv(64, 4), Microarch::Atom, Variant::Full)))
+    });
+    g.bench_function("fig-5.3a/mvm-7x7", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::mvm(7, 7), Microarch::Atom, Variant::Full)))
+    });
+    g.bench_function("fig-5.4a/mmm-4x4x48", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::mmm(4, 4, 48), Microarch::Atom, Variant::Full)))
+    });
+    g.bench_function("fig-5.5a/mmm-4x48x4", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::mmm(4, 48, 4), Microarch::Atom, Variant::Full)))
+    });
+    g.bench_function("fig-5.6/mmm-6x6x6", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::mmm(6, 6, 6), Microarch::Atom, Variant::Full)))
+    });
+    g.bench_function("fig-5.7a/gemv-30x44", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::gemv(30, 44), Microarch::Atom, Variant::Full)))
+    });
+    g.bench_function("fig-5.8/axpy-1082", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::axpy(1082), Microarch::Atom, Variant::Full)))
+    });
+    g.bench_function("fig-5.9/mkl-misaligned", |b| {
+        b.iter(|| {
+            black_box(lgen_bench::drivers::measure_competitor_offsets(
+                &paper::gemv(30, 44),
+                Microarch::Atom,
+                Competitor::Mkl,
+                Some(&[0, 0, 1, 1, 1]),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_arm_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arm");
+    g.sample_size(10);
+    g.bench_function("fig-5.10a/a8-mvm-64x4", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::mvm(64, 4), Microarch::CortexA8, Variant::Full)))
+    });
+    g.bench_function("fig-5.11b/a8-gemv-4x64", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::gemv(4, 64), Microarch::CortexA8, Variant::Full)))
+    });
+    g.bench_function("fig-5.12b/a8-mmm-6x6x6", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::mmm(6, 6, 6), Microarch::CortexA8, Variant::Full)))
+    });
+    g.bench_function("fig-5.13b/a8-leftovers-100x6x6", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::mmm(100, 6, 6), Microarch::CortexA8, Variant::Full)))
+    });
+    g.bench_function("fig-5.14a/a9-mvm-64x4", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::mvm(64, 4), Microarch::CortexA9, Variant::Full)))
+    });
+    g.bench_function("fig-5.16b/a9-bilinear-4x64", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::bilinear(4, 64), Microarch::CortexA9, Variant::Full)))
+    });
+    g.bench_function("fig-5.17b/a9-mmm-6x6x6", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::mmm(6, 6, 6), Microarch::CortexA9, Variant::Full)))
+    });
+    g.bench_function("fig-5.18b/a9-leftovers-100x6x6", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::mmm(100, 6, 6), Microarch::CortexA9, Variant::Full)))
+    });
+    g.bench_function("fig-5.19d/1176-gemv-4x64", |b| {
+        b.iter(|| black_box(measure_lgen(&paper::gemv(4, 64), Microarch::Arm1176, Variant::Full)))
+    });
+    g.finish();
+}
+
+fn bench_competitors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("competitors");
+    g.sample_size(10);
+    for comp in Competitor::ALL {
+        if !comp.available_on(Microarch::Atom) {
+            continue;
+        }
+        g.bench_function(format!("gemv-4x64/{}", comp.label()), |b| {
+            b.iter(|| black_box(measure_competitor(&paper::gemv(4, 64), Microarch::Atom, comp)))
+        });
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    // Keep full-suite bench runs affordable; pass --measurement-time to
+    // override for precision runs.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(10)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_tables, bench_atom_figures, bench_arm_figures, bench_competitors);
+criterion_main!(benches);

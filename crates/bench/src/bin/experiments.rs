@@ -1,0 +1,34 @@
+//! Regenerates the paper's tables and figures on the simulator.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments list            # available artifact ids
+//! experiments fig-5.1 …       # run specific artifacts
+//! experiments all             # run everything (slow)
+//! ```
+
+use lgen_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "list" {
+        println!("available experiments:");
+        for e in figures::all() {
+            println!("  {:<12} {}", e.id, e.title);
+        }
+        println!("\nrun with: experiments <id> [<id> ...] | all");
+        return;
+    }
+    let ids: Vec<String> = if args[0] == "all" {
+        figures::list().into_iter().map(String::from).collect()
+    } else {
+        args
+    };
+    for id in ids {
+        match figures::run(&id) {
+            Some(output) => println!("{output}"),
+            None => eprintln!("unknown experiment '{id}' (try 'list')"),
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! A fluent builder for C-IR kernels.
+//!
+//! Used by the Σ-LL lowering (`lgen-sigma`), the baselines, and tests to
+//! assemble kernels without manipulating [`Inst`] vectors directly.
+
+use crate::ir::{ArrayDecl, ArrayId, ArrayKind, Inst, Kernel, KernelVersion, VArith, VMove, VReg};
+use crate::map::MemMap;
+use lgen_absint::{AffineExpr, VarId};
+
+/// Incremental kernel construction.
+///
+/// # Example
+///
+/// Build `y[0..4] = x[0..4]` as a loop of scalar copies:
+///
+/// ```
+/// use lgen_cir::{KernelBuilder, MemMap};
+/// use lgen_absint::AffineExpr;
+///
+/// let mut b = KernelBuilder::new("copy4");
+/// let x = b.input("x", 4);
+/// let y = b.output("y", 4);
+/// b.begin_loop("i", 0, 4, 1);
+/// let i = b.current_loop_var().unwrap();
+/// let r = b.load(x, AffineExpr::var(i), MemMap::scalar());
+/// b.store(r, y, AffineExpr::var(i), MemMap::scalar());
+/// b.end_loop();
+/// let kernel = b.finish(0);
+/// assert_eq!(kernel.static_size(), 3);
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    arrays: Vec<ArrayDecl>,
+    /// Stack of open instruction sequences; `frames[0]` is the kernel body,
+    /// deeper frames are open loops.
+    frames: Vec<Vec<Inst>>,
+    /// Open loop headers matching `frames[1..]`.
+    open_loops: Vec<(VarId, String, i64, i64, i64)>,
+    nreg: u32,
+    nvars: usize,
+}
+
+impl KernelBuilder {
+    /// Starts a new kernel with the given C function name.
+    pub fn new(name: &str) -> Self {
+        KernelBuilder {
+            name: name.to_string(),
+            arrays: Vec::new(),
+            frames: vec![Vec::new()],
+            open_loops: Vec::new(),
+            nreg: 0,
+            nvars: 0,
+        }
+    }
+
+    fn decl(&mut self, name: &str, len: usize, kind: ArrayKind) -> ArrayId {
+        assert!(len > 0, "array {name} must have positive length");
+        self.arrays.push(ArrayDecl { name: name.to_string(), len, kind });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Declares a read-only parameter of `len` floats.
+    pub fn input(&mut self, name: &str, len: usize) -> ArrayId {
+        self.decl(name, len, ArrayKind::Input)
+    }
+
+    /// Declares a write-only parameter.
+    pub fn output(&mut self, name: &str, len: usize) -> ArrayId {
+        self.decl(name, len, ArrayKind::Output)
+    }
+
+    /// Declares a read-write parameter.
+    pub fn inout(&mut self, name: &str, len: usize) -> ArrayId {
+        self.decl(name, len, ArrayKind::InOut)
+    }
+
+    /// Declares a kernel-local temporary array.
+    pub fn local(&mut self, name: &str, len: usize) -> ArrayId {
+        self.decl(name, len, ArrayKind::Local)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn fresh_reg(&mut self) -> VReg {
+        self.nreg += 1;
+        self.nreg - 1
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.frames.last_mut().expect("builder has a frame").push(inst);
+    }
+
+    /// Emits a generic load and returns the destination register.
+    pub fn load(&mut self, arr: ArrayId, addr: AffineExpr, map: MemMap) -> VReg {
+        let dst = self.fresh_reg();
+        self.push(Inst::GLoad { dst, arr, addr, map, aligned: false });
+        dst
+    }
+
+    /// Emits a generic store.
+    pub fn store(&mut self, src: VReg, arr: ArrayId, addr: AffineExpr, map: MemMap) {
+        self.push(Inst::GStore { src, arr, addr, map, aligned: false });
+    }
+
+    /// Emits `op(a, b)` into a fresh register.
+    pub fn arith(&mut self, op: VArith, a: VReg, b: VReg) -> VReg {
+        assert!(!op.reads_dst(), "use arith_acc for accumulating ops");
+        let dst = self.fresh_reg();
+        self.push(Inst::Arith { op, dst, a, b });
+        dst
+    }
+
+    /// Emits an accumulating op (`dst += a*b` style) into `dst`.
+    pub fn arith_acc(&mut self, op: VArith, dst: VReg, a: VReg, b: VReg) {
+        assert!(op.reads_dst(), "use arith for non-accumulating ops");
+        self.push(Inst::Arith { op, dst, a, b });
+    }
+
+    /// Emits a register move/lane op into a fresh register.
+    pub fn mov_op(&mut self, op: VMove, a: VReg, b: VReg) -> VReg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Move { op, dst, a, b });
+        dst
+    }
+
+    /// Emits `dst = 0`.
+    pub fn zero(&mut self) -> VReg {
+        let dst = self.fresh_reg();
+        self.push(Inst::Move { op: VMove::Zero, dst, a: 0, b: 0 });
+        dst
+    }
+
+    /// Charges schedule-only overhead (see [`Inst::Overhead`]).
+    pub fn overhead(&mut self, kind: crate::ir::OverheadKind, count: u16) {
+        self.push(Inst::Overhead { kind, count });
+    }
+
+    /// Opens a counted loop; returns its variable id.
+    pub fn begin_loop(&mut self, name: &str, start: i64, end: i64, step: i64) -> VarId {
+        assert!(step > 0, "loop step must be positive");
+        let var = self.nvars;
+        self.nvars += 1;
+        self.open_loops.push((var, name.to_string(), start, end, step));
+        self.frames.push(Vec::new());
+        var
+    }
+
+    /// The variable of the innermost open loop.
+    pub fn current_loop_var(&self) -> Option<VarId> {
+        self.open_loops.last().map(|l| l.0)
+    }
+
+    /// Closes the innermost open loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no loop is open.
+    pub fn end_loop(&mut self) {
+        let body = self.frames.pop().expect("no open loop body");
+        let (var, name, start, end, step) = self.open_loops.pop().expect("no open loop");
+        self.push(Inst::Loop { var, name, start, end, step, body });
+    }
+
+    /// Runs `f` inside a new loop scope (convenience wrapper around
+    /// [`begin_loop`](Self::begin_loop)/[`end_loop`](Self::end_loop)).
+    pub fn for_loop(
+        &mut self,
+        name: &str,
+        start: i64,
+        end: i64,
+        step: i64,
+        f: impl FnOnce(&mut Self, VarId),
+    ) {
+        let var = self.begin_loop(name, start, end, step);
+        f(self, var);
+        self.end_loop();
+    }
+
+    /// Finalizes the kernel with the given useful-flop count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if loops are still open.
+    pub fn finish(mut self, flops: u64) -> Kernel {
+        assert!(self.open_loops.is_empty(), "unclosed loops: {}", self.open_loops.len());
+        let body = self.frames.pop().expect("body frame");
+        Kernel {
+            name: self.name,
+            arrays: self.arrays,
+            versions: vec![KernelVersion { required_offsets: None, body }],
+            nreg: self.nreg,
+            nvars: self.nvars,
+            flops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::VWidth;
+
+    #[test]
+    fn builds_structured_kernels() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("x", 8);
+        let y = b.output("y", 8);
+        b.for_loop("i", 0, 8, 4, |b, i| {
+            let vx = b.load(x, AffineExpr::var(i), MemMap::horizontal(4));
+            let s = b.arith(VArith::Add(VWidth::Q), vx, vx);
+            b.store(s, y, AffineExpr::var(i), MemMap::horizontal(4));
+        });
+        let k = b.finish(8);
+        assert_eq!(k.nvars, 1);
+        assert_eq!(k.static_size(), 4);
+        assert_eq!(k.flops, 8);
+        assert_eq!(k.arrays.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed loops")]
+    fn unclosed_loop_panics() {
+        let mut b = KernelBuilder::new("t");
+        b.begin_loop("i", 0, 4, 1);
+        let _ = b.finish(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "accumulating")]
+    fn arith_rejects_fma() {
+        let mut b = KernelBuilder::new("t");
+        let r = b.zero();
+        b.arith(VArith::Fma(VWidth::Q), r, r);
+    }
+}

@@ -1,0 +1,400 @@
+//! The C-IR instruction set and kernel container.
+
+use crate::map::MemMap;
+use lgen_absint::AffineExpr;
+
+/// A virtual register holding up to 4 single-precision lanes.
+pub type VReg = u32;
+
+/// Index of an array declared by the kernel (parameter or local temporary).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub usize);
+
+/// Role of a kernel array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ArrayKind {
+    /// Read-only parameter.
+    Input,
+    /// Written parameter.
+    Output,
+    /// Parameter that is both read and written (e.g. `y` in `y = αAx + βy`).
+    InOut,
+    /// Kernel-local temporary (the arrays between codelets of a computation
+    /// chain, Fig. 2.3 — scalar replacement removes accesses to these).
+    Local,
+}
+
+impl ArrayKind {
+    /// Whether the array is a kernel parameter.
+    pub fn is_param(self) -> bool {
+        !matches!(self, ArrayKind::Local)
+    }
+}
+
+/// Declaration of a kernel array.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayDecl {
+    /// C identifier.
+    pub name: String,
+    /// Length in floats (excluding the safety padding added by the
+    /// interpreter's memory layout).
+    pub len: usize,
+    /// Role.
+    pub kind: ArrayKind,
+}
+
+/// Vector width of an arithmetic operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum VWidth {
+    /// Scalar (lane 0 only).
+    S,
+    /// Doubleword — 2 lanes (NEON `d` registers, §3.4).
+    D,
+    /// Quadword — 4 lanes (full ν).
+    Q,
+}
+
+impl VWidth {
+    /// Number of active lanes.
+    pub fn lanes(self) -> usize {
+        match self {
+            VWidth::S => 1,
+            VWidth::D => 2,
+            VWidth::Q => 4,
+        }
+    }
+}
+
+/// Vector (or scalar) arithmetic operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum VArith {
+    /// Lane-wise addition.
+    Add(VWidth),
+    /// Lane-wise subtraction.
+    Sub(VWidth),
+    /// Lane-wise multiplication.
+    Mul(VWidth),
+    /// SSE3-style horizontal add of two vectors:
+    /// `dst = [a0+a1, a2+a3, b0+b1, b2+b3]`.
+    Hadd,
+    /// Fused multiply-accumulate `dst += a * b` (NEON `vmla`; expands to
+    /// mul+add on ISAs without FMA).
+    Fma(VWidth),
+    /// Multiply by a lane-broadcast scalar: `dst = a * b[lane]`.
+    MulLane(VWidth, u8),
+    /// FMA with a lane-broadcast scalar: `dst += a * b[lane]`.
+    FmaLane(VWidth, u8),
+    /// NEON pairwise add of two doubleword values:
+    /// `dst = [a0+a1, b0+b1]` (used by the NEON row-reduction ν-BLAC).
+    Pairwise,
+}
+
+impl VArith {
+    /// Whether the destination register is also read (accumulating ops).
+    pub fn reads_dst(self) -> bool {
+        matches!(self, VArith::Fma(_) | VArith::FmaLane(_, _))
+    }
+}
+
+/// Register moves and lane manipulations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum VMove {
+    /// `dst = a`.
+    Mov,
+    /// `dst = 0` (no source).
+    Zero,
+    /// `dst = broadcast(a[lane])`.
+    Splat(u8),
+    /// Four-lane select: `dst[i] = sel[i] < 4 ? a[sel[i]] : b[sel[i] - 4]`.
+    Shuf([u8; 4]),
+    /// `dst = a` with `dst[lane] = b[0]`.
+    SetLane(u8),
+    /// `dst[0] = a[lane]`, other lanes zero.
+    GetLane(u8),
+}
+
+/// A C-IR instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Inst {
+    /// Generic load (§3.1): gathers the elements described by `map`,
+    /// relative to `base + addr` (both in floats), into `dst`; unmapped
+    /// lanes become zero.
+    GLoad {
+        /// Destination register.
+        dst: VReg,
+        /// Source array.
+        arr: ArrayId,
+        /// Affine address in floats, over enclosing loop variables.
+        addr: AffineExpr,
+        /// Offset→lane mapping.
+        map: MemMap,
+        /// Set by alignment detection (§3.2): the access is provably
+        /// 16-byte aligned, so an aligned instruction may be used.
+        aligned: bool,
+    },
+    /// Generic store: scatters lanes of `src` per `map`.
+    GStore {
+        /// Source register.
+        src: VReg,
+        /// Destination array.
+        arr: ArrayId,
+        /// Affine address in floats.
+        addr: AffineExpr,
+        /// Offset→lane mapping.
+        map: MemMap,
+        /// Set by alignment detection.
+        aligned: bool,
+    },
+    /// `dst = op(a, b)` (or `dst op= …` for accumulating ops).
+    Arith {
+        /// Operation.
+        op: VArith,
+        /// Destination (also read when [`VArith::reads_dst`]).
+        dst: VReg,
+        /// First source.
+        a: VReg,
+        /// Second source.
+        b: VReg,
+    },
+    /// Register move / lane manipulation.
+    Move {
+        /// Operation.
+        op: VMove,
+        /// Destination.
+        dst: VReg,
+        /// Primary source (ignored by `Zero`).
+        a: VReg,
+        /// Secondary source (used by `Shuf`, `SetLane`).
+        b: VReg,
+    },
+    /// Bookkeeping overhead charged to the schedule without touching data:
+    /// library-call dispatch, per-access address arithmetic of runtime-size
+    /// ("gen") code, packing-loop control, … Used by the competitor models
+    /// in `lgen-baselines`.
+    Overhead {
+        /// What kind of overhead.
+        kind: OverheadKind,
+        /// How many overhead instructions to charge.
+        count: u16,
+    },
+    /// A counted loop; the variable is usable in nested affine addresses.
+    Loop {
+        /// Loop variable id (dense, kernel-wide).
+        var: lgen_absint::VarId,
+        /// Variable name for unparsing.
+        name: String,
+        /// Start value.
+        start: i64,
+        /// Exclusive bound.
+        end: i64,
+        /// Step (positive).
+        step: i64,
+        /// Body.
+        body: Vec<Inst>,
+    },
+}
+
+/// Kinds of schedule-only overhead (see [`Inst::Overhead`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum OverheadKind {
+    /// Integer address arithmetic.
+    Addr,
+    /// A branch.
+    Branch,
+    /// Amortized library-call overhead (serializing).
+    Call,
+}
+
+/// One alignment version of a kernel body (§3.2.4).
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelVersion {
+    /// Required base-address offsets, in floats modulo ν, for each
+    /// *parameter* array (in declaration order); `None` entries are
+    /// don't-care (e.g. scalar parameters). A `None` at the outer level is
+    /// the unconditional fallback version.
+    pub required_offsets: Option<Vec<Option<usize>>>,
+    /// The body specialized under that assumption.
+    pub body: Vec<Inst>,
+}
+
+/// A compiled kernel: arrays, one or more alignment-dispatched bodies, and
+/// metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Kernel {
+    /// Kernel name (C function name).
+    pub name: String,
+    /// Array declarations; parameters first, then locals.
+    pub arrays: Vec<ArrayDecl>,
+    /// Alignment versions; the last must be the unconditional fallback.
+    pub versions: Vec<KernelVersion>,
+    /// Number of virtual registers used.
+    pub nreg: u32,
+    /// Number of loop variables used.
+    pub nvars: usize,
+    /// Useful flops of the BLAC this kernel implements (deduced from the
+    /// computation, per §5.1.4 — *not* from the instruction count).
+    pub flops: u64,
+}
+
+impl Kernel {
+    /// The single body of an unversioned kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has alignment versions.
+    pub fn body(&self) -> &[Inst] {
+        assert_eq!(self.versions.len(), 1, "kernel has alignment versions");
+        &self.versions[0].body
+    }
+
+    /// Mutable access to the single body of an unversioned kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has alignment versions.
+    pub fn body_mut(&mut self) -> &mut Vec<Inst> {
+        assert_eq!(self.versions.len(), 1, "kernel has alignment versions");
+        &mut self.versions[0].body
+    }
+
+    /// Ids of parameter arrays, in declaration order.
+    pub fn param_ids(&self) -> Vec<ArrayId> {
+        self.arrays
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind.is_param())
+            .map(|(i, _)| ArrayId(i))
+            .collect()
+    }
+
+    /// Total static instruction count across all versions (loops counted
+    /// once).
+    pub fn static_size(&self) -> usize {
+        fn count(insts: &[Inst]) -> usize {
+            insts
+                .iter()
+                .map(|i| match i {
+                    Inst::Loop { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        self.versions.iter().map(|v| count(&v.body)).sum()
+    }
+
+    /// Applies `f` to every instruction (pre-order) in every version.
+    pub fn visit_insts(&self, mut f: impl FnMut(&Inst)) {
+        fn walk(insts: &[Inst], f: &mut impl FnMut(&Inst)) {
+            for i in insts {
+                f(i);
+                if let Inst::Loop { body, .. } = i {
+                    walk(body, f);
+                }
+            }
+        }
+        for v in &self.versions {
+            walk(&v.body, &mut f);
+        }
+    }
+}
+
+/// Merges separately built single-version kernels into one runtime-
+/// dispatched kernel. Used by alignment-peeling code generation (both
+/// LGen's §6-style peeling and the peeled competitor models).
+///
+/// # Panics
+///
+/// Panics if the kernels disagree on their array declarations, or if the
+/// last entry is not the unconditional fallback (`None` requirements).
+pub fn merge_kernel_versions(kernels: Vec<(Option<Vec<Option<usize>>>, Kernel)>) -> Kernel {
+    assert!(!kernels.is_empty());
+    assert!(kernels.last().expect("non-empty").0.is_none(), "last version must be the fallback");
+    let arrays = kernels[0].1.arrays.clone();
+    let name = kernels[0].1.name.clone();
+    let flops = kernels[0].1.flops;
+    let mut nreg = 0;
+    let mut nvars = 0;
+    let mut versions = Vec::with_capacity(kernels.len());
+    for (req, k) in kernels {
+        assert_eq!(k.arrays, arrays, "versions must declare identical arrays");
+        nreg = nreg.max(k.nreg);
+        nvars = nvars.max(k.nvars);
+        let body = k.versions.into_iter().next().expect("single body").body;
+        versions.push(KernelVersion { required_offsets: req, body });
+    }
+    Kernel { name, arrays, versions, nreg, nvars, flops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_kernel() -> Kernel {
+        Kernel {
+            name: "k".into(),
+            arrays: vec![
+                ArrayDecl { name: "x".into(), len: 4, kind: ArrayKind::Input },
+                ArrayDecl { name: "y".into(), len: 4, kind: ArrayKind::Output },
+                ArrayDecl { name: "t0".into(), len: 4, kind: ArrayKind::Local },
+            ],
+            versions: vec![KernelVersion {
+                required_offsets: None,
+                body: vec![
+                    Inst::GLoad {
+                        dst: 0,
+                        arr: ArrayId(0),
+                        addr: AffineExpr::constant(0),
+                        map: MemMap::horizontal(4),
+                        aligned: false,
+                    },
+                    Inst::GStore {
+                        src: 0,
+                        arr: ArrayId(1),
+                        addr: AffineExpr::constant(0),
+                        map: MemMap::horizontal(4),
+                        aligned: false,
+                    },
+                ],
+            }],
+            nreg: 1,
+            nvars: 0,
+            flops: 0,
+        }
+    }
+
+    #[test]
+    fn param_ids_exclude_locals() {
+        let k = tiny_kernel();
+        assert_eq!(k.param_ids(), vec![ArrayId(0), ArrayId(1)]);
+    }
+
+    #[test]
+    fn static_size_counts_nested() {
+        let mut k = tiny_kernel();
+        let inner = k.body().to_vec();
+        *k.body_mut() = vec![Inst::Loop {
+            var: 0,
+            name: "i".into(),
+            start: 0,
+            end: 8,
+            step: 4,
+            body: inner,
+        }];
+        k.nvars = 1;
+        assert_eq!(k.static_size(), 3);
+    }
+
+    #[test]
+    fn fma_reads_dst() {
+        assert!(VArith::Fma(VWidth::Q).reads_dst());
+        assert!(VArith::FmaLane(VWidth::D, 1).reads_dst());
+        assert!(!VArith::Add(VWidth::Q).reads_dst());
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(VWidth::S.lanes(), 1);
+        assert_eq!(VWidth::D.lanes(), 2);
+        assert_eq!(VWidth::Q.lanes(), 4);
+    }
+}

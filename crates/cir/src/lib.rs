@@ -1,0 +1,37 @@
+//! C-IR: LGen's C-like intermediate representation (paper §2.1.4, §3.1, §3.2).
+//!
+//! A [`Kernel`] is a loop nest over straight-line blocks of
+//! vector/scalar instructions whose memory accesses are *generic loads and
+//! stores* (§3.1): each carries an affine address and a [`MemMap`]
+//! describing which memory offsets map to which vector lanes. Generic memory
+//! ops are kept abstract through all code-level optimizations and lowered to
+//! concrete ISA instructions only at the very end, which is what makes scalar
+//! replacement work even when a store and the matching load would be
+//! implemented by different instruction sequences (Fig. 3.4).
+//!
+//! The crate provides:
+//!
+//! * the IR itself ([`ir`], [`map`]) and a builder API ([`builder`]),
+//! * code-level optimizations ([`passes`]): loop unrolling, scalar
+//!   replacement, copy propagation, dead-code elimination, and alignment
+//!   detection with alignment versioning (§3.2),
+//! * lowering of C-IR to machine opcodes per ISA ([`lower`]),
+//! * a reference interpreter that executes kernels numerically while
+//!   emitting the dynamic instruction trace ([`interp`]),
+//! * an unparser producing C-with-intrinsics source text ([`unparse`]).
+
+pub mod builder;
+pub mod interp;
+pub mod ir;
+pub mod lower;
+pub mod map;
+pub mod passes;
+pub mod unparse;
+
+pub use builder::KernelBuilder;
+pub use interp::{run_kernel, ExecError, MemLayout};
+pub use ir::{
+    merge_kernel_versions, ArrayDecl, ArrayId, ArrayKind, Inst, Kernel, KernelVersion,
+    OverheadKind, VArith, VMove, VReg, VWidth,
+};
+pub use map::MemMap;

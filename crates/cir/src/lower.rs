@@ -1,0 +1,412 @@
+//! Lowering of C-IR instructions to concrete machine opcode sequences.
+//!
+//! Lowering happens "only one step before unparsing" (§3.1): generic loads
+//! and stores stay abstract through every optimization pass, and this module
+//! decides — per ISA and per memory map — which concrete instruction
+//! sequence implements each access. The same descriptors drive both the
+//! dynamic trace emitted by the interpreter and the C text produced by the
+//! unparser, so the code that is measured is the code that is printed.
+
+use crate::ir::{VArith, VMove, VReg, VWidth};
+use crate::map::MemMap;
+use lgen_isa::{MOp, VectorIsa};
+
+/// An operand slot in a lowered sequence: either a C-IR virtual register or
+/// a sequence-local temporary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Slot {
+    /// A kernel virtual register.
+    Reg(VReg),
+    /// A temporary local to one lowered sequence.
+    Tmp(u32),
+}
+
+/// One machine instruction of a lowered sequence.
+///
+/// `mem_off` is the float offset added to the C-IR instruction's base
+/// address for memory operations (e.g. the `+2` of the `_mm_load_ss(addr+2)`
+/// in the paper's Fig. 3.2 three-element load).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoweredOp {
+    /// The machine opcode.
+    pub op: MOp,
+    /// Destination slot, if any.
+    pub dst: Option<Slot>,
+    /// Source slots.
+    pub srcs: Vec<Slot>,
+    /// For memory ops: offset in floats from the instruction's address.
+    pub mem_off: Option<i64>,
+}
+
+impl LoweredOp {
+    fn reg(op: MOp, dst: Slot, srcs: Vec<Slot>) -> Self {
+        LoweredOp { op, dst: Some(dst), srcs, mem_off: None }
+    }
+
+    fn load(op: MOp, dst: Slot, off: i64) -> Self {
+        LoweredOp { op, dst: Some(dst), srcs: Vec::new(), mem_off: Some(off) }
+    }
+
+    fn store(op: MOp, src: Slot, off: i64) -> Self {
+        LoweredOp { op, dst: None, srcs: vec![src], mem_off: Some(off) }
+    }
+}
+
+/// Lowers a generic load of `map` into `dst` on `isa`.
+///
+/// `aligned` is the alignment-detection verdict: on SSSE3 it selects
+/// `_mm_load_ps` over `_mm_loadu_ps` for full-width accesses (§3.2); it is
+/// ignored on NEON and scalar targets, where the instruction choice does not
+/// depend on provable alignment.
+///
+/// # Panics
+///
+/// Panics if the map shape is not implementable on the ISA (e.g. a 4-lane
+/// map on the scalar ISA) — the code generator must not produce such code.
+pub fn lower_load(isa: VectorIsa, dst: VReg, map: &MemMap, aligned: bool) -> Vec<LoweredOp> {
+    let d = Slot::Reg(dst);
+    match isa {
+        VectorIsa::Ssse3 => lower_load_ssse3(d, map, aligned),
+        VectorIsa::Neon => lower_load_neon(d, map),
+        VectorIsa::Scalar => {
+            assert_eq!(map.lanes(), 1, "scalar ISA cannot load {} lanes", map.lanes());
+            vec![LoweredOp::load(MOp::FLoad, d, map.entries()[0].0)]
+        }
+    }
+}
+
+fn lower_load_ssse3(d: Slot, map: &MemMap, aligned: bool) -> Vec<LoweredOp> {
+    if map.is_broadcast() {
+        return vec![LoweredOp::load(MOp::MmLoad1Ps, d, 0)];
+    }
+    if map.is_horizontal() {
+        return match map.lanes() {
+            4 => vec![LoweredOp::load(
+                if aligned { MOp::MmLoadAPs } else { MOp::MmLoadUPs },
+                d,
+                0,
+            )],
+            // Fig. 3.2: loadl_pi + load_ss + shuffle.
+            3 => vec![
+                LoweredOp::load(MOp::MmLoadLPi, Slot::Tmp(0), 0),
+                LoweredOp::load(MOp::MmLoadSs, Slot::Tmp(1), 2),
+                LoweredOp::reg(MOp::MmShufPs, d, vec![Slot::Tmp(0), Slot::Tmp(1)]),
+            ],
+            2 => vec![LoweredOp::load(MOp::MmLoadLPi, d, 0)],
+            _ => vec![LoweredOp::load(MOp::MmLoadSs, d, 0)],
+        };
+    }
+    // Vertical / arbitrary map: per-element loads combined with unpacks
+    // (the classic column gather).
+    let entries = map.entries();
+    if entries.len() == 1 {
+        return vec![LoweredOp::load(MOp::MmLoadSs, d, entries[0].0)];
+    }
+    let mut seq = Vec::new();
+    for (i, &(off, _lane)) in entries.iter().enumerate() {
+        seq.push(LoweredOp::load(MOp::MmLoadSs, Slot::Tmp(i as u32), off));
+    }
+    // Combine: unpack pairs, then merge.
+    match entries.len() {
+        2 => seq.push(LoweredOp::reg(MOp::MmUnpckPs, d, vec![Slot::Tmp(0), Slot::Tmp(1)])),
+        3 => {
+            seq.push(LoweredOp::reg(MOp::MmUnpckPs, Slot::Tmp(3), vec![Slot::Tmp(0), Slot::Tmp(1)]));
+            seq.push(LoweredOp::reg(MOp::MmShufPs, d, vec![Slot::Tmp(3), Slot::Tmp(2)]));
+        }
+        _ => {
+            seq.push(LoweredOp::reg(MOp::MmUnpckPs, Slot::Tmp(4), vec![Slot::Tmp(0), Slot::Tmp(1)]));
+            seq.push(LoweredOp::reg(MOp::MmUnpckPs, Slot::Tmp(5), vec![Slot::Tmp(2), Slot::Tmp(3)]));
+            seq.push(LoweredOp::reg(MOp::MmShufPs, d, vec![Slot::Tmp(4), Slot::Tmp(5)]));
+        }
+    }
+    seq
+}
+
+fn lower_load_neon(d: Slot, map: &MemMap) -> Vec<LoweredOp> {
+    if map.is_broadcast() {
+        return vec![LoweredOp::load(MOp::VldDup, d, 0)];
+    }
+    if map.is_horizontal() {
+        return match map.lanes() {
+            4 => vec![LoweredOp::load(MOp::VldQ, d, 0)],
+            // Fig. 3.4 load side: vld1q + zero lane 3 via vsetq_lane.
+            3 => vec![
+                LoweredOp::load(MOp::VldQ, Slot::Tmp(0), 0),
+                LoweredOp::reg(MOp::Vzero, Slot::Tmp(1), vec![]),
+                LoweredOp::reg(MOp::VsetLane, d, vec![Slot::Tmp(0), Slot::Tmp(1)]),
+            ],
+            2 => vec![LoweredOp::load(MOp::VldD, d, 0)],
+            _ => vec![LoweredOp::load(MOp::VldLane, d, 0)],
+        };
+    }
+    // Vertical map: one lane load per element.
+    map.entries()
+        .iter()
+        .map(|&(off, _)| LoweredOp::load(MOp::VldLane, d, off))
+        .collect()
+}
+
+/// Lowers a generic store of `src` per `map` on `isa`.
+///
+/// # Panics
+///
+/// Panics on map shapes not implementable on the ISA (see [`lower_load`]).
+pub fn lower_store(isa: VectorIsa, src: VReg, map: &MemMap, aligned: bool) -> Vec<LoweredOp> {
+    assert!(!map.is_broadcast(), "cannot store a broadcast map");
+    let s = Slot::Reg(src);
+    match isa {
+        VectorIsa::Ssse3 => lower_store_ssse3(s, map, aligned),
+        VectorIsa::Neon => lower_store_neon(s, map),
+        VectorIsa::Scalar => {
+            assert_eq!(map.lanes(), 1, "scalar ISA cannot store {} lanes", map.lanes());
+            vec![LoweredOp::store(MOp::FStore, s, map.entries()[0].0)]
+        }
+    }
+}
+
+fn lower_store_ssse3(s: Slot, map: &MemMap, aligned: bool) -> Vec<LoweredOp> {
+    if map.is_horizontal() {
+        return match map.lanes() {
+            4 => vec![LoweredOp::store(
+                if aligned { MOp::MmStoreAPs } else { MOp::MmStoreUPs },
+                s,
+                0,
+            )],
+            // Fig. 3.2: storel_pi + shuffle + store_ss.
+            3 => vec![
+                LoweredOp::store(MOp::MmStoreLPi, s, 0),
+                LoweredOp::reg(MOp::MmShufPs, Slot::Tmp(0), vec![s, s]),
+                LoweredOp::store(MOp::MmStoreSs, Slot::Tmp(0), 2),
+            ],
+            2 => vec![LoweredOp::store(MOp::MmStoreLPi, s, 0)],
+            _ => vec![LoweredOp::store(MOp::MmStoreSs, s, 0)],
+        };
+    }
+    // Vertical map: shuffle each lane down to lane 0 and store_ss.
+    let mut seq = Vec::new();
+    for (i, &(off, lane)) in map.entries().iter().enumerate() {
+        if lane == 0 {
+            seq.push(LoweredOp::store(MOp::MmStoreSs, s, off));
+        } else {
+            seq.push(LoweredOp::reg(MOp::MmShufPs, Slot::Tmp(i as u32), vec![s, s]));
+            seq.push(LoweredOp::store(MOp::MmStoreSs, Slot::Tmp(i as u32), off));
+        }
+    }
+    seq
+}
+
+fn lower_store_neon(s: Slot, map: &MemMap) -> Vec<LoweredOp> {
+    if map.is_horizontal() {
+        return match map.lanes() {
+            4 => vec![LoweredOp::store(MOp::VstQ, s, 0)],
+            // Fig. 3.4 store side: vst1_f32 (two lanes) + vst1q_lane (third).
+            3 => vec![
+                LoweredOp::store(MOp::VstD, s, 0),
+                LoweredOp::store(MOp::VstLane, s, 2),
+            ],
+            2 => vec![LoweredOp::store(MOp::VstD, s, 0)],
+            _ => vec![LoweredOp::store(MOp::VstLane, s, 0)],
+        };
+    }
+    map.entries()
+        .iter()
+        .map(|&(off, _)| LoweredOp::store(MOp::VstLane, s, off))
+        .collect()
+}
+
+/// Lowers an arithmetic C-IR op.
+///
+/// # Panics
+///
+/// Panics on width/ISA combinations the code generator must not produce
+/// (doubleword ops on SSSE3, vector ops on the scalar ISA).
+pub fn lower_arith(isa: VectorIsa, op: VArith, dst: VReg, a: VReg, b: VReg) -> Vec<LoweredOp> {
+    let d = Slot::Reg(dst);
+    let (a, b) = (Slot::Reg(a), Slot::Reg(b));
+    match isa {
+        VectorIsa::Ssse3 => lower_arith_ssse3(op, d, a, b),
+        VectorIsa::Neon => lower_arith_neon(op, d, a, b),
+        VectorIsa::Scalar => lower_arith_scalar(op, d, a, b),
+    }
+}
+
+fn lower_arith_ssse3(op: VArith, d: Slot, a: Slot, b: Slot) -> Vec<LoweredOp> {
+    use VArith::*;
+    match op {
+        Add(VWidth::S) => vec![LoweredOp::reg(MOp::FAdd, d, vec![a, b])],
+        Sub(VWidth::S) => vec![LoweredOp::reg(MOp::FAdd, d, vec![a, b])],
+        Mul(VWidth::S) => vec![LoweredOp::reg(MOp::FMul, d, vec![a, b])],
+        // SSSE3 has no doubleword forms: D-width ops are executed as Q.
+        Add(_) | Sub(_) => vec![LoweredOp::reg(MOp::MmAddPs, d, vec![a, b])],
+        Mul(_) => vec![LoweredOp::reg(MOp::MmMulPs, d, vec![a, b])],
+        Hadd | Pairwise => vec![LoweredOp::reg(MOp::MmHaddPs, d, vec![a, b])],
+        Fma(VWidth::S) => vec![
+            LoweredOp::reg(MOp::FMul, Slot::Tmp(0), vec![a, b]),
+            LoweredOp::reg(MOp::FAdd, d, vec![d, Slot::Tmp(0)]),
+        ],
+        Fma(_) => vec![
+            LoweredOp::reg(MOp::MmMulPs, Slot::Tmp(0), vec![a, b]),
+            LoweredOp::reg(MOp::MmAddPs, d, vec![d, Slot::Tmp(0)]),
+        ],
+        MulLane(_, _) => vec![
+            LoweredOp::reg(MOp::MmShufPs, Slot::Tmp(0), vec![b, b]),
+            LoweredOp::reg(MOp::MmMulPs, d, vec![a, Slot::Tmp(0)]),
+        ],
+        FmaLane(_, _) => vec![
+            LoweredOp::reg(MOp::MmShufPs, Slot::Tmp(0), vec![b, b]),
+            LoweredOp::reg(MOp::MmMulPs, Slot::Tmp(1), vec![a, Slot::Tmp(0)]),
+            LoweredOp::reg(MOp::MmAddPs, d, vec![d, Slot::Tmp(1)]),
+        ],
+    }
+}
+
+fn lower_arith_neon(op: VArith, d: Slot, a: Slot, b: Slot) -> Vec<LoweredOp> {
+    use VArith::*;
+    let one = |m: MOp| vec![LoweredOp::reg(m, d, vec![a, b])];
+    let acc = |m: MOp| vec![LoweredOp::reg(m, d, vec![d, a, b])];
+    match op {
+        Add(VWidth::Q) | Sub(VWidth::Q) => one(MOp::VaddQ),
+        Add(_) | Sub(_) => one(MOp::VaddD),
+        Mul(VWidth::Q) => one(MOp::VmulQ),
+        Mul(_) => one(MOp::VmulD),
+        Fma(VWidth::Q) => acc(MOp::VmlaQ),
+        Fma(_) => acc(MOp::VmlaD),
+        MulLane(VWidth::Q, _) => one(MOp::VmulLaneQ),
+        MulLane(_, _) => one(MOp::VmulLaneD),
+        FmaLane(VWidth::Q, _) => acc(MOp::VmlaLaneQ),
+        FmaLane(_, _) => acc(MOp::VmlaLaneD),
+        Pairwise => one(MOp::Vpadd),
+        // NEON has no single-instruction 4-lane horizontal add: emulate the
+        // SSE hadd semantics with two pairwise adds and a permute.
+        Hadd => vec![
+            LoweredOp::reg(MOp::Vpadd, Slot::Tmp(0), vec![a, a]),
+            LoweredOp::reg(MOp::Vpadd, Slot::Tmp(1), vec![b, b]),
+            LoweredOp::reg(MOp::Vperm, d, vec![Slot::Tmp(0), Slot::Tmp(1)]),
+        ],
+    }
+}
+
+fn lower_arith_scalar(op: VArith, d: Slot, a: Slot, b: Slot) -> Vec<LoweredOp> {
+    use VArith::*;
+    match op {
+        Add(VWidth::S) | Sub(VWidth::S) => vec![LoweredOp::reg(MOp::FAdd, d, vec![a, b])],
+        Mul(VWidth::S) => vec![LoweredOp::reg(MOp::FMul, d, vec![a, b])],
+        Fma(VWidth::S) => vec![
+            LoweredOp::reg(MOp::FMul, Slot::Tmp(0), vec![a, b]),
+            LoweredOp::reg(MOp::FAdd, d, vec![d, Slot::Tmp(0)]),
+        ],
+        other => panic!("vector op {other:?} on the scalar ISA"),
+    }
+}
+
+/// Lowers a register move / lane manipulation.
+pub fn lower_move(isa: VectorIsa, op: VMove, dst: VReg, a: VReg, b: VReg) -> Vec<LoweredOp> {
+    let d = Slot::Reg(dst);
+    let (a, b) = (Slot::Reg(a), Slot::Reg(b));
+    use VMove::*;
+    match isa {
+        VectorIsa::Ssse3 => match op {
+            Mov => vec![LoweredOp::reg(MOp::MmMovAps, d, vec![a])],
+            Zero => vec![LoweredOp::reg(MOp::MmSetZeroPs, d, vec![])],
+            Splat(_) => vec![LoweredOp::reg(MOp::MmShufPs, d, vec![a, a])],
+            Shuf(_) => vec![LoweredOp::reg(MOp::MmShufPs, d, vec![a, b])],
+            SetLane(_) => vec![
+                LoweredOp::reg(MOp::MmShufPs, Slot::Tmp(0), vec![a, b]),
+                LoweredOp::reg(MOp::MmShufPs, d, vec![a, Slot::Tmp(0)]),
+            ],
+            GetLane(_) => vec![LoweredOp::reg(MOp::MmShufPs, d, vec![a, a])],
+        },
+        VectorIsa::Neon => match op {
+            Mov => vec![LoweredOp::reg(MOp::Vmov, d, vec![a])],
+            Zero => vec![LoweredOp::reg(MOp::Vzero, d, vec![])],
+            Splat(_) => vec![LoweredOp::reg(MOp::VdupLane, d, vec![a])],
+            Shuf(_) => vec![LoweredOp::reg(MOp::Vperm, d, vec![a, b])],
+            SetLane(_) => vec![LoweredOp::reg(MOp::VsetLane, d, vec![a, b])],
+            GetLane(_) => vec![LoweredOp::reg(MOp::VgetLane, d, vec![a])],
+        },
+        VectorIsa::Scalar => match op {
+            Mov | Splat(_) | GetLane(_) => vec![LoweredOp::reg(MOp::FMov, d, vec![a])],
+            Zero => vec![LoweredOp::reg(MOp::FMov, d, vec![])],
+            SetLane(_) => vec![LoweredOp::reg(MOp::FMov, d, vec![b])],
+            Shuf(_) => panic!("shuffle on the scalar ISA"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_width_load_respects_alignment_verdict() {
+        let seq = lower_load(VectorIsa::Ssse3, 0, &MemMap::horizontal(4), true);
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq[0].op, MOp::MmLoadAPs);
+        let seq = lower_load(VectorIsa::Ssse3, 0, &MemMap::horizontal(4), false);
+        assert_eq!(seq[0].op, MOp::MmLoadUPs);
+        // NEON ignores the verdict — vld1q handles any alignment.
+        let seq = lower_load(VectorIsa::Neon, 0, &MemMap::horizontal(4), false);
+        assert_eq!(seq[0].op, MOp::VldQ);
+    }
+
+    /// The mismatched NEON 3-element implementations of Fig. 3.4.
+    #[test]
+    fn fig_3_4_mismatched_three_element_access()  {
+        let load: Vec<MOp> =
+            lower_load(VectorIsa::Neon, 0, &MemMap::horizontal(3), false).iter().map(|l| l.op).collect();
+        assert_eq!(load, vec![MOp::VldQ, MOp::Vzero, MOp::VsetLane]);
+        let store: Vec<MOp> =
+            lower_store(VectorIsa::Neon, 0, &MemMap::horizontal(3), false).iter().map(|l| l.op).collect();
+        assert_eq!(store, vec![MOp::VstD, MOp::VstLane]);
+    }
+
+    /// The SSE 3-element sequences of Fig. 3.2.
+    #[test]
+    fn fig_3_2_three_element_sse() {
+        let load: Vec<MOp> =
+            lower_load(VectorIsa::Ssse3, 0, &MemMap::horizontal(3), false).iter().map(|l| l.op).collect();
+        assert_eq!(load, vec![MOp::MmLoadLPi, MOp::MmLoadSs, MOp::MmShufPs]);
+        let store: Vec<MOp> =
+            lower_store(VectorIsa::Ssse3, 0, &MemMap::horizontal(3), false).iter().map(|l| l.op).collect();
+        assert_eq!(store, vec![MOp::MmStoreLPi, MOp::MmShufPs, MOp::MmStoreSs]);
+    }
+
+    #[test]
+    fn vertical_maps_gather_and_scatter() {
+        let seq = lower_load(VectorIsa::Ssse3, 0, &MemMap::vertical(4, 8), false);
+        let loads = seq.iter().filter(|l| l.op == MOp::MmLoadSs).count();
+        assert_eq!(loads, 4);
+        assert_eq!(seq.iter().filter(|l| l.op.touches_memory()).count(), 4);
+        let seq = lower_load(VectorIsa::Neon, 0, &MemMap::vertical(3, 5), false);
+        assert_eq!(seq.len(), 3);
+        assert!(seq.iter().all(|l| l.op == MOp::VldLane));
+        // Offsets follow the stride.
+        assert_eq!(seq.iter().map(|l| l.mem_off.unwrap()).collect::<Vec<_>>(), vec![0, 5, 10]);
+    }
+
+    #[test]
+    fn fma_expands_on_ssse3_but_not_neon() {
+        let x86 = lower_arith(VectorIsa::Ssse3, VArith::Fma(VWidth::Q), 0, 1, 2);
+        assert_eq!(x86.iter().map(|l| l.op).collect::<Vec<_>>(), vec![MOp::MmMulPs, MOp::MmAddPs]);
+        let neon = lower_arith(VectorIsa::Neon, VArith::Fma(VWidth::Q), 0, 1, 2);
+        assert_eq!(neon.iter().map(|l| l.op).collect::<Vec<_>>(), vec![MOp::VmlaQ]);
+        // Doubleword on NEON.
+        let neon_d = lower_arith(VectorIsa::Neon, VArith::Fma(VWidth::D), 0, 1, 2);
+        assert_eq!(neon_d[0].op, MOp::VmlaD);
+    }
+
+    #[test]
+    fn lane_multiplies_avoid_shuffles_on_neon() {
+        // §2.2.2: NEON's by-scalar instructions avoid the shuffles x86 needs.
+        let neon = lower_arith(VectorIsa::Neon, VArith::MulLane(VWidth::Q, 2), 0, 1, 2);
+        assert_eq!(neon.len(), 1);
+        let x86 = lower_arith(VectorIsa::Ssse3, VArith::MulLane(VWidth::Q, 2), 0, 1, 2);
+        assert_eq!(x86.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar ISA")]
+    fn vector_op_on_scalar_isa_panics() {
+        lower_arith(VectorIsa::Scalar, VArith::Add(VWidth::Q), 0, 1, 2);
+    }
+}

@@ -1,0 +1,303 @@
+//! Alignment detection and alignment versioning (§3.2).
+//!
+//! Alignment detection runs the abstract interpretation of `lgen-absint`
+//! (reduced product of Interval and Congruence) over the kernel's loop nest
+//! and marks every 16-byte memory access whose address is provably a
+//! multiple of ν floats, given assumptions about the base alignment of each
+//! array. Lowering then uses aligned instructions for marked accesses.
+//!
+//! Alignment versioning (§3.2.4) generates one code version per alignment
+//! combination of the vector-accessed parameter arrays — `(N/l)^a + 1`
+//! versions, each analyzed under its own assumption — combined by runtime
+//! dispatch (Listing 3.3).
+
+use crate::ir::{ArrayKind, Inst, Kernel, KernelVersion};
+use lgen_absint::{loop_index_value, AbstractDomain, IntervalCongruence, LoopSpec};
+use std::collections::HashMap;
+
+/// Number of float offsets per alignment class (ν for single precision with
+/// 16-byte vectors).
+pub const ALIGN_CLASSES: usize = 4;
+
+/// Marks provably aligned accesses in `body`.
+///
+/// `base_offsets[a]` is the assumed base offset of array `a` in floats
+/// modulo [`ALIGN_CLASSES`] (locals are always 0: the layout aligns them).
+pub fn detect_alignment(body: &mut [Inst], base_offsets: &[usize]) {
+    let opts: Vec<Option<usize>> = base_offsets.iter().map(|&o| Some(o)).collect();
+    detect_alignment_partial(body, &opts);
+}
+
+/// [`detect_alignment`] with possibly-unknown base offsets: `None` entries
+/// are arrays whose alignment is not assumed (their 16-byte accesses are
+/// never marked). Used by runtime-peeling competitor models that dispatch
+/// on one array's alignment only.
+pub fn detect_alignment_partial(body: &mut [Inst], base_offsets: &[Option<usize>]) {
+    let mut env: HashMap<usize, IntervalCongruence> = HashMap::new();
+    walk(body, &mut env, base_offsets);
+}
+
+fn walk(
+    insts: &mut [Inst],
+    env: &mut HashMap<usize, IntervalCongruence>,
+    base_offsets: &[Option<usize>],
+) {
+    for inst in insts {
+        match inst {
+            Inst::GLoad { arr, addr, map, aligned, .. }
+            | Inst::GStore { arr, addr, map, aligned, .. } => {
+                if map.contiguous_bytes() != Some(16) {
+                    // Only full-width contiguous accesses have aligned
+                    // instruction variants.
+                    *aligned = false;
+                    continue;
+                }
+                let Some(base) = base_offsets[arr.0] else {
+                    *aligned = false;
+                    continue;
+                };
+                let mut v = IntervalCongruence::constant(addr.constant + base as i64);
+                for &(coeff, var) in &addr.terms {
+                    let val = env
+                        .get(&var)
+                        .copied()
+                        .unwrap_or_else(IntervalCongruence::top);
+                    v = v.add(&IntervalCongruence::constant(coeff).mul(&val));
+                }
+                *aligned = v.divisible_by(ALIGN_CLASSES as i64);
+            }
+            Inst::Loop { var, name, start, end, step, body } => {
+                let value = loop_index_value(&LoopSpec::new(name, *start, *end, *step));
+                let saved = env.insert(*var, value);
+                walk(body, env, base_offsets);
+                match saved {
+                    Some(s) => {
+                        env.insert(*var, s);
+                    }
+                    None => {
+                        env.remove(var);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Generates the alignment-versioned form of a kernel (§3.2.4).
+///
+/// Parameter arrays long enough to be vector-accessed (length ≥ ν) are
+/// versioned over their 4 possible float offsets; short (scalar) parameters
+/// are don't-care. The result has `4^a + 1` versions: every combination,
+/// each with alignment detection applied under its assumption, plus the
+/// all-unaligned fallback.
+///
+/// # Panics
+///
+/// Panics if the kernel is already versioned, or if more than 3 arrays
+/// would be versioned (4^4 + 1 = 257 versions is past the paper's own
+/// practical limit; Listing 3.3 uses 3 arrays → 65 versions).
+pub fn version_for_alignment(kernel: &Kernel) -> Kernel {
+    assert_eq!(kernel.versions.len(), 1, "kernel is already versioned");
+    let base_body = &kernel.versions[0].body;
+    let params: Vec<usize> = kernel
+        .arrays
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.kind.is_param())
+        .map(|(i, _)| i)
+        .collect();
+    let versioned: Vec<usize> = params
+        .iter()
+        .copied()
+        .filter(|&a| kernel.arrays[a].len >= ALIGN_CLASSES)
+        .collect();
+    assert!(
+        versioned.len() <= 3,
+        "refusing to version {} arrays (4^{} versions)",
+        versioned.len(),
+        versioned.len()
+    );
+
+    let ncombos = ALIGN_CLASSES.pow(versioned.len() as u32);
+    let mut versions = Vec::with_capacity(ncombos + 1);
+    for combo in 0..ncombos {
+        // Decode the combination into per-array offsets.
+        let mut offsets = vec![0usize; kernel.arrays.len()];
+        let mut required: Vec<Option<usize>> = vec![None; params.len()];
+        let mut rem = combo;
+        for &a in &versioned {
+            let off = rem % ALIGN_CLASSES;
+            rem /= ALIGN_CLASSES;
+            offsets[a] = off;
+            let pidx = params.iter().position(|&p| p == a).expect("param");
+            required[pidx] = Some(off);
+        }
+        let mut body = base_body.clone();
+        detect_alignment(&mut body, &offsets);
+        versions.push(KernelVersion { required_offsets: Some(required), body });
+    }
+    // Unconditional fallback: everything unaligned.
+    let mut fallback = base_body.clone();
+    clear_alignment(&mut fallback);
+    versions.push(KernelVersion { required_offsets: None, body: fallback });
+
+    Kernel { versions, ..kernel.clone() }
+}
+
+fn clear_alignment(insts: &mut [Inst]) {
+    for inst in insts {
+        match inst {
+            Inst::GLoad { aligned, .. } | Inst::GStore { aligned, .. } => *aligned = false,
+            Inst::Loop { body, .. } => clear_alignment(body),
+            _ => {}
+        }
+    }
+}
+
+/// Counts aligned and total 16-byte accesses (static), for tests and
+/// diagnostics.
+pub fn count_aligned(insts: &[Inst]) -> (usize, usize) {
+    let mut aligned = 0;
+    let mut total = 0;
+    fn go(insts: &[Inst], aligned: &mut usize, total: &mut usize) {
+        for inst in insts {
+            match inst {
+                Inst::GLoad { map, aligned: a, .. } | Inst::GStore { map, aligned: a, .. }
+                    if map.contiguous_bytes() == Some(16) => {
+                        *total += 1;
+                        if *a {
+                            *aligned += 1;
+                        }
+                    }
+                Inst::Loop { body, .. } => go(body, aligned, total),
+                _ => {}
+            }
+        }
+    }
+    go(insts, &mut aligned, &mut total);
+    (aligned, total)
+}
+
+/// Convenience: does any parameter kind make the array local?
+pub fn is_local(kind: ArrayKind) -> bool {
+    kind == ArrayKind::Local
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::map::MemMap;
+    use lgen_absint::AffineExpr;
+
+    /// `for i in (0..16).step 4: load A+i` — all accesses aligned when the
+    /// base is aligned, none when the base is off by one float.
+    #[test]
+    fn strided_loop_detection() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("x", 16);
+        let y = b.output("y", 16);
+        b.for_loop("i", 0, 16, 4, |b, i| {
+            let v = b.load(x, AffineExpr::var(i), MemMap::horizontal(4));
+            b.store(v, y, AffineExpr::var(i), MemMap::horizontal(4));
+        });
+        let mut k = b.finish(0);
+        detect_alignment(k.body_mut(), &[0, 0]);
+        assert_eq!(count_aligned(k.body()), (2, 2));
+        detect_alignment(k.body_mut(), &[1, 0]);
+        assert_eq!(count_aligned(k.body()), (1, 2));
+    }
+
+    /// The paper's Listing 3.2: a loop taken once with a non-multiple step —
+    /// the reduced product proves alignment where Congruence alone cannot.
+    #[test]
+    fn listing_3_2_single_trip_loop() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("A", 16);
+        let y = b.output("y", 16);
+        b.for_loop("k", 0, 8, 13, |b, k| {
+            let v = b.load(x, AffineExpr::var(k), MemMap::horizontal(4));
+            b.store(v, y, AffineExpr::var(k), MemMap::horizontal(4));
+        });
+        let mut k = b.finish(0);
+        detect_alignment(k.body_mut(), &[0, 0]);
+        assert_eq!(count_aligned(k.body()), (2, 2));
+    }
+
+    /// Rows of a 4×n matrix with n mod 4 ≠ 0: only some rows are aligned —
+    /// the mechanism behind the ripple in Fig. 5.1.
+    #[test]
+    fn row_alignment_depends_on_row_length() {
+        // A is 4×6: row r starts at 6r → aligned only for r ∈ {0, 2}.
+        let mut b = KernelBuilder::new("t");
+        let a = b.input("A", 24);
+        let y = b.output("y", 16);
+        b.for_loop("r", 0, 4, 1, |b, r| {
+            let v = b.load(a, AffineExpr::scaled(6, r), MemMap::horizontal(4));
+            b.store(v, y, AffineExpr::scaled(4, r), MemMap::horizontal(4));
+        });
+        let mut k = b.finish(0);
+        detect_alignment(k.body_mut(), &[0, 0]);
+        // Statically the row load cannot be proven aligned (depends on r)…
+        assert_eq!(count_aligned(k.body()), (1, 2));
+        // …but after full unrolling, exactly the even rows are.
+        let body = crate::passes::unroll(
+            std::mem::take(k.body_mut()),
+            crate::passes::UnrollPolicy::Full { max_trip: 8 },
+        );
+        *k.body_mut() = body;
+        detect_alignment(k.body_mut(), &[0, 0]);
+        let (aligned, total) = count_aligned(k.body());
+        assert_eq!(total, 8);
+        assert_eq!(aligned, 2 + 4, "rows 0 and 2 of A, all 4 stores to y");
+    }
+
+    #[test]
+    fn partial_maps_are_never_marked() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("x", 8);
+        let y = b.output("y", 8);
+        let v = b.load(x, AffineExpr::constant(0), MemMap::horizontal(3));
+        b.store(v, y, AffineExpr::constant(0), MemMap::horizontal(2));
+        let mut k = b.finish(0);
+        detect_alignment(k.body_mut(), &[0, 0]);
+        assert_eq!(count_aligned(k.body()), (0, 0));
+    }
+
+    #[test]
+    fn versioning_produces_4_pow_a_plus_1() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("x", 8);
+        let _alpha = b.input("alpha", 1);
+        let y = b.inout("y", 8);
+        b.for_loop("i", 0, 8, 4, |b, i| {
+            let v = b.load(x, AffineExpr::var(i), MemMap::horizontal(4));
+            let w = b.load(y, AffineExpr::var(i), MemMap::horizontal(4));
+            let s = b.arith(crate::ir::VArith::Add(crate::ir::VWidth::Q), v, w);
+            b.store(s, y, AffineExpr::var(i), MemMap::horizontal(4));
+        });
+        let k = b.finish(8);
+        let vk = version_for_alignment(&k);
+        // Two vector arrays (x, y) versioned; alpha is don't-care.
+        assert_eq!(vk.versions.len(), 4 * 4 + 1);
+        // The all-aligned version must mark all 3 accesses aligned.
+        let v0 = vk
+            .versions
+            .iter()
+            .find(|v| v.required_offsets == Some(vec![Some(0), None, Some(0)]))
+            .expect("all-aligned combo");
+        assert_eq!(count_aligned(&v0.body), (3, 3));
+        // The fallback marks none.
+        let fb = vk.versions.last().unwrap();
+        assert!(fb.required_offsets.is_none());
+        assert_eq!(count_aligned(&fb.body), (0, 3));
+        // A mixed combo: x at offset 1 (never aligned), y at 0 (aligned).
+        let vm = vk
+            .versions
+            .iter()
+            .find(|v| v.required_offsets == Some(vec![Some(1), None, Some(0)]))
+            .unwrap();
+        assert_eq!(count_aligned(&vm.body), (2, 3));
+    }
+}

@@ -1,0 +1,142 @@
+//! Register copy propagation.
+//!
+//! Scalar replacement leaves `Mov dst ← src` instructions behind; this pass
+//! rewrites later uses of `dst` to `src` so that dead-code elimination can
+//! drop the moves (and, transitively, the stores that fed them).
+
+use crate::ir::{Inst, VMove, VReg};
+use std::collections::HashMap;
+
+/// Propagates copies within each straight-line region (loops are barriers —
+/// registers defined before a loop but copied inside it keep their moves).
+pub fn copy_prop(insts: Vec<Inst>) -> Vec<Inst> {
+    prop_block(insts)
+}
+
+fn resolve(copies: &HashMap<VReg, VReg>, mut r: VReg) -> VReg {
+    // Paths are short; guard against accidental cycles anyway.
+    for _ in 0..copies.len() + 1 {
+        match copies.get(&r) {
+            Some(&next) => r = next,
+            None => break,
+        }
+    }
+    r
+}
+
+/// Removes any mapping that flows *through* `dst` (it is being redefined).
+fn kill(copies: &mut HashMap<VReg, VReg>, dst: VReg) {
+    copies.remove(&dst);
+    copies.retain(|_, v| *v != dst);
+}
+
+fn prop_block(insts: Vec<Inst>) -> Vec<Inst> {
+    let mut copies: HashMap<VReg, VReg> = HashMap::new();
+    let mut out = Vec::with_capacity(insts.len());
+    for inst in insts {
+        match inst {
+            Inst::Move { op: VMove::Mov, dst, a, b: _ } => {
+                let src = resolve(&copies, a);
+                kill(&mut copies, dst);
+                if src != dst {
+                    copies.insert(dst, src);
+                }
+                // Keep the move; DCE removes it if no un-rewritten use remains.
+                out.push(Inst::Move { op: VMove::Mov, dst, a: src, b: 0 });
+            }
+            Inst::Move { op, dst, a, b } => {
+                let (a, b) = (resolve(&copies, a), resolve(&copies, b));
+                kill(&mut copies, dst);
+                out.push(Inst::Move { op, dst, a, b });
+            }
+            Inst::Arith { op, dst, a, b } => {
+                let (a, b) = (resolve(&copies, a), resolve(&copies, b));
+                // Accumulating ops read dst: the read must see the resolved
+                // source, but dst is then redefined in place, so accumulation
+                // through a copy is left un-propagated to stay correct.
+                kill(&mut copies, dst);
+                out.push(Inst::Arith { op, dst, a, b });
+            }
+            Inst::GLoad { dst, arr, addr, map, aligned } => {
+                kill(&mut copies, dst);
+                out.push(Inst::GLoad { dst, arr, addr, map, aligned });
+            }
+            Inst::GStore { src, arr, addr, map, aligned } => {
+                let src = resolve(&copies, src);
+                out.push(Inst::GStore { src, arr, addr, map, aligned });
+            }
+            Inst::Overhead { kind, count } => {
+                out.push(Inst::Overhead { kind, count });
+            }
+            Inst::Loop { var, name, start, end, step, body } => {
+                // Copies made before the loop hold on entry, but iterating
+                // may redefine sources; be conservative.
+                copies.clear();
+                out.push(Inst::Loop { var, name, start, end, step, body: prop_block(body) });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArrayId, VArith, VWidth};
+    use crate::map::MemMap;
+    use lgen_absint::AffineExpr;
+
+    fn mov(dst: VReg, a: VReg) -> Inst {
+        Inst::Move { op: VMove::Mov, dst, a, b: 0 }
+    }
+
+    fn add(dst: VReg, a: VReg, b: VReg) -> Inst {
+        Inst::Arith { op: VArith::Add(VWidth::Q), dst, a, b }
+    }
+
+    #[test]
+    fn uses_are_rewritten() {
+        let out = prop_block(vec![mov(1, 0), add(2, 1, 1)]);
+        assert_eq!(out[1], add(2, 0, 0));
+    }
+
+    #[test]
+    fn chains_resolve_transitively() {
+        let out = prop_block(vec![mov(1, 0), mov(2, 1), add(3, 2, 2)]);
+        assert_eq!(out[2], add(3, 0, 0));
+    }
+
+    #[test]
+    fn redefinition_kills_mapping() {
+        let out = prop_block(vec![
+            mov(1, 0),
+            // 0 is redefined: the copy 1←0 must die.
+            Inst::GLoad {
+                dst: 0,
+                arr: ArrayId(0),
+                addr: AffineExpr::constant(0),
+                map: MemMap::horizontal(4),
+                aligned: false,
+            },
+            add(2, 1, 1),
+        ]);
+        // The use of 1 must NOT be rewritten to the redefined 0.
+        assert_eq!(out[2], add(2, 1, 1));
+    }
+
+    #[test]
+    fn store_sources_are_rewritten() {
+        let out = prop_block(vec![
+            mov(1, 0),
+            Inst::GStore {
+                src: 1,
+                arr: ArrayId(0),
+                addr: AffineExpr::constant(0),
+                map: MemMap::horizontal(4),
+                aligned: false,
+            },
+        ]);
+        let Inst::GStore { src, .. } = out[1] else { panic!() };
+        assert_eq!(src, 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Dead-code elimination.
+//!
+//! After scalar replacement and copy propagation, the stores into local
+//! chain arrays (and the moves that replaced the loads) are dead; this pass
+//! removes them, completing the Fig. 2.3 → Fig. 2.4 transformation.
+
+use crate::ir::{ArrayDecl, ArrayKind, Inst, VReg};
+use std::collections::HashSet;
+
+/// Removes instructions whose results are never observed.
+///
+/// Liveness roots are stores to parameter arrays. Stores to local arrays
+/// are live only if the array is still read by a live load; value-producing
+/// instructions are live only if their destination register is used by a
+/// live instruction. The analysis is array- and register-global (hence
+/// conservative across loop iterations) and iterates to a fixpoint.
+pub fn dce(insts: Vec<Inst>, arrays: &[ArrayDecl]) -> Vec<Inst> {
+    let n = count(&insts);
+    let mut live = vec![false; n];
+    loop {
+        let mut used_regs: HashSet<VReg> = HashSet::new();
+        let mut read_arrays: HashSet<usize> = HashSet::new();
+        collect_uses(&insts, &live, &mut 0, &mut used_regs, &mut read_arrays);
+        let mut changed = false;
+        mark(&insts, &mut live, &mut 0, arrays, &used_regs, &read_arrays, &mut changed);
+        if !changed {
+            break;
+        }
+    }
+    filter(insts, &live, &mut 0)
+}
+
+fn count(insts: &[Inst]) -> usize {
+    insts
+        .iter()
+        .map(|i| match i {
+            Inst::Loop { body, .. } => 1 + count(body),
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Gathers registers and arrays used by currently-live instructions.
+fn collect_uses(
+    insts: &[Inst],
+    live: &[bool],
+    idx: &mut usize,
+    used: &mut HashSet<VReg>,
+    read: &mut HashSet<usize>,
+) {
+    for inst in insts {
+        let my = *idx;
+        *idx += 1;
+        match inst {
+            Inst::Loop { body, .. } => collect_uses(body, live, idx, used, read),
+            _ if live[my] => match inst {
+                Inst::GLoad { arr, .. } => {
+                    read.insert(arr.0);
+                }
+                Inst::GStore { src, .. } => {
+                    used.insert(*src);
+                }
+                Inst::Arith { op, dst, a, b } => {
+                    used.insert(*a);
+                    used.insert(*b);
+                    if op.reads_dst() {
+                        used.insert(*dst);
+                    }
+                }
+                Inst::Move { op, dst: _, a, b } => {
+                    use crate::ir::VMove::*;
+                    match op {
+                        Zero => {}
+                        Mov | Splat(_) | GetLane(_) => {
+                            used.insert(*a);
+                        }
+                        Shuf(_) | SetLane(_) => {
+                            used.insert(*a);
+                            used.insert(*b);
+                        }
+                    }
+                }
+                Inst::Overhead { .. } => {}
+                Inst::Loop { .. } => unreachable!(),
+            },
+            _ => {}
+        }
+    }
+}
+
+fn mark(
+    insts: &[Inst],
+    live: &mut [bool],
+    idx: &mut usize,
+    arrays: &[ArrayDecl],
+    used: &HashSet<VReg>,
+    read: &HashSet<usize>,
+    changed: &mut bool,
+) {
+    for inst in insts {
+        let my = *idx;
+        *idx += 1;
+        let newly = match inst {
+            Inst::GStore { arr, .. } => {
+                arrays[arr.0].kind != ArrayKind::Local || read.contains(&arr.0)
+            }
+            Inst::Overhead { .. } => true,
+            Inst::GLoad { dst, .. } => used.contains(dst),
+            Inst::Arith { dst, .. } => used.contains(dst),
+            Inst::Move { dst, .. } => used.contains(dst),
+            Inst::Loop { body, .. } => {
+                mark(body, live, idx, arrays, used, read, changed);
+                // The loop node itself is kept iff its body has live code;
+                // decided at filter time, no mark needed.
+                false
+            }
+        };
+        if newly && !live[my] {
+            live[my] = true;
+            *changed = true;
+        }
+    }
+}
+
+fn filter(insts: Vec<Inst>, live: &[bool], idx: &mut usize) -> Vec<Inst> {
+    let mut out = Vec::with_capacity(insts.len());
+    for inst in insts {
+        let my = *idx;
+        *idx += 1;
+        match inst {
+            Inst::Loop { var, name, start, end, step, body } => {
+                let body = filter(body, live, idx);
+                if !body.is_empty() {
+                    out.push(Inst::Loop { var, name, start, end, step, body });
+                }
+            }
+            _ if live[my] => out.push(inst),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::{VArith, VMove, VWidth};
+    use crate::map::MemMap;
+    use crate::passes::{copy_prop, scalar_replacement};
+    use lgen_absint::AffineExpr;
+
+    /// The full Fig. 2.3 → Fig. 2.4 pipeline: a chain through local arrays
+    /// collapses to loads, arithmetic, and the final store.
+    #[test]
+    fn chain_through_locals_collapses() {
+        // D = (A + B) + C on one 4-wide tile, chained via t0..t4.
+        let mut b = KernelBuilder::new("chain");
+        let a = b.input("A", 4);
+        let bb = b.input("B", 4);
+        let c = b.input("C", 4);
+        let d = b.output("D", 4);
+        let t = [b.local("t0", 4), b.local("t1", 4), b.local("t2", 4), b.local("t3", 4)];
+        let zero = AffineExpr::constant(0);
+        let m = MemMap::horizontal(4);
+
+        // Loader A → t0; Loader B → t1.
+        let va = b.load(a, zero.clone(), m.clone());
+        b.store(va, t[0], zero.clone(), m.clone());
+        let vb = b.load(bb, zero.clone(), m.clone());
+        b.store(vb, t[1], zero.clone(), m.clone());
+        // + ν-BLAC: t2 = t0 + t1.
+        let l0 = b.load(t[0], zero.clone(), m.clone());
+        let l1 = b.load(t[1], zero.clone(), m.clone());
+        let s0 = b.arith(VArith::Add(VWidth::Q), l0, l1);
+        b.store(s0, t[2], zero.clone(), m.clone());
+        // Loader C → t3.
+        let vc = b.load(c, zero.clone(), m.clone());
+        b.store(vc, t[3], zero.clone(), m.clone());
+        // + ν-BLAC: load t2, t3, add, store D.
+        let l2 = b.load(t[2], zero.clone(), m.clone());
+        let l3 = b.load(t[3], zero.clone(), m.clone());
+        let s1 = b.arith(VArith::Add(VWidth::Q), l2, l3);
+        b.store(s1, d, zero.clone(), m.clone());
+        let k = b.finish(8);
+
+        let body = scalar_replacement(k.versions[0].body.clone(), &k.arrays);
+        let body = copy_prop(body);
+        let body = dce(body, &k.arrays);
+
+        // Exactly: 3 loads (A, B, C), 2 adds, 1 store (D).
+        let loads = body.iter().filter(|i| matches!(i, Inst::GLoad { .. })).count();
+        let stores = body.iter().filter(|i| matches!(i, Inst::GStore { .. })).count();
+        let adds = body.iter().filter(|i| matches!(i, Inst::Arith { .. })).count();
+        let movs = body.iter().filter(|i| matches!(i, Inst::Move { .. })).count();
+        assert_eq!((loads, stores, adds, movs), (3, 1, 2, 0), "body: {body:#?}");
+    }
+
+    #[test]
+    fn dead_value_code_is_removed() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("x", 4);
+        let y = b.output("y", 4);
+        let v = b.load(x, AffineExpr::constant(0), MemMap::horizontal(4));
+        let _dead = b.arith(VArith::Mul(VWidth::Q), v, v);
+        let _dead2 = b.mov_op(VMove::Splat(0), v, 0);
+        b.store(v, y, AffineExpr::constant(0), MemMap::horizontal(4));
+        let k = b.finish(0);
+        let body = dce(k.versions[0].body.clone(), &k.arrays);
+        assert_eq!(body.len(), 2);
+    }
+
+    #[test]
+    fn empty_loops_are_dropped() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("x", 16);
+        let y = b.output("y", 4);
+        b.for_loop("i", 0, 16, 4, |b, i| {
+            let _dead = b.load(x, AffineExpr::var(i), MemMap::horizontal(4));
+        });
+        let v = b.load(x, AffineExpr::constant(0), MemMap::horizontal(4));
+        b.store(v, y, AffineExpr::constant(0), MemMap::horizontal(4));
+        let k = b.finish(0);
+        let body = dce(k.versions[0].body.clone(), &k.arrays);
+        assert!(!body.iter().any(|i| matches!(i, Inst::Loop { .. })));
+    }
+
+    #[test]
+    fn fma_accumulators_stay_live() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("x", 4);
+        let y = b.output("y", 4);
+        let acc = b.zero();
+        let v = b.load(x, AffineExpr::constant(0), MemMap::horizontal(4));
+        b.arith_acc(VArith::Fma(VWidth::Q), acc, v, v);
+        b.store(acc, y, AffineExpr::constant(0), MemMap::horizontal(4));
+        let k = b.finish(8);
+        let body = dce(k.versions[0].body.clone(), &k.arrays);
+        assert_eq!(body.len(), 4, "zero, load, fma, store all live: {body:#?}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Code-level optimizations on C-IR (paper §2.1.4, §3.1, §3.2).
+//!
+//! The standard LGen pipeline applies, in order:
+//!
+//! 1. [`unroll()`](unroll()) — loop unrolling (full or by a factor), exposing
+//!    instruction-level parallelism and constant addresses;
+//! 2. [`scalar_replacement()`](scalar_replacement()) — replaces store→load sequences through local
+//!    temporary arrays with register moves, matching on generic-load/store
+//!    footprints (§3.1);
+//! 3. [`copy_prop()`](copy_prop()) — forwards register copies introduced by scalar
+//!    replacement;
+//! 4. [`dce()`](dce()) — removes dead stores to local arrays and dead value
+//!    computations;
+//! 5. [`align`] — alignment detection via abstract interpretation and,
+//!    optionally, alignment versioning with runtime dispatch (§3.2).
+
+pub mod align;
+pub mod copy_prop;
+pub mod dce;
+pub mod scalar_replacement;
+pub mod unroll;
+
+pub use align::{detect_alignment, detect_alignment_partial, version_for_alignment};
+pub use copy_prop::copy_prop;
+pub use dce::dce;
+pub use scalar_replacement::scalar_replacement;
+pub use unroll::{unroll, UnrollPolicy};
+
+use crate::ir::Kernel;
+
+/// Applies the standard optimization pipeline in the canonical order.
+///
+/// `assume_aligned_params` is the §3.2 default: all parameter arrays are
+/// 16-byte aligned (versioning for arbitrary alignment is a separate,
+/// opt-in step via [`version_for_alignment`]).
+pub fn optimize(kernel: &mut Kernel, policy: UnrollPolicy, detect_align: bool) {
+    let body = std::mem::take(kernel.body_mut());
+    let body = unroll(body, policy);
+    let body = scalar_replacement(body, &kernel.arrays);
+    let body = copy_prop(body);
+    let body = dce(body, &kernel.arrays);
+    *kernel.body_mut() = body;
+    if detect_align {
+        let zeros = vec![0usize; kernel.arrays.len()];
+        detect_alignment(kernel.body_mut(), &zeros);
+    }
+}

@@ -1,0 +1,301 @@
+//! Scalar replacement (§2.1.4, §3.1).
+//!
+//! LGen's codelets follow a load-compute-store discipline, chained through
+//! kernel-local temporary arrays (Fig. 2.3). Scalar replacement substitutes
+//! a store to a local array followed by a load with the *same memory
+//! footprint* — same array, same affine address, same memory map — by a
+//! register move (Fig. 2.4). Because footprints are compared on the generic
+//! load/store level, a store and a load that would be *implemented* by
+//! different instruction sequences still forward (Fig. 3.4), which is the
+//! whole point of the generic memory instructions.
+
+use crate::ir::{ArrayDecl, ArrayKind, Inst, VMove};
+use lgen_absint::AffineExpr;
+use std::collections::HashMap;
+
+/// Hashable key of a memory footprint.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Footprint {
+    arr: usize,
+    terms: Vec<(i64, usize)>,
+    constant: i64,
+    map: Vec<(i64, u8)>,
+    broadcast: bool,
+}
+
+fn footprint(arr: crate::ir::ArrayId, addr: &AffineExpr, map: &crate::map::MemMap) -> Footprint {
+    let mut terms: Vec<(i64, usize)> = addr.terms.iter().map(|&(c, v)| (c, v)).collect();
+    terms.sort_by_key(|&(_, v)| v);
+    Footprint {
+        arr: arr.0,
+        terms,
+        constant: addr.constant,
+        map: map.entries().to_vec(),
+        broadcast: map.is_broadcast(),
+    }
+}
+
+/// Ranges touched by two footprints on the same array might overlap even if
+/// the footprints differ; this coarse check errs on the safe side.
+fn may_overlap(a: &Footprint, b: &Footprint) -> bool {
+    if a.arr != b.arr {
+        return false;
+    }
+    if a.terms != b.terms {
+        // Different index expressions on the same array: assume aliasing.
+        return true;
+    }
+    let a_lo = a.constant;
+    let a_hi = a.constant + a.map.iter().map(|e| e.0).max().unwrap_or(0);
+    let b_lo = b.constant;
+    let b_hi = b.constant + b.map.iter().map(|e| e.0).max().unwrap_or(0);
+    a_lo <= b_hi && b_lo <= a_hi
+}
+
+/// Applies scalar replacement to a body, recursively inside loops.
+///
+/// Only *local* arrays participate: parameters may alias each other, so
+/// store→load forwarding through them would be unsound in general.
+pub fn scalar_replacement(insts: Vec<Inst>, arrays: &[ArrayDecl]) -> Vec<Inst> {
+    replace_block(insts, arrays)
+}
+
+/// The register an instruction (re)defines, if any.
+fn defined_reg(inst: &Inst) -> Option<u32> {
+    match inst {
+        Inst::GLoad { dst, .. } | Inst::Arith { dst, .. } | Inst::Move { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+fn replace_block(insts: Vec<Inst>, arrays: &[ArrayDecl]) -> Vec<Inst> {
+    // Footprint → register holding the stored value.
+    let mut avail: HashMap<Footprint, u32> = HashMap::new();
+    let mut out = Vec::with_capacity(insts.len());
+    for inst in insts {
+        // A redefined register invalidates forwardings that captured its
+        // old value (unrolled bodies reuse the same virtual registers).
+        if let Some(d) = defined_reg(&inst) {
+            avail.retain(|_, v| *v != d);
+        }
+        match inst {
+            Inst::GStore { src, arr, ref addr, ref map, .. }
+                if arrays[arr.0].kind == ArrayKind::Local =>
+            {
+                let fp = footprint(arr, addr, map);
+                // A store may invalidate overlapping prior stores.
+                avail.retain(|k, _| !may_overlap(k, &fp) || k == &fp);
+                avail.insert(fp, src);
+                out.push(inst);
+            }
+            Inst::GLoad { dst, arr, ref addr, ref map, .. }
+                if arrays[arr.0].kind == ArrayKind::Local =>
+            {
+                let fp = footprint(arr, addr, map);
+                if let Some(&src) = avail.get(&fp) {
+                    // Matched footprint: forward through a register move.
+                    out.push(Inst::Move { op: VMove::Mov, dst, a: src, b: 0 });
+                } else {
+                    out.push(inst);
+                }
+            }
+            Inst::Loop { var, name, start, end, step, body } => {
+                // Conservative: a loop body may overwrite any local array,
+                // so forwardings do not survive across the loop boundary,
+                // and the body starts with an empty availability set.
+                avail.clear();
+                out.push(Inst::Loop {
+                    var,
+                    name,
+                    start,
+                    end,
+                    step,
+                    body: replace_block(body, arrays),
+                });
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::ir::{VArith, VWidth};
+    use crate::map::MemMap;
+    use crate::passes::{copy_prop, dce};
+    use lgen_isa::{MOp, VectorIsa};
+
+    /// Rebuilds the store→load chain of the paper's Fig. 3.1 and checks it
+    /// collapses to a direct use.
+    #[test]
+    fn simple_store_load_forwards() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("x", 4);
+        let y = b.output("y", 4);
+        let t = b.local("t0", 4);
+        let v = b.load(x, AffineExpr::constant(0), MemMap::horizontal(4));
+        b.store(v, t, AffineExpr::constant(0), MemMap::horizontal(4));
+        let w = b.load(t, AffineExpr::constant(0), MemMap::horizontal(4));
+        b.store(w, y, AffineExpr::constant(0), MemMap::horizontal(4));
+        let k = b.finish(0);
+
+        let body = scalar_replacement(k.versions[0].body.clone(), &k.arrays);
+        let loads_from_local = body
+            .iter()
+            .filter(|i| matches!(i, Inst::GLoad { arr, .. } if arr.0 == 2))
+            .count();
+        assert_eq!(loads_from_local, 0, "local load must be forwarded");
+        assert!(body.iter().any(|i| matches!(i, Inst::Move { op: VMove::Mov, .. })));
+    }
+
+    /// The Fig. 3.4 scenario: 3-element store and 3-element load through a
+    /// local, lowered *differently* on NEON, still forward because the
+    /// generic footprints match. After copy-prop + DCE no shuffle remains.
+    #[test]
+    fn mismatched_generic_implementations_still_forward() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("x", 3);
+        let y = b.output("y", 3);
+        let t = b.local("t0", 4);
+        let v = b.load(x, AffineExpr::constant(0), MemMap::horizontal(3));
+        b.store(v, t, AffineExpr::constant(0), MemMap::horizontal(3));
+        let w = b.load(t, AffineExpr::constant(0), MemMap::horizontal(3));
+        let s = b.arith(VArith::Add(VWidth::Q), w, w);
+        b.store(s, y, AffineExpr::constant(0), MemMap::horizontal(3));
+        let mut k = b.finish(3);
+
+        let body = scalar_replacement(std::mem::take(k.body_mut()), &k.arrays);
+        let body = copy_prop(body);
+        let body = dce(body, &k.arrays);
+        *k.body_mut() = body;
+
+        // No access to the local array survives.
+        let mut local_accesses = 0;
+        k.visit_insts(|i| match i {
+            Inst::GLoad { arr, .. } | Inst::GStore { arr, .. } if arr.0 == 2 => {
+                local_accesses += 1
+            }
+            _ => {}
+        });
+        assert_eq!(local_accesses, 0);
+
+        // And the NEON trace has no VsetLane from the forwarded load
+        // (only the input load's zero-fill remains).
+        let layout = crate::interp::MemLayout::aligned(&k);
+        let mut xv = vec![1.0f32, 2.0, 3.0];
+        let mut yv = vec![0.0f32; 3];
+        let mut sink = lgen_isa::inst::CountingSink::new();
+        crate::interp::run_kernel(&k, &mut [&mut xv, &mut yv], &layout, VectorIsa::Neon, &mut sink)
+            .unwrap();
+        assert_eq!(yv, vec![2.0, 4.0, 6.0]);
+        assert_eq!(sink.count(MOp::VstD), 1, "only the final store remains");
+    }
+
+    #[test]
+    fn param_arrays_do_not_forward() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.inout("x", 4);
+        let v = b.load(x, AffineExpr::constant(0), MemMap::horizontal(4));
+        b.store(v, x, AffineExpr::constant(0), MemMap::horizontal(4));
+        let w = b.load(x, AffineExpr::constant(0), MemMap::horizontal(4));
+        b.store(w, x, AffineExpr::constant(0), MemMap::horizontal(4));
+        let k = b.finish(0);
+        let body = scalar_replacement(k.versions[0].body.clone(), &k.arrays);
+        let loads = body.iter().filter(|i| matches!(i, Inst::GLoad { .. })).count();
+        assert_eq!(loads, 2, "parameter accesses must not be forwarded");
+    }
+
+    #[test]
+    fn different_footprints_do_not_forward() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("x", 4);
+        let y = b.output("y", 4);
+        let t = b.local("t0", 8);
+        let v = b.load(x, AffineExpr::constant(0), MemMap::horizontal(4));
+        b.store(v, t, AffineExpr::constant(0), MemMap::horizontal(4));
+        // Load from a different offset of the local.
+        let w = b.load(t, AffineExpr::constant(4), MemMap::horizontal(4));
+        b.store(w, y, AffineExpr::constant(0), MemMap::horizontal(4));
+        let k = b.finish(0);
+        let body = scalar_replacement(k.versions[0].body.clone(), &k.arrays);
+        let local_loads = body
+            .iter()
+            .filter(|i| matches!(i, Inst::GLoad { arr, .. } if arr.0 == 2))
+            .count();
+        assert_eq!(local_loads, 1);
+    }
+
+    #[test]
+    fn overlapping_store_invalidates() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("x", 8);
+        let y = b.output("y", 4);
+        let t = b.local("t0", 8);
+        let v0 = b.load(x, AffineExpr::constant(0), MemMap::horizontal(4));
+        let v1 = b.load(x, AffineExpr::constant(4), MemMap::horizontal(4));
+        b.store(v0, t, AffineExpr::constant(0), MemMap::horizontal(4));
+        // Overlapping store at offset 2 clobbers part of the first store.
+        b.store(v1, t, AffineExpr::constant(2), MemMap::horizontal(4));
+        let w = b.load(t, AffineExpr::constant(0), MemMap::horizontal(4));
+        b.store(w, y, AffineExpr::constant(0), MemMap::horizontal(4));
+        let k = b.finish(0);
+        let body = scalar_replacement(k.versions[0].body.clone(), &k.arrays);
+        // The load must NOT be forwarded to v0.
+        let forwarded = body.iter().any(|i| matches!(i, Inst::Move { op: VMove::Mov, .. }));
+        assert!(!forwarded, "overlapped store must invalidate forwarding");
+    }
+
+    /// Regression (found by the random-BLAC fuzzer): a store's source
+    /// register redefined before the matching load must not forward —
+    /// unrolled bodies reuse the same virtual registers.
+    #[test]
+    fn redefined_source_register_invalidates_forwarding() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("x", 8);
+        let y = b.output("y", 4);
+        let t = b.local("t0", 4);
+        let v = b.load(x, AffineExpr::constant(0), MemMap::horizontal(4));
+        b.store(v, t, AffineExpr::constant(0), MemMap::horizontal(4));
+        // Redefine v (as a cloned unrolled body would).
+        b.push(Inst::GLoad {
+            dst: v,
+            arr: x,
+            addr: AffineExpr::constant(4),
+            map: MemMap::horizontal(4),
+            aligned: false,
+        });
+        let w = b.load(t, AffineExpr::constant(0), MemMap::horizontal(4));
+        b.store(w, y, AffineExpr::constant(0), MemMap::horizontal(4));
+        let k = b.finish(0);
+        let body = scalar_replacement(k.versions[0].body.clone(), &k.arrays);
+        // The load of t0 must survive: forwarding from the stale register
+        // would read x[4..8] instead of x[0..4].
+        let local_loads = body
+            .iter()
+            .filter(|i| matches!(i, Inst::GLoad { arr, .. } if *arr == t))
+            .count();
+        assert_eq!(local_loads, 1, "stale forwarding detected: {body:#?}");
+    }
+
+    #[test]
+    fn loop_boundary_invalidates() {
+        let mut b = KernelBuilder::new("t");
+        let x = b.input("x", 4);
+        let y = b.output("y", 16);
+        let t = b.local("t0", 4);
+        let v = b.load(x, AffineExpr::constant(0), MemMap::horizontal(4));
+        b.store(v, t, AffineExpr::constant(0), MemMap::horizontal(4));
+        b.for_loop("i", 0, 16, 4, |b, i| {
+            let w = b.load(t, AffineExpr::constant(0), MemMap::horizontal(4));
+            b.store(w, y, AffineExpr::var(i), MemMap::horizontal(4));
+        });
+        let k = b.finish(0);
+        let body = scalar_replacement(k.versions[0].body.clone(), &k.arrays);
+        // Inside the loop, the load survives (conservatively).
+        let Inst::Loop { body: inner, .. } = &body[2] else { panic!() };
+        assert!(matches!(inner[0], Inst::GLoad { .. }));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests of memory maps and memory layouts.
+
+use lgen_cir::{Kernel, KernelBuilder, MemLayout, MemMap};
+use proptest::prelude::*;
+
+fn arb_map() -> impl Strategy<Value = MemMap> {
+    prop_oneof![
+        (1usize..=4).prop_map(MemMap::horizontal),
+        (1usize..=4, 1i64..32).prop_map(|(l, s)| MemMap::vertical(l, s)),
+        (1usize..=4).prop_map(MemMap::splat),
+    ]
+}
+
+proptest! {
+    /// Footprint equality is an equivalence relation and respects lanes.
+    #[test]
+    fn footprint_equality_properties(a in arb_map(), b in arb_map()) {
+        prop_assert!(a.footprint_equals(&a));
+        prop_assert_eq!(a.footprint_equals(&b), b.footprint_equals(&a));
+        if a.footprint_equals(&b) {
+            prop_assert_eq!(a.lanes(), b.lanes());
+            prop_assert_eq!(a.max_offset(), b.max_offset());
+        }
+    }
+
+    /// Horizontal maps are exactly the stride-1 maps (or single-lane).
+    #[test]
+    fn horizontal_iff_unit_stride(l in 2usize..=4) {
+        let h = MemMap::horizontal(l);
+        prop_assert!(h.is_horizontal());
+        prop_assert_eq!(h.stride(), Some(1));
+        let v = MemMap::vertical(l, 1);
+        prop_assert!(v.footprint_equals(&h));
+        let v2 = MemMap::vertical(l, 2);
+        prop_assert!(!v2.is_horizontal());
+        prop_assert_eq!(v2.stride(), Some(2));
+    }
+
+    /// Entries are sorted by lane with distinct lanes.
+    #[test]
+    fn entries_are_canonical(m in arb_map()) {
+        let lanes: Vec<u8> = m.entries().iter().map(|e| e.1).collect();
+        let mut sorted = lanes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(lanes, sorted);
+    }
+}
+
+fn kernel_with_arrays(lens: &[usize]) -> Kernel {
+    let mut b = KernelBuilder::new("k");
+    for (i, &len) in lens.iter().enumerate() {
+        b.input(&format!("a{i}"), len);
+    }
+    // A kernel needs at least something; arrays suffice for layout tests.
+    b.output("out", 4);
+    b.finish(0)
+}
+
+proptest! {
+    /// Array placements never overlap, including padding, and honor the
+    /// requested offsets.
+    #[test]
+    fn layouts_do_not_overlap(
+        lens in prop::collection::vec(1usize..64, 1..6),
+        offs_seed in 0usize..4,
+    ) {
+        let k = kernel_with_arrays(&lens);
+        let nparams = lens.len() + 1;
+        let offsets: Vec<usize> = (0..nparams).map(|i| (offs_seed + i) % 4).collect();
+        let layout = MemLayout::with_float_offsets(&k, &offsets);
+        let mut spans: Vec<(usize, usize)> = k
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (layout.bases[i], layout.bases[i] + 4 * (d.len + 4)))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "arrays overlap: {spans:?}");
+        }
+        for (i, &off) in offsets.iter().enumerate() {
+            prop_assert_eq!(layout.float_offset_mod(i, 4), off % 4);
+        }
+    }
+}
+
+mod dispatch_overhead {
+    use lgen_absint::AffineExpr;
+    use lgen_cir::passes::version_for_alignment;
+    use lgen_cir::{run_kernel, KernelBuilder, MemLayout, MemMap, VArith, VWidth};
+    use lgen_isa::inst::CountingSink;
+    use lgen_isa::{MOp, VectorIsa};
+
+    /// The Listing 3.3 dispatch chain costs runtime checks proportional to
+    /// how deep in the if/else-if cascade the matching version sits.
+    #[test]
+    fn versioned_dispatch_charges_runtime_checks() {
+        let mut b = KernelBuilder::new("k");
+        let x = b.input("x", 8);
+        let y = b.output("y", 8);
+        b.for_loop("i", 0, 8, 4, |b, i| {
+            let v = b.load(x, AffineExpr::var(i), MemMap::horizontal(4));
+            let s = b.arith(VArith::Add(VWidth::Q), v, v);
+            b.store(s, y, AffineExpr::var(i), MemMap::horizontal(4));
+        });
+        let k = version_for_alignment(&b.finish(8));
+        let run_at = |offs: &[usize]| {
+            let layout = MemLayout::with_float_offsets(&k, offs);
+            let mut xv = vec![1.0f32; 8];
+            let mut yv = vec![0.0f32; 8];
+            let mut sink = CountingSink::new();
+            run_kernel(&k, &mut [&mut xv, &mut yv], &layout, VectorIsa::Ssse3, &mut sink)
+                .unwrap();
+            sink.count(MOp::Branch)
+        };
+        // Version (0,0) is first in the chain; (3,3) is last of 16 — it
+        // must execute strictly more dispatch branches.
+        let first = run_at(&[0, 0]);
+        let last = run_at(&[3, 3]);
+        assert!(last > first, "dispatch depth not charged: {first} vs {last}");
+    }
+}

@@ -1,0 +1,334 @@
+//! The autotuning feedback loop (Fig. 2.1, §5.1.5).
+//!
+//! LGen generates several code versions per BLAC, executes them on the
+//! target device, and keeps the fastest. Here the "device" is the
+//! `lgen-machine` simulator; the search space is the unrolling/outer-tiling
+//! decision (§2.1.2 — outer tile sizes must divide the full-tile count, the
+//! "leftovers in at most one level" restriction, which the `Factor`
+//! unrolling policy enforces by skipping non-dividing trip counts).
+//! The paper uses "random search over the search space with sample size
+//! 10"; the sample size is configurable.
+
+use crate::config::CompileConfig;
+use crate::exec::{check_kernel, measure_blac, tolerance};
+use crate::pipeline::compile;
+use lgen_cir::passes::UnrollPolicy;
+use lgen_cir::Kernel;
+use lgen_ll::Blac;
+use lgen_machine::Measurement;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// What the autotuner minimizes (§6 future work: "introduction of
+/// energy-related metrics in the autotuning feedback loop").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Objective {
+    /// Fastest kernel (the paper's default).
+    Cycles,
+    /// Least energy per invocation.
+    Energy,
+    /// Minimum energy-delay product.
+    EnergyDelay,
+}
+
+impl Objective {
+    fn score(self, m: &Measurement) -> u128 {
+        match self {
+            Objective::Cycles => m.cycles as u128,
+            Objective::Energy => m.energy_pj as u128,
+            Objective::EnergyDelay => m.energy_delay(),
+        }
+    }
+}
+
+/// How the search space is explored (§6 future work: random search visits
+/// too little of large spaces — "LGen could possibly make use of heuristics
+/// to prune the search space and/or direct the search").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum SearchStrategy {
+    /// Uniform random sample of the given size (the paper's method,
+    /// sample size 10 in §5.1.5).
+    Random(usize),
+    /// Every candidate (the space is small enough to enumerate).
+    Exhaustive,
+    /// Greedy hill climbing from the default decision: evaluates the
+    /// current point's neighbours in the ordered space and moves while it
+    /// improves — fewer evaluations than exhaustive, better coverage than
+    /// a small random sample.
+    Guided,
+}
+
+/// Result of an autotuning run.
+#[derive(Clone, Debug)]
+pub struct TunedKernel {
+    /// The fastest validated kernel.
+    pub kernel: Kernel,
+    /// Its measurement.
+    pub measurement: Measurement,
+    /// The winning unroll decision.
+    pub unroll: UnrollPolicy,
+    /// `(candidate, median cycles)` for every sampled point.
+    pub samples: Vec<(UnrollPolicy, u64)>,
+}
+
+/// Autotuner over the tiling/unrolling space.
+#[derive(Clone, Debug)]
+pub struct Autotuner {
+    cfg: CompileConfig,
+    strategy: SearchStrategy,
+    objective: Objective,
+    reps: usize,
+    seed: u64,
+}
+
+impl Autotuner {
+    /// Autotuner with the paper's defaults: random search, sample size 10,
+    /// minimizing cycles.
+    pub fn new(cfg: CompileConfig) -> Self {
+        Autotuner {
+            cfg,
+            strategy: SearchStrategy::Random(10),
+            objective: Objective::Cycles,
+            reps: 3,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Overrides the random-search sample size.
+    #[must_use]
+    pub fn with_sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.strategy = SearchStrategy::Random(n);
+        self
+    }
+
+    /// Overrides the search strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the tuning objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Overrides the RNG seed (the search is deterministic per seed).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The candidate unrolling decisions.
+    fn search_space() -> Vec<UnrollPolicy> {
+        vec![
+            UnrollPolicy::None,
+            UnrollPolicy::Full { max_trip: 2 },
+            UnrollPolicy::Full { max_trip: 4 },
+            UnrollPolicy::Full { max_trip: 8 },
+            UnrollPolicy::Full { max_trip: 16 },
+            UnrollPolicy::Full { max_trip: 32 },
+            UnrollPolicy::Full { max_trip: 128 },
+            UnrollPolicy::Factor { factor: 2 },
+            UnrollPolicy::Factor { factor: 4 },
+            UnrollPolicy::Factor { factor: 8 },
+        ]
+    }
+
+    /// Evaluates one candidate: compile, validate against the naive
+    /// reference (§5.1.4), measure.
+    fn evaluate(&self, blac: &Blac, name: &str, unroll: UnrollPolicy) -> (Kernel, Measurement) {
+        let isa = self.cfg.arch.vector_isa();
+        let offsets = vec![0usize; blac.operands.len()];
+        let cfg = self.cfg.with_unroll(unroll);
+        let kernel = compile(blac, name, &cfg);
+        let diff = check_kernel(blac, &kernel, isa, 11)
+            .unwrap_or_else(|e| panic!("candidate failed to execute: {e}"));
+        assert!(
+            diff < tolerance(blac.flops()),
+            "candidate {unroll:?} numerically wrong: {diff}"
+        );
+        let m = measure_blac(blac, &kernel, self.cfg.arch, &offsets, self.reps)
+            .expect("measurement");
+        (kernel, m)
+    }
+
+    /// Tunes `blac` per the configured strategy and objective, returning
+    /// the best validated kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a generated kernel fails validation — a compiler bug, not
+    /// an input condition.
+    pub fn tune(&self, blac: &Blac, name: &str) -> TunedKernel {
+        let space = Self::search_space();
+        let candidates: Vec<UnrollPolicy> = match self.strategy {
+            SearchStrategy::Exhaustive => space,
+            SearchStrategy::Random(sample_size) => {
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                let mut s = space;
+                s.shuffle(&mut rng);
+                s.truncate(sample_size);
+                s
+            }
+            SearchStrategy::Guided => {
+                return self.tune_guided(blac, name, &space);
+            }
+        };
+
+        let mut best: Option<(Kernel, Measurement, UnrollPolicy)> = None;
+        let mut samples = Vec::with_capacity(candidates.len());
+        for unroll in candidates {
+            let (kernel, m) = self.evaluate(blac, name, unroll);
+            samples.push((unroll, m.cycles));
+            let better = match &best {
+                None => true,
+                Some((_, bm, _)) => self.objective.score(&m) < self.objective.score(bm),
+            };
+            if better {
+                best = Some((kernel, m, unroll));
+            }
+        }
+        let (kernel, measurement, unroll) = best.expect("non-empty sample");
+        TunedKernel { kernel, measurement, unroll, samples }
+    }
+
+    /// Guided search: probe a few structurally diverse seeds (no unrolling,
+    /// the default, maximal full unrolling, maximal factor unrolling), then
+    /// hill-climb from the best seed.
+    fn tune_guided(&self, blac: &Blac, name: &str, space: &[UnrollPolicy]) -> TunedKernel {
+        let mut samples = Vec::new();
+        let mut evaluated = vec![false; space.len()];
+        let seeds = [
+            0,               // UnrollPolicy::None
+            space.len() / 2, // a mid-size full unroll
+            space.len() - 4, // the largest full unroll
+            space.len() - 1, // the largest factor unroll
+        ];
+        let mut idx = seeds[0];
+        let mut best: Option<(Kernel, Measurement)> = None;
+        for &si in &seeds {
+            if evaluated[si] {
+                continue;
+            }
+            evaluated[si] = true;
+            let (k, m) = self.evaluate(blac, name, space[si]);
+            samples.push((space[si], m.cycles));
+            if best
+                .as_ref()
+                .is_none_or(|(_, bm)| self.objective.score(&m) < self.objective.score(bm))
+            {
+                best = Some((k, m));
+                idx = si;
+            }
+        }
+        let (mut best_k, mut best_m) = best.expect("seeds evaluated");
+        loop {
+            let mut improved = false;
+            for next in [idx.wrapping_sub(1), idx + 1] {
+                if next >= space.len() || evaluated[next] {
+                    continue;
+                }
+                evaluated[next] = true;
+                let (k, m) = self.evaluate(blac, name, space[next]);
+                samples.push((space[next], m.cycles));
+                if self.objective.score(&m) < self.objective.score(&best_m) {
+                    best_k = k;
+                    best_m = m;
+                    idx = next;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        let unroll = samples
+            .iter()
+            .find(|(_, c)| *c == best_m.cycles)
+            .map(|(u, _)| *u)
+            .expect("best was sampled");
+        TunedKernel { kernel: best_k, measurement: best_m, unroll, samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgen_isa::Microarch;
+    use lgen_ll::paper;
+
+    #[test]
+    fn exhaustive_search_is_at_least_as_good_as_random() {
+        let blac = paper::gemv(4, 48);
+        let cfg = CompileConfig::full(Microarch::Arm1176);
+        let rand3 = Autotuner::new(cfg).with_sample_size(3).tune(&blac, "k");
+        let exh = Autotuner::new(cfg).with_strategy(SearchStrategy::Exhaustive).tune(&blac, "k");
+        assert!(exh.measurement.cycles <= rand3.measurement.cycles);
+        assert_eq!(exh.samples.len(), 10);
+    }
+
+    #[test]
+    fn guided_search_converges_with_fewer_evaluations_than_exhaustive() {
+        let blac = paper::gemv(4, 64);
+        let cfg = CompileConfig::full(Microarch::Arm1176);
+        let guided = Autotuner::new(cfg).with_strategy(SearchStrategy::Guided).tune(&blac, "k");
+        let exh = Autotuner::new(cfg).with_strategy(SearchStrategy::Exhaustive).tune(&blac, "k");
+        assert!(guided.samples.len() < exh.samples.len());
+        // Hill climbing must never end on a worse point than its start.
+        let start_cycles = guided.samples[0].1;
+        assert!(guided.measurement.cycles <= start_cycles);
+    }
+
+    #[test]
+    fn energy_objective_selects_by_energy() {
+        let blac = paper::mmm(4, 16, 4);
+        let cfg = CompileConfig::full(Microarch::CortexA8);
+        let by_energy = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Exhaustive)
+            .with_objective(Objective::Energy)
+            .tune(&blac, "k");
+        let by_cycles = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Exhaustive)
+            .with_objective(Objective::Cycles)
+            .tune(&blac, "k");
+        assert!(by_energy.measurement.energy_pj <= by_cycles.measurement.energy_pj);
+        assert!(by_cycles.measurement.cycles <= by_energy.measurement.cycles);
+        assert!(by_energy.measurement.energy_pj > 0);
+    }
+
+    #[test]
+    fn tuning_never_loses_to_the_default() {
+        let blac = paper::mvm(4, 64);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let tuned = Autotuner::new(cfg).with_sample_size(9).tune(&blac, "mvm");
+        let default_kernel = compile(&blac, "mvm", &cfg);
+        let default_m =
+            measure_blac(&blac, &default_kernel, Microarch::Atom, &[0, 0, 0], 3).unwrap();
+        assert!(tuned.measurement.cycles <= default_m.cycles);
+        assert_eq!(tuned.samples.len(), 9);
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let blac = paper::mmm(4, 8, 4);
+        let cfg = CompileConfig::full(Microarch::CortexA9);
+        let a = Autotuner::new(cfg).with_sample_size(4).with_seed(7).tune(&blac, "k");
+        let b = Autotuner::new(cfg).with_sample_size(4).with_seed(7).tune(&blac, "k");
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.unroll, b.unroll);
+    }
+
+    #[test]
+    fn small_sample_visits_fewer_points() {
+        let blac = paper::axpy(64);
+        let cfg = CompileConfig::full(Microarch::CortexA8);
+        let t = Autotuner::new(cfg).with_sample_size(2).tune(&blac, "k");
+        assert_eq!(t.samples.len(), 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Compilation configuration and the paper's plot variants.
+
+use lgen_cir::passes::UnrollPolicy;
+use lgen_isa::Microarch;
+use lgen_sigma::MvmStrategy;
+
+/// The LGen variants compared throughout Chapter 5.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Variant {
+    /// `LGen` — the base version without any thesis optimizations.
+    Base,
+    /// `LGen-Align` — alignment detection enabled (§3.2).
+    Align,
+    /// `LGen-MVM` — the MVH/RR matrix-vector strategy (§3.3).
+    Mvm,
+    /// `LGen-Full` — all optimizations (alignment detection + MVH/RR +
+    /// specialized leftover ν-BLACs, §3.4).
+    Full,
+}
+
+impl Variant {
+    /// All four variants in plot order.
+    pub const ALL: [Variant; 4] = [Variant::Base, Variant::Align, Variant::Mvm, Variant::Full];
+
+    /// Plot label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Base => "LGen",
+            Variant::Align => "LGen-Align",
+            Variant::Mvm => "LGen-MVM",
+            Variant::Full => "LGen-Full",
+        }
+    }
+}
+
+/// Full configuration for one compilation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompileConfig {
+    /// Target core (fixes the vector ISA).
+    pub arch: Microarch,
+    /// Matrix-vector strategy (§3.3).
+    pub mvm: MvmStrategy,
+    /// Alignment detection (§3.2) under the all-aligned assumption.
+    pub alignment_detection: bool,
+    /// Alignment versioning with runtime dispatch (§3.2.4) — opt-in, used
+    /// for the arbitrary-alignment experiments (Fig. 5.9).
+    pub alignment_versioning: bool,
+    /// Specialized leftover ν-BLACs on NEON (§3.4).
+    pub specialized_leftovers: bool,
+    /// §6 future-work loop peeling: version the kernel on a shared base
+    /// offset of its (vector-sized) parameter arrays, peeling the leading
+    /// elements of linearly-driven outputs so the main loops run aligned —
+    /// the Eigen-style answer to the Fig. 5.9 limitation.
+    pub peeling: bool,
+    /// Loop unrolling decision (part of the autotuning search space).
+    pub unroll: UnrollPolicy,
+}
+
+impl CompileConfig {
+    /// Configuration for a paper variant on a core, with the default
+    /// unrolling decision (the autotuner overrides it).
+    pub fn variant(arch: Microarch, v: Variant) -> Self {
+        let full = matches!(v, Variant::Full);
+        CompileConfig {
+            arch,
+            mvm: if matches!(v, Variant::Mvm | Variant::Full) {
+                MvmStrategy::MvhRr
+            } else {
+                MvmStrategy::Classic
+            },
+            alignment_detection: matches!(v, Variant::Align | Variant::Full),
+            alignment_versioning: false,
+            specialized_leftovers: full,
+            peeling: false,
+            unroll: UnrollPolicy::Full { max_trip: 8 },
+        }
+    }
+
+    /// `LGen-Full` on `arch`.
+    pub fn full(arch: Microarch) -> Self {
+        Self::variant(arch, Variant::Full)
+    }
+
+    /// `LGen` (base) on `arch`.
+    pub fn base(arch: Microarch) -> Self {
+        Self::variant(arch, Variant::Base)
+    }
+
+    /// Returns a copy with a different unrolling decision.
+    #[must_use]
+    pub fn with_unroll(mut self, unroll: UnrollPolicy) -> Self {
+        self.unroll = unroll;
+        self
+    }
+
+    /// Returns a copy with alignment versioning enabled.
+    #[must_use]
+    pub fn with_versioning(mut self) -> Self {
+        self.alignment_versioning = true;
+        self
+    }
+
+    /// Returns a copy with §6-style loop peeling enabled.
+    #[must_use]
+    pub fn with_peeling(mut self) -> Self {
+        self.peeling = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_toggle_the_right_options() {
+        let base = CompileConfig::variant(Microarch::Atom, Variant::Base);
+        assert_eq!(base.mvm, MvmStrategy::Classic);
+        assert!(!base.alignment_detection);
+        assert!(!base.specialized_leftovers);
+
+        let align = CompileConfig::variant(Microarch::Atom, Variant::Align);
+        assert!(align.alignment_detection);
+        assert_eq!(align.mvm, MvmStrategy::Classic);
+
+        let mvm = CompileConfig::variant(Microarch::Atom, Variant::Mvm);
+        assert!(!mvm.alignment_detection);
+        assert_eq!(mvm.mvm, MvmStrategy::MvhRr);
+
+        let full = CompileConfig::full(Microarch::CortexA8);
+        assert!(full.alignment_detection);
+        assert!(full.specialized_leftovers);
+        assert_eq!(full.mvm, MvmStrategy::MvhRr);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Variant::Base.label(), "LGen");
+        assert_eq!(Variant::Full.label(), "LGen-Full");
+        assert_eq!(Variant::ALL.len(), 4);
+    }
+}

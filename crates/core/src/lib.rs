@@ -1,0 +1,28 @@
+//! LGen-rs driver: the full compilation pipeline and the autotuner.
+//!
+//! This crate ties the layers together exactly as Fig. 2.1 describes:
+//!
+//! 1. a BLAC (from `lgen-ll`) is tiled and lowered through the Σ-LL-style
+//!    code generator (`lgen-sigma`) into C-IR;
+//! 2. the code-level optimizations of `lgen-cir` run (loop unrolling,
+//!    scalar replacement, copy propagation, DCE, alignment detection, and
+//!    optionally alignment versioning);
+//! 3. the kernel is measured on the target microarchitecture simulator
+//!    (`lgen-machine`) inside the **autotuning feedback loop**: LGen "was
+//!    configured to use a random search over the search space with sample
+//!    size 10" (§5.1.5) — the [`Autotuner`] samples unrolling/tiling
+//!    decisions, validates each candidate numerically, measures it, and
+//!    keeps the best.
+//!
+//! The paper's plot series map to [`Variant`]s: `LGen` (base), `LGen-Align`,
+//! `LGen-MVM`, and `LGen-Full`.
+
+pub mod autotune;
+pub mod config;
+pub mod exec;
+pub mod pipeline;
+
+pub use autotune::{Autotuner, Objective, SearchStrategy, TunedKernel};
+pub use config::{CompileConfig, Variant};
+pub use exec::{check_kernel, measure_blac, run_blac_kernel};
+pub use pipeline::compile;

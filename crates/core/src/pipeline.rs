@@ -1,0 +1,258 @@
+//! The compilation pipeline: LL → Σ-LL-style codegen → C-IR passes → kernel.
+
+use crate::config::CompileConfig;
+use lgen_cir::passes::{
+    copy_prop, dce, detect_alignment, detect_alignment_partial, scalar_replacement, unroll,
+    version_for_alignment,
+};
+use lgen_cir::{merge_kernel_versions, ArrayKind, Kernel};
+use lgen_ll::Blac;
+use lgen_sigma::{compile_blac, CodegenOptions};
+
+/// Compiles a BLAC to a finished kernel for `cfg` (Fig. 2.1, minus the
+/// autotuning loop — see [`crate::Autotuner`]).
+///
+/// # Panics
+///
+/// Panics if the BLAC does not validate.
+///
+/// # Example
+///
+/// ```
+/// use lgen_core::{compile, CompileConfig};
+/// use lgen_isa::Microarch;
+///
+/// let blac = lgen_ll::paper::gemv(4, 12);
+/// let kernel = compile(&blac, "sgemv_4x12", &CompileConfig::full(Microarch::Atom));
+/// assert_eq!(kernel.flops, 2 * 4 * 12 + 12);
+/// let c = lgen_cir::unparse::unparse(&kernel, Microarch::Atom.vector_isa());
+/// assert!(c.contains("_mm_")); // vectorized
+/// ```
+pub fn compile(blac: &Blac, name: &str, cfg: &CompileConfig) -> Kernel {
+    if cfg.peeling && cfg.arch.vector_isa() != lgen_isa::VectorIsa::Scalar {
+        return compile_peeled(blac, name, cfg);
+    }
+    let mut kernel = compile_one(blac, name, cfg, None);
+
+    // Alignment handling (§3.2).
+    if cfg.alignment_versioning {
+        kernel = version_for_alignment(&kernel);
+    } else if cfg.alignment_detection {
+        let zeros = vec![0usize; kernel.arrays.len()];
+        detect_alignment(kernel.body_mut(), &zeros);
+    }
+    kernel
+}
+
+/// One body: codegen with an optional peel assumption, then the code-level
+/// optimizations (§2.1.4, §3.1).
+fn compile_one(blac: &Blac, name: &str, cfg: &CompileConfig, peel: Option<usize>) -> Kernel {
+    let opts = CodegenOptions {
+        isa: cfg.arch.vector_isa(),
+        mvm: cfg.mvm,
+        specialized_leftovers: cfg.specialized_leftovers,
+        peel_offset: peel,
+    };
+    let mut kernel = compile_blac(blac, name, &opts);
+    let body = std::mem::take(kernel.body_mut());
+    let body = unroll(body, cfg.unroll);
+    let body = scalar_replacement(body, &kernel.arrays);
+    let body = copy_prop(body);
+    let body = dce(body, &kernel.arrays);
+    *kernel.body_mut() = body;
+    kernel
+}
+
+/// §6 future-work loop peeling: one version per shared base-offset class of
+/// the vector-sized parameter arrays (a common single-allocation pattern —
+/// exactly the Fig. 5.9 protocol), each analyzed under its own assumption,
+/// plus an unconditional unaligned fallback.
+fn compile_peeled(blac: &Blac, name: &str, cfg: &CompileConfig) -> Kernel {
+    let nu = 4usize;
+    let mut versions = Vec::with_capacity(nu + 1);
+    for off in 0..nu {
+        let mut k = compile_one(blac, name, cfg, Some(off));
+        let assumptions: Vec<Option<usize>> = k
+            .arrays
+            .iter()
+            .map(|a| match a.kind {
+                ArrayKind::Local => Some(0),
+                _ if a.len >= nu => Some(off),
+                _ => None,
+            })
+            .collect();
+        detect_alignment_partial(k.body_mut(), &assumptions);
+        let required: Vec<Option<usize>> = k
+            .arrays
+            .iter()
+            .filter(|a| a.kind.is_param())
+            .map(|a| if a.len >= nu { Some(off) } else { None })
+            .collect();
+        versions.push((Some(required), k));
+    }
+    versions.push((None, compile_one(blac, name, cfg, None)));
+    merge_kernel_versions(versions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use lgen_cir::passes::align::count_aligned;
+    use lgen_cir::passes::UnrollPolicy;
+    use lgen_isa::Microarch;
+    use lgen_ll::paper;
+
+    #[test]
+    fn align_variant_marks_accesses() {
+        let blac = paper::axpy(32);
+        let base = compile(&blac, "k", &CompileConfig::variant(Microarch::Atom, Variant::Base));
+        let full = compile(&blac, "k", &CompileConfig::full(Microarch::Atom));
+        assert_eq!(count_aligned(base.body()).0, 0);
+        let (aligned, total) = count_aligned(full.body());
+        assert_eq!(aligned, total);
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn versioning_produces_dispatch_kernels() {
+        let blac = paper::axpy(16);
+        let cfg = CompileConfig::full(Microarch::Atom).with_versioning();
+        let k = compile(&blac, "k", &cfg);
+        // x and y are versioned (alpha is scalar): 4^2 + 1.
+        assert_eq!(k.versions.len(), 17);
+    }
+
+    #[test]
+    fn optimization_shrinks_chains() {
+        // addt_gemm materializes a temporary; scalar replacement + DCE must
+        // still leave a working kernel smaller than the raw emission.
+        let blac = paper::addt_gemm(8, 4, 4);
+        let cfg = CompileConfig::full(Microarch::Atom).with_unroll(UnrollPolicy::None);
+        let raw = lgen_sigma::compile_blac(
+            &blac,
+            "raw",
+            &lgen_sigma::CodegenOptions::full(Microarch::Atom.vector_isa()),
+        );
+        let opt = compile(&blac, "opt", &cfg);
+        assert!(
+            opt.static_size() <= raw.static_size(),
+            "passes must not grow unrolled-free code: {} vs {}",
+            opt.static_size(),
+            raw.static_size()
+        );
+    }
+
+    #[test]
+    fn unroll_policy_is_respected() {
+        let blac = paper::mvm(4, 64);
+        let rolled = compile(
+            &blac,
+            "k",
+            &CompileConfig::full(Microarch::Atom).with_unroll(UnrollPolicy::None),
+        );
+        let unrolled = compile(
+            &blac,
+            "k",
+            &CompileConfig::full(Microarch::Atom).with_unroll(UnrollPolicy::Full { max_trip: 64 }),
+        );
+        assert!(unrolled.static_size() > rolled.static_size());
+        // Fully unrolled: no loops remain.
+        let mut loops = 0;
+        unrolled.visit_insts(|i| {
+            if matches!(i, lgen_cir::Inst::Loop { .. }) {
+                loops += 1;
+            }
+        });
+        assert_eq!(loops, 0);
+    }
+
+    #[test]
+    fn peeled_kernels_have_five_versions_and_aligned_main_loops() {
+        let blac = paper::axpy(37);
+        let cfg = CompileConfig::full(Microarch::Atom).with_peeling();
+        let k = compile(&blac, "k", &cfg);
+        assert_eq!(k.versions.len(), 5);
+        // Every non-fallback version must contain aligned full-width ops.
+        for v in &k.versions[..4] {
+            let (aligned, total) = count_aligned(&v.body);
+            assert!(aligned > 0, "peeled version has no aligned access ({total} total)");
+        }
+        // The fallback has none.
+        assert_eq!(count_aligned(&k.versions[4].body).0, 0);
+    }
+
+    #[test]
+    fn peeled_kernels_correct_at_every_shared_offset() {
+        use crate::exec::run_blac_kernel;
+        use lgen_ll::reference::{eval_reference, max_abs_diff, test_data};
+        for blac in [paper::axpy(23), paper::madd(5, 7), paper::mvm(6, 10)] {
+            let cfg = CompileConfig::full(Microarch::Atom).with_peeling();
+            let kernel = compile(&blac, "k", &cfg);
+            for off in 0..4usize {
+                let values: Vec<_> = blac
+                    .operands
+                    .iter()
+                    .enumerate()
+                    .map(|(i, op)| test_data(op.dims, 55 + i as u64))
+                    .collect();
+                let expected = eval_reference(&blac, &values);
+                let mut bufs: Vec<Vec<f32>> = values.iter().map(|v| v.data.clone()).collect();
+                let offsets: Vec<usize> = blac
+                    .operands
+                    .iter()
+                    .map(|o| if o.dims.len() >= 4 { off } else { 0 })
+                    .collect();
+                let layout = lgen_cir::MemLayout::with_float_offsets(&kernel, &offsets);
+                {
+                    let mut refs: Vec<&mut [f32]> =
+                        bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+                    lgen_cir::run_kernel(
+                        &kernel,
+                        &mut refs,
+                        &layout,
+                        lgen_isa::VectorIsa::Ssse3,
+                        &mut lgen_isa::inst::NullSink,
+                    )
+                    .unwrap_or_else(|e| panic!("off {off}: {e}"));
+                }
+                let got = lgen_ll::reference::MatrixValue::new(
+                    blac.dims(blac.output),
+                    bufs[blac.output.0].clone(),
+                );
+                assert!(max_abs_diff(&got, &expected) < 1e-3, "off {off}");
+                let _ = run_blac_kernel; // silence unused import in some cfgs
+            }
+        }
+    }
+
+    #[test]
+    fn peeling_beats_plain_versioning_on_misaligned_elementwise() {
+        // The Fig. 5.9 limitation: plain alignment versioning cannot help
+        // when every row is off by one float; peeling can.
+        use crate::exec::measure_blac;
+        let blac = paper::axpy(256);
+        let peeled =
+            compile(&blac, "k", &CompileConfig::full(Microarch::Atom).with_peeling());
+        let versioned =
+            compile(&blac, "k", &CompileConfig::full(Microarch::Atom).with_versioning());
+        let offs = [0usize, 1, 1]; // alpha aligned, x and y off by one float
+        let mp = measure_blac(&blac, &peeled, Microarch::Atom, &offs, 3).unwrap();
+        let mv = measure_blac(&blac, &versioned, Microarch::Atom, &offs, 3).unwrap();
+        assert!(
+            mp.cycles < mv.cycles,
+            "peeled {} vs versioned {}",
+            mp.cycles,
+            mv.cycles
+        );
+    }
+
+    #[test]
+    fn scalar_target_compiles_scalar_code() {
+        let blac = paper::gemm(4, 5, 6);
+        let k = compile(&blac, "k", &CompileConfig::full(Microarch::Arm1176));
+        let c = lgen_cir::unparse::unparse(&k, lgen_isa::VectorIsa::Scalar);
+        assert!(!c.contains("_mm_"));
+        assert!(!c.contains("vld1"));
+    }
+}

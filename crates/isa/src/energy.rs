@@ -1,0 +1,110 @@
+//! Per-instruction energy model (the paper's §6 future-work item:
+//! "introduction of energy-related metrics in the autotuning feedback
+//! loop").
+//!
+//! The thesis notes that measuring energy on real boards needs extra
+//! hardware and isolation of processor power from board power; here the
+//! simulator substitutes a first-order energy model: each dynamic
+//! instruction is charged a per-class energy depending on the
+//! microarchitecture, and each cycle is charged the core's static/leakage
+//! power. The numbers are nominal picojoules chosen to respect the
+//! well-established orderings (memory access ≫ multiply > add > move;
+//! a wider vector op costs more than a doubleword one but less than the
+//! equivalent scalar sequence; low-voltage cores cost less per op).
+
+use crate::ops::{MOp, OpClass};
+use crate::uarch::Microarch;
+
+/// Energy charged per dynamic instruction, in picojoules.
+pub fn op_energy_pj(arch: Microarch, op: MOp) -> u64 {
+    // Base cost by class, then scaled per core.
+    let class_cost = match op.class() {
+        OpClass::Load | OpClass::Store => match op.access_bytes() {
+            16 => 60,
+            8 => 40,
+            _ => 25,
+        },
+        OpClass::VectorArith => match op {
+            MOp::MmHaddPs => 45,
+            MOp::VmlaQ | MOp::VmlaLaneQ => 40,
+            MOp::VmlaD | MOp::VmlaLaneD => 22,
+            MOp::VaddD | MOp::VmulD | MOp::VmulLaneD | MOp::Vpadd => 16,
+            _ => 30,
+        },
+        OpClass::ScalarArith => 12,
+        OpClass::Shuffle => 8,
+        OpClass::Overhead => {
+            if op == MOp::CallOverhead {
+                200
+            } else {
+                3
+            }
+        }
+    };
+    // Core scaling: frequency/voltage class.
+    let scale_num = match arch {
+        Microarch::Atom => 10,
+        Microarch::CortexA8 => 6,
+        Microarch::CortexA9 => 8,
+        Microarch::Arm1176 => 4,
+        _ => 20,
+    };
+    class_cost * scale_num / 10
+}
+
+/// Static (leakage + clock-tree) energy per cycle, in picojoules.
+pub fn static_energy_pj_per_cycle(arch: Microarch) -> u64 {
+    match arch {
+        Microarch::Atom => 12,
+        Microarch::CortexA8 => 5,
+        Microarch::CortexA9 => 8,
+        Microarch::Arm1176 => 3,
+        _ => 30,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_costs_more_than_arithmetic() {
+        for arch in Microarch::EVALUATED {
+            assert!(op_energy_pj(arch, MOp::MmLoadUPs) > op_energy_pj(arch, MOp::MmAddPs).min(1));
+            if arch.vector_isa() == crate::VectorIsa::Neon {
+                assert!(op_energy_pj(arch, MOp::VldQ) > op_energy_pj(arch, MOp::VaddD));
+            }
+        }
+    }
+
+    #[test]
+    fn doubleword_cheaper_than_quadword() {
+        // The §3.4 specialized ν-BLACs save energy too.
+        assert!(
+            op_energy_pj(Microarch::CortexA8, MOp::VmlaD)
+                < op_energy_pj(Microarch::CortexA8, MOp::VmlaQ)
+        );
+        assert!(
+            op_energy_pj(Microarch::CortexA8, MOp::VaddD)
+                < op_energy_pj(Microarch::CortexA8, MOp::VaddQ)
+        );
+    }
+
+    #[test]
+    fn low_power_cores_cost_less_per_op() {
+        assert!(
+            op_energy_pj(Microarch::Arm1176, MOp::FAdd) < op_energy_pj(Microarch::Atom, MOp::FAdd)
+        );
+        assert!(
+            static_energy_pj_per_cycle(Microarch::Arm1176)
+                < static_energy_pj_per_cycle(Microarch::Atom)
+        );
+    }
+
+    #[test]
+    fn call_overhead_is_expensive() {
+        for arch in Microarch::EVALUATED {
+            assert!(op_energy_pj(arch, MOp::CallOverhead) > op_energy_pj(arch, MOp::IAddr) * 20);
+        }
+    }
+}

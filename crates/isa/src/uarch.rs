@@ -1,0 +1,235 @@
+//! Microarchitecture descriptors (paper §2.2, Tables 2.2–2.5).
+
+/// One of the processors modelled by the simulator.
+///
+/// The four embedded targets are the subject of the paper's evaluation; the
+/// big x86 cores appear only in Table 3.1 (normal vs. horizontal vector
+/// addition).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Microarch {
+    /// Intel Atom D2550 (Bonnell): in-order, 2-wide, SSSE3 (Table 2.2).
+    Atom,
+    /// ARM Cortex-A8: in-order, NEON unit dual-issues one load/store with
+    /// one data-processing instruction; non-pipelined scalar VFP (Table 2.3).
+    CortexA8,
+    /// ARM Cortex-A9: out-of-order core, but the NEON pipeline issues only
+    /// one instruction per cycle; pipelined VFP (Table 2.4).
+    CortexA9,
+    /// ARM1176JZF-S: ARMv6, scalar-only VFP11 (Table 2.5).
+    Arm1176,
+    /// Intel Haswell (Table 3.1 row).
+    Haswell,
+    /// Intel Ivy Bridge (Table 3.1 row).
+    IvyBridge,
+    /// Intel Sandy Bridge (Table 3.1 row).
+    SandyBridge,
+    /// Intel Westmere (Table 3.1 row).
+    Westmere,
+    /// Intel Nehalem (Table 3.1 row).
+    Nehalem,
+}
+
+/// Static parameters of a microarchitecture used by the scheduler and the
+/// memory model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UarchParams {
+    /// Display name.
+    pub name: &'static str,
+    /// Maximum instructions issued per cycle.
+    pub issue_width: u32,
+    /// Scheduling window: how far ahead of a stalled instruction issue may
+    /// proceed. In-order cores get a small window modelling the *static*
+    /// instruction scheduling done by the optimizing compiler (the paper's
+    /// LGen "relies completely on the instruction reordering done by the
+    /// underlying compiler", §2.2.1); the out-of-order Cortex-A9 gets a
+    /// larger one.
+    pub window: u32,
+    /// Number of issue ports.
+    pub num_ports: u32,
+    /// L1 data cache capacity in bytes.
+    pub l1d_bytes: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Additional latency of a load/store that misses L1.
+    pub miss_penalty: u32,
+    /// Additional cycles when an access straddles a cache line.
+    pub cross_line_penalty: u32,
+    /// Nominal clock (MHz) — informational only; all results are in cycles.
+    pub clock_mhz: u32,
+}
+
+impl Microarch {
+    /// The four embedded evaluation targets of the paper.
+    pub const EVALUATED: [Microarch; 4] = [
+        Microarch::Atom,
+        Microarch::CortexA8,
+        Microarch::CortexA9,
+        Microarch::Arm1176,
+    ];
+
+    /// Scheduler/memory parameters for this core.
+    pub fn params(self) -> UarchParams {
+        match self {
+            // Table 2.2: 1.86 GHz, 24 KB L1D, in-order, 2 issue ports.
+            Microarch::Atom => UarchParams {
+                name: "Intel Atom",
+                issue_width: 2,
+                window: 32,
+                num_ports: 2,
+                l1d_bytes: 24 * 1024,
+                line_bytes: 64,
+                miss_penalty: 16,
+                cross_line_penalty: 2,
+                clock_mhz: 1860,
+            },
+            // Table 2.3: 1 GHz, 32 KB L1D; NEON issues one load/store plus
+            // one data-processing instruction per cycle (ports 0 and 1);
+            // port 2 is the integer pipe.
+            Microarch::CortexA8 => UarchParams {
+                name: "ARM Cortex-A8",
+                issue_width: 2,
+                window: 16,
+                num_ports: 3,
+                l1d_bytes: 32 * 1024,
+                line_bytes: 64,
+                miss_penalty: 20,
+                cross_line_penalty: 1,
+                clock_mhz: 1000,
+            },
+            // Table 2.4: 1.4 GHz, 32 KB L1D; the NEON pipeline issues one
+            // instruction per cycle (port 0), integer ops issue on port 1;
+            // out-of-order core modelled with a small scheduling window.
+            Microarch::CortexA9 => UarchParams {
+                name: "ARM Cortex-A9",
+                issue_width: 2,
+                window: 24,
+                num_ports: 2,
+                l1d_bytes: 32 * 1024,
+                line_bytes: 64,
+                miss_penalty: 18,
+                cross_line_penalty: 1,
+                clock_mhz: 1400,
+            },
+            // Table 2.5: 700 MHz, 16 KB L1D; single-issue, the VFP11
+            // pipelines share their first two stages with everything else.
+            Microarch::Arm1176 => UarchParams {
+                name: "ARM1176JZF-S",
+                issue_width: 1,
+                window: 16,
+                num_ports: 1,
+                l1d_bytes: 16 * 1024,
+                line_bytes: 32,
+                miss_penalty: 25,
+                cross_line_penalty: 1,
+                clock_mhz: 700,
+            },
+            // Big x86 cores: only used for the Table 3.1 cost comparison,
+            // but given plausible parameters so they can run kernels too.
+            Microarch::Haswell
+            | Microarch::IvyBridge
+            | Microarch::SandyBridge
+            | Microarch::Westmere
+            | Microarch::Nehalem => UarchParams {
+                name: self.name(),
+                issue_width: 4,
+                window: 32,
+                num_ports: 4,
+                l1d_bytes: 32 * 1024,
+                line_bytes: 64,
+                miss_penalty: 10,
+                cross_line_penalty: 1,
+                clock_mhz: 3000,
+            },
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Microarch::Atom => "Intel Atom",
+            Microarch::CortexA8 => "ARM Cortex-A8",
+            Microarch::CortexA9 => "ARM Cortex-A9",
+            Microarch::Arm1176 => "ARM1176JZF-S",
+            Microarch::Haswell => "Haswell",
+            Microarch::IvyBridge => "Ivy Bridge",
+            Microarch::SandyBridge => "Sandy Bridge",
+            Microarch::Westmere => "Westmere",
+            Microarch::Nehalem => "Nehalem",
+        }
+    }
+
+    /// The SIMD extension this core implements (§2.2).
+    pub fn vector_isa(self) -> crate::VectorIsa {
+        match self {
+            Microarch::Atom
+            | Microarch::Haswell
+            | Microarch::IvyBridge
+            | Microarch::SandyBridge
+            | Microarch::Westmere
+            | Microarch::Nehalem => crate::VectorIsa::Ssse3,
+            Microarch::CortexA8 | Microarch::CortexA9 => crate::VectorIsa::Neon,
+            Microarch::Arm1176 => crate::VectorIsa::Scalar,
+        }
+    }
+
+    /// Theoretical peak in single-precision flops per cycle (§2.2).
+    pub fn peak_flops_per_cycle(self) -> f64 {
+        match self {
+            Microarch::Atom => 6.0,
+            Microarch::CortexA8 | Microarch::CortexA9 => 4.0,
+            Microarch::Arm1176 => 1.0,
+            _ => 16.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Microarch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VectorIsa;
+
+    #[test]
+    fn spec_tables_2_2_to_2_5() {
+        let atom = Microarch::Atom.params();
+        assert_eq!(atom.l1d_bytes, 24 * 1024);
+        assert_eq!(atom.clock_mhz, 1860);
+        assert_eq!(Microarch::CortexA8.params().l1d_bytes, 32 * 1024);
+        assert_eq!(Microarch::CortexA9.params().clock_mhz, 1400);
+        assert_eq!(Microarch::Arm1176.params().l1d_bytes, 16 * 1024);
+    }
+
+    #[test]
+    fn isa_assignment() {
+        assert_eq!(Microarch::Atom.vector_isa(), VectorIsa::Ssse3);
+        assert_eq!(Microarch::CortexA8.vector_isa(), VectorIsa::Neon);
+        assert_eq!(Microarch::Arm1176.vector_isa(), VectorIsa::Scalar);
+    }
+
+    #[test]
+    fn peaks_match_paper() {
+        assert_eq!(Microarch::Atom.peak_flops_per_cycle(), 6.0);
+        assert_eq!(Microarch::CortexA8.peak_flops_per_cycle(), 4.0);
+        assert_eq!(Microarch::CortexA9.peak_flops_per_cycle(), 4.0);
+        assert_eq!(Microarch::Arm1176.peak_flops_per_cycle(), 1.0);
+    }
+
+    #[test]
+    fn issue_disciplines() {
+        // Among the NEON pair, the out-of-order A9 sees further than the
+        // in-order A8; every evaluated core has a bounded window.
+        let a8 = Microarch::CortexA8.params().window;
+        let a9 = Microarch::CortexA9.params().window;
+        assert!(a9 > a8);
+        for m in Microarch::EVALUATED {
+            let w = m.params().window;
+            assert!((1..=64).contains(&w), "{m}: window {w}");
+        }
+        assert_eq!(Microarch::Arm1176.params().issue_width, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! The BLAC suite evaluated in the paper (§5.1.1).
+//!
+//! Categories:
+//! 1. simple BLACs — `y = Ax`, `C = AB`;
+//! 2. BLACs that closely match BLAS — `y = αx + y`, `y = αAx + βy`,
+//!    `C = αAB + βC`;
+//! 3. BLACs that require more than one BLAS call — `y = αAx + βBx`,
+//!    `α = xᵀAy`, `C = α(A0 + A1)ᵀB + βC`;
+//! 4. micro-BLACs — the same kernels on very small square matrices.
+
+use crate::blac::{Blac, BlacBuilder};
+
+/// `y = Ax` with `A` of size `m×n`.
+pub fn mvm(m: usize, n: usize) -> Blac {
+    let mut b = BlacBuilder::new();
+    let a = b.matrix("A", m, n);
+    let x = b.col_vector("x", n);
+    let y = b.col_vector("y", m);
+    let expr = b.handle(a) * b.handle(x);
+    b.define(y, expr).expect("valid by construction")
+}
+
+/// `C = AB` with `A` of size `m×k` and `B` of size `k×n`.
+pub fn mmm(m: usize, k: usize, n: usize) -> Blac {
+    let mut b = BlacBuilder::new();
+    let a = b.matrix("A", m, k);
+    let bb = b.matrix("B", k, n);
+    let c = b.matrix("C", m, n);
+    let expr = b.handle(a) * b.handle(bb);
+    b.define(c, expr).expect("valid by construction")
+}
+
+/// `y = αx + y` with vectors of length `n` (BLAS `saxpy`).
+pub fn axpy(n: usize) -> Blac {
+    let mut b = BlacBuilder::new();
+    let alpha = b.scalar("alpha");
+    let x = b.col_vector("x", n);
+    let y = b.col_vector("y", n);
+    let expr = b.handle(alpha) * b.handle(x) + b.handle(y);
+    b.define(y, expr).expect("valid by construction")
+}
+
+/// `y = αAx + βy` with `A` of size `m×n` (BLAS `sgemv`).
+pub fn gemv(m: usize, n: usize) -> Blac {
+    let mut b = BlacBuilder::new();
+    let alpha = b.scalar("alpha");
+    let beta = b.scalar("beta");
+    let a = b.matrix("A", m, n);
+    let x = b.col_vector("x", n);
+    let y = b.col_vector("y", m);
+    let expr =
+        b.handle(alpha) * (b.handle(a) * b.handle(x)) + b.handle(beta) * b.handle(y);
+    b.define(y, expr).expect("valid by construction")
+}
+
+/// `C = αAB + βC` with `A` `m×k`, `B` `k×n` (BLAS `sgemm`).
+pub fn gemm(m: usize, k: usize, n: usize) -> Blac {
+    let mut b = BlacBuilder::new();
+    let alpha = b.scalar("alpha");
+    let beta = b.scalar("beta");
+    let a = b.matrix("A", m, k);
+    let bb = b.matrix("B", k, n);
+    let c = b.matrix("C", m, n);
+    let expr =
+        b.handle(alpha) * (b.handle(a) * b.handle(bb)) + b.handle(beta) * b.handle(c);
+    b.define(c, expr).expect("valid by construction")
+}
+
+/// `y = αAx + βBx` with `A`, `B` of size `m×n` — two `sgemv` calls in BLAS.
+pub fn two_gemv(m: usize, n: usize) -> Blac {
+    let mut b = BlacBuilder::new();
+    let alpha = b.scalar("alpha");
+    let beta = b.scalar("beta");
+    let a = b.matrix("A", m, n);
+    let bb = b.matrix("B", m, n);
+    let x = b.col_vector("x", n);
+    let y = b.col_vector("y", m);
+    let expr = b.handle(alpha) * (b.handle(a) * b.handle(x))
+        + b.handle(beta) * (b.handle(bb) * b.handle(x));
+    b.define(y, expr).expect("valid by construction")
+}
+
+/// `α = xᵀAy` with `A` of size `m×n` — `sgemv` + `sdot` in BLAS.
+pub fn bilinear(m: usize, n: usize) -> Blac {
+    let mut b = BlacBuilder::new();
+    let x = b.col_vector("x", m);
+    let a = b.matrix("A", m, n);
+    let y = b.col_vector("y", n);
+    let alpha = b.scalar("alpha");
+    let expr = b.handle(x).t() * (b.handle(a) * b.handle(y));
+    b.define(alpha, expr).expect("valid by construction")
+}
+
+/// `C = α(A0 + A1)ᵀB + βC` with `A0`, `A1` of size `k×m` and `B` of size
+/// `k×n` — `somatadd`/`saxpy` + `sgemm` in BLAS.
+pub fn addt_gemm(k: usize, m: usize, n: usize) -> Blac {
+    let mut b = BlacBuilder::new();
+    let alpha = b.scalar("alpha");
+    let beta = b.scalar("beta");
+    let a0 = b.matrix("A0", k, m);
+    let a1 = b.matrix("A1", k, m);
+    let bb = b.matrix("B", k, n);
+    let c = b.matrix("C", m, n);
+    let expr = b.handle(alpha) * ((b.handle(a0) + b.handle(a1)).t() * b.handle(bb))
+        + b.handle(beta) * b.handle(c);
+    b.define(c, expr).expect("valid by construction")
+}
+
+/// `C = A + B` (matrix addition) with matrices of size `m×n`.
+pub fn madd(m: usize, n: usize) -> Blac {
+    let mut b = BlacBuilder::new();
+    let a = b.matrix("A", m, n);
+    let bb = b.matrix("B", m, n);
+    let c = b.matrix("C", m, n);
+    let expr = b.handle(a) + b.handle(bb);
+    b.define(c, expr).expect("valid by construction")
+}
+
+/// `C = Aᵀ` (transposition) with `A` of size `m×n`.
+pub fn transpose(m: usize, n: usize) -> Blac {
+    let mut b = BlacBuilder::new();
+    let a = b.matrix("A", m, n);
+    let c = b.matrix("C", n, m);
+    let expr = b.handle(a).t();
+    b.define(c, expr).expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_blacs_validate() {
+        for blac in [
+            mvm(4, 17),
+            mmm(4, 16, 5),
+            axpy(100),
+            gemv(30, 11),
+            gemm(4, 9, 4),
+            two_gemv(4, 100),
+            bilinear(4, 100),
+            addt_gemm(9, 4, 4),
+            madd(8, 6),
+            transpose(5, 7),
+        ] {
+            blac.validate().unwrap();
+            assert!(blac.flops() > 0 || matches!(blac.expr, crate::blac::Expr::Trans(_)));
+        }
+    }
+
+    #[test]
+    fn gemv_flop_count() {
+        // y = αAx + βy, A 4×8: 2·4·8 (Ax) + 4 (α·) + 4 (β·) + 4 (+).
+        assert_eq!(gemv(4, 8).flops(), 64 + 12);
+    }
+
+    #[test]
+    fn bilinear_is_scalar_output() {
+        let b = bilinear(6, 9);
+        assert_eq!(b.dims(b.output), crate::blac::Dims::new(1, 1));
+        assert!(!b.output_is_input());
+    }
+
+    #[test]
+    fn gemm_output_is_inout() {
+        assert!(gemm(4, 4, 4).output_is_input());
+        assert!(!mmm(4, 4, 4).output_is_input());
+    }
+}

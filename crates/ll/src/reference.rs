@@ -1,0 +1,239 @@
+//! Naive reference evaluation of BLACs.
+//!
+//! Every measured kernel in the paper is validated "by comparing their
+//! calculated results with the corresponding results of equivalent naive
+//! implementations" (§5.1.4); this module is that naive implementation.
+
+use crate::blac::{Blac, Dims, Expr};
+
+/// A dense row-major matrix value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixValue {
+    /// Dimensions.
+    pub dims: Dims,
+    /// Row-major data, `dims.len()` elements.
+    pub data: Vec<f32>,
+}
+
+impl MatrixValue {
+    /// Creates a value from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length does not match the dimensions.
+    pub fn new(dims: Dims, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), dims.len(), "data length mismatch for {dims}");
+        MatrixValue { dims, data }
+    }
+
+    /// A zero-filled value.
+    pub fn zeros(dims: Dims) -> Self {
+        MatrixValue { dims, data: vec![0.0; dims.len()] }
+    }
+
+    /// Element access.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.dims.cols + c]
+    }
+
+    fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.dims.cols + c] = v;
+    }
+}
+
+/// Evaluates `blac`'s expression given operand values (indexed by operand
+/// id; the output operand's entry provides its *old* value for in/out
+/// computations like `y = αAx + βy`).
+///
+/// # Panics
+///
+/// Panics if values are missing or ill-sized; call [`Blac::validate`] first.
+pub fn eval_reference(blac: &Blac, values: &[MatrixValue]) -> MatrixValue {
+    assert_eq!(values.len(), blac.operands.len(), "one value per operand required");
+    for (v, o) in values.iter().zip(&blac.operands) {
+        assert_eq!(v.dims, o.dims, "operand {} has wrong size", o.name);
+    }
+    eval(blac, &blac.expr, values)
+}
+
+#[allow(clippy::only_used_in_recursion)]
+fn eval(blac: &Blac, e: &Expr, values: &[MatrixValue]) -> MatrixValue {
+    match e {
+        Expr::Ref(id) => values[id.0].clone(),
+        Expr::Add(a, b) => {
+            let (va, vb) = (eval(blac, a, values), eval(blac, b, values));
+            let data = va.data.iter().zip(&vb.data).map(|(x, y)| x + y).collect();
+            MatrixValue::new(va.dims, data)
+        }
+        Expr::Mul(a, b) => {
+            let (va, vb) = (eval(blac, a, values), eval(blac, b, values));
+            if va.dims.is_scalar() {
+                let s = va.data[0];
+                MatrixValue::new(vb.dims, vb.data.iter().map(|x| s * x).collect())
+            } else if vb.dims.is_scalar() {
+                let s = vb.data[0];
+                MatrixValue::new(va.dims, va.data.iter().map(|x| s * x).collect())
+            } else {
+                let d = Dims::new(va.dims.rows, vb.dims.cols);
+                let mut out = MatrixValue::zeros(d);
+                for i in 0..d.rows {
+                    for j in 0..d.cols {
+                        let mut acc = 0.0f32;
+                        for k in 0..va.dims.cols {
+                            acc += va.at(i, k) * vb.at(k, j);
+                        }
+                        out.set(i, j, acc);
+                    }
+                }
+                out
+            }
+        }
+        Expr::Trans(a) => {
+            let va = eval(blac, a, values);
+            let d = va.dims.t();
+            let mut out = MatrixValue::zeros(d);
+            for i in 0..d.rows {
+                for j in 0..d.cols {
+                    out.set(i, j, va.at(j, i));
+                }
+            }
+            out
+        }
+        Expr::Mvh(a, x) => {
+            let (va, vx) = (eval(blac, a, values), eval(blac, x, values));
+            let mut out = MatrixValue::zeros(va.dims);
+            for i in 0..va.dims.rows {
+                for j in 0..va.dims.cols {
+                    out.set(i, j, va.at(i, j) * vx.data[j]);
+                }
+            }
+            out
+        }
+        Expr::Rr(a) => {
+            let va = eval(blac, a, values);
+            let mut out = MatrixValue::zeros(Dims::new(va.dims.rows, 1));
+            for i in 0..va.dims.rows {
+                let s: f32 = (0..va.dims.cols).map(|j| va.at(i, j)).sum();
+                out.set(i, 0, s);
+            }
+            out
+        }
+    }
+}
+
+/// Maximum absolute element-wise difference between two values.
+///
+/// # Panics
+///
+/// Panics on size mismatch.
+pub fn max_abs_diff(a: &MatrixValue, b: &MatrixValue) -> f32 {
+    assert_eq!(a.dims, b.dims);
+    a.data
+        .iter()
+        .zip(&b.data)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Fills deterministic pseudo-random test data in `[-1, 1)` (xorshift;
+/// reproducible across platforms).
+pub fn test_data(dims: Dims, seed: u64) -> MatrixValue {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let data = (0..dims.len())
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+        })
+        .collect();
+    MatrixValue { dims, data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blac::BlacBuilder;
+
+    #[test]
+    fn gemv_reference() {
+        let mut b = BlacBuilder::new();
+        let a = b.matrix("A", 2, 3);
+        let x = b.col_vector("x", 3);
+        let y = b.col_vector("y", 2);
+        let expr = b.handle(a) * b.handle(x);
+        let blac = b.define(y, expr).unwrap();
+        let va = MatrixValue::new(Dims::new(2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let vx = MatrixValue::new(Dims::new(3, 1), vec![1.0, 0.0, -1.0]);
+        let vy = MatrixValue::zeros(Dims::new(2, 1));
+        let out = eval_reference(&blac, &[va, vx, vy]);
+        assert_eq!(out.data, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn inout_blac_reads_old_output() {
+        // y = αx + y.
+        let mut b = BlacBuilder::new();
+        let alpha = b.scalar("alpha");
+        let x = b.col_vector("x", 2);
+        let y = b.col_vector("y", 2);
+        let expr = b.handle(alpha) * b.handle(x) + b.handle(y);
+        let blac = b.define(y, expr).unwrap();
+        let va = MatrixValue::new(Dims::new(1, 1), vec![2.0]);
+        let vx = MatrixValue::new(Dims::new(2, 1), vec![1.0, 2.0]);
+        let vy = MatrixValue::new(Dims::new(2, 1), vec![10.0, 20.0]);
+        let out = eval_reference(&blac, &[va, vx, vy]);
+        assert_eq!(out.data, vec![12.0, 24.0]);
+    }
+
+    #[test]
+    fn mvh_rr_equals_mvm() {
+        // ⊘(A ⊙ x) == A x: the §3.3 equivalence at the semantic level.
+        use crate::blac::Expr;
+        use std::rc::Rc;
+        let mut b = BlacBuilder::new();
+        let a = b.matrix("A", 3, 5);
+        let x = b.col_vector("x", 5);
+        let y = b.col_vector("y", 3);
+        let mvm = b.handle(a) * b.handle(x);
+        let blac_mvm = b.clone().define(y, mvm).unwrap();
+        let rewritten = Blac {
+            operands: blac_mvm.operands.clone(),
+            output: y,
+            expr: Expr::Rr(Rc::new(Expr::Mvh(
+                Rc::new(Expr::Ref(a)),
+                Rc::new(Expr::Ref(x)),
+            ))),
+        };
+        rewritten.validate().unwrap();
+        let va = test_data(Dims::new(3, 5), 1);
+        let vx = test_data(Dims::new(5, 1), 2);
+        let vy = MatrixValue::zeros(Dims::new(3, 1));
+        let r1 = eval_reference(&blac_mvm, &[va.clone(), vx.clone(), vy.clone()]);
+        let r2 = eval_reference(&rewritten, &[va, vx, vy]);
+        assert!(max_abs_diff(&r1, &r2) < 1e-5);
+    }
+
+    #[test]
+    fn transpose_reference() {
+        let mut b = BlacBuilder::new();
+        let a = b.matrix("A", 2, 3);
+        let c = b.matrix("C", 3, 2);
+        let expr = b.handle(a).t();
+        let blac = b.define(c, expr).unwrap();
+        let va = MatrixValue::new(Dims::new(2, 3), vec![1., 2., 3., 4., 5., 6.]);
+        let vc = MatrixValue::zeros(Dims::new(3, 2));
+        let out = eval_reference(&blac, &[va, vc]);
+        assert_eq!(out.data, vec![1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn test_data_is_deterministic_and_bounded() {
+        let a = test_data(Dims::new(8, 8), 42);
+        let b = test_data(Dims::new(8, 8), 42);
+        assert_eq!(a, b);
+        assert!(a.data.iter().all(|x| (-1.0..1.0).contains(x)));
+        let c = test_data(Dims::new(8, 8), 43);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,189 @@
+//! The measurement protocol of §5.1.4.
+//!
+//! Flops are deduced from the BLAC (carried on the kernel); cycles come
+//! from the scheduler. Kernels are measured warm (one untimed execution
+//! fills the cache), the timed execution is repeated, and the median of 15
+//! repetitions is reported with quartile whiskers — the simulator is
+//! deterministic, so the whiskers collapse, which EXPERIMENTS.md records.
+
+use crate::sched::Simulator;
+use lgen_cir::{run_kernel, ExecError, Kernel, MemLayout};
+use lgen_isa::Microarch;
+
+/// Result of measuring one kernel on one core.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Measurement {
+    /// Median cycles per kernel invocation.
+    pub cycles: u64,
+    /// First-quartile cycles (== median under determinism).
+    pub q1: u64,
+    /// Third-quartile cycles (== median under determinism).
+    pub q3: u64,
+    /// Useful flops per invocation (from the BLAC).
+    pub flops: u64,
+    /// Dynamic instructions per invocation.
+    pub dynamic_insts: u64,
+    /// Modelled energy per invocation in picojoules (§6 future work).
+    pub energy_pj: u64,
+}
+
+impl Measurement {
+    /// Performance in flops per cycle — the y-axis of every figure.
+    pub fn flops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Energy efficiency in flops per nanojoule.
+    pub fn flops_per_nj(&self) -> f64 {
+        if self.energy_pj == 0 {
+            0.0
+        } else {
+            self.flops as f64 / (self.energy_pj as f64 / 1000.0)
+        }
+    }
+
+    /// Energy-delay product (pJ · cycles), the low-power tuning objective.
+    pub fn energy_delay(&self) -> u128 {
+        self.energy_pj as u128 * self.cycles as u128
+    }
+}
+
+/// Measures `kernel` on `arch` under the §5.1.4 protocol.
+///
+/// `args` are the kernel's parameter arrays (declaration order); they are
+/// executed repeatedly, so in/out parameters are snapshotted and restored
+/// between repetitions to keep every run identical.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from kernel execution.
+pub fn measure_kernel(
+    kernel: &Kernel,
+    args: &mut [&mut [f32]],
+    layout: &MemLayout,
+    arch: Microarch,
+) -> Result<Measurement, ExecError> {
+    measure_protocol(kernel, args, layout, arch, 15)
+}
+
+/// [`measure_kernel`] with an explicit repetition count.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from kernel execution.
+pub fn measure_protocol(
+    kernel: &Kernel,
+    args: &mut [&mut [f32]],
+    layout: &MemLayout,
+    arch: Microarch,
+    reps: usize,
+) -> Result<Measurement, ExecError> {
+    assert!(reps >= 1);
+    let isa = arch.vector_isa();
+    let snapshot: Vec<Vec<f32>> = args.iter().map(|a| a.to_vec()).collect();
+    let restore = |args: &mut [&mut [f32]], snap: &[Vec<f32>]| {
+        for (a, s) in args.iter_mut().zip(snap) {
+            a.copy_from_slice(s);
+        }
+    };
+
+    let mut sim = Simulator::new(arch);
+    // Warm-up execution: fills the cache, result discarded.
+    run_kernel(kernel, args, layout, isa, &mut sim)?;
+
+    let mut samples = Vec::with_capacity(reps);
+    let mut insts = 0;
+    let mut energy = 0;
+    for _ in 0..reps {
+        restore(args, &snapshot);
+        sim.reset_timing();
+        run_kernel(kernel, args, layout, isa, &mut sim)?;
+        samples.push(sim.cycles());
+        insts = sim.dynamic_insts();
+        energy = sim.energy_pj();
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let q1 = samples[samples.len() / 4];
+    let q3 = samples[samples.len() * 3 / 4];
+    Ok(Measurement {
+        cycles: median,
+        q1,
+        q3,
+        flops: kernel.flops,
+        dynamic_insts: insts,
+        energy_pj: energy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgen_absint::AffineExpr;
+    use lgen_cir::{KernelBuilder, MemMap, VArith, VWidth};
+
+    fn vadd_kernel(n: usize) -> Kernel {
+        let mut b = KernelBuilder::new("vadd");
+        let x = b.input("x", n);
+        let y = b.inout("y", n);
+        b.for_loop("i", 0, n as i64, 4, |b, i| {
+            let vx = b.load(x, AffineExpr::var(i), MemMap::horizontal(4));
+            let vy = b.load(y, AffineExpr::var(i), MemMap::horizontal(4));
+            let s = b.arith(VArith::Add(VWidth::Q), vx, vy);
+            b.store(s, y, AffineExpr::var(i), MemMap::horizontal(4));
+        });
+        b.finish(n as u64)
+    }
+
+    #[test]
+    fn measurement_is_deterministic_and_correct() {
+        let k = vadd_kernel(64);
+        let layout = MemLayout::aligned(&k);
+        let mut x: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let mut y = vec![1.0f32; 64];
+        let m = measure_kernel(&k, &mut [&mut x, &mut y], &layout, Microarch::Atom).unwrap();
+        assert_eq!(m.q1, m.cycles);
+        assert_eq!(m.q3, m.cycles);
+        assert!(m.cycles > 0);
+        assert!(m.flops_per_cycle() > 0.0);
+        // Repetition restores inputs: y holds exactly one accumulation.
+        assert_eq!(y[5], 1.0 + 5.0);
+    }
+
+    #[test]
+    fn larger_kernels_take_more_cycles() {
+        let small = vadd_kernel(32);
+        let big = vadd_kernel(256);
+        let ls = MemLayout::aligned(&small);
+        let lb = MemLayout::aligned(&big);
+        let mut x1 = vec![0.0f32; 32];
+        let mut y1 = vec![0.0f32; 32];
+        let mut x2 = vec![0.0f32; 256];
+        let mut y2 = vec![0.0f32; 256];
+        let ms = measure_kernel(&small, &mut [&mut x1, &mut y1], &ls, Microarch::Atom).unwrap();
+        let mb = measure_kernel(&big, &mut [&mut x2, &mut y2], &lb, Microarch::Atom).unwrap();
+        assert!(mb.cycles > ms.cycles);
+    }
+
+    #[test]
+    fn arch_differences_show() {
+        let k = vadd_kernel(128);
+        let layout = MemLayout::aligned(&k);
+        let mut per_arch = Vec::new();
+        for arch in [Microarch::Atom, Microarch::CortexA8, Microarch::CortexA9] {
+            let mut x = vec![1.0f32; 128];
+            let mut y = vec![2.0f32; 128];
+            let m = measure_kernel(&k, &mut [&mut x, &mut y], &layout, arch).unwrap();
+            per_arch.push((arch, m.cycles));
+        }
+        // The A9 (single NEON issue) must be slower than the A8 (dual
+        // issue) on this memory-heavy kernel.
+        let a8 = per_arch[1].1;
+        let a9 = per_arch[2].1;
+        assert!(a9 > a8, "A9 {a9} vs A8 {a8}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests of the cycle scheduler: invariants any sane machine
+//! model must satisfy, independent of the particular cost numbers.
+
+use lgen_isa::{MachInst, MOp, Microarch, TraceSink};
+use lgen_machine::Simulator;
+use proptest::prelude::*;
+
+/// A small random instruction vocabulary valid on every core family.
+fn arb_inst() -> impl Strategy<Value = MachInst> {
+    prop_oneof![
+        (0u32..8, 0u32..8, 8u32..16).prop_map(|(a, b, d)| {
+            MachInst::reg(MOp::FAdd, Some(d), vec![a, b])
+        }),
+        (0u32..8, 0u32..8, 8u32..16).prop_map(|(a, b, d)| {
+            MachInst::reg(MOp::FMul, Some(d), vec![a, b])
+        }),
+        (8u32..16, 0usize..64).prop_map(|(d, w)| MachInst::load(MOp::FLoad, d, w * 4)),
+        (0u32..16, 0usize..64).prop_map(|(s, w)| MachInst::store(MOp::FStore, s, w * 4)),
+        Just(MachInst::reg(MOp::IAddr, None, vec![])),
+    ]
+}
+
+fn run(arch: Microarch, trace: &[MachInst]) -> u64 {
+    let mut sim = Simulator::new(arch);
+    for i in trace {
+        sim.emit(i);
+    }
+    sim.cycles()
+}
+
+proptest! {
+    /// Cycles are monotone in the trace: a prefix never takes longer than
+    /// the whole trace.
+    #[test]
+    fn prefix_monotonicity(trace in prop::collection::vec(arb_inst(), 1..60),
+                           cut in 0usize..60) {
+        let cut = cut.min(trace.len());
+        for arch in Microarch::EVALUATED {
+            let whole = run(arch, &trace);
+            let prefix = run(arch, &trace[..cut]);
+            prop_assert!(prefix <= whole, "{arch}: prefix {prefix} > whole {whole}");
+        }
+    }
+
+    /// A wider machine is never slower: halving the issue width cannot
+    /// speed a trace up.
+    #[test]
+    fn narrower_machines_are_not_faster(trace in prop::collection::vec(arb_inst(), 1..60)) {
+        let mut narrow = Microarch::Atom.params();
+        narrow.issue_width = 1;
+        let mut sn = Simulator::with_params(Microarch::Atom, narrow);
+        let mut sw = Simulator::new(Microarch::Atom);
+        for i in &trace {
+            sn.emit(i);
+            sw.emit(i);
+        }
+        prop_assert!(sn.cycles() >= sw.cycles());
+    }
+
+    /// A larger scheduling window is never slower.
+    #[test]
+    fn larger_window_is_not_slower(trace in prop::collection::vec(arb_inst(), 1..60)) {
+        let mut small = Microarch::CortexA9.params();
+        small.window = 1;
+        let mut big = Microarch::CortexA9.params();
+        big.window = 64;
+        let mut ss = Simulator::with_params(Microarch::CortexA9, small);
+        let mut sb = Simulator::with_params(Microarch::CortexA9, big);
+        for i in &trace {
+            ss.emit(i);
+            sb.emit(i);
+        }
+        prop_assert!(ss.cycles() >= sb.cycles());
+    }
+
+    /// Energy is positive, monotone in the trace, and at least the static
+    /// leakage over the elapsed cycles.
+    #[test]
+    fn energy_accounting(trace in prop::collection::vec(arb_inst(), 1..40)) {
+        for arch in Microarch::EVALUATED {
+            let mut sim = Simulator::new(arch);
+            let mut last = 0;
+            for i in &trace {
+                sim.emit(i);
+                let e = sim.energy_pj();
+                prop_assert!(e >= last, "{arch}: energy decreased");
+                last = e;
+            }
+            let static_floor =
+                sim.cycles() * lgen_isa::energy::static_energy_pj_per_cycle(arch);
+            prop_assert!(sim.energy_pj() >= static_floor);
+        }
+    }
+
+    /// Determinism: the same trace always costs the same.
+    #[test]
+    fn deterministic(trace in prop::collection::vec(arb_inst(), 1..40)) {
+        for arch in Microarch::EVALUATED {
+            prop_assert_eq!(run(arch, &trace), run(arch, &trace));
+        }
+    }
+}
+
+/// A read-after-write chain costs at least latency × length.
+#[test]
+fn raw_chains_bound_cycles_from_below() {
+    let mut sim = Simulator::new(Microarch::Arm1176);
+    let lat = lgen_isa::cost::cost(Microarch::Arm1176, MOp::FAdd).latency as u64;
+    let n = 20u64;
+    for i in 0..n {
+        // r1 = r1 + r1 — a serial dependency chain.
+        sim.emit(&MachInst::reg(MOp::FAdd, Some(1), vec![1, 1]));
+        let _ = i;
+    }
+    assert!(sim.cycles() >= (n - 1) * lat);
+}
+
+/// Store→load forwarding through memory is serialized.
+#[test]
+fn store_load_dependency_is_enforced() {
+    let mut sim = Simulator::new(Microarch::CortexA8);
+    sim.emit(&MachInst::store(MOp::FStore, 1, 128));
+    sim.emit(&MachInst::load(MOp::FLoad, 2, 128));
+    let dependent = sim.cycles();
+    let mut sim2 = Simulator::new(Microarch::CortexA8);
+    sim2.emit(&MachInst::store(MOp::FStore, 1, 128));
+    sim2.emit(&MachInst::load(MOp::FLoad, 2, 256));
+    assert!(dependent > sim2.cycles(), "{dependent} vs {}", sim2.cycles());
+}

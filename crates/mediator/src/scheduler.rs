@@ -1,0 +1,434 @@
+//! The Mediator scheduler (§4.3–4.4, Fig. 4.1).
+//!
+//! One FIFO queue and one worker thread per (device, core): experiments on
+//! the same core execute strictly one at a time; experiments that may run
+//! on several cores (their affinity list) are enqueued on the least-loaded
+//! one (load balancing). Jobs are processed synchronously (the caller
+//! blocks, Fig. 4.2) or asynchronously with polling against the results
+//! cache (Fig. 4.3), whose entries expire after a configurable time.
+
+use crate::api::{ApiError, ErrorReason, ExperimentResults, JobResults, JobState, JobStatus};
+use crossbeam::channel::{unbounded, Sender};
+use lgen_isa::Microarch;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// An experiment payload: runs on the assigned device core and returns one
+/// output string per repetition (stdout/output-file contents in the
+/// thesis).
+pub type WorkFn = Box<dyn FnOnce(Microarch, usize) -> Result<Vec<String>, String> + Send>;
+
+/// A device registration (replaces the SSH `Device` of Table A.1).
+#[derive(Clone, Debug)]
+pub struct DeviceSpec {
+    /// Hostname-like identifier.
+    pub hostname: String,
+    /// Microarchitecture of its cores.
+    pub arch: Microarch,
+    /// Number of cores.
+    pub cores: usize,
+}
+
+/// One experiment of a job (Table A.1, `Experiment`).
+pub struct ExperimentSpec {
+    /// Target device hostname.
+    pub device: String,
+    /// Cores this experiment may run on (Table A.1 `affinity`); empty
+    /// means any core.
+    pub affinity: Vec<usize>,
+    /// The payload.
+    pub work: WorkFn,
+}
+
+/// Per-experiment completion channel.
+type ReplyRx = crossbeam::channel::Receiver<Result<Vec<String>, String>>;
+
+enum CoreMsg {
+    Run {
+        work: WorkFn,
+        arch: Microarch,
+        core: usize,
+        reply: Sender<Result<Vec<String>, String>>,
+    },
+    Shutdown,
+}
+
+struct CoreWorker {
+    queue: Sender<CoreMsg>,
+    pending: Arc<AtomicUsize>,
+    handle: Option<JoinHandle<()>>,
+}
+
+struct DeviceHandle {
+    arch: Microarch,
+    cores: Vec<CoreWorker>,
+}
+
+struct JobEntry {
+    state: JobState,
+    results: Option<JobResults>,
+    finished_at: Option<Instant>,
+}
+
+/// The middleware: registered devices, per-core workers, results cache.
+pub struct Mediator {
+    devices: HashMap<String, DeviceHandle>,
+    jobs: Arc<Mutex<HashMap<String, JobEntry>>>,
+    next_job: AtomicUsize,
+    /// Results expire this long after completion (§4.3).
+    expiry: Duration,
+}
+
+impl Mediator {
+    /// Creates a Mediator with the given devices and a results-cache expiry.
+    pub fn new(devices: Vec<DeviceSpec>, expiry: Duration) -> Self {
+        let mut map = HashMap::new();
+        for d in devices {
+            let cores = (0..d.cores)
+                .map(|_core| {
+                    let (tx, rx) = unbounded::<CoreMsg>();
+                    let pending = Arc::new(AtomicUsize::new(0));
+                    let pending2 = pending.clone();
+                    let handle = std::thread::spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                CoreMsg::Run { work, arch, core, reply } => {
+                                    let r = work(arch, core);
+                                    pending2.fetch_sub(1, Ordering::SeqCst);
+                                    let _ = reply.send(r);
+                                }
+                                CoreMsg::Shutdown => break,
+                            }
+                        }
+                    });
+                    CoreWorker { queue: tx, pending, handle: Some(handle) }
+                })
+                .collect();
+            map.insert(d.hostname.clone(), DeviceHandle { arch: d.arch, cores });
+        }
+        Mediator {
+            devices: map,
+            jobs: Arc::new(Mutex::new(HashMap::new())),
+            next_job: AtomicUsize::new(1),
+            expiry,
+        }
+    }
+
+    /// Least-loaded core among the affinity set (the load-balance rule of
+    /// §4.3: "assigns the experiment to the core that has the least number
+    /// of pending experiments").
+    fn pick_core(dev: &DeviceHandle, affinity: &[usize]) -> Result<usize, ApiError> {
+        let candidates: Vec<usize> = if affinity.is_empty() {
+            (0..dev.cores.len()).collect()
+        } else {
+            affinity.to_vec()
+        };
+        candidates
+            .iter()
+            .copied()
+            .filter(|&c| c < dev.cores.len())
+            .min_by_key(|&c| dev.cores[c].pending.load(Ordering::SeqCst))
+            .ok_or_else(|| ApiError::new(ErrorReason::BadRequest, "affinity names no valid core"))
+    }
+
+    fn dispatch(
+        &self,
+        experiments: Vec<ExperimentSpec>,
+    ) -> Result<Vec<(String, usize, ReplyRx)>, ApiError> {
+        let mut waits = Vec::with_capacity(experiments.len());
+        for e in experiments {
+            let dev = self.devices.get(&e.device).ok_or_else(|| {
+                ApiError::new(
+                    ErrorReason::SshAuthenticationError,
+                    format!("unknown device {}", e.device),
+                )
+            })?;
+            let core = Self::pick_core(dev, &e.affinity)?;
+            let (reply_tx, reply_rx) = unbounded();
+            dev.cores[core].pending.fetch_add(1, Ordering::SeqCst);
+            dev.cores[core]
+                .queue
+                .send(CoreMsg::Run { work: e.work, arch: dev.arch, core, reply: reply_tx })
+                .map_err(|_| ApiError::new(ErrorReason::InternalError, "worker gone"))?;
+            waits.push((e.device, core, reply_rx));
+        }
+        Ok(waits)
+    }
+
+    fn collect(waits: Vec<(String, usize, ReplyRx)>) -> JobResults {
+        let data = waits
+            .into_iter()
+            .map(|(device_hostname, core, rx)| {
+                let outcome = match rx.recv() {
+                    Ok(Ok(outputs)) => Ok(outputs),
+                    Ok(Err(msg)) => {
+                        Err(ApiError::new(ErrorReason::InstructionExecutionError, msg))
+                    }
+                    Err(_) => Err(ApiError::new(ErrorReason::InternalError, "worker died")),
+                };
+                ExperimentResults { device_hostname, core, outcome }
+            })
+            .collect();
+        JobResults { data }
+    }
+
+    /// Synchronous processing (Fig. 4.2): blocks until all experiments of
+    /// the job finish and returns their results.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ApiError`] if the request fails preliminary checks
+    /// (unknown device, bad affinity).
+    pub fn submit_sync(&self, experiments: Vec<ExperimentSpec>) -> Result<JobResults, ApiError> {
+        let waits = self.dispatch(experiments)?;
+        Ok(Self::collect(waits))
+    }
+
+    /// Asynchronous processing (Fig. 4.3): preliminary checks run
+    /// immediately; on success the job id is returned and a background
+    /// collector stores results in the cache for [`poll`](Self::poll).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ApiError`] if the preliminary checks fail.
+    pub fn submit_async(&self, experiments: Vec<ExperimentSpec>) -> Result<String, ApiError> {
+        let waits = self.dispatch(experiments)?;
+        let id = format!("job{:08x}", self.next_job.fetch_add(1, Ordering::SeqCst));
+        self.jobs.lock().insert(
+            id.clone(),
+            JobEntry { state: JobState::Pending, results: None, finished_at: None },
+        );
+        let jobs = self.jobs.clone();
+        let id2 = id.clone();
+        std::thread::spawn(move || {
+            let results = Self::collect(waits);
+            let mut map = jobs.lock();
+            if let Some(entry) = map.get_mut(&id2) {
+                entry.state = JobState::Finished;
+                entry.results = Some(results);
+                entry.finished_at = Some(Instant::now());
+            }
+        });
+        Ok(id)
+    }
+
+    /// Polls a job (Fig. 4.3). Expired results report
+    /// [`JobState::NotFound`].
+    pub fn poll(&self, job_id: &str) -> JobStatus {
+        let mut map = self.jobs.lock();
+        // Expire stale results (§4.3: "results that stay in the Results
+        // Cache for more than a specific amount of time expire").
+        map.retain(|_, e| match e.finished_at {
+            Some(t) => t.elapsed() < self.expiry,
+            None => true,
+        });
+        match map.get(job_id) {
+            None => JobStatus { job_id: job_id.into(), state: JobState::NotFound, data: None },
+            Some(e) => JobStatus {
+                job_id: job_id.into(),
+                state: e.state.clone(),
+                data: e.results.clone(),
+            },
+        }
+    }
+
+    /// Number of experiments currently queued or running on a core.
+    pub fn pending_on(&self, device: &str, core: usize) -> Option<usize> {
+        self.devices
+            .get(device)
+            .and_then(|d| d.cores.get(core))
+            .map(|c| c.pending.load(Ordering::SeqCst))
+    }
+}
+
+impl Drop for Mediator {
+    fn drop(&mut self) {
+        for dev in self.devices.values_mut() {
+            for core in &mut dev.cores {
+                let _ = core.queue.send(CoreMsg::Shutdown);
+            }
+            for core in &mut dev.cores {
+                if let Some(h) = core.handle.take() {
+                    let _ = h.join();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn mediator() -> Mediator {
+        Mediator::new(
+            vec![
+                DeviceSpec { hostname: "zbox".into(), arch: Microarch::Atom, cores: 2 },
+                DeviceSpec { hostname: "kayla".into(), arch: Microarch::CortexA9, cores: 4 },
+            ],
+            Duration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn sync_job_returns_results_in_order() {
+        let m = mediator();
+        let exps = (0..3)
+            .map(|i| ExperimentSpec {
+                device: "zbox".into(),
+                affinity: vec![],
+                work: Box::new(move |arch, _| Ok(vec![format!("{i} on {arch}")])),
+            })
+            .collect();
+        let results = m.submit_sync(exps).unwrap();
+        assert_eq!(results.data.len(), 3);
+        for (i, r) in results.data.iter().enumerate() {
+            assert_eq!(r.outcome.as_ref().unwrap()[0], format!("{i} on Intel Atom"));
+        }
+    }
+
+    #[test]
+    fn unknown_device_is_auth_error() {
+        let m = mediator();
+        let err = m
+            .submit_sync(vec![ExperimentSpec {
+                device: "nope".into(),
+                affinity: vec![],
+                work: Box::new(|_, _| Ok(vec![])),
+            }])
+            .unwrap_err();
+        assert_eq!(err.code, 401);
+    }
+
+    #[test]
+    fn failed_experiment_reports_execution_error() {
+        let m = mediator();
+        let results = m
+            .submit_sync(vec![ExperimentSpec {
+                device: "zbox".into(),
+                affinity: vec![],
+                work: Box::new(|_, _| Err("segfault".into())),
+            }])
+            .unwrap();
+        let err = results.data[0].outcome.as_ref().unwrap_err();
+        assert_eq!(err.code, 405);
+        assert!(err.message.contains("segfault"));
+    }
+
+    /// The central guarantee: experiments pinned to one core never overlap.
+    #[test]
+    fn mutual_exclusion_per_core() {
+        let m = mediator();
+        let busy = Arc::new(AtomicBool::new(false));
+        let violated = Arc::new(AtomicBool::new(false));
+        let exps = (0..8)
+            .map(|_| {
+                let busy = busy.clone();
+                let violated = violated.clone();
+                ExperimentSpec {
+                    device: "kayla".into(),
+                    affinity: vec![1], // all pinned to core 1
+                    work: Box::new(move |_, core| {
+                        assert_eq!(core, 1);
+                        if busy.swap(true, Ordering::SeqCst) {
+                            violated.store(true, Ordering::SeqCst);
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                        busy.store(false, Ordering::SeqCst);
+                        Ok(vec!["ok".into()])
+                    }),
+                }
+            })
+            .collect();
+        let results = m.submit_sync(exps).unwrap();
+        assert_eq!(results.data.len(), 8);
+        assert!(!violated.load(Ordering::SeqCst), "two experiments overlapped on core 1");
+    }
+
+    /// Load balancing: unpinned experiments spread across all cores.
+    #[test]
+    fn load_balancing_uses_all_cores() {
+        let m = mediator();
+        let exps = (0..12)
+            .map(|_| ExperimentSpec {
+                device: "kayla".into(),
+                affinity: vec![],
+                work: Box::new(move |_, core| {
+                    std::thread::sleep(Duration::from_millis(5));
+                    Ok(vec![format!("core{core}")])
+                }),
+            })
+            .collect();
+        let results = m.submit_sync(exps).unwrap();
+        let mut cores: Vec<usize> = results.data.iter().map(|r| r.core).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        assert!(cores.len() >= 3, "expected spreading over cores, got {cores:?}");
+    }
+
+    #[test]
+    fn async_polling_lifecycle() {
+        let m = mediator();
+        let id = m
+            .submit_async(vec![ExperimentSpec {
+                device: "zbox".into(),
+                affinity: vec![0],
+                work: Box::new(|_, _| {
+                    std::thread::sleep(Duration::from_millis(10));
+                    Ok(vec!["42".into()])
+                }),
+            }])
+            .unwrap();
+        // Poll until finished.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let st = m.poll(&id);
+            match st.state {
+                JobState::Finished => {
+                    let data = st.data.unwrap();
+                    assert_eq!(data.data[0].outcome.as_ref().unwrap()[0], "42");
+                    break;
+                }
+                JobState::Pending | JobState::Submitted => {
+                    assert!(Instant::now() < deadline, "job never finished");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                JobState::NotFound => panic!("job lost"),
+            }
+        }
+    }
+
+    #[test]
+    fn results_expire() {
+        let m = Mediator::new(
+            vec![DeviceSpec { hostname: "pi".into(), arch: Microarch::Arm1176, cores: 1 }],
+            Duration::from_millis(5),
+        );
+        let id = m
+            .submit_async(vec![ExperimentSpec {
+                device: "pi".into(),
+                affinity: vec![],
+                work: Box::new(|_, _| Ok(vec!["x".into()])),
+            }])
+            .unwrap();
+        // Wait for completion, then for expiry.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while m.poll(&id).state != JobState::Finished {
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(m.poll(&id).state, JobState::NotFound);
+    }
+
+    #[test]
+    fn unknown_job_is_not_found() {
+        let m = mediator();
+        assert_eq!(m.poll("nope").state, JobState::NotFound);
+    }
+}

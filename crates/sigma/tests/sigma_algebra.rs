@@ -1,0 +1,54 @@
+//! Property tests of the Σ-LL tiling algebra: any tiling of a product
+//! evaluates to the product itself (the paper's equation (2.4) family), and
+//! the §3.3 rewrite is semantics-preserving for arbitrary shapes.
+
+use lgen_sigma::sigma_ll::{Mat, TiledMmm, TiledMvm};
+use proptest::prelude::*;
+
+fn mat(rows: usize, cols: usize, seed: i64) -> Mat {
+    Mat::new(
+        rows,
+        cols,
+        (0..rows * cols).map(|i| ((i as i64 * 7 + seed) % 13 - 6) as f32 * 0.5).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Σ-LL evaluation with explicit gather/scatter matrices equals the
+    /// direct product, for every size and tile combination.
+    #[test]
+    fn any_tiling_preserves_the_product(
+        m in 1usize..8, k in 1usize..8, n in 1usize..8,
+        ti in 1usize..5, tj in 1usize..5, tk in 1usize..5,
+        seed in 0i64..50,
+    ) {
+        let t = TiledMmm { m, k, n, ti, tj, tk };
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed + 1);
+        prop_assert_eq!(t.eval(&a, &b), a.matmul(&b));
+    }
+
+    /// Equations (3.7) and (3.8) agree for every shape: moving the
+    /// summation between ⊙ and ⊘ is sound.
+    #[test]
+    fn mvm_rewrite_sound(m in 1usize..12, n in 1usize..12, seed in 0i64..50) {
+        let t = TiledMvm { m, n, nu: 4 };
+        let a = mat(m, n, seed);
+        let x = mat(n, 1, seed + 2);
+        let classic = t.eval_classic(&a, &x);
+        let mvh_rr = t.eval_mvh_rr(&a, &x);
+        prop_assert_eq!(&classic, &mvh_rr);
+        prop_assert_eq!(&classic, &a.matmul(&x));
+    }
+
+    /// Summand accounting matches the tile grid product.
+    #[test]
+    fn summand_count(m in 1usize..9, k in 1usize..9, n in 1usize..9,
+                     ti in 1usize..5, tj in 1usize..5, tk in 1usize..5) {
+        let t = TiledMmm { m, k, n, ti, tj, tk };
+        let tiles = |d: usize, s: usize| d.div_ceil(s);
+        prop_assert_eq!(t.summands(), tiles(m, ti) * tiles(n, tj) * tiles(k, tk));
+    }
+}

@@ -1,0 +1,79 @@
+//! A tour of the autotuning feedback loop (Fig. 2.1, §5.1.5) and its §6
+//! extensions: search strategies and tuning objectives.
+//!
+//! ```text
+//! cargo run --release --example autotuning_tour
+//! ```
+
+use lgen::core::{Objective, SearchStrategy};
+use lgen::prelude::*;
+
+fn main() {
+    let blac = lgen::ll::paper::gemv(4, 96);
+    println!("BLAC: {blac}   ({} flops)\n", blac.flops());
+
+    // 1. The paper's method: random search with sample size 10.
+    println!("-- random search (the paper's §5.1.5 configuration) --");
+    for seed in [1u64, 2, 3] {
+        let t = Autotuner::new(CompileConfig::full(Microarch::Arm1176))
+            .with_seed(seed)
+            .tune(&blac, "gemv");
+        println!(
+            "seed {seed}: best {:?} at {} cycles (sampled {} candidates)",
+            t.unroll,
+            t.measurement.cycles,
+            t.samples.len()
+        );
+    }
+
+    // 2. Exhaustive and guided strategies (§6: "LGen could possibly make
+    //    use of heuristics to prune the search space and/or direct the
+    //    search").
+    println!("\n-- strategies on ARM1176 (random search under-covers here) --");
+    for (name, strategy) in [
+        ("random(3)", SearchStrategy::Random(3)),
+        ("guided", SearchStrategy::Guided),
+        ("exhaustive", SearchStrategy::Exhaustive),
+    ] {
+        let t = Autotuner::new(CompileConfig::full(Microarch::Arm1176))
+            .with_strategy(strategy)
+            .tune(&blac, "gemv");
+        println!(
+            "{name:<12} {:>6} cycles with {:?} after {} evaluations",
+            t.measurement.cycles,
+            t.unroll,
+            t.samples.len()
+        );
+    }
+
+    // 3. Tuning for energy instead of time (§6: energy metrics in the
+    //    autotuning feedback loop).
+    println!("\n-- objectives on Cortex-A8 --");
+    for (name, objective) in [
+        ("cycles", Objective::Cycles),
+        ("energy", Objective::Energy),
+        ("energy-delay", Objective::EnergyDelay),
+    ] {
+        let t = Autotuner::new(CompileConfig::full(Microarch::CortexA8))
+            .with_strategy(SearchStrategy::Exhaustive)
+            .with_objective(objective)
+            .tune(&blac, "gemv");
+        println!(
+            "{name:<12} {:>5} cycles, {:>7.2} nJ, {:>6.2} flops/nJ  ({:?})",
+            t.measurement.cycles,
+            t.measurement.energy_pj as f64 / 1000.0,
+            t.measurement.flops_per_nj(),
+            t.unroll,
+        );
+    }
+
+    // 4. What the search actually explored.
+    println!("\n-- sampled points of one exhaustive run (Cortex-A8) --");
+    let t = Autotuner::new(CompileConfig::full(Microarch::CortexA8))
+        .with_strategy(SearchStrategy::Exhaustive)
+        .tune(&blac, "gemv");
+    for (unroll, cycles) in &t.samples {
+        let marker = if *cycles == t.measurement.cycles { "  <= best" } else { "" };
+        println!("{unroll:?}: {cycles} cycles{marker}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Control workload: the predict step of a small Kalman filter.
+//!
+//! Control is another domain the paper's introduction motivates: fixed,
+//! small state dimensions, kernels called at kilohertz rates on embedded
+//! cores. This example builds the two BLACs of the predict step for a
+//! 6-state / 3-input system,
+//!
+//! ```text
+//! x' = F x + B u                (state extrapolation)
+//! P' = F (P Fᵀ) + Q             (covariance extrapolation, staged)
+//! ```
+//!
+//! compiles them per core, validates them, and reports the cycle budget of
+//! a whole predict step per processor.
+//!
+//! ```text
+//! cargo run --release --example kalman_update
+//! ```
+
+use lgen::ll::blac::Blac;
+use lgen::ll::reference::{eval_reference, max_abs_diff, test_data};
+use lgen::prelude::*;
+
+const NSTATE: usize = 6;
+const NIN: usize = 3;
+
+/// x' = F x + B u — two matrix-vector products, fused by LGen into one
+/// kernel (a BLAC that needs *two* BLAS calls, §5.1.1 category 3).
+fn state_extrapolation() -> Blac {
+    let mut b = BlacBuilder::new();
+    let f = b.matrix("F", NSTATE, NSTATE);
+    let x = b.col_vector("x", NSTATE);
+    let bm = b.matrix("B", NSTATE, NIN);
+    let u = b.col_vector("u", NIN);
+    let out = b.col_vector("x_next", NSTATE);
+    let expr = b.handle(f) * b.handle(x) + b.handle(bm) * b.handle(u);
+    b.define(out, expr).expect("consistent shapes")
+}
+
+/// S = P Fᵀ — the inner stage of the covariance extrapolation.
+fn covariance_stage() -> Blac {
+    let mut b = BlacBuilder::new();
+    let p = b.matrix("P", NSTATE, NSTATE);
+    let f = b.matrix("F", NSTATE, NSTATE);
+    let s = b.matrix("S", NSTATE, NSTATE);
+    let expr = b.handle(p) * b.handle(f).t();
+    b.define(s, expr).expect("consistent shapes")
+}
+
+/// P' = F S + Q — the outer stage.
+fn covariance_finish() -> Blac {
+    let mut b = BlacBuilder::new();
+    let f = b.matrix("F", NSTATE, NSTATE);
+    let s = b.matrix("S", NSTATE, NSTATE);
+    let q = b.matrix("Q", NSTATE, NSTATE);
+    let p = b.matrix("P_next", NSTATE, NSTATE);
+    let expr = b.handle(f) * b.handle(s) + b.handle(q);
+    b.define(p, expr).expect("consistent shapes")
+}
+
+fn main() {
+    let stages = [
+        ("x' = Fx + Bu", state_extrapolation()),
+        ("S  = P Fᵀ", covariance_stage()),
+        ("P' = FS + Q", covariance_finish()),
+    ];
+
+    println!("Kalman predict step, {NSTATE}-state / {NIN}-input system\n");
+    for arch in Microarch::EVALUATED {
+        let mut total_cycles = 0u64;
+        let mut total_flops = 0u64;
+        for (_, blac) in &stages {
+            let kernel = compile(blac, "stage", &CompileConfig::full(arch));
+            // Validate numerics.
+            let values: Vec<_> = blac
+                .operands
+                .iter()
+                .enumerate()
+                .map(|(i, op)| test_data(op.dims, 13 + i as u64))
+                .collect();
+            let expected = eval_reference(blac, &values);
+            let got = lgen::core::run_blac_kernel(blac, &kernel, arch.vector_isa(), &values)
+                .expect("kernel runs");
+            assert!(max_abs_diff(&got, &expected) < 1e-3);
+            // Measure.
+            let m = measure_blac(blac, &kernel, arch, &vec![0; blac.operands.len()], 3)
+                .expect("measurement");
+            total_cycles += m.cycles;
+            total_flops += m.flops;
+        }
+        let params = arch.params();
+        let us = total_cycles as f64 / params.clock_mhz as f64;
+        println!(
+            "{:<14} predict step: {:>5} cycles ({:>6.2} µs @ {} MHz), {:.2} f/c overall",
+            arch.name(),
+            total_cycles,
+            us,
+            params.clock_mhz,
+            total_flops as f64 / total_cycles as f64,
+        );
+    }
+
+    println!("\nper-stage detail on Cortex-A8 (LGen-Full vs base LGen):");
+    for (name, blac) in &stages {
+        let full = compile(blac, "s", &CompileConfig::full(Microarch::CortexA8));
+        let base = compile(blac, "s", &CompileConfig::base(Microarch::CortexA8));
+        let nargs = blac.operands.len();
+        let mf = measure_blac(blac, &full, Microarch::CortexA8, &vec![0; nargs], 3).unwrap();
+        let mb = measure_blac(blac, &base, Microarch::CortexA8, &vec![0; nargs], 3).unwrap();
+        println!(
+            "  {:<12} full {:>4} cycles vs base {:>4} cycles ({:+.0}%)",
+            name,
+            mf.cycles,
+            mb.cycles,
+            100.0 * (mb.cycles as f64 - mf.cycles as f64) / mb.cycles as f64
+        );
+    }
+}

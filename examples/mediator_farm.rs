@@ -1,0 +1,88 @@
+//! Running an experiment campaign through Mediator (Chapter 4).
+//!
+//! Registers the paper's four devices, submits a mixed batch of kernel
+//! measurements — Mediator guarantees one experiment at a time per core and
+//! load-balances across a device's cores — and polls an asynchronous job,
+//! exactly the Fig. 4.2 / Fig. 4.3 workflows.
+//!
+//! ```text
+//! cargo run --release --example mediator_farm
+//! ```
+
+use lgen::mediator::{DeviceSpec, ExperimentSpec, JobState, Mediator};
+use lgen::prelude::*;
+use std::time::Duration;
+
+fn experiment(m: usize, n: usize) -> ExperimentSpec {
+    ExperimentSpec {
+        device: String::new(), // filled by the caller
+        affinity: vec![],
+        work: Box::new(move |arch, core| {
+            let blac = lgen::ll::paper::gemv(m, n);
+            let kernel = compile(&blac, "gemv", &CompileConfig::full(arch));
+            let meas = measure_blac(&blac, &kernel, arch, &[0; 5], 3)
+                .map_err(|e| e.to_string())?;
+            Ok(vec![format!(
+                "gemv {m}x{n} on core {core}: {} cycles, {:.3} f/c",
+                meas.cycles,
+                meas.flops_per_cycle()
+            )])
+        }),
+    }
+}
+
+fn main() {
+    // The paper's device farm (§2.2): one entry per evaluated processor.
+    let mediator = Mediator::new(
+        vec![
+            DeviceSpec { hostname: "zbox-atom".into(), arch: Microarch::Atom, cores: 2 },
+            DeviceSpec { hostname: "beaglebone-a8".into(), arch: Microarch::CortexA8, cores: 1 },
+            DeviceSpec { hostname: "kayla-a9".into(), arch: Microarch::CortexA9, cores: 4 },
+            DeviceSpec { hostname: "raspi-1176".into(), arch: Microarch::Arm1176, cores: 1 },
+        ],
+        Duration::from_secs(60),
+    );
+
+    // Synchronous job (Fig. 4.2): a sweep on the quad-core A9 — Mediator
+    // load-balances the experiments over its four cores.
+    let mut batch = Vec::new();
+    for n in [8usize, 16, 32, 64, 96, 128] {
+        let mut e = experiment(4, n);
+        e.device = "kayla-a9".into();
+        batch.push(e);
+    }
+    let results = mediator.submit_sync(batch).expect("job accepted");
+    println!("synchronous sweep on kayla-a9:");
+    for r in &results.data {
+        println!("  [{} core {}] {}", r.device_hostname, r.core, r.outcome.as_ref().unwrap()[0]);
+    }
+
+    // Asynchronous job with polling (Fig. 4.3), one experiment per device.
+    let mut batch = Vec::new();
+    for host in ["zbox-atom", "beaglebone-a8", "kayla-a9", "raspi-1176"] {
+        let mut e = experiment(30, 30);
+        e.device = host.into();
+        batch.push(e);
+    }
+    let job = mediator.submit_async(batch).expect("job accepted");
+    println!("\nasynchronous job {job} submitted; polling…");
+    loop {
+        let status = mediator.poll(&job);
+        match status.state {
+            JobState::Finished => {
+                for r in &status.data.unwrap().data {
+                    println!("  [{}] {}", r.device_hostname, r.outcome.as_ref().unwrap()[0]);
+                }
+                break;
+            }
+            JobState::NotFound => panic!("job vanished"),
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+
+    // Error handling (Table A.5): unknown devices are rejected upfront.
+    let mut bad = experiment(4, 4);
+    bad.device = "no-such-device".into();
+    let err = mediator.submit_sync(vec![bad]).unwrap_err();
+    println!("\nsubmitting to an unknown device: error {} — {}", err.code, err.message);
+}

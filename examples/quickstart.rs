@@ -1,0 +1,59 @@
+//! Quickstart: define a BLAC, compile it for an embedded core, validate it,
+//! measure it, and print the generated C-with-intrinsics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lgen::prelude::*;
+
+fn main() {
+    // y = alpha*A*x + beta*y with a fixed 4x12 A — a BLAS sgemv shape.
+    let mut b = BlacBuilder::new();
+    let alpha = b.scalar("alpha");
+    let beta = b.scalar("beta");
+    let a = b.matrix("A", 4, 12);
+    let x = b.col_vector("x", 12);
+    let y = b.col_vector("y", 4);
+    let expr =
+        b.handle(alpha) * (b.handle(a) * b.handle(x)) + b.handle(beta) * b.handle(y);
+    let blac = b.define(y, expr).expect("shapes are consistent");
+    println!("BLAC: y = alpha*A*x + beta*y   ({} useful flops)", blac.flops());
+
+    for arch in Microarch::EVALUATED {
+        // Compile with all thesis optimizations (alignment detection,
+        // MVH/RR matrix-vector strategy, specialized leftover nu-BLACs).
+        let cfg = CompileConfig::full(arch);
+        let kernel = compile(&blac, "sgemv_4x12", &cfg);
+
+        // Validate against the naive reference.
+        let diff = check_kernel(&blac, &kernel, arch.vector_isa(), 42).expect("kernel runs");
+
+        // Measure on the core's cost model (cycles -> flops/cycle).
+        let m = measure_blac(&blac, &kernel, arch, &[0; 5], 3).expect("measurement runs");
+        println!(
+            "{:<14} {:>6} cycles  {:>5.2} f/c (peak {:>4.1})  max|err| = {diff:.2e}",
+            arch.name(),
+            m.cycles,
+            m.flops_per_cycle(),
+            arch.peak_flops_per_cycle(),
+        );
+    }
+
+    // Autotuning: random search over the unrolling/tiling space (§5.1.5).
+    let tuned = Autotuner::new(CompileConfig::full(Microarch::Atom)).tune(&blac, "sgemv_4x12");
+    println!(
+        "\nautotuned (Atom): {} cycles with {:?} over {} sampled candidates",
+        tuned.measurement.cycles,
+        tuned.unroll,
+        tuned.samples.len()
+    );
+
+    // The generated C for the Atom backend.
+    println!("\n--- generated C (SSSE3) ---");
+    let c = lgen::cir::unparse::unparse(&tuned.kernel, VectorIsa::Ssse3);
+    for line in c.lines().take(24) {
+        println!("{line}");
+    }
+    println!("... ({} lines total)", c.lines().count());
+}

@@ -1,0 +1,126 @@
+//! `lgenc` — the LGen command-line compiler.
+//!
+//! Reads a BLAC source file (declarations + equation, see
+//! `lgen::ll::parse`), compiles it for a target processor, validates it
+//! against the naive reference, prints the generated C and the simulated
+//! performance.
+//!
+//! ```text
+//! lgenc <file.blac> [--target atom|cortex-a8|cortex-a9|arm1176]
+//!       [--variant base|align|mvm|full] [--tune] [--peel] [--version-align]
+//! ```
+
+use lgen::core::SearchStrategy;
+use lgen::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lgenc <file.blac> [--target atom|cortex-a8|cortex-a9|arm1176]\n\
+         \x20            [--variant base|align|mvm|full] [--tune] [--peel] [--version-align]\n\
+         \n\
+         example input file:\n\
+         \x20 alpha = scalar\n\
+         \x20 A = matrix(4, 8)\n\
+         \x20 x = vector(8)\n\
+         \x20 y = vector(4)\n\
+         \x20 y = alpha * (A * x) + y"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut target = Microarch::Atom;
+    let mut variant = Variant::Full;
+    let mut tune = false;
+    let mut peel = false;
+    let mut version_align = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--target" => {
+                target = match it.next().map(String::as_str) {
+                    Some("atom") => Microarch::Atom,
+                    Some("cortex-a8") => Microarch::CortexA8,
+                    Some("cortex-a9") => Microarch::CortexA9,
+                    Some("arm1176") => Microarch::Arm1176,
+                    _ => usage(),
+                }
+            }
+            "--variant" => {
+                variant = match it.next().map(String::as_str) {
+                    Some("base") => Variant::Base,
+                    Some("align") => Variant::Align,
+                    Some("mvm") => Variant::Mvm,
+                    Some("full") => Variant::Full,
+                    _ => usage(),
+                }
+            }
+            "--tune" => tune = true,
+            "--peel" => peel = true,
+            "--version-align" => version_align = true,
+            "--help" | "-h" => usage(),
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(file) = file else { usage() };
+
+    let src = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("lgenc: cannot read {file}: {e}");
+        std::process::exit(1);
+    });
+    let blac = lgen::ll::parse_blac(&src).unwrap_or_else(|e| {
+        eprintln!("lgenc: {e}");
+        std::process::exit(1);
+    });
+
+    let mut cfg = CompileConfig::variant(target, variant);
+    if peel {
+        cfg = cfg.with_peeling();
+    }
+    if version_align {
+        cfg = cfg.with_versioning();
+    }
+
+    eprintln!("lgenc: {blac}   ({} flops) for {target}", blac.flops());
+    let kernel = if tune {
+        let tuned = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Exhaustive)
+            .tune(&blac, "kernel");
+        eprintln!(
+            "lgenc: autotuned to {:?} ({} cycles over {} candidates)",
+            tuned.unroll,
+            tuned.measurement.cycles,
+            tuned.samples.len()
+        );
+        tuned.kernel
+    } else {
+        compile(&blac, "kernel", &cfg)
+    };
+
+    // Validate and measure.
+    match check_kernel(&blac, &kernel, target.vector_isa(), 1) {
+        Ok(diff) => eprintln!("lgenc: validated, max|err| = {diff:.2e}"),
+        Err(e) => {
+            eprintln!("lgenc: kernel failed to execute: {e}");
+            std::process::exit(1);
+        }
+    }
+    let offsets = vec![0usize; blac.operands.len()];
+    match measure_blac(&blac, &kernel, target, &offsets, 3) {
+        Ok(m) => eprintln!(
+            "lgenc: {} cycles, {:.3} flops/cycle (peak {:.1}), {:.2} nJ",
+            m.cycles,
+            m.flops_per_cycle(),
+            target.peak_flops_per_cycle(),
+            m.energy_pj as f64 / 1000.0
+        ),
+        Err(e) => eprintln!("lgenc: measurement failed: {e}"),
+    }
+
+    // The product: C on stdout.
+    print!("{}", lgen::cir::unparse::unparse(&kernel, target.vector_isa()));
+}

@@ -1,0 +1,51 @@
+//! Golden-file tests of the C unparser: the emitted C for a fixed kernel is
+//! part of the public contract (users read and compile it), so changes must
+//! be deliberate.
+//!
+//! To regenerate after an intentional change:
+//! `LGEN_BLESS=1 cargo test --test golden_c`.
+
+use lgen::prelude::*;
+
+fn golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}.c", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("LGEN_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e} (run with LGEN_BLESS=1)"));
+    assert_eq!(actual, expected, "golden mismatch for {name}; LGEN_BLESS=1 to regenerate");
+}
+
+fn kernel_c(arch: Microarch) -> String {
+    let blac = lgen::ll::paper::gemv(4, 8);
+    let kernel = compile(&blac, "sgemv_4x8", &CompileConfig::full(arch));
+    lgen::cir::unparse::unparse(&kernel, arch.vector_isa())
+}
+
+#[test]
+fn golden_ssse3_gemv() {
+    golden("gemv_4x8_ssse3", &kernel_c(Microarch::Atom));
+}
+
+#[test]
+fn golden_neon_gemv() {
+    golden("gemv_4x8_neon", &kernel_c(Microarch::CortexA8));
+}
+
+#[test]
+fn golden_scalar_gemv() {
+    golden("gemv_4x8_arm1176", &kernel_c(Microarch::Arm1176));
+}
+
+#[test]
+fn golden_versioned_axpy_dispatch() {
+    let blac = lgen::ll::paper::axpy(8);
+    let kernel = compile(
+        &blac,
+        "saxpy_8",
+        &CompileConfig::full(Microarch::Atom).with_versioning(),
+    );
+    golden("saxpy_8_versioned", &lgen::cir::unparse::unparse(&kernel, VectorIsa::Ssse3));
+}

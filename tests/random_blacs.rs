@@ -1,0 +1,153 @@
+//! Property-based fuzzing of the whole compiler: *random* BLAC expression
+//! trees — not just the paper's fixed suite — must compile and compute the
+//! same result as the naive reference on every backend and option set.
+
+use lgen::ll::blac::{Blac, Dims, Expr, OperandId};
+use lgen::ll::reference::{eval_reference, max_abs_diff, test_data};
+use lgen::prelude::*;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+/// Operand pool under construction.
+#[derive(Default)]
+struct Pool {
+    operands: Vec<lgen::ll::blac::Operand>,
+}
+
+impl Pool {
+    fn fresh(&mut self, d: Dims) -> Expr {
+        let id = OperandId(self.operands.len());
+        self.operands.push(lgen::ll::blac::Operand {
+            name: format!("op{}", self.operands.len()),
+            dims: d,
+        });
+        Expr::Ref(id)
+    }
+}
+
+/// Recursively generates an expression of the target dims, consuming
+/// pseudo-random decisions from `seed`.
+fn gen_expr(pool: &mut Pool, d: Dims, depth: usize, seed: &mut u64) -> Expr {
+    let mut next = || {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    };
+    if depth == 0 {
+        return pool.fresh(d);
+    }
+    match next() % 6 {
+        0 => pool.fresh(d),
+        1 => Expr::Add(
+            Rc::new(gen_expr(pool, d, depth - 1, seed)),
+            Rc::new(gen_expr(pool, d, depth - 1, seed)),
+        ),
+        2 => {
+            // scalar × expr
+            let s = pool.fresh(Dims::new(1, 1));
+            Expr::Mul(Rc::new(s), Rc::new(gen_expr(pool, d, depth - 1, seed)))
+        }
+        3 => {
+            // product with a random inner dimension
+            let k = 1 + (next() % 9) as usize;
+            let left = gen_expr(pool, Dims::new(d.rows, k), depth - 1, seed);
+            let right = gen_expr(pool, Dims::new(k, d.cols), depth - 1, seed);
+            Expr::Mul(Rc::new(left), Rc::new(right))
+        }
+        4 => Expr::Trans(Rc::new(gen_expr(pool, d.t(), depth - 1, seed))),
+        _ => pool.fresh(d),
+    }
+}
+
+fn gen_blac(rows: usize, cols: usize, depth: usize, seed: u64) -> Blac {
+    let mut pool = Pool::default();
+    let mut s = seed | 1;
+    let expr = gen_expr(&mut pool, Dims::new(rows, cols), depth, &mut s);
+    let out = OperandId(pool.operands.len());
+    pool.operands.push(lgen::ll::blac::Operand {
+        name: "out".into(),
+        dims: Dims::new(rows, cols),
+    });
+    let blac = Blac { operands: pool.operands, output: out, expr };
+    blac.validate().expect("generated BLACs are well-formed by construction");
+    blac
+}
+
+fn check(blac: &Blac, arch: Microarch, variant: Variant) {
+    let cfg = CompileConfig::variant(arch, variant);
+    let kernel = compile(blac, "fuzz", &cfg);
+    let values: Vec<_> = blac
+        .operands
+        .iter()
+        .enumerate()
+        .map(|(i, op)| test_data(op.dims, 101 + i as u64))
+        .collect();
+    let expected = eval_reference(blac, &values);
+    let got = lgen::core::run_blac_kernel(blac, &kernel, arch.vector_isa(), &values)
+        .unwrap_or_else(|e| panic!("{arch} {variant:?}: {e}"));
+    let tol = 1e-3 + 1e-5 * blac.flops() as f32;
+    let diff = max_abs_diff(&got, &expected);
+    assert!(diff < tol, "{arch} {variant:?}: diff {diff} > {tol} for {blac:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_blacs_compile_correctly_everywhere(
+        rows in 1usize..11,
+        cols in 1usize..11,
+        depth in 1usize..4,
+        seed in any::<u64>(),
+        arch_pick in 0usize..4,
+        variant_pick in 0usize..4,
+    ) {
+        let blac = gen_blac(rows, cols, depth, seed);
+        let arch = Microarch::EVALUATED[arch_pick];
+        let variant = Variant::ALL[variant_pick];
+        check(&blac, arch, variant);
+    }
+
+    /// Deep expressions exercise temporary materialization and chains.
+    #[test]
+    fn deep_random_blacs_on_default_targets(
+        seed in any::<u64>(),
+        rows in 2usize..7,
+        cols in 2usize..7,
+    ) {
+        let blac = gen_blac(rows, cols, 5, seed);
+        check(&blac, Microarch::Atom, Variant::Full);
+        check(&blac, Microarch::CortexA8, Variant::Full);
+    }
+}
+
+#[test]
+fn generator_produces_nontrivial_trees() {
+    // Sanity: some seeds must produce products and transposes.
+    let mut saw_mul = false;
+    let mut saw_trans = false;
+    for seed in 0..40u64 {
+        let blac = gen_blac(4, 4, 3, seed);
+        fn walk(e: &Expr, mul: &mut bool, trans: &mut bool) {
+            match e {
+                Expr::Mul(a, b) => {
+                    *mul = true;
+                    walk(a, mul, trans);
+                    walk(b, mul, trans);
+                }
+                Expr::Add(a, b) | Expr::Mvh(a, b) => {
+                    walk(a, mul, trans);
+                    walk(b, mul, trans);
+                }
+                Expr::Trans(a) | Expr::Rr(a) => {
+                    *trans = true;
+                    walk(a, mul, trans);
+                }
+                Expr::Ref(_) => {}
+            }
+        }
+        walk(&blac.expr, &mut saw_mul, &mut saw_trans);
+    }
+    assert!(saw_mul && saw_trans);
+}
