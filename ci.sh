@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI: everything a PR must pass. Runs fully offline (external
+# crates are vendored under compat/).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all checks passed"

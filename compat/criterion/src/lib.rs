@@ -1,0 +1,307 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the Criterion API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group`, `sample_size`, `Bencher::iter`) with a simple
+//! wall-clock protocol: warm up, pick an iteration count that makes one
+//! sample take a measurable slice of time, then record `sample_size`
+//! samples. Results are printed per benchmark and appended as JSON lines to
+//! `target/criterion-lite/<suite>.json` so downstream tooling can track
+//! performance trajectories across commits.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Group name ("" when benched directly on [`Criterion`]).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// The benchmark driver; collects results and flushes them on drop.
+pub struct Criterion {
+    records: Vec<Record>,
+    default_sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            records: Vec::new(),
+            default_sample_size: 15,
+            warm_up: Duration::from_millis(25),
+            measurement: Duration::from_millis(75),
+        }
+    }
+}
+
+/// Passed to the closure of `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Mean/median per-iteration nanos, filled by `iter`.
+    result: Option<(f64, f64, usize)>,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` and records per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find how many iterations fill one
+        // sample's share of the measurement budget.
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.warm_up || iters < 3 {
+            black_box(f());
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+        let sample_budget =
+            (self.measurement.as_nanos() as f64 / self.sample_size.max(1) as f64).max(1.0);
+        let per_sample = ((sample_budget / per_iter.max(1.0)).ceil() as u64).clamp(1, 100_000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median = samples[samples.len() / 2];
+        self.result = Some((mean, median, samples.len()));
+    }
+}
+
+impl Criterion {
+    /// Overrides the default number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the warm-up/calibration budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Overrides the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        group: &str,
+        name: &str,
+        sample_size: usize,
+        f: impl FnOnce(&mut Bencher),
+    ) {
+        let mut b = Bencher {
+            result: None,
+            sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        };
+        f(&mut b);
+        let (mean_ns, median_ns, samples) = b.result.unwrap_or((f64::NAN, f64::NAN, 0));
+        let id = if group.is_empty() {
+            name.to_string()
+        } else {
+            format!("{group}/{name}")
+        };
+        println!(
+            "bench {id:<48} mean {:>12.1} ns/iter  median {:>12.1} ns/iter",
+            mean_ns, median_ns
+        );
+        self.records.push(Record {
+            group: group.to_string(),
+            name: name.to_string(),
+            mean_ns,
+            median_ns,
+            samples,
+        });
+    }
+
+    /// Benchmarks `f` under `name` (accepts `&str` or `String`, like
+    /// criterion's `BenchmarkId`).
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let n = self.default_sample_size;
+        self.run_one("", name.as_ref(), n, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// All results measured so far.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let suite = std::env::args()
+            .next()
+            .and_then(|p| {
+                std::path::Path::new(&p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        // Strip cargo's `-<hash>` suffix so reruns overwrite the same file.
+        let suite = suite.split('-').next().unwrap_or(&suite).to_string();
+        // Cargo runs bench binaries with cwd = the package dir; anchor the
+        // output at the workspace root (nearest ancestor with Cargo.lock)
+        // so every suite lands in the shared `target/`.
+        let root = std::env::current_dir()
+            .ok()
+            .and_then(|d| {
+                d.ancestors()
+                    .find(|a| a.join("Cargo.lock").exists())
+                    .map(std::path::Path::to_path_buf)
+            })
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        let dir = root.join("target").join("criterion-lite");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{suite}.json"));
+        let Ok(mut out) = std::fs::File::create(&path) else {
+            return;
+        };
+        let _ = writeln!(out, "[");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 == self.records.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "  {{\"group\":\"{}\",\"name\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"samples\":{}}}{comma}",
+                r.group.escape_default(),
+                r.name.escape_default(),
+                r.mean_ns,
+                r.median_ns,
+                r.samples
+            );
+        }
+        let _ = writeln!(out, "]");
+        eprintln!("criterion-lite: wrote {}", path.display());
+    }
+}
+
+/// A named group; mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `name` within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let n = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let group = self.name.clone();
+        self.criterion.run_one(&group, name.as_ref(), n, f);
+        self
+    }
+
+    /// Ends the group (results are flushed when [`Criterion`] drops).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro —
+/// both the positional form and the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        drop(g);
+        let r = &c.records()[0];
+        assert_eq!(r.group, "g");
+        assert_eq!(r.name, "noop");
+        assert!(r.mean_ns.is_finite() && r.mean_ns >= 0.0);
+        c.records.clear(); // avoid writing JSON from unit tests
+    }
+}

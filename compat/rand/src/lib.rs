@@ -1,0 +1,131 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the workspace vendors the *tiny* subset of the `rand` API it actually
+//! uses: a seedable deterministic generator (`rngs::StdRng`), the
+//! [`SeedableRng`] and [`Rng`] traits, and [`seq::SliceRandom::shuffle`].
+//!
+//! Determinism is the only contract LGen-rs relies on (the autotuner's
+//! "random search … deterministic per seed"); the streams differ from the
+//! real `rand` crate's, which is fine because nothing golden-tests the
+//! stream itself.
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers.
+pub trait Rng: RngCore {
+    /// Uniform sample from `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_u64() % span) as usize
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    //! Named generator types.
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64 core). Not the real
+    /// `StdRng` algorithm — only determinism per seed is promised.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0xA076_1D64_78BD_642F,
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers.
+    use super::RngCore;
+
+    /// In-place random reordering.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let va: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(va[0], c.next_u64());
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut v: Vec<usize> = (0..20).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "20 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let x = rng.gen_range(3..9);
+            assert!((3..9).contains(&x));
+        }
+    }
+}

@@ -46,7 +46,12 @@ impl LoopSpec {
     /// Panics if `step <= 0`.
     pub fn new(name: &str, start: i64, end: i64, step: i64) -> Self {
         assert!(step > 0, "loop step must be positive, got {step}");
-        LoopSpec { name: name.to_string(), start, end, step }
+        LoopSpec {
+            name: name.to_string(),
+            start,
+            end,
+            step,
+        }
     }
 
     /// Number of iterations the loop executes.
@@ -71,17 +76,26 @@ pub struct AffineExpr {
 impl AffineExpr {
     /// The constant expression `c`.
     pub fn constant(c: i64) -> Self {
-        AffineExpr { terms: Vec::new(), constant: c }
+        AffineExpr {
+            terms: Vec::new(),
+            constant: c,
+        }
     }
 
     /// The expression `1·var`.
     pub fn var(v: VarId) -> Self {
-        AffineExpr { terms: vec![(1, v)], constant: 0 }
+        AffineExpr {
+            terms: vec![(1, v)],
+            constant: 0,
+        }
     }
 
     /// The expression `coeff·var`.
     pub fn scaled(coeff: i64, v: VarId) -> Self {
-        AffineExpr { terms: vec![(coeff, v)], constant: 0 }
+        AffineExpr {
+            terms: vec![(coeff, v)],
+            constant: 0,
+        }
     }
 
     /// Adds another affine expression, merging coefficients.
@@ -119,7 +133,12 @@ impl AffineExpr {
     #[must_use]
     pub fn scale(&self, k: i64) -> Self {
         AffineExpr {
-            terms: self.terms.iter().filter(|t| t.0 * k != 0).map(|&(c, v)| (c * k, v)).collect(),
+            terms: self
+                .terms
+                .iter()
+                .filter(|t| t.0 * k != 0)
+                .map(|&(c, v)| (c * k, v))
+                .collect(),
             constant: self.constant * k,
         }
     }
@@ -143,10 +162,8 @@ pub fn loop_index_value(spec: &LoopSpec) -> IntervalCongruence {
         // The body never executes; the environment there stays ⊥.
         return IntervalCongruence::bottom();
     }
-    let bounds = IntervalCongruence::new(
-        Interval::range(spec.start, spec.end - 1),
-        Congruence::top(),
-    );
+    let bounds =
+        IntervalCongruence::new(Interval::range(spec.start, spec.end - 1), Congruence::top());
     let step = IntervalCongruence::constant(spec.step);
     let init = IntervalCongruence::constant(spec.start);
     let next = |env: &IntervalCongruence| init.join(&env.add(&step).meet(&bounds));
@@ -288,7 +305,11 @@ fn analyze_block<D: AbstractDomain>(stmts: &[Stmt], env: &mut [D]) {
                     }
                     let bumped = env[*v].add(&step);
                     let next_idx = D::constant(spec.start).join(&bumped);
-                    let next_idx = if iters >= WIDEN_AFTER { idx.widen(&next_idx) } else { next_idx };
+                    let next_idx = if iters >= WIDEN_AFTER {
+                        idx.widen(&next_idx)
+                    } else {
+                        next_idx
+                    };
                     if next_idx == idx && !changed {
                         break;
                     }
@@ -379,7 +400,9 @@ mod tests {
         let e = AffineExpr::scaled(16, i).plus(&AffineExpr::var(j));
         assert!(!a.eval(&e).divisible_by(4));
         // but 16*i + j + 4 - j ... constant folding via plus/scale:
-        let e = AffineExpr::var(j).plus(&AffineExpr::var(j).scale(-1)).offset(8);
+        let e = AffineExpr::var(j)
+            .plus(&AffineExpr::var(j).scale(-1))
+            .offset(8);
         assert_eq!(a.eval(&e), IntervalCongruence::constant(8));
     }
 

@@ -193,7 +193,10 @@ impl AbstractDomain for Congruence {
             (Congruence::Class { c: c1, m: m1 }, Congruence::Class { c: c2, m: m2 }) => {
                 Congruence::modulo(
                     c1.saturating_mul(*c2),
-                    gcd(gcd(c1.saturating_mul(*m2), m1.saturating_mul(*c2)), m1.saturating_mul(*m2)),
+                    gcd(
+                        gcd(c1.saturating_mul(*m2), m1.saturating_mul(*c2)),
+                        m1.saturating_mul(*m2),
+                    ),
                 )
             }
         }

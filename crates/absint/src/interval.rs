@@ -71,7 +71,10 @@ impl Interval {
     ///
     /// Panics if `lo > hi`.
     pub fn range(lo: i64, hi: i64) -> Self {
-        assert!(lo <= hi, "empty interval [{lo}, {hi}]; use Interval::bottom()");
+        assert!(
+            lo <= hi,
+            "empty interval [{lo}, {hi}]; use Interval::bottom()"
+        );
         Interval::Range(Bound::Finite(lo), Bound::Finite(hi))
     }
 

@@ -75,7 +75,10 @@ pub struct IntervalCongruence {
 impl IntervalCongruence {
     /// Builds a reduced-product value from its halves, applying `red`.
     pub fn new(interval: Interval, congruence: Congruence) -> Self {
-        reduce(IntervalCongruence { interval, congruence })
+        reduce(IntervalCongruence {
+            interval,
+            congruence,
+        })
     }
 
     /// The Interval half.
@@ -289,7 +292,10 @@ mod tests {
                     for m in 0i64..5 {
                         let i = Interval::range(lo, lo + w);
                         let con = Congruence::modulo(c, m);
-                        let raw = IntervalCongruence { interval: i, congruence: con };
+                        let raw = IntervalCongruence {
+                            interval: i,
+                            congruence: con,
+                        };
                         let red = IntervalCongruence::new(i, con);
                         assert!(red.le(&raw), "red not decreasing: {raw:?} -> {red:?}");
                         for v in lo - 2..=lo + w + 2 {

@@ -57,11 +57,17 @@ pub fn build(blac: &Blac, p: &Pattern, arch: Microarch, flavor: Flavor) -> Kerne
             return peeled_axpy(blac, alpha, x, "mkl_saxpy", 1);
         }
         if let Pattern::Gemv { alpha, beta, a, x } = *p {
-            let s = ScaleIds { alpha: Some(alpha), beta: BetaId::Scalar(beta) };
+            let s = ScaleIds {
+                alpha: Some(alpha),
+                beta: BetaId::Scalar(beta),
+            };
             return peeled_gemv(blac, a, x, s, "mkl_sgemv", 1);
         }
         if let Pattern::Mvm { a, x } = *p {
-            let s = ScaleIds { alpha: None, beta: BetaId::Zero };
+            let s = ScaleIds {
+                alpha: None,
+                beta: BetaId::Zero,
+            };
             return peeled_gemv(blac, a, x, s, "mkl_sgemv", 1);
         }
     }
@@ -87,16 +93,31 @@ pub fn build(blac: &Blac, p: &Pattern, arch: Microarch, flavor: Flavor) -> Kerne
         Pattern::Gemv { alpha, beta, a, x } => {
             call_overhead(&mut b, 1);
             let (m, n) = (d(a).rows, d(a).cols);
-            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            let s = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Scalar(ar[beta.0]),
+            };
             vec_gemv(&mut b, ar[a.0], ar[x.0], out, m, n, s, ov);
         }
-        Pattern::TwoGemv { alpha, beta, a, b: bm, x } => {
+        Pattern::TwoGemv {
+            alpha,
+            beta,
+            a,
+            b: bm,
+            x,
+        } => {
             let (m, n) = (d(a).rows, d(a).cols);
             call_overhead(&mut b, 1);
-            let s1 = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Zero };
+            let s1 = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Zero,
+            };
             vec_gemv(&mut b, ar[a.0], ar[x.0], out, m, n, s1, ov);
             call_overhead(&mut b, 1);
-            let s2 = Scale { alpha: Some(ar[beta.0]), beta: Beta::One };
+            let s2 = Scale {
+                alpha: Some(ar[beta.0]),
+                beta: Beta::One,
+            };
             vec_gemv(&mut b, ar[bm.0], ar[x.0], out, m, n, s2, ov);
         }
         Pattern::Bilinear { x, a, y } => {
@@ -109,21 +130,48 @@ pub fn build(blac: &Blac, p: &Pattern, arch: Microarch, flavor: Flavor) -> Kerne
         }
         Pattern::Mmm { a, b: bm } => {
             let (m, k, n) = (d(a).rows, d(a).cols, d(bm).cols);
-            emit_gemm(&mut b, flavor, ar[a.0], ar[bm.0], out, m, k, n, Scale::none());
+            emit_gemm(
+                &mut b,
+                flavor,
+                ar[a.0],
+                ar[bm.0],
+                out,
+                m,
+                k,
+                n,
+                Scale::none(),
+            );
         }
-        Pattern::Gemm { alpha, beta, a, b: bm } => {
+        Pattern::Gemm {
+            alpha,
+            beta,
+            a,
+            b: bm,
+        } => {
             let (m, k, n) = (d(a).rows, d(a).cols, d(bm).cols);
-            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            let s = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Scalar(ar[beta.0]),
+            };
             emit_gemm(&mut b, flavor, ar[a.0], ar[bm.0], out, m, k, n, s);
         }
-        Pattern::AddTGemm { alpha, beta, a0, a1, b: bm } => {
+        Pattern::AddTGemm {
+            alpha,
+            beta,
+            a0,
+            a1,
+            b: bm,
+        } => {
             let (k, m) = (d(a0).rows, d(a0).cols);
             let n = d(bm).cols;
             // Staging call: somatadd (MKL) / saxpy+transpose (ATLAS).
             call_overhead(&mut b, 1);
             let t = b.local("t", m * k);
             scalar_transpose_add(&mut b, ar[a0.0], ar[a1.0], t, k, m);
-            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            let s = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Scalar(ar[beta.0]),
+            };
             emit_gemm(&mut b, flavor, t, ar[bm.0], out, m, k, n, s);
         }
         Pattern::Transpose { a } => {
@@ -186,20 +234,53 @@ fn build_scalar(blac: &Blac, p: &Pattern, flavor: Flavor) -> Kernel {
         }
         Pattern::Mvm { a, x } => {
             call_overhead(&mut b, 1);
-            scalar_gemv(&mut b, ar[a.0], ar[x.0], out, d(a).rows, d(a).cols, Scale::none(), false);
+            scalar_gemv(
+                &mut b,
+                ar[a.0],
+                ar[x.0],
+                out,
+                d(a).rows,
+                d(a).cols,
+                Scale::none(),
+                false,
+            );
         }
         Pattern::Gemv { alpha, beta, a, x } => {
             call_overhead(&mut b, 1);
-            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
-            scalar_gemv(&mut b, ar[a.0], ar[x.0], out, d(a).rows, d(a).cols, s, false);
+            let s = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Scalar(ar[beta.0]),
+            };
+            scalar_gemv(
+                &mut b,
+                ar[a.0],
+                ar[x.0],
+                out,
+                d(a).rows,
+                d(a).cols,
+                s,
+                false,
+            );
         }
-        Pattern::TwoGemv { alpha, beta, a, b: bm, x } => {
+        Pattern::TwoGemv {
+            alpha,
+            beta,
+            a,
+            b: bm,
+            x,
+        } => {
             let (m, n) = (d(a).rows, d(a).cols);
             call_overhead(&mut b, 1);
-            let s1 = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Zero };
+            let s1 = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Zero,
+            };
             scalar_gemv(&mut b, ar[a.0], ar[x.0], out, m, n, s1, false);
             call_overhead(&mut b, 1);
-            let s2 = Scale { alpha: Some(ar[beta.0]), beta: Beta::One };
+            let s2 = Scale {
+                alpha: Some(ar[beta.0]),
+                beta: Beta::One,
+            };
             scalar_gemv(&mut b, ar[bm.0], ar[x.0], out, m, n, s2, false);
         }
         Pattern::Bilinear { x, a, y } => {
@@ -213,21 +294,49 @@ fn build_scalar(blac: &Blac, p: &Pattern, flavor: Flavor) -> Kernel {
         Pattern::Mmm { a, b: bm } => {
             call_overhead(&mut b, 1);
             let (m, k, n) = (d(a).rows, d(a).cols, d(bm).cols);
-            scalar_gemm(&mut b, ar[a.0], ar[bm.0], out, m, k, n, Scale::none(), false, false);
+            scalar_gemm(
+                &mut b,
+                ar[a.0],
+                ar[bm.0],
+                out,
+                m,
+                k,
+                n,
+                Scale::none(),
+                false,
+                false,
+            );
         }
-        Pattern::Gemm { alpha, beta, a, b: bm } => {
+        Pattern::Gemm {
+            alpha,
+            beta,
+            a,
+            b: bm,
+        } => {
             call_overhead(&mut b, 1);
             let (m, k, n) = (d(a).rows, d(a).cols, d(bm).cols);
-            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            let s = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Scalar(ar[beta.0]),
+            };
             scalar_gemm(&mut b, ar[a.0], ar[bm.0], out, m, k, n, s, false, false);
         }
-        Pattern::AddTGemm { alpha, beta, a0, a1, b: bm } => {
+        Pattern::AddTGemm {
+            alpha,
+            beta,
+            a0,
+            a1,
+            b: bm,
+        } => {
             let (k, m) = (d(a0).rows, d(a0).cols);
             let n = d(bm).cols;
             call_overhead(&mut b, 2);
             let t = b.local("t", m * k);
             scalar_transpose_add(&mut b, ar[a0.0], ar[a1.0], t, k, m);
-            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            let s = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Scalar(ar[beta.0]),
+            };
             scalar_gemm(&mut b, t, ar[bm.0], out, m, k, n, s, false, false);
         }
         Pattern::Transpose { a } => {

@@ -13,9 +13,9 @@
 use crate::blas::{BetaId, ScaleIds};
 use crate::emit::*;
 use crate::pattern::Pattern;
+use lgen_absint::AffineExpr;
 use lgen_cir::passes::detect_alignment_partial;
 use lgen_cir::{Kernel, KernelBuilder, MemMap, VArith, VWidth};
-use lgen_absint::AffineExpr;
 use lgen_isa::{Microarch, VectorIsa};
 use lgen_ll::blac::OperandId;
 use lgen_ll::Blac;
@@ -45,14 +45,25 @@ pub fn build(blac: &Blac, p: &Pattern, arch: Microarch) -> Kernel {
     let peel = isa == VectorIsa::Ssse3;
     match *p {
         Pattern::Axpy { alpha, x } if peel => peeled_axpy(blac, alpha, x, "eigen_axpy", 0),
-        Pattern::Mvm { a, x } if peel => {
-            peeled_gemv(blac, a, x, ScaleIds { alpha: None, beta: BetaId::Zero }, "eigen_mvm", 0)
-        }
+        Pattern::Mvm { a, x } if peel => peeled_gemv(
+            blac,
+            a,
+            x,
+            ScaleIds {
+                alpha: None,
+                beta: BetaId::Zero,
+            },
+            "eigen_mvm",
+            0,
+        ),
         Pattern::Gemv { alpha, beta, a, x } if peel => peeled_gemv(
             blac,
             a,
             x,
-            ScaleIds { alpha: Some(alpha), beta: BetaId::Scalar(beta) },
+            ScaleIds {
+                alpha: Some(alpha),
+                beta: BetaId::Scalar(beta),
+            },
             "eigen_gemv",
             0,
         ),
@@ -87,17 +98,32 @@ fn build_plain(blac: &Blac, p: &Pattern, isa: VectorIsa) -> Kernel {
         }
         Pattern::Gemv { alpha, beta, a, x } => {
             let (m, n) = (d(a).rows, d(a).cols);
-            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            let s = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Scalar(ar[beta.0]),
+            };
             if weak_products {
                 vec_gemv_spill(&mut b, ar[a.0], ar[x.0], out, m, n, s);
             } else {
                 vec_gemv(&mut b, ar[a.0], ar[x.0], out, m, n, s, false);
             }
         }
-        Pattern::TwoGemv { alpha, beta, a, b: bm, x } => {
+        Pattern::TwoGemv {
+            alpha,
+            beta,
+            a,
+            b: bm,
+            x,
+        } => {
             let (m, n) = (d(a).rows, d(a).cols);
-            let s1 = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Zero };
-            let s2 = Scale { alpha: Some(ar[beta.0]), beta: Beta::One };
+            let s1 = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Zero,
+            };
+            let s2 = Scale {
+                alpha: Some(ar[beta.0]),
+                beta: Beta::One,
+            };
             if weak_products {
                 vec_gemv_spill(&mut b, ar[a.0], ar[x.0], out, m, n, s1);
                 vec_gemv_spill(&mut b, ar[bm.0], ar[x.0], out, m, n, s2);
@@ -123,24 +149,51 @@ fn build_plain(blac: &Blac, p: &Pattern, isa: VectorIsa) -> Kernel {
             } else {
                 // Fixed-size Eigen products are coefficient-based (lazy):
                 // one row of register blocking, no packing.
-                vec_gemm_1row(&mut b, ar[a.0], ar[bm.0], out, m, k, n, Scale::none(), false);
+                vec_gemm_1row(
+                    &mut b,
+                    ar[a.0],
+                    ar[bm.0],
+                    out,
+                    m,
+                    k,
+                    n,
+                    Scale::none(),
+                    false,
+                );
             }
         }
-        Pattern::Gemm { alpha, beta, a, b: bm } => {
+        Pattern::Gemm {
+            alpha,
+            beta,
+            a,
+            b: bm,
+        } => {
             let (m, k, n) = (d(a).rows, d(a).cols, d(bm).cols);
-            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            let s = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Scalar(ar[beta.0]),
+            };
             if weak_products {
                 vec_gemm_reload(&mut b, ar[a.0], ar[bm.0], out, m, k, n, s);
             } else {
                 vec_gemm_1row(&mut b, ar[a.0], ar[bm.0], out, m, k, n, s, false);
             }
         }
-        Pattern::AddTGemm { alpha, beta, a0, a1, b: bm } => {
+        Pattern::AddTGemm {
+            alpha,
+            beta,
+            a0,
+            a1,
+            b: bm,
+        } => {
             let (k, m) = (d(a0).rows, d(a0).cols);
             let n = d(bm).cols;
             let t = b.local("t", m * k);
             scalar_transpose_add(&mut b, ar[a0.0], ar[a1.0], t, k, m);
-            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            let s = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Scalar(ar[beta.0]),
+            };
             if weak_products {
                 vec_gemm_reload(&mut b, t, ar[bm.0], out, m, k, n, s);
             } else {
@@ -237,9 +290,7 @@ pub fn peeled_gemv(
         let (aa, xa, ya) = (ar[a.0], ar[x.0], ar[blac.output.0]);
         for i in 0..m {
             let row = (i * n) as i64;
-            let p = off
-                .map_or(0, |o| (NU - (o + i * n) % NU) % NU)
-                .min(n);
+            let p = off.map_or(0, |o| (NU - (o + i * n) % NU) % NU).min(n);
             // Scalar peel of the row.
             let mut t = b.zero();
             for j in 0..p {

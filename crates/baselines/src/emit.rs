@@ -23,7 +23,10 @@ pub struct Scale {
 impl Scale {
     /// Plain `out = t`.
     pub fn none() -> Self {
-        Scale { alpha: None, beta: Beta::Zero }
+        Scale {
+            alpha: None,
+            beta: Beta::Zero,
+        }
     }
 }
 
@@ -56,7 +59,12 @@ fn gen_cost(b: &mut KernelBuilder, gen: bool, n: u16) {
 
 /// In-place scalar/vector accumulate `acc += v`.
 fn add_acc(b: &mut KernelBuilder, acc: VReg, v: VReg, w: VWidth) {
-    b.push(Inst::Arith { op: VArith::Add(w), dst: acc, a: acc, b: v });
+    b.push(Inst::Arith {
+        op: VArith::Add(w),
+        dst: acc,
+        a: acc,
+        b: v,
+    });
 }
 
 /// Applies `scale` to the lane-0 scalar `t`, reading `out[idx]` as needed,
@@ -120,7 +128,14 @@ fn combine_vec(
 // ---------------------------------------------------------------- axpy ---
 
 /// Scalar `y = αx + y`.
-pub fn scalar_axpy(b: &mut KernelBuilder, alpha: ArrayId, x: ArrayId, y: ArrayId, n: usize, gen: bool) {
+pub fn scalar_axpy(
+    b: &mut KernelBuilder,
+    alpha: ArrayId,
+    x: ArrayId,
+    y: ArrayId,
+    n: usize,
+    gen: bool,
+) {
     let al = b.load(alpha, c(0), MemMap::scalar());
     let i = b.begin_loop("i", 0, n as i64, 1);
     gen_cost(b, gen, 2);
@@ -342,13 +357,37 @@ pub fn vec_gemm_blocked4(
     if rfull > 0 {
         let i = b.begin_loop("ib", 0, rfull as i64, NU as i64);
         gemm_row_block(
-            b, a, bm, cm, AffineExpr::var(i), NU, m, kdim, n, scale, a_t, loop_overhead, aligned_b,
+            b,
+            a,
+            bm,
+            cm,
+            AffineExpr::var(i),
+            NU,
+            m,
+            kdim,
+            n,
+            scale,
+            a_t,
+            loop_overhead,
+            aligned_b,
         );
         b.end_loop();
     }
     if !m.is_multiple_of(NU) {
         gemm_row_block(
-            b, a, bm, cm, c(rfull as i64), m % NU, m, kdim, n, scale, a_t, loop_overhead, aligned_b,
+            b,
+            a,
+            bm,
+            cm,
+            c(rfull as i64),
+            m % NU,
+            m,
+            kdim,
+            n,
+            scale,
+            a_t,
+            loop_overhead,
+            aligned_b,
         );
     }
 }
@@ -379,14 +418,19 @@ fn gemm_row_block(
         let bmap = MemMap::horizontal(w);
         let bv = if aligned_b && w == NU {
             let dst = b.fresh_reg();
-            b.push(Inst::GLoad { dst, arr: bm, addr: baddr, map: bmap, aligned: true });
+            b.push(Inst::GLoad {
+                dst,
+                arr: bm,
+                addr: baddr,
+                map: bmap,
+                aligned: true,
+            });
             dst
         } else {
             b.load(bm, baddr, bmap)
         };
         for (r, acc) in accs.iter().enumerate() {
-            let aaddr =
-                a_elem_addr(&i0.offset(r as i64), &AffineExpr::var(k), m, kdim, a_t);
+            let aaddr = a_elem_addr(&i0.offset(r as i64), &AffineExpr::var(k), m, kdim, a_t);
             let asp = b.load(a, aaddr, MemMap::splat(NU));
             b.arith_acc(VArith::Fma(VWidth::Q), *acc, bv, asp);
         }
@@ -410,7 +454,14 @@ fn gemm_row_block(
 // ------------------------------------------------------------- madd etc ---
 
 /// Scalar element-wise `C = A + B`.
-pub fn scalar_madd(b: &mut KernelBuilder, a: ArrayId, bm: ArrayId, cm: ArrayId, len: usize, gen: bool) {
+pub fn scalar_madd(
+    b: &mut KernelBuilder,
+    a: ArrayId,
+    bm: ArrayId,
+    cm: ArrayId,
+    len: usize,
+    gen: bool,
+) {
     let i = b.begin_loop("i", 0, len as i64, 1);
     gen_cost(b, gen, 2);
     let ae = b.load(a, AffineExpr::var(i), MemMap::scalar());
@@ -440,12 +491,28 @@ pub fn vec_madd(b: &mut KernelBuilder, a: ArrayId, bm: ArrayId, cm: ArrayId, len
 }
 
 /// Scalar transpose `C = Aᵀ` (`A` is `m×n`).
-pub fn scalar_transpose(b: &mut KernelBuilder, a: ArrayId, cm: ArrayId, m: usize, n: usize, gen: bool) {
+pub fn scalar_transpose(
+    b: &mut KernelBuilder,
+    a: ArrayId,
+    cm: ArrayId,
+    m: usize,
+    n: usize,
+    gen: bool,
+) {
     let i = b.begin_loop("i", 0, m as i64, 1);
     let j = b.begin_loop("j", 0, n as i64, 1);
     gen_cost(b, gen, 2);
-    let ae = b.load(a, AffineExpr::var(i).scale(n as i64).plus(&AffineExpr::var(j)), MemMap::scalar());
-    b.store(ae, cm, AffineExpr::var(j).scale(m as i64).plus(&AffineExpr::var(i)), MemMap::scalar());
+    let ae = b.load(
+        a,
+        AffineExpr::var(i).scale(n as i64).plus(&AffineExpr::var(j)),
+        MemMap::scalar(),
+    );
+    b.store(
+        ae,
+        cm,
+        AffineExpr::var(j).scale(m as i64).plus(&AffineExpr::var(i)),
+        MemMap::scalar(),
+    );
     b.end_loop();
     b.end_loop();
 }
@@ -466,7 +533,12 @@ pub fn scalar_transpose_add(
     let x0 = b.load(a0, addr.clone(), MemMap::scalar());
     let x1 = b.load(a1, addr, MemMap::scalar());
     let s = b.arith(VArith::Add(VWidth::S), x0, x1);
-    b.store(s, dst, AffineExpr::var(j).scale(k as i64).plus(&AffineExpr::var(i)), MemMap::scalar());
+    b.store(
+        s,
+        dst,
+        AffineExpr::var(j).scale(k as i64).plus(&AffineExpr::var(i)),
+        MemMap::scalar(),
+    );
     b.end_loop();
     b.end_loop();
 }
@@ -494,7 +566,14 @@ pub fn vec_dot(b: &mut KernelBuilder, u: ArrayId, v: ArrayId, out: ArrayId, n: u
 }
 
 /// Scalar dot product into `out[0]`.
-pub fn scalar_dot(b: &mut KernelBuilder, u: ArrayId, v: ArrayId, out: ArrayId, n: usize, gen: bool) {
+pub fn scalar_dot(
+    b: &mut KernelBuilder,
+    u: ArrayId,
+    v: ArrayId,
+    out: ArrayId,
+    n: usize,
+    gen: bool,
+) {
     let acc = b.zero();
     let i = b.begin_loop("i", 0, n as i64, 1);
     gen_cost(b, gen, 2);
@@ -513,7 +592,13 @@ pub fn vec_copy(b: &mut KernelBuilder, src: ArrayId, dst: ArrayId, len: usize) {
         let i = b.begin_loop("i", 0, full as i64, NU as i64);
         let v = b.load(src, AffineExpr::var(i), MemMap::horizontal(NU));
         let d = AffineExpr::var(i);
-        b.push(Inst::GStore { src: v, arr: dst, addr: d, map: MemMap::horizontal(NU), aligned: true });
+        b.push(Inst::GStore {
+            src: v,
+            arr: dst,
+            addr: d,
+            map: MemMap::horizontal(NU),
+            aligned: true,
+        });
         b.end_loop();
     }
     for i in full..len {
@@ -607,7 +692,9 @@ pub fn vec_gemm_reload(
     // k loop with memory-resident accumulators.
     let k = b.begin_loop("k", 0, kdim as i64, 1);
     let asp = {
-        let aaddr = AffineExpr::var(i).scale(kdim as i64).plus(&AffineExpr::var(k));
+        let aaddr = AffineExpr::var(i)
+            .scale(kdim as i64)
+            .plus(&AffineExpr::var(k));
         b.load(a, aaddr, MemMap::splat(NU))
     };
     if full > 0 {

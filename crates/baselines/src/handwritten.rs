@@ -25,7 +25,11 @@ pub fn build(blac: &Blac, p: &Pattern, arch: Microarch, gen: bool) -> Kernel {
     // nothing with runtime sizes or on ARMv6.
     let vec_all = !gen && isa == VectorIsa::Ssse3;
     let vec_elem = !gen && isa != VectorIsa::Scalar;
-    let name = if gen { "handwritten_gen" } else { "handwritten_fixed" };
+    let name = if gen {
+        "handwritten_gen"
+    } else {
+        "handwritten_fixed"
+    };
     let (mut b, ar) = declare(blac, name);
     let d = |id: lgen_ll::blac::OperandId| blac.dims(id);
 
@@ -59,27 +63,69 @@ pub fn build(blac: &Blac, p: &Pattern, arch: Microarch, gen: bool) -> Kernel {
         Pattern::Mvm { a, x } => {
             let (m, n) = (d(a).rows, d(a).cols);
             if vec_all {
-                vec_gemv(&mut b, ar[a.0], ar[x.0], ar[blac.output.0], m, n, Scale::none(), false);
+                vec_gemv(
+                    &mut b,
+                    ar[a.0],
+                    ar[x.0],
+                    ar[blac.output.0],
+                    m,
+                    n,
+                    Scale::none(),
+                    false,
+                );
             } else {
-                scalar_gemv(&mut b, ar[a.0], ar[x.0], ar[blac.output.0], m, n, Scale::none(), gen);
+                scalar_gemv(
+                    &mut b,
+                    ar[a.0],
+                    ar[x.0],
+                    ar[blac.output.0],
+                    m,
+                    n,
+                    Scale::none(),
+                    gen,
+                );
             }
         }
         Pattern::Gemv { alpha, beta, a, x } => {
             let (m, n) = (d(a).rows, d(a).cols);
-            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            let s = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Scalar(ar[beta.0]),
+            };
             if vec_all {
                 vec_gemv(&mut b, ar[a.0], ar[x.0], ar[blac.output.0], m, n, s, false);
             } else {
                 scalar_gemv(&mut b, ar[a.0], ar[x.0], ar[blac.output.0], m, n, s, gen);
             }
         }
-        Pattern::TwoGemv { alpha, beta, a, b: bm, x } => {
+        Pattern::TwoGemv {
+            alpha,
+            beta,
+            a,
+            b: bm,
+            x,
+        } => {
             let (m, n) = (d(a).rows, d(a).cols);
-            let s1 = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Zero };
-            let s2 = Scale { alpha: Some(ar[beta.0]), beta: Beta::One };
+            let s1 = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Zero,
+            };
+            let s2 = Scale {
+                alpha: Some(ar[beta.0]),
+                beta: Beta::One,
+            };
             if vec_all {
                 vec_gemv(&mut b, ar[a.0], ar[x.0], ar[blac.output.0], m, n, s1, false);
-                vec_gemv(&mut b, ar[bm.0], ar[x.0], ar[blac.output.0], m, n, s2, false);
+                vec_gemv(
+                    &mut b,
+                    ar[bm.0],
+                    ar[x.0],
+                    ar[blac.output.0],
+                    m,
+                    n,
+                    s2,
+                    false,
+                );
             } else {
                 scalar_gemv(&mut b, ar[a.0], ar[x.0], ar[blac.output.0], m, n, s1, gen);
                 scalar_gemv(&mut b, ar[bm.0], ar[x.0], ar[blac.output.0], m, n, s2, gen);
@@ -99,30 +145,100 @@ pub fn build(blac: &Blac, p: &Pattern, arch: Microarch, gen: bool) -> Kernel {
         Pattern::Mmm { a, b: bm } => {
             let (m, k, n) = (d(a).rows, d(a).cols, d(bm).cols);
             if vec_all {
-                vec_gemm_1row(&mut b, ar[a.0], ar[bm.0], ar[blac.output.0], m, k, n, Scale::none(), false);
+                vec_gemm_1row(
+                    &mut b,
+                    ar[a.0],
+                    ar[bm.0],
+                    ar[blac.output.0],
+                    m,
+                    k,
+                    n,
+                    Scale::none(),
+                    false,
+                );
             } else {
-                scalar_gemm(&mut b, ar[a.0], ar[bm.0], ar[blac.output.0], m, k, n, Scale::none(), false, gen);
+                scalar_gemm(
+                    &mut b,
+                    ar[a.0],
+                    ar[bm.0],
+                    ar[blac.output.0],
+                    m,
+                    k,
+                    n,
+                    Scale::none(),
+                    false,
+                    gen,
+                );
             }
         }
-        Pattern::Gemm { alpha, beta, a, b: bm } => {
+        Pattern::Gemm {
+            alpha,
+            beta,
+            a,
+            b: bm,
+        } => {
             let (m, k, n) = (d(a).rows, d(a).cols, d(bm).cols);
-            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            let s = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Scalar(ar[beta.0]),
+            };
             if vec_all {
-                vec_gemm_1row(&mut b, ar[a.0], ar[bm.0], ar[blac.output.0], m, k, n, s, false);
+                vec_gemm_1row(
+                    &mut b,
+                    ar[a.0],
+                    ar[bm.0],
+                    ar[blac.output.0],
+                    m,
+                    k,
+                    n,
+                    s,
+                    false,
+                );
             } else {
-                scalar_gemm(&mut b, ar[a.0], ar[bm.0], ar[blac.output.0], m, k, n, s, false, gen);
+                scalar_gemm(
+                    &mut b,
+                    ar[a.0],
+                    ar[bm.0],
+                    ar[blac.output.0],
+                    m,
+                    k,
+                    n,
+                    s,
+                    false,
+                    gen,
+                );
             }
         }
-        Pattern::AddTGemm { alpha, beta, a0, a1, b: bm } => {
+        Pattern::AddTGemm {
+            alpha,
+            beta,
+            a0,
+            a1,
+            b: bm,
+        } => {
             let (k, m) = (d(a0).rows, d(a0).cols);
             let n = d(bm).cols;
             let t = b.local("t", m * k); // (A0+A1)ᵀ, m×k
             scalar_transpose_add(&mut b, ar[a0.0], ar[a1.0], t, k, m);
-            let s = Scale { alpha: Some(ar[alpha.0]), beta: Beta::Scalar(ar[beta.0]) };
+            let s = Scale {
+                alpha: Some(ar[alpha.0]),
+                beta: Beta::Scalar(ar[beta.0]),
+            };
             if vec_all {
                 vec_gemm_1row(&mut b, t, ar[bm.0], ar[blac.output.0], m, k, n, s, false);
             } else {
-                scalar_gemm(&mut b, t, ar[bm.0], ar[blac.output.0], m, k, n, s, false, gen);
+                scalar_gemm(
+                    &mut b,
+                    t,
+                    ar[bm.0],
+                    ar[blac.output.0],
+                    m,
+                    k,
+                    n,
+                    s,
+                    false,
+                    gen,
+                );
             }
         }
         Pattern::Transpose { a } => {

@@ -84,9 +84,7 @@ impl Competitor {
     /// x86-only, §5.1.2).
     pub fn available_on(self, arch: Microarch) -> bool {
         match self {
-            Competitor::Mkl | Competitor::Ipp => {
-                arch.vector_isa() == lgen_isa::VectorIsa::Ssse3
-            }
+            Competitor::Mkl | Competitor::Ipp => arch.vector_isa() == lgen_isa::VectorIsa::Ssse3,
             _ => true,
         }
     }

@@ -189,7 +189,13 @@ pub fn classify(blac: &Blac) -> Option<Pattern> {
             // y = α(Ax) + β(Bx)
             if let (Some((a, x1)), Some((b, x2))) = (as_mvm(blac, li), as_mvm(blac, ri)) {
                 if x1 == x2 {
-                    return Some(Pattern::TwoGemv { alpha, beta, a, b, x: x1 });
+                    return Some(Pattern::TwoGemv {
+                        alpha,
+                        beta,
+                        a,
+                        b,
+                        x: x1,
+                    });
                 }
             }
             // C = α(AB) + βC
@@ -207,7 +213,13 @@ pub fn classify(blac: &Blac) -> Option<Pattern> {
                             if let (Some(a0), Some(a1), Some(b)) =
                                 (as_ref(a0e), as_ref(a1e), as_ref(ar))
                             {
-                                return Some(Pattern::AddTGemm { alpha, beta, a0, a1, b });
+                                return Some(Pattern::AddTGemm {
+                                    alpha,
+                                    beta,
+                                    a0,
+                                    a1,
+                                    b,
+                                });
                             }
                         }
                     }
@@ -236,16 +248,46 @@ mod tests {
 
     #[test]
     fn recognizes_the_whole_suite() {
-        assert!(matches!(classify(&paper::mvm(4, 8)), Some(Pattern::Mvm { .. })));
-        assert!(matches!(classify(&paper::mmm(4, 8, 4)), Some(Pattern::Mmm { .. })));
-        assert!(matches!(classify(&paper::axpy(16)), Some(Pattern::Axpy { .. })));
-        assert!(matches!(classify(&paper::gemv(4, 8)), Some(Pattern::Gemv { .. })));
-        assert!(matches!(classify(&paper::gemm(4, 8, 4)), Some(Pattern::Gemm { .. })));
-        assert!(matches!(classify(&paper::two_gemv(4, 8)), Some(Pattern::TwoGemv { .. })));
-        assert!(matches!(classify(&paper::bilinear(4, 8)), Some(Pattern::Bilinear { .. })));
-        assert!(matches!(classify(&paper::addt_gemm(8, 4, 4)), Some(Pattern::AddTGemm { .. })));
-        assert!(matches!(classify(&paper::madd(4, 4)), Some(Pattern::Madd { .. })));
-        assert!(matches!(classify(&paper::transpose(4, 8)), Some(Pattern::Transpose { .. })));
+        assert!(matches!(
+            classify(&paper::mvm(4, 8)),
+            Some(Pattern::Mvm { .. })
+        ));
+        assert!(matches!(
+            classify(&paper::mmm(4, 8, 4)),
+            Some(Pattern::Mmm { .. })
+        ));
+        assert!(matches!(
+            classify(&paper::axpy(16)),
+            Some(Pattern::Axpy { .. })
+        ));
+        assert!(matches!(
+            classify(&paper::gemv(4, 8)),
+            Some(Pattern::Gemv { .. })
+        ));
+        assert!(matches!(
+            classify(&paper::gemm(4, 8, 4)),
+            Some(Pattern::Gemm { .. })
+        ));
+        assert!(matches!(
+            classify(&paper::two_gemv(4, 8)),
+            Some(Pattern::TwoGemv { .. })
+        ));
+        assert!(matches!(
+            classify(&paper::bilinear(4, 8)),
+            Some(Pattern::Bilinear { .. })
+        ));
+        assert!(matches!(
+            classify(&paper::addt_gemm(8, 4, 4)),
+            Some(Pattern::AddTGemm { .. })
+        ));
+        assert!(matches!(
+            classify(&paper::madd(4, 4)),
+            Some(Pattern::Madd { .. })
+        ));
+        assert!(matches!(
+            classify(&paper::transpose(4, 8)),
+            Some(Pattern::Transpose { .. })
+        ));
     }
 
     #[test]

@@ -26,13 +26,25 @@ fn check(blac: &Blac, comp: Competitor, arch: Microarch, offsets: Option<&[usize
     };
     {
         let mut refs: Vec<&mut [f32]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
-        run_kernel(&kernel, &mut refs, &layout, arch.vector_isa(), &mut NullSink)
-            .unwrap_or_else(|e| panic!("{} {:?} on {}: {e}", kernel.name, comp, arch));
+        run_kernel(
+            &kernel,
+            &mut refs,
+            &layout,
+            arch.vector_isa(),
+            &mut NullSink,
+        )
+        .unwrap_or_else(|e| panic!("{} {:?} on {}: {e}", kernel.name, comp, arch));
     }
     let got = MatrixValue::new(blac.dims(blac.output), bufs[blac.output.0].clone());
     let tol = 1e-4 + 1e-6 * blac.flops() as f32;
     let diff = max_abs_diff(&got, &expected);
-    assert!(diff < tol, "{:?} on {} for {}: diff {diff} > {tol}", comp, arch, kernel.name);
+    assert!(
+        diff < tol,
+        "{:?} on {} for {}: diff {diff} > {tol}",
+        comp,
+        arch,
+        kernel.name
+    );
 }
 
 fn suite() -> Vec<Blac> {

@@ -3,7 +3,9 @@
 //! analysis, versioning, unparsing).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lgen_cir::passes::{copy_prop, dce, detect_alignment, scalar_replacement, unroll, UnrollPolicy};
+use lgen_cir::passes::{
+    copy_prop, dce, detect_alignment, scalar_replacement, unroll, UnrollPolicy,
+};
 use lgen_core::CompileConfig;
 use lgen_isa::Microarch;
 use lgen_ll::paper;
@@ -18,7 +20,13 @@ fn bench_codegen(c: &mut Criterion) {
         b.iter(|| black_box(compile_blac(&blac, "k", &opts)))
     });
     g.bench_function("full-pipeline/gemm-30x44x30", |b| {
-        b.iter(|| black_box(lgen_core::compile(&blac, "k", &CompileConfig::full(Microarch::Atom))))
+        b.iter(|| {
+            black_box(lgen_core::compile(
+                &blac,
+                "k",
+                &CompileConfig::full(Microarch::Atom),
+            ))
+        })
     });
     g.finish();
 }
@@ -30,7 +38,10 @@ fn bench_passes(c: &mut Criterion) {
     let mut g = c.benchmark_group("passes");
     g.bench_function("unroll-full", |b| {
         b.iter(|| {
-            black_box(unroll(raw.body().to_vec(), UnrollPolicy::Full { max_trip: 32 }))
+            black_box(unroll(
+                raw.body().to_vec(),
+                UnrollPolicy::Full { max_trip: 32 },
+            ))
         })
     });
     let unrolled = unroll(raw.body().to_vec(), UnrollPolicy::Full { max_trip: 32 });
@@ -67,12 +78,23 @@ fn bench_ablations(c: &mut Criterion) {
     // C unparsing.
     let kernel = lgen_core::compile(&blac, "k", &CompileConfig::full(Microarch::Atom));
     g.bench_function("unparse-c/gemv-30x44", |b| {
-        b.iter(|| black_box(lgen_cir::unparse::unparse(&kernel, lgen_isa::VectorIsa::Ssse3)))
+        b.iter(|| {
+            black_box(lgen_cir::unparse::unparse(
+                &kernel,
+                lgen_isa::VectorIsa::Ssse3,
+            ))
+        })
     });
     // Simulator throughput.
     g.bench_function("simulate/gemv-30x44-atom", |b| {
         b.iter(|| {
-            black_box(lgen_core::measure_blac(&blac, &kernel, Microarch::Atom, &[0; 5], 1))
+            black_box(lgen_core::measure_blac(
+                &blac,
+                &kernel,
+                Microarch::Atom,
+                &[0; 5],
+                1,
+            ))
         })
     });
     g.finish();

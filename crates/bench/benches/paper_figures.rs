@@ -32,28 +32,76 @@ fn bench_atom_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("atom");
     g.sample_size(10);
     g.bench_function("fig-5.1a/mvm-4x64", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::mvm(4, 64), Microarch::Atom, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::mvm(4, 64),
+                Microarch::Atom,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.2a/gemv-64x4", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::gemv(64, 4), Microarch::Atom, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::gemv(64, 4),
+                Microarch::Atom,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.3a/mvm-7x7", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::mvm(7, 7), Microarch::Atom, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::mvm(7, 7),
+                Microarch::Atom,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.4a/mmm-4x4x48", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::mmm(4, 4, 48), Microarch::Atom, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::mmm(4, 4, 48),
+                Microarch::Atom,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.5a/mmm-4x48x4", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::mmm(4, 48, 4), Microarch::Atom, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::mmm(4, 48, 4),
+                Microarch::Atom,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.6/mmm-6x6x6", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::mmm(6, 6, 6), Microarch::Atom, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::mmm(6, 6, 6),
+                Microarch::Atom,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.7a/gemv-30x44", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::gemv(30, 44), Microarch::Atom, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::gemv(30, 44),
+                Microarch::Atom,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.8/axpy-1082", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::axpy(1082), Microarch::Atom, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::axpy(1082),
+                Microarch::Atom,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.9/mkl-misaligned", |b| {
         b.iter(|| {
@@ -72,31 +120,85 @@ fn bench_arm_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("arm");
     g.sample_size(10);
     g.bench_function("fig-5.10a/a8-mvm-64x4", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::mvm(64, 4), Microarch::CortexA8, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::mvm(64, 4),
+                Microarch::CortexA8,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.11b/a8-gemv-4x64", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::gemv(4, 64), Microarch::CortexA8, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::gemv(4, 64),
+                Microarch::CortexA8,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.12b/a8-mmm-6x6x6", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::mmm(6, 6, 6), Microarch::CortexA8, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::mmm(6, 6, 6),
+                Microarch::CortexA8,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.13b/a8-leftovers-100x6x6", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::mmm(100, 6, 6), Microarch::CortexA8, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::mmm(100, 6, 6),
+                Microarch::CortexA8,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.14a/a9-mvm-64x4", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::mvm(64, 4), Microarch::CortexA9, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::mvm(64, 4),
+                Microarch::CortexA9,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.16b/a9-bilinear-4x64", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::bilinear(4, 64), Microarch::CortexA9, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::bilinear(4, 64),
+                Microarch::CortexA9,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.17b/a9-mmm-6x6x6", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::mmm(6, 6, 6), Microarch::CortexA9, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::mmm(6, 6, 6),
+                Microarch::CortexA9,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.18b/a9-leftovers-100x6x6", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::mmm(100, 6, 6), Microarch::CortexA9, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::mmm(100, 6, 6),
+                Microarch::CortexA9,
+                Variant::Full,
+            ))
+        })
     });
     g.bench_function("fig-5.19d/1176-gemv-4x64", |b| {
-        b.iter(|| black_box(measure_lgen(&paper::gemv(4, 64), Microarch::Arm1176, Variant::Full)))
+        b.iter(|| {
+            black_box(measure_lgen(
+                &paper::gemv(4, 64),
+                Microarch::Arm1176,
+                Variant::Full,
+            ))
+        })
     });
     g.finish();
 }
@@ -109,7 +211,13 @@ fn bench_competitors(c: &mut Criterion) {
             continue;
         }
         g.bench_function(format!("gemv-4x64/{}", comp.label()), |b| {
-            b.iter(|| black_box(measure_competitor(&paper::gemv(4, 64), Microarch::Atom, comp)))
+            b.iter(|| {
+                black_box(measure_competitor(
+                    &paper::gemv(4, 64),
+                    Microarch::Atom,
+                    comp,
+                ))
+            })
         });
     }
     g.finish();

@@ -18,7 +18,9 @@ pub const TUNE_SAMPLES: usize = 6;
 /// and returns flops/cycle of the best kernel.
 pub fn measure_lgen(blac: &Blac, arch: Microarch, variant: Variant) -> f64 {
     let cfg = CompileConfig::variant(arch, variant);
-    let tuned = Autotuner::new(cfg).with_sample_size(TUNE_SAMPLES).tune(blac, "lgen");
+    let tuned = Autotuner::new(cfg)
+        .with_sample_size(TUNE_SAMPLES)
+        .tune(blac, "lgen");
     tuned.measurement.flops_per_cycle()
 }
 
@@ -126,7 +128,9 @@ impl<'a> SeriesBuilder<'a> {
 pub mod sweeps {
     /// Long-dimension sweep for panels (the paper plots 2…1190).
     pub fn panel() -> Vec<usize> {
-        vec![2, 5, 8, 16, 23, 36, 64, 101, 128, 254, 361, 512, 695, 893, 1024, 1190]
+        vec![
+            2, 5, 8, 16, 23, 36, 64, 101, 128, 254, 361, 512, 695, 893, 1024, 1190,
+        ]
     }
 
     /// Short panel sweep for expensive kernels (the paper plots 2…946).
@@ -169,7 +173,11 @@ mod tests {
         assert!(full > base, "Full {full} must beat Base {base}");
         for comp in Competitor::ALL {
             if let Some(fc) = measure_competitor(&blac, Microarch::Atom, comp) {
-                assert!(full > fc, "LGen-Full {full} must beat {} {fc}", comp.label());
+                assert!(
+                    full > fc,
+                    "LGen-Full {full} must beat {} {fc}",
+                    comp.label()
+                );
             }
         }
     }

@@ -36,47 +36,211 @@ pub struct Experiment {
 /// The full registry, in paper order.
 pub fn all() -> Vec<Experiment> {
     vec![
-        Experiment { id: "table-2.1", title: "the 18 required ν-BLACs", run: table_2_1 },
-        Experiment { id: "table-3.1", title: "vector add vs hadd per µarch", run: table_3_1 },
-        Experiment { id: "table-3.2", title: "old vs new MVM operation counts", run: table_3_2 },
-        Experiment { id: "fig-5.1", title: "MVM BLACs on 4×n panels (Atom)", run: fig_5_1 },
-        Experiment { id: "fig-5.2", title: "MVM BLACs on n×4 panels (Atom)", run: fig_5_2 },
-        Experiment { id: "fig-5.3", title: "micro-BLACs with MVM (Atom)", run: fig_5_3 },
-        Experiment { id: "fig-5.4", title: "MMM BLACs, right operand 4×n (Atom)", run: fig_5_4 },
-        Experiment { id: "fig-5.5", title: "MMM BLACs, right operand ·×4 (Atom)", run: fig_5_5 },
-        Experiment { id: "fig-5.6", title: "C = AB micro-BLAC (Atom)", run: fig_5_6 },
-        Experiment { id: "fig-5.7", title: "BLACs on varying shapes (Atom)", run: fig_5_7 },
-        Experiment { id: "fig-5.8", title: "y = αx + y (Atom)", run: fig_5_8 },
-        Experiment { id: "fig-5.9", title: "gemv with misaligned arrays (Atom)", run: fig_5_9 },
-        Experiment { id: "fig-5.10", title: "simple BLACs (Cortex-A8)", run: fig_5_10 },
-        Experiment { id: "fig-5.11", title: "BLAS-like BLACs (Cortex-A8)", run: fig_5_11 },
-        Experiment { id: "fig-5.12", title: "micro-BLACs (Cortex-A8)", run: fig_5_12 },
-        Experiment { id: "fig-5.13", title: "leftover-heavy C = AB (Cortex-A8)", run: fig_5_13 },
-        Experiment { id: "fig-5.14", title: "simple BLACs (Cortex-A9)", run: fig_5_14 },
-        Experiment { id: "fig-5.15", title: "BLAS-like BLACs (Cortex-A9)", run: fig_5_15 },
-        Experiment { id: "fig-5.16", title: "multi-BLAS BLACs (Cortex-A9)", run: fig_5_16 },
-        Experiment { id: "fig-5.17", title: "micro-BLACs (Cortex-A9)", run: fig_5_17 },
-        Experiment { id: "fig-5.18", title: "leftover-heavy C = AB (Cortex-A9)", run: fig_5_18 },
-        Experiment { id: "fig-5.19", title: "various BLACs (ARM1176)", run: fig_5_19 },
-        Experiment { id: "fig-B.1", title: "simple BLACs, complete (Atom)", run: fig_b1 },
-        Experiment { id: "fig-B.2", title: "BLAS-matching BLACs, complete (Atom)", run: fig_b2 },
-        Experiment { id: "fig-B.3", title: "multi-BLAS BLACs, complete (Atom)", run: fig_b3 },
-        Experiment { id: "fig-B.4", title: "micro-BLACs, complete (Atom)", run: fig_b4 },
-        Experiment { id: "fig-B.5", title: "simple BLACs, complete (Cortex-A8)", run: fig_b5 },
-        Experiment { id: "fig-B.6", title: "BLAS-matching BLACs, complete (Cortex-A8)", run: fig_b6 },
-        Experiment { id: "fig-B.7", title: "multi-BLAS BLACs, complete (Cortex-A8)", run: fig_b7 },
-        Experiment { id: "fig-B.8", title: "micro-BLACs, complete (Cortex-A8)", run: fig_b8 },
-        Experiment { id: "fig-B.10", title: "simple BLACs, complete (Cortex-A9)", run: fig_b10 },
-        Experiment { id: "fig-B.11", title: "BLAS-matching BLACs, complete (Cortex-A9)", run: fig_b11 },
-        Experiment { id: "fig-B.12", title: "multi-BLAS BLACs, complete (Cortex-A9)", run: fig_b12 },
-        Experiment { id: "fig-B.13", title: "micro-BLACs, complete (Cortex-A9)", run: fig_b13 },
-        Experiment { id: "fig-B.15", title: "simple BLACs, complete (ARM1176)", run: fig_b15 },
-        Experiment { id: "fig-B.16", title: "BLAS-matching BLACs, complete (ARM1176)", run: fig_b16 },
-        Experiment { id: "fig-B.17", title: "multi-BLAS BLACs, complete (ARM1176)", run: fig_b17 },
-        Experiment { id: "fig-B.18", title: "micro-BLACs, complete (ARM1176)", run: fig_b18 },
-        Experiment { id: "ext-energy", title: "energy-aware autotuning (§6 extension)", run: ext_energy },
-        Experiment { id: "ext-peel", title: "LGen-side loop peeling (§6 extension)", run: ext_peel },
-        Experiment { id: "ext-search", title: "guided vs random search (§6 extension)", run: ext_search },
+        Experiment {
+            id: "table-2.1",
+            title: "the 18 required ν-BLACs",
+            run: table_2_1,
+        },
+        Experiment {
+            id: "table-3.1",
+            title: "vector add vs hadd per µarch",
+            run: table_3_1,
+        },
+        Experiment {
+            id: "table-3.2",
+            title: "old vs new MVM operation counts",
+            run: table_3_2,
+        },
+        Experiment {
+            id: "fig-5.1",
+            title: "MVM BLACs on 4×n panels (Atom)",
+            run: fig_5_1,
+        },
+        Experiment {
+            id: "fig-5.2",
+            title: "MVM BLACs on n×4 panels (Atom)",
+            run: fig_5_2,
+        },
+        Experiment {
+            id: "fig-5.3",
+            title: "micro-BLACs with MVM (Atom)",
+            run: fig_5_3,
+        },
+        Experiment {
+            id: "fig-5.4",
+            title: "MMM BLACs, right operand 4×n (Atom)",
+            run: fig_5_4,
+        },
+        Experiment {
+            id: "fig-5.5",
+            title: "MMM BLACs, right operand ·×4 (Atom)",
+            run: fig_5_5,
+        },
+        Experiment {
+            id: "fig-5.6",
+            title: "C = AB micro-BLAC (Atom)",
+            run: fig_5_6,
+        },
+        Experiment {
+            id: "fig-5.7",
+            title: "BLACs on varying shapes (Atom)",
+            run: fig_5_7,
+        },
+        Experiment {
+            id: "fig-5.8",
+            title: "y = αx + y (Atom)",
+            run: fig_5_8,
+        },
+        Experiment {
+            id: "fig-5.9",
+            title: "gemv with misaligned arrays (Atom)",
+            run: fig_5_9,
+        },
+        Experiment {
+            id: "fig-5.10",
+            title: "simple BLACs (Cortex-A8)",
+            run: fig_5_10,
+        },
+        Experiment {
+            id: "fig-5.11",
+            title: "BLAS-like BLACs (Cortex-A8)",
+            run: fig_5_11,
+        },
+        Experiment {
+            id: "fig-5.12",
+            title: "micro-BLACs (Cortex-A8)",
+            run: fig_5_12,
+        },
+        Experiment {
+            id: "fig-5.13",
+            title: "leftover-heavy C = AB (Cortex-A8)",
+            run: fig_5_13,
+        },
+        Experiment {
+            id: "fig-5.14",
+            title: "simple BLACs (Cortex-A9)",
+            run: fig_5_14,
+        },
+        Experiment {
+            id: "fig-5.15",
+            title: "BLAS-like BLACs (Cortex-A9)",
+            run: fig_5_15,
+        },
+        Experiment {
+            id: "fig-5.16",
+            title: "multi-BLAS BLACs (Cortex-A9)",
+            run: fig_5_16,
+        },
+        Experiment {
+            id: "fig-5.17",
+            title: "micro-BLACs (Cortex-A9)",
+            run: fig_5_17,
+        },
+        Experiment {
+            id: "fig-5.18",
+            title: "leftover-heavy C = AB (Cortex-A9)",
+            run: fig_5_18,
+        },
+        Experiment {
+            id: "fig-5.19",
+            title: "various BLACs (ARM1176)",
+            run: fig_5_19,
+        },
+        Experiment {
+            id: "fig-B.1",
+            title: "simple BLACs, complete (Atom)",
+            run: fig_b1,
+        },
+        Experiment {
+            id: "fig-B.2",
+            title: "BLAS-matching BLACs, complete (Atom)",
+            run: fig_b2,
+        },
+        Experiment {
+            id: "fig-B.3",
+            title: "multi-BLAS BLACs, complete (Atom)",
+            run: fig_b3,
+        },
+        Experiment {
+            id: "fig-B.4",
+            title: "micro-BLACs, complete (Atom)",
+            run: fig_b4,
+        },
+        Experiment {
+            id: "fig-B.5",
+            title: "simple BLACs, complete (Cortex-A8)",
+            run: fig_b5,
+        },
+        Experiment {
+            id: "fig-B.6",
+            title: "BLAS-matching BLACs, complete (Cortex-A8)",
+            run: fig_b6,
+        },
+        Experiment {
+            id: "fig-B.7",
+            title: "multi-BLAS BLACs, complete (Cortex-A8)",
+            run: fig_b7,
+        },
+        Experiment {
+            id: "fig-B.8",
+            title: "micro-BLACs, complete (Cortex-A8)",
+            run: fig_b8,
+        },
+        Experiment {
+            id: "fig-B.10",
+            title: "simple BLACs, complete (Cortex-A9)",
+            run: fig_b10,
+        },
+        Experiment {
+            id: "fig-B.11",
+            title: "BLAS-matching BLACs, complete (Cortex-A9)",
+            run: fig_b11,
+        },
+        Experiment {
+            id: "fig-B.12",
+            title: "multi-BLAS BLACs, complete (Cortex-A9)",
+            run: fig_b12,
+        },
+        Experiment {
+            id: "fig-B.13",
+            title: "micro-BLACs, complete (Cortex-A9)",
+            run: fig_b13,
+        },
+        Experiment {
+            id: "fig-B.15",
+            title: "simple BLACs, complete (ARM1176)",
+            run: fig_b15,
+        },
+        Experiment {
+            id: "fig-B.16",
+            title: "BLAS-matching BLACs, complete (ARM1176)",
+            run: fig_b16,
+        },
+        Experiment {
+            id: "fig-B.17",
+            title: "multi-BLAS BLACs, complete (ARM1176)",
+            run: fig_b17,
+        },
+        Experiment {
+            id: "fig-B.18",
+            title: "micro-BLACs, complete (ARM1176)",
+            run: fig_b18,
+        },
+        Experiment {
+            id: "ext-energy",
+            title: "energy-aware autotuning (§6 extension)",
+            run: ext_energy,
+        },
+        Experiment {
+            id: "ext-peel",
+            title: "LGen-side loop peeling (§6 extension)",
+            run: ext_peel,
+        },
+        Experiment {
+            id: "ext-search",
+            title: "guided vs random search (§6 extension)",
+            run: ext_search,
+        },
     ]
 }
 
@@ -106,7 +270,12 @@ fn table_2_1() -> String {
             .filter(|k| k.operator() == op)
             .map(|k| k.name())
             .collect();
-        let _ = writeln!(out, "{op:?} ({} ν-BLACs): {}", members.len(), members.join(", "));
+        let _ = writeln!(
+            out,
+            "{op:?} ({} ν-BLACs): {}",
+            members.len(),
+            members.join(", ")
+        );
     }
     let _ = writeln!(out, "total: {} (paper: 18)", NuBlacKind::all().len());
     out
@@ -114,8 +283,15 @@ fn table_2_1() -> String {
 
 fn table_3_1() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== table-3.1: _mm_add_ps vs _mm_hadd_ps (latency/throughput) ==");
-    let _ = writeln!(out, "{:<14} {:>12} {:>12}", "µarch", "mm_add_ps", "mm_hadd_ps");
+    let _ = writeln!(
+        out,
+        "== table-3.1: _mm_add_ps vs _mm_hadd_ps (latency/throughput) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>12}",
+        "µarch", "mm_add_ps", "mm_hadd_ps"
+    );
     for (m, add, hadd) in lgen_isa::haswell_family_add_vs_hadd() {
         let _ = writeln!(
             out,
@@ -125,7 +301,11 @@ fn table_3_1() -> String {
             add.issue,
             hadd.latency,
             hadd.issue,
-            if hadd.ports.blocks_all() { "  (occupies both ports)" } else { "" }
+            if hadd.ports.blocks_all() {
+                "  (occupies both ports)"
+            } else {
+                ""
+            }
         );
     }
     out
@@ -151,14 +331,25 @@ fn table_3_2() -> String {
             &mut sink,
         )
         .expect("kernel runs");
-        (sink.count(MOp::MmMulPs), sink.count(MOp::MmAddPs), sink.count(MOp::MmHaddPs))
+        (
+            sink.count(MOp::MmMulPs),
+            sink.count(MOp::MmAddPs),
+            sink.count(MOp::MmHaddPs),
+        )
     };
     let (mul_o, add_o, hadd_o) = count(Variant::Base);
     let (mul_n, add_n, hadd_n) = count(Variant::Mvm);
     let (m64, n64) = (m as u64, n as u64);
     let mut out = String::new();
-    let _ = writeln!(out, "== table-3.2: arithmetic operations, old vs new MVM (M={m}, N={n}) ==");
-    let _ = writeln!(out, "{:<12} {:>10} {:>10}", "operation", "old MVM", "new MVM");
+    let _ = writeln!(
+        out,
+        "== table-3.2: arithmetic operations, old vs new MVM (M={m}, N={n}) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>10}",
+        "operation", "old MVM", "new MVM"
+    );
     let _ = writeln!(
         out,
         "{:<12} {:>10} {:>10}   (paper: MN/4 = {})",
@@ -203,7 +394,10 @@ const FULL_BASE: [Variant; 2] = [Variant::Full, Variant::Base];
 const FULL_ONLY: [Variant; 1] = [Variant::Full];
 
 fn render(figs: &[Figure]) -> String {
-    figs.iter().map(Figure::render).collect::<Vec<_>>().join("\n")
+    figs.iter()
+        .map(Figure::render)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 // ----------------------------------------------------------- Atom (§5.2) ---
@@ -265,7 +459,11 @@ fn fig_5_4() -> String {
             .run("fig-5.4b", "C = αAB + βC, A is 4×4, B is 4×n (Atom)", &ns),
         SeriesBuilder::new(Microarch::Atom, |n| paper::addt_gemm(4, n, n))
             .variants(&FULL_BASE)
-            .run("fig-5.4c", "C = α(A0+A1)ᵀB + βC, A0,A1 are 4×n (Atom)", &varying),
+            .run(
+                "fig-5.4c",
+                "C = α(A0+A1)ᵀB + βC, A0,A1 are 4×n (Atom)",
+                &varying,
+            ),
     ];
     render(&figs)
 }
@@ -281,7 +479,11 @@ fn fig_5_5() -> String {
             .run("fig-5.5b", "C = αAB + βC, A is 4×n, B is n×4 (Atom)", &ns),
         SeriesBuilder::new(Microarch::Atom, |n| paper::addt_gemm(4, n, 4))
             .variants(&FULL_BASE)
-            .run("fig-5.5c", "C = α(A0+A1)ᵀB + βC, A0,A1 are 4×n, B is 4×4 (Atom)", &ns),
+            .run(
+                "fig-5.5c",
+                "C = α(A0+A1)ᵀB + βC, A0,A1 are 4×n, B is 4×4 (Atom)",
+                &ns,
+            ),
     ];
     render(&figs)
 }
@@ -289,7 +491,11 @@ fn fig_5_5() -> String {
 fn fig_5_6() -> String {
     let figs = vec![SeriesBuilder::new(Microarch::Atom, |n| paper::mmm(n, n, n))
         .variants(&FULL_BASE)
-        .run("fig-5.6", "C = AB, A and B are n×n (Atom micro)", &sweeps::micro())];
+        .run(
+            "fig-5.6",
+            "C = AB, A and B are n×n (Atom micro)",
+            &sweeps::micro(),
+        )];
     render(&figs)
 }
 
@@ -302,10 +508,18 @@ fn fig_5_7() -> String {
             .run("fig-5.7a", "y = αAx + βy, A is 30×n (Atom)", &ns),
         SeriesBuilder::new(Microarch::Atom, |n| paper::gemm(30, n, 30))
             .variants(&FULL_BASE)
-            .run("fig-5.7b", "C = αAB + βC, A is 30×n, B is n×30 (Atom)", &short),
+            .run(
+                "fig-5.7b",
+                "C = αAB + βC, A is 30×n, B is n×30 (Atom)",
+                &short,
+            ),
         SeriesBuilder::new(Microarch::Atom, |n| paper::addt_gemm(n, 30, 30))
             .variants(&FULL_BASE)
-            .run("fig-5.7c", "C = α(A0+A1)ᵀB + βC, A0,A1,B are n×30 (Atom)", &short),
+            .run(
+                "fig-5.7c",
+                "C = α(A0+A1)ᵀB + βC, A0,A1,B are n×30 (Atom)",
+                &short,
+            ),
     ];
     render(&figs)
 }
@@ -321,9 +535,11 @@ fn fig_5_9() -> String {
     // y = αAx + βy on 30×n, all arrays allocated aligned + offset.
     let ns = sweeps::varying();
     let mut out = String::new();
-    for (sub, off_floats, label) in
-        [("a", 0usize, "offset 0 bytes"), ("b", 1, "offset 4 bytes"), ("c", 2, "offset 8 bytes")]
-    {
+    for (sub, off_floats, label) in [
+        ("a", 0usize, "offset 0 bytes"),
+        ("b", 1, "offset 4 bytes"),
+        ("c", 2, "offset 8 bytes"),
+    ] {
         let mut fig = Figure::new(
             &format!("fig-5.9{sub}"),
             &format!("y = αAx + βy, A is 30×n, {label} (Atom)"),
@@ -340,12 +556,24 @@ fn fig_5_9() -> String {
             let offs = vec![0, 0, off_floats, off_floats, off_floats];
             let full_cfg = CompileConfig::full(Microarch::Atom).with_versioning();
             let mvm_cfg = CompileConfig::variant(Microarch::Atom, Variant::Mvm);
-            lgen_full
-                .points
-                .push((n, Some(measure_lgen_offsets(&blac, Microarch::Atom, &full_cfg, &offs))));
-            lgen_mvm
-                .points
-                .push((n, Some(measure_lgen_offsets(&blac, Microarch::Atom, &mvm_cfg, &offs))));
+            lgen_full.points.push((
+                n,
+                Some(measure_lgen_offsets(
+                    &blac,
+                    Microarch::Atom,
+                    &full_cfg,
+                    &offs,
+                )),
+            ));
+            lgen_mvm.points.push((
+                n,
+                Some(measure_lgen_offsets(
+                    &blac,
+                    Microarch::Atom,
+                    &mvm_cfg,
+                    &offs,
+                )),
+            ));
             for (series, comp) in [
                 (&mut eigen, Competitor::Eigen),
                 (&mut mkl, Competitor::Mkl),
@@ -368,17 +596,33 @@ fn fig_5_9() -> String {
 fn arm_simple(arch: Microarch, id_prefix: &str) -> String {
     let ns = sweeps::panel();
     let short = sweeps::panel_short();
-    let rank: Vec<usize> = sweeps::varying().iter().copied().filter(|&n| n <= 86).collect();
+    let rank: Vec<usize> = sweeps::varying()
+        .iter()
+        .copied()
+        .filter(|&n| n <= 86)
+        .collect();
     let figs = vec![
         SeriesBuilder::new(arch, |n| paper::mvm(n, 4))
             .variants(&FULL_ONLY)
-            .run(&format!("{id_prefix}a"), &format!("y = Ax, A is n×4 ({arch})"), &ns),
+            .run(
+                &format!("{id_prefix}a"),
+                &format!("y = Ax, A is n×4 ({arch})"),
+                &ns,
+            ),
         SeriesBuilder::new(arch, |n| paper::mmm(4, n, 4))
             .variants(&FULL_ONLY)
-            .run(&format!("{id_prefix}b"), &format!("C = AB, A is 4×n, B is n×4 ({arch})"), &short),
+            .run(
+                &format!("{id_prefix}b"),
+                &format!("C = AB, A is 4×n, B is n×4 ({arch})"),
+                &short,
+            ),
         SeriesBuilder::new(arch, |n| paper::mmm(n, 4, n))
             .variants(&FULL_ONLY)
-            .run(&format!("{id_prefix}c"), &format!("C = AB, A is n×4, B is 4×n ({arch})"), &rank),
+            .run(
+                &format!("{id_prefix}c"),
+                &format!("C = AB, A is n×4, B is 4×n ({arch})"),
+                &rank,
+            ),
     ];
     render(&figs)
 }
@@ -389,19 +633,35 @@ fn arm_blas_like(arch: Microarch, id_prefix: &str) -> String {
     let figs = vec![
         SeriesBuilder::new(arch, paper::axpy)
             .variants(&FULL_ONLY)
-            .run(&format!("{id_prefix}a"), &format!("y = αx + y ({arch})"), &sweeps::vector()),
+            .run(
+                &format!("{id_prefix}a"),
+                &format!("y = αx + y ({arch})"),
+                &sweeps::vector(),
+            ),
         SeriesBuilder::new(arch, |n| paper::gemv(4, n))
             .variants(&FULL_ONLY)
-            .run(&format!("{id_prefix}b"), &format!("y = αAx + βy, A is 4×n ({arch})"), &ns),
+            .run(
+                &format!("{id_prefix}b"),
+                &format!("y = αAx + βy, A is 4×n ({arch})"),
+                &ns,
+            ),
         SeriesBuilder::new(arch, |n| paper::gemv(30, n))
             .variants(&FULL_ONLY)
-            .run(&format!("{id_prefix}c"), &format!("y = αAx + βy, A is 30×n ({arch})"), &varying),
+            .run(
+                &format!("{id_prefix}c"),
+                &format!("y = αAx + βy, A is 30×n ({arch})"),
+                &varying,
+            ),
         SeriesBuilder::new(arch, |n| paper::gemm(30, n, 30))
             .variants(&FULL_ONLY)
             .run(
                 &format!("{id_prefix}d"),
                 &format!("C = αAB + βC, A is 30×n, B is n×30 ({arch})"),
-                &varying.iter().copied().filter(|&n| n <= 62).collect::<Vec<_>>(),
+                &varying
+                    .iter()
+                    .copied()
+                    .filter(|&n| n <= 62)
+                    .collect::<Vec<_>>(),
             ),
     ];
     render(&figs)
@@ -409,14 +669,26 @@ fn arm_blas_like(arch: Microarch, id_prefix: &str) -> String {
 
 fn arm_multi_blas(arch: Microarch, id_prefix: &str) -> String {
     let ns = sweeps::panel();
-    let short: Vec<usize> = sweeps::varying().iter().copied().filter(|&n| n <= 86).collect();
+    let short: Vec<usize> = sweeps::varying()
+        .iter()
+        .copied()
+        .filter(|&n| n <= 86)
+        .collect();
     let figs = vec![
         SeriesBuilder::new(arch, |n| paper::two_gemv(4, n))
             .variants(&FULL_ONLY)
-            .run(&format!("{id_prefix}a"), &format!("y = αAx + βBx, A,B are 4×n ({arch})"), &ns),
+            .run(
+                &format!("{id_prefix}a"),
+                &format!("y = αAx + βBx, A,B are 4×n ({arch})"),
+                &ns,
+            ),
         SeriesBuilder::new(arch, |n| paper::bilinear(4, n))
             .variants(&FULL_ONLY)
-            .run(&format!("{id_prefix}b"), &format!("α = xᵀAy, A is 4×n ({arch})"), &ns),
+            .run(
+                &format!("{id_prefix}b"),
+                &format!("α = xᵀAy, A is 4×n ({arch})"),
+                &ns,
+            ),
         SeriesBuilder::new(arch, |n| paper::addt_gemm(4, n, n))
             .variants(&FULL_ONLY)
             .run(
@@ -433,13 +705,25 @@ fn arm_micro(arch: Microarch, id_prefix: &str) -> String {
     let figs = vec![
         SeriesBuilder::new(arch, |n| paper::mvm(n, n))
             .variants(&FULL_BASE)
-            .run(&format!("{id_prefix}a"), &format!("y = Ax, n×n ({arch} micro)"), &ns),
+            .run(
+                &format!("{id_prefix}a"),
+                &format!("y = Ax, n×n ({arch} micro)"),
+                &ns,
+            ),
         SeriesBuilder::new(arch, |n| paper::mmm(n, n, n))
             .variants(&FULL_BASE)
-            .run(&format!("{id_prefix}b"), &format!("C = AB, n×n ({arch} micro)"), &ns),
+            .run(
+                &format!("{id_prefix}b"),
+                &format!("C = AB, n×n ({arch} micro)"),
+                &ns,
+            ),
         SeriesBuilder::new(arch, |n| paper::bilinear(n, n))
             .variants(&FULL_BASE)
-            .run(&format!("{id_prefix}c"), &format!("α = xᵀAy, n×n ({arch} micro)"), &ns),
+            .run(
+                &format!("{id_prefix}c"),
+                &format!("α = xᵀAy, n×n ({arch} micro)"),
+                &ns,
+            ),
     ];
     render(&figs)
 }
@@ -463,8 +747,12 @@ fn arm_leftovers(arch: Microarch, id: &str) -> String {
                 }
                 case += 1;
                 let blac = paper::mmm(m, k, n);
-                padded.points.push((case, Some(measure_lgen(&blac, arch, Variant::Base))));
-                special.points.push((case, Some(measure_lgen(&blac, arch, Variant::Full))));
+                padded
+                    .points
+                    .push((case, Some(measure_lgen(&blac, arch, Variant::Base))));
+                special
+                    .points
+                    .push((case, Some(measure_lgen(&blac, arch, Variant::Full))));
             }
         }
     }
@@ -544,7 +832,11 @@ fn fig_5_19() -> String {
             .run("fig-5.19d", "y = αAx + βy, A is 4×n (ARM1176)", &ns),
         SeriesBuilder::new(arch, |n| paper::gemm(4, n, 4))
             .variants(&FULL_ONLY)
-            .run("fig-5.19e", "C = αAB + βC, A is 4×n, B is n×4 (ARM1176)", &ns),
+            .run(
+                "fig-5.19e",
+                "C = αAB + βC, A is 4×n, B is n×4 (ARM1176)",
+                &ns,
+            ),
         SeriesBuilder::new(arch, |n| paper::two_gemv(4, n))
             .variants(&FULL_ONLY)
             .run("fig-5.19f", "y = αAx + βBx, A,B are 4×n (ARM1176)", &ns),
@@ -553,7 +845,11 @@ fn fig_5_19() -> String {
             .run("fig-5.19g", "α = xᵀAy, A is 4×n (ARM1176)", &ns),
         SeriesBuilder::new(arch, |n| paper::addt_gemm(n, 4, 4))
             .variants(&FULL_ONLY)
-            .run("fig-5.19h", "C = α(A0+A1)ᵀB + βC, A0,A1,B are n×4 (ARM1176)", &ns),
+            .run(
+                "fig-5.19h",
+                "C = α(A0+A1)ᵀB + βC, A0,A1,B are n×4 (ARM1176)",
+                &ns,
+            ),
     ];
     render(&figs)
 }
@@ -577,7 +873,11 @@ fn fig_b2() -> String {
             .run(
                 "fig-B.2h",
                 "C = αAB + βC, A is n×4, B is 4×n (Atom)",
-                &sweeps::varying().iter().copied().filter(|&n| n <= 86).collect::<Vec<_>>(),
+                &sweeps::varying()
+                    .iter()
+                    .copied()
+                    .filter(|&n| n <= 86)
+                    .collect::<Vec<_>>(),
             ),
     ];
     render(&figs)
@@ -679,7 +979,11 @@ fn fig_b16() -> String {
             .run(
                 "fig-B.16g",
                 "C = αAB + βC, A is n×4, B is 4×n (ARM1176)",
-                &sweeps::varying().iter().copied().filter(|&n| n <= 86).collect::<Vec<_>>(),
+                &sweeps::varying()
+                    .iter()
+                    .copied()
+                    .filter(|&n| n <= 86)
+                    .collect::<Vec<_>>(),
             ),
     ];
     render(&figs)
@@ -692,7 +996,10 @@ fn fig_b16() -> String {
 fn ext_energy() -> String {
     use lgen_core::{Autotuner, Objective, SearchStrategy};
     let mut out = String::new();
-    let _ = writeln!(out, "== ext-energy: tuning objective comparison (Cortex-A8) ==");
+    let _ = writeln!(
+        out,
+        "== ext-energy: tuning objective comparison (Cortex-A8) =="
+    );
     let _ = writeln!(
         out,
         "{:<18} {:>14} {:>14} {:>12} {:>12}",
@@ -730,8 +1037,15 @@ fn ext_energy() -> String {
 /// element-wise kernels (the Fig. 5.9 limitation, fixed).
 fn ext_peel() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== ext-peel: y = αx + y at shared offset 1 float (Atom) ==");
-    let _ = writeln!(out, "{:>8} {:>16} {:>16} {:>16}", "n", "LGen-Versioned", "LGen-Peel", "Eigen-3.2.0");
+    let _ = writeln!(
+        out,
+        "== ext-peel: y = αx + y at shared offset 1 float (Atom) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>16} {:>16} {:>16}",
+        "n", "LGen-Versioned", "LGen-Peel", "Eigen-3.2.0"
+    );
     for n in [32usize, 64, 128, 256, 512, 1024] {
         let blac = paper::axpy(n);
         let offs = [0usize, 1, 1];
@@ -747,7 +1061,8 @@ fn ext_peel() -> String {
         );
         let mv = lgen_core::measure_blac(&blac, &versioned, Microarch::Atom, &offs, 3).unwrap();
         let mp = lgen_core::measure_blac(&blac, &peeled, Microarch::Atom, &offs, 3).unwrap();
-        let eig = measure_competitor_offsets(&blac, Microarch::Atom, Competitor::Eigen, Some(&offs));
+        let eig =
+            measure_competitor_offsets(&blac, Microarch::Atom, Competitor::Eigen, Some(&offs));
         let _ = writeln!(
             out,
             "{:>8} {:>16.3} {:>16.3} {:>16.3}",
@@ -765,7 +1080,10 @@ fn ext_peel() -> String {
 fn ext_search() -> String {
     use lgen_core::{Autotuner, SearchStrategy};
     let mut out = String::new();
-    let _ = writeln!(out, "== ext-search: search strategies on ARM1176 gemv 4×n ==");
+    let _ = writeln!(
+        out,
+        "== ext-search: search strategies on ARM1176 gemv 4×n =="
+    );
     let _ = writeln!(
         out,
         "{:>6} {:>14} {:>14} {:>14} {:>10} {:>10}",
@@ -775,8 +1093,12 @@ fn ext_search() -> String {
         let blac = paper::gemv(4, n);
         let cfg = CompileConfig::full(Microarch::Arm1176);
         let r = Autotuner::new(cfg).with_sample_size(3).tune(&blac, "k");
-        let g = Autotuner::new(cfg).with_strategy(SearchStrategy::Guided).tune(&blac, "k");
-        let e = Autotuner::new(cfg).with_strategy(SearchStrategy::Exhaustive).tune(&blac, "k");
+        let g = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Guided)
+            .tune(&blac, "k");
+        let e = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Exhaustive)
+            .tune(&blac, "k");
         let _ = writeln!(
             out,
             "{:>6} {:>14} {:>14} {:>14} {:>10} {:>10}",
@@ -803,9 +1125,27 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len(), "duplicate experiment ids");
         for required in [
-            "table-2.1", "table-3.1", "table-3.2", "fig-5.1", "fig-5.2", "fig-5.3", "fig-5.4",
-            "fig-5.5", "fig-5.6", "fig-5.7", "fig-5.8", "fig-5.9", "fig-5.10", "fig-5.11",
-            "fig-5.12", "fig-5.13", "fig-5.14", "fig-5.15", "fig-5.16", "fig-5.17", "fig-5.18",
+            "table-2.1",
+            "table-3.1",
+            "table-3.2",
+            "fig-5.1",
+            "fig-5.2",
+            "fig-5.3",
+            "fig-5.4",
+            "fig-5.5",
+            "fig-5.6",
+            "fig-5.7",
+            "fig-5.8",
+            "fig-5.9",
+            "fig-5.10",
+            "fig-5.11",
+            "fig-5.12",
+            "fig-5.13",
+            "fig-5.14",
+            "fig-5.15",
+            "fig-5.16",
+            "fig-5.17",
+            "fig-5.18",
             "fig-5.19",
         ] {
             assert!(ids.contains(&required), "missing {required}");

@@ -14,7 +14,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty series.
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// The maximum f/c over the sweep (0 if empty/unavailable).
@@ -49,7 +52,12 @@ pub struct Figure {
 impl Figure {
     /// Creates an empty figure.
     pub fn new(id: &str, title: &str, xlabel: &str) -> Self {
-        Figure { id: id.into(), title: title.into(), xlabel: xlabel.into(), series: Vec::new() }
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            series: Vec::new(),
+        }
     }
 
     /// The series with the given label, if present.

@@ -56,7 +56,11 @@ impl KernelBuilder {
 
     fn decl(&mut self, name: &str, len: usize, kind: ArrayKind) -> ArrayId {
         assert!(len > 0, "array {name} must have positive length");
-        self.arrays.push(ArrayDecl { name: name.to_string(), len, kind });
+        self.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            len,
+            kind,
+        });
         ArrayId(self.arrays.len() - 1)
     }
 
@@ -88,19 +92,34 @@ impl KernelBuilder {
 
     /// Appends a raw instruction.
     pub fn push(&mut self, inst: Inst) {
-        self.frames.last_mut().expect("builder has a frame").push(inst);
+        self.frames
+            .last_mut()
+            .expect("builder has a frame")
+            .push(inst);
     }
 
     /// Emits a generic load and returns the destination register.
     pub fn load(&mut self, arr: ArrayId, addr: AffineExpr, map: MemMap) -> VReg {
         let dst = self.fresh_reg();
-        self.push(Inst::GLoad { dst, arr, addr, map, aligned: false });
+        self.push(Inst::GLoad {
+            dst,
+            arr,
+            addr,
+            map,
+            aligned: false,
+        });
         dst
     }
 
     /// Emits a generic store.
     pub fn store(&mut self, src: VReg, arr: ArrayId, addr: AffineExpr, map: MemMap) {
-        self.push(Inst::GStore { src, arr, addr, map, aligned: false });
+        self.push(Inst::GStore {
+            src,
+            arr,
+            addr,
+            map,
+            aligned: false,
+        });
     }
 
     /// Emits `op(a, b)` into a fresh register.
@@ -127,7 +146,12 @@ impl KernelBuilder {
     /// Emits `dst = 0`.
     pub fn zero(&mut self) -> VReg {
         let dst = self.fresh_reg();
-        self.push(Inst::Move { op: VMove::Zero, dst, a: 0, b: 0 });
+        self.push(Inst::Move {
+            op: VMove::Zero,
+            dst,
+            a: 0,
+            b: 0,
+        });
         dst
     }
 
@@ -141,7 +165,8 @@ impl KernelBuilder {
         assert!(step > 0, "loop step must be positive");
         let var = self.nvars;
         self.nvars += 1;
-        self.open_loops.push((var, name.to_string(), start, end, step));
+        self.open_loops
+            .push((var, name.to_string(), start, end, step));
         self.frames.push(Vec::new());
         var
     }
@@ -159,7 +184,14 @@ impl KernelBuilder {
     pub fn end_loop(&mut self) {
         let body = self.frames.pop().expect("no open loop body");
         let (var, name, start, end, step) = self.open_loops.pop().expect("no open loop");
-        self.push(Inst::Loop { var, name, start, end, step, body });
+        self.push(Inst::Loop {
+            var,
+            name,
+            start,
+            end,
+            step,
+            body,
+        });
     }
 
     /// Runs `f` inside a new loop scope (convenience wrapper around
@@ -183,12 +215,19 @@ impl KernelBuilder {
     ///
     /// Panics if loops are still open.
     pub fn finish(mut self, flops: u64) -> Kernel {
-        assert!(self.open_loops.is_empty(), "unclosed loops: {}", self.open_loops.len());
+        assert!(
+            self.open_loops.is_empty(),
+            "unclosed loops: {}",
+            self.open_loops.len()
+        );
         let body = self.frames.pop().expect("body frame");
         Kernel {
             name: self.name,
             arrays: self.arrays,
-            versions: vec![KernelVersion { required_offsets: None, body }],
+            versions: vec![KernelVersion {
+                required_offsets: None,
+                body,
+            }],
             nreg: self.nreg,
             nvars: self.nvars,
             flops,

@@ -10,7 +10,7 @@ use crate::ir::{ArrayKind, Inst, Kernel, KernelVersion, VArith, VMove};
 use crate::lower::{self, LoweredOp, Slot};
 use crate::map::MemMap;
 use lgen_absint::AffineExpr;
-use lgen_isa::{MachInst, MemRef, MOp, TraceSink, VectorIsa};
+use lgen_isa::{MOp, MachInst, MemRef, TraceSink, VectorIsa};
 use std::collections::HashMap;
 
 /// Safety padding (floats) after each array, so that NEON's "load 4, keep 3"
@@ -45,7 +45,11 @@ impl MemLayout {
     /// Panics if `offsets` does not have one entry per parameter array.
     pub fn with_float_offsets(kernel: &Kernel, offsets: &[usize]) -> Self {
         let nparams = kernel.arrays.iter().filter(|a| a.kind.is_param()).count();
-        assert_eq!(offsets.len(), nparams, "need one offset per parameter array");
+        assert_eq!(
+            offsets.len(),
+            nparams,
+            "need one offset per parameter array"
+        );
         let mut bases = Vec::with_capacity(kernel.arrays.len());
         let mut cursor = 0usize; // floats
         let mut param_idx = 0usize;
@@ -62,7 +66,10 @@ impl MemLayout {
             bases.push((cursor + off) * 4);
             cursor += off + decl.len + ARRAY_PAD;
         }
-        MemLayout { bases, total_floats: cursor }
+        MemLayout {
+            bases,
+            total_floats: cursor,
+        }
     }
 
     /// Base offset of array `i` in floats modulo `nu`.
@@ -114,14 +121,21 @@ impl std::fmt::Display for ExecError {
             ExecError::ArgCount { expected, got } => {
                 write!(f, "expected {expected} arguments, got {got}")
             }
-            ExecError::ArgLen { name, expected, got } => {
+            ExecError::ArgLen {
+                name,
+                expected,
+                got,
+            } => {
                 write!(f, "argument {name}: expected {expected} floats, got {got}")
             }
             ExecError::OutOfBounds { name, index } => {
                 write!(f, "out-of-bounds access to {name} at float index {index}")
             }
             ExecError::AlignmentViolation { name, byte_addr } => {
-                write!(f, "aligned instruction reached unaligned address {byte_addr} in {name}")
+                write!(
+                    f,
+                    "aligned instruction reached unaligned address {byte_addr} in {name}"
+                )
             }
         }
     }
@@ -186,7 +200,10 @@ pub fn run_kernel(
         .map(|(i, _)| i)
         .collect();
     if args.len() != params.len() {
-        return Err(ExecError::ArgCount { expected: params.len(), got: args.len() });
+        return Err(ExecError::ArgCount {
+            expected: params.len(),
+            got: args.len(),
+        });
     }
     for (slot, &arr) in args.iter().zip(&params) {
         let decl = &kernel.arrays[arr];
@@ -224,7 +241,10 @@ pub fn run_kernel(
 
     // Copy outputs back.
     for (slot, &arr) in args.iter_mut().zip(&params) {
-        if matches!(kernel.arrays[arr].kind, ArrayKind::Output | ArrayKind::InOut) {
+        if matches!(
+            kernel.arrays[arr].kind,
+            ArrayKind::Output | ArrayKind::InOut
+        ) {
             let base = layout.bases[arr] / 4;
             slot.copy_from_slice(&exec.mem[base..base + slot.len()]);
         }
@@ -297,7 +317,10 @@ impl Exec<'_, '_> {
     fn check(&self, arr: crate::ir::ArrayId, fidx: i64) -> Result<usize, ExecError> {
         let decl = &self.kernel.arrays[arr.0];
         if fidx < 0 || fidx as usize >= decl.len + ARRAY_PAD {
-            return Err(ExecError::OutOfBounds { name: decl.name.clone(), index: fidx });
+            return Err(ExecError::OutOfBounds {
+                name: decl.name.clone(),
+                index: fidx,
+            });
         }
         Ok(self.layout.bases[arr.0] / 4 + fidx as usize)
     }
@@ -317,7 +340,10 @@ impl Exec<'_, '_> {
             }
             let mem = l.mem_off.map(|off| {
                 let base = abs_base.expect("memory op without address") as i64;
-                MemRef { addr: ((base + off) * 4) as usize, bytes: l.op.access_bytes() }
+                MemRef {
+                    addr: ((base + off) * 4) as usize,
+                    bytes: l.op.access_bytes(),
+                }
             });
             self.sink.emit(&MachInst {
                 op: l.op,
@@ -331,7 +357,13 @@ impl Exec<'_, '_> {
 
     fn inst(&mut self, inst: &Inst) -> Result<(), ExecError> {
         match inst {
-            Inst::GLoad { dst, arr, addr, map, aligned } => {
+            Inst::GLoad {
+                dst,
+                arr,
+                addr,
+                map,
+                aligned,
+            } => {
                 let base = self.addr_value(addr);
                 let abs = self.check(*arr, base + map.max_offset())? - map.max_offset() as usize;
                 self.check(*arr, base)?;
@@ -345,7 +377,13 @@ impl Exec<'_, '_> {
                 let seq = lower::lower_load(self.isa, *dst, map, *aligned);
                 self.emit_lowered(&seq, Some(abs));
             }
-            Inst::GStore { src, arr, addr, map, aligned } => {
+            Inst::GStore {
+                src,
+                arr,
+                addr,
+                map,
+                aligned,
+            } => {
                 let base = self.addr_value(addr);
                 let abs = self.check(*arr, base)?;
                 self.validate_alignment(*arr, abs, map, *aligned)?;
@@ -384,15 +422,24 @@ impl Exec<'_, '_> {
                     self.sink.emit(&MachInst::reg(op, None, vec![]));
                 }
             }
-            Inst::Loop { var, start, end, step, body, .. } => {
+            Inst::Loop {
+                var,
+                start,
+                end,
+                step,
+                body,
+                ..
+            } => {
                 let counter = VAR_REG_BASE + *var as u32;
                 let mut k = *start;
                 while k < *end {
                     self.env.insert(*var, k);
                     self.block(body)?;
                     // Loop bookkeeping: increment + compare-and-branch.
-                    self.sink.emit(&MachInst::reg(MOp::IAddr, Some(counter), vec![counter]));
-                    self.sink.emit(&MachInst::reg(MOp::Branch, None, vec![counter]));
+                    self.sink
+                        .emit(&MachInst::reg(MOp::IAddr, Some(counter), vec![counter]));
+                    self.sink
+                        .emit(&MachInst::reg(MOp::Branch, None, vec![counter]));
                     k += *step;
                 }
             }
@@ -424,17 +471,26 @@ fn eval_arith(op: VArith, d: &mut [f32; 4], a: [f32; 4], b: [f32; 4]) {
     match op {
         Add(w) => {
             let mut r = [0.0; 4];
-            r[..w.lanes()].iter_mut().enumerate().for_each(|(i, x)| *x = a[i] + b[i]);
+            r[..w.lanes()]
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, x)| *x = a[i] + b[i]);
             *d = r;
         }
         Sub(w) => {
             let mut r = [0.0; 4];
-            r[..w.lanes()].iter_mut().enumerate().for_each(|(i, x)| *x = a[i] - b[i]);
+            r[..w.lanes()]
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, x)| *x = a[i] - b[i]);
             *d = r;
         }
         Mul(w) => {
             let mut r = [0.0; 4];
-            r[..w.lanes()].iter_mut().enumerate().for_each(|(i, x)| *x = a[i] * b[i]);
+            r[..w.lanes()]
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, x)| *x = a[i] * b[i]);
             *d = r;
         }
         Hadd => *d = [a[0] + a[1], a[2] + a[3], b[0] + b[1], b[2] + b[3]],
@@ -446,7 +502,10 @@ fn eval_arith(op: VArith, d: &mut [f32; 4], a: [f32; 4], b: [f32; 4]) {
         MulLane(w, l) => {
             let s = b[l as usize];
             let mut r = [0.0; 4];
-            r[..w.lanes()].iter_mut().enumerate().for_each(|(i, x)| *x = a[i] * s);
+            r[..w.lanes()]
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, x)| *x = a[i] * s);
             *d = r;
         }
         FmaLane(w, l) => {
@@ -468,7 +527,11 @@ fn eval_move(op: VMove, a: [f32; 4], b: [f32; 4]) -> [f32; 4] {
         Shuf(sel) => {
             let mut r = [0.0; 4];
             for (i, &s) in sel.iter().enumerate() {
-                r[i] = if s < 4 { a[s as usize] } else { b[(s - 4) as usize] };
+                r[i] = if s < 4 {
+                    a[s as usize]
+                } else {
+                    b[(s - 4) as usize]
+                };
             }
             r
         }
@@ -509,8 +572,14 @@ mod tests {
         let mut y: Vec<f32> = (0..16).map(|i| (2 * i) as f32).collect();
         let mut z = vec![0.0f32; 16];
         let layout = MemLayout::aligned(&k);
-        run_kernel(&k, &mut [&mut x, &mut y, &mut z], &layout, VectorIsa::Ssse3, &mut NullSink)
-            .unwrap();
+        run_kernel(
+            &k,
+            &mut [&mut x, &mut y, &mut z],
+            &layout,
+            VectorIsa::Ssse3,
+            &mut NullSink,
+        )
+        .unwrap();
         for (i, v) in z.iter().enumerate() {
             assert_eq!(*v, (3 * i) as f32);
         }
@@ -524,8 +593,14 @@ mod tests {
         let mut z = vec![0.0f32; 8];
         let layout = MemLayout::aligned(&k);
         let mut sink = CountingSink::new();
-        run_kernel(&k, &mut [&mut x, &mut y, &mut z], &layout, VectorIsa::Ssse3, &mut sink)
-            .unwrap();
+        run_kernel(
+            &k,
+            &mut [&mut x, &mut y, &mut z],
+            &layout,
+            VectorIsa::Ssse3,
+            &mut sink,
+        )
+        .unwrap();
         // 2 iterations × (2 loads + 1 add + 1 store + loop overhead).
         assert_eq!(sink.count(MOp::MmLoadUPs), 4);
         assert_eq!(sink.count(MOp::MmAddPs), 2);
@@ -541,8 +616,14 @@ mod tests {
         let mut z = vec![0.0f32; 8];
         let layout = MemLayout::aligned(&k);
         let mut sink = CountingSink::new();
-        run_kernel(&k, &mut [&mut x, &mut y, &mut z], &layout, VectorIsa::Neon, &mut sink)
-            .unwrap();
+        run_kernel(
+            &k,
+            &mut [&mut x, &mut y, &mut z],
+            &layout,
+            VectorIsa::Neon,
+            &mut sink,
+        )
+        .unwrap();
         assert_eq!(sink.count(MOp::VldQ), 4);
         assert_eq!(sink.count(MOp::VaddQ), 2);
         assert_eq!(sink.count(MOp::VstQ), 2);
@@ -558,8 +639,14 @@ mod tests {
         let mut y = vec![2.0f32; 4];
         let mut z = vec![0.0f32; 4];
         let mut sink = RecordingSink::default();
-        run_kernel(&k, &mut [&mut x, &mut y, &mut z], &layout, VectorIsa::Ssse3, &mut sink)
-            .unwrap();
+        run_kernel(
+            &k,
+            &mut [&mut x, &mut y, &mut z],
+            &layout,
+            VectorIsa::Ssse3,
+            &mut sink,
+        )
+        .unwrap();
         assert_eq!(z, vec![3.0; 4]);
         // The load of x must be at a non-16B-aligned address.
         let first_load = sink.insts.iter().find(|i| i.op == MOp::MmLoadUPs).unwrap();
@@ -577,9 +664,14 @@ mod tests {
         let layout = MemLayout::aligned(&k);
         let mut x = vec![0.0f32; 4];
         let mut y = vec![0.0f32; 4];
-        let err =
-            run_kernel(&k, &mut [&mut x, &mut y], &layout, VectorIsa::Ssse3, &mut NullSink)
-                .unwrap_err();
+        let err = run_kernel(
+            &k,
+            &mut [&mut x, &mut y],
+            &layout,
+            VectorIsa::Ssse3,
+            &mut NullSink,
+        )
+        .unwrap_err();
         assert!(matches!(err, ExecError::OutOfBounds { .. }));
     }
 
@@ -598,9 +690,14 @@ mod tests {
         let layout = MemLayout::aligned(&k);
         let mut x = vec![0.0f32; 8];
         let mut y = vec![0.0f32; 4];
-        let err =
-            run_kernel(&k, &mut [&mut x, &mut y], &layout, VectorIsa::Ssse3, &mut NullSink)
-                .unwrap_err();
+        let err = run_kernel(
+            &k,
+            &mut [&mut x, &mut y],
+            &layout,
+            VectorIsa::Ssse3,
+            &mut NullSink,
+        )
+        .unwrap_err();
         assert!(matches!(err, ExecError::AlignmentViolation { .. }));
     }
 
@@ -617,7 +714,14 @@ mod tests {
         let layout = MemLayout::aligned(&k);
         let mut x = vec![1.0f32, 2.0, 3.0];
         let mut y = vec![9.0f32; 3];
-        run_kernel(&k, &mut [&mut x, &mut y], &layout, VectorIsa::Neon, &mut NullSink).unwrap();
+        run_kernel(
+            &k,
+            &mut [&mut x, &mut y],
+            &layout,
+            VectorIsa::Neon,
+            &mut NullSink,
+        )
+        .unwrap();
         assert_eq!(y, vec![2.0, 4.0, 6.0]);
     }
 
@@ -633,7 +737,14 @@ mod tests {
         let layout = MemLayout::aligned(&k);
         let mut x: Vec<f32> = (0..12).map(|i| i as f32).collect();
         let mut y = vec![0.0f32; 3];
-        run_kernel(&k, &mut [&mut x, &mut y], &layout, VectorIsa::Ssse3, &mut NullSink).unwrap();
+        run_kernel(
+            &k,
+            &mut [&mut x, &mut y],
+            &layout,
+            VectorIsa::Ssse3,
+            &mut NullSink,
+        )
+        .unwrap();
         assert_eq!(y, vec![1.0, 5.0, 9.0]);
     }
 
@@ -651,7 +762,14 @@ mod tests {
         let mut x = vec![3.0f32, 5.0];
         let mut y = vec![0.0f32];
         let mut sink = CountingSink::new();
-        run_kernel(&k, &mut [&mut x, &mut y], &layout, VectorIsa::Scalar, &mut sink).unwrap();
+        run_kernel(
+            &k,
+            &mut [&mut x, &mut y],
+            &layout,
+            VectorIsa::Scalar,
+            &mut sink,
+        )
+        .unwrap();
         assert_eq!(y[0], 15.0);
         assert_eq!(sink.count(MOp::FLoad), 2);
         assert_eq!(sink.count(MOp::FMul), 1);

@@ -308,7 +308,10 @@ impl Kernel {
 /// last entry is not the unconditional fallback (`None` requirements).
 pub fn merge_kernel_versions(kernels: Vec<(Option<Vec<Option<usize>>>, Kernel)>) -> Kernel {
     assert!(!kernels.is_empty());
-    assert!(kernels.last().expect("non-empty").0.is_none(), "last version must be the fallback");
+    assert!(
+        kernels.last().expect("non-empty").0.is_none(),
+        "last version must be the fallback"
+    );
     let arrays = kernels[0].1.arrays.clone();
     let name = kernels[0].1.name.clone();
     let flops = kernels[0].1.flops;
@@ -320,9 +323,19 @@ pub fn merge_kernel_versions(kernels: Vec<(Option<Vec<Option<usize>>>, Kernel)>)
         nreg = nreg.max(k.nreg);
         nvars = nvars.max(k.nvars);
         let body = k.versions.into_iter().next().expect("single body").body;
-        versions.push(KernelVersion { required_offsets: req, body });
+        versions.push(KernelVersion {
+            required_offsets: req,
+            body,
+        });
     }
-    Kernel { name, arrays, versions, nreg, nvars, flops }
+    Kernel {
+        name,
+        arrays,
+        versions,
+        nreg,
+        nvars,
+        flops,
+    }
 }
 
 #[cfg(test)]
@@ -333,9 +346,21 @@ mod tests {
         Kernel {
             name: "k".into(),
             arrays: vec![
-                ArrayDecl { name: "x".into(), len: 4, kind: ArrayKind::Input },
-                ArrayDecl { name: "y".into(), len: 4, kind: ArrayKind::Output },
-                ArrayDecl { name: "t0".into(), len: 4, kind: ArrayKind::Local },
+                ArrayDecl {
+                    name: "x".into(),
+                    len: 4,
+                    kind: ArrayKind::Input,
+                },
+                ArrayDecl {
+                    name: "y".into(),
+                    len: 4,
+                    kind: ArrayKind::Output,
+                },
+                ArrayDecl {
+                    name: "t0".into(),
+                    len: 4,
+                    kind: ArrayKind::Local,
+                },
             ],
             versions: vec![KernelVersion {
                 required_offsets: None,

@@ -40,15 +40,30 @@ pub struct LoweredOp {
 
 impl LoweredOp {
     fn reg(op: MOp, dst: Slot, srcs: Vec<Slot>) -> Self {
-        LoweredOp { op, dst: Some(dst), srcs, mem_off: None }
+        LoweredOp {
+            op,
+            dst: Some(dst),
+            srcs,
+            mem_off: None,
+        }
     }
 
     fn load(op: MOp, dst: Slot, off: i64) -> Self {
-        LoweredOp { op, dst: Some(dst), srcs: Vec::new(), mem_off: Some(off) }
+        LoweredOp {
+            op,
+            dst: Some(dst),
+            srcs: Vec::new(),
+            mem_off: Some(off),
+        }
     }
 
     fn store(op: MOp, src: Slot, off: i64) -> Self {
-        LoweredOp { op, dst: None, srcs: vec![src], mem_off: Some(off) }
+        LoweredOp {
+            op,
+            dst: None,
+            srcs: vec![src],
+            mem_off: Some(off),
+        }
     }
 }
 
@@ -69,7 +84,12 @@ pub fn lower_load(isa: VectorIsa, dst: VReg, map: &MemMap, aligned: bool) -> Vec
         VectorIsa::Ssse3 => lower_load_ssse3(d, map, aligned),
         VectorIsa::Neon => lower_load_neon(d, map),
         VectorIsa::Scalar => {
-            assert_eq!(map.lanes(), 1, "scalar ISA cannot load {} lanes", map.lanes());
+            assert_eq!(
+                map.lanes(),
+                1,
+                "scalar ISA cannot load {} lanes",
+                map.lanes()
+            );
             vec![LoweredOp::load(MOp::FLoad, d, map.entries()[0].0)]
         }
     }
@@ -82,7 +102,11 @@ fn lower_load_ssse3(d: Slot, map: &MemMap, aligned: bool) -> Vec<LoweredOp> {
     if map.is_horizontal() {
         return match map.lanes() {
             4 => vec![LoweredOp::load(
-                if aligned { MOp::MmLoadAPs } else { MOp::MmLoadUPs },
+                if aligned {
+                    MOp::MmLoadAPs
+                } else {
+                    MOp::MmLoadUPs
+                },
                 d,
                 0,
             )],
@@ -108,15 +132,39 @@ fn lower_load_ssse3(d: Slot, map: &MemMap, aligned: bool) -> Vec<LoweredOp> {
     }
     // Combine: unpack pairs, then merge.
     match entries.len() {
-        2 => seq.push(LoweredOp::reg(MOp::MmUnpckPs, d, vec![Slot::Tmp(0), Slot::Tmp(1)])),
+        2 => seq.push(LoweredOp::reg(
+            MOp::MmUnpckPs,
+            d,
+            vec![Slot::Tmp(0), Slot::Tmp(1)],
+        )),
         3 => {
-            seq.push(LoweredOp::reg(MOp::MmUnpckPs, Slot::Tmp(3), vec![Slot::Tmp(0), Slot::Tmp(1)]));
-            seq.push(LoweredOp::reg(MOp::MmShufPs, d, vec![Slot::Tmp(3), Slot::Tmp(2)]));
+            seq.push(LoweredOp::reg(
+                MOp::MmUnpckPs,
+                Slot::Tmp(3),
+                vec![Slot::Tmp(0), Slot::Tmp(1)],
+            ));
+            seq.push(LoweredOp::reg(
+                MOp::MmShufPs,
+                d,
+                vec![Slot::Tmp(3), Slot::Tmp(2)],
+            ));
         }
         _ => {
-            seq.push(LoweredOp::reg(MOp::MmUnpckPs, Slot::Tmp(4), vec![Slot::Tmp(0), Slot::Tmp(1)]));
-            seq.push(LoweredOp::reg(MOp::MmUnpckPs, Slot::Tmp(5), vec![Slot::Tmp(2), Slot::Tmp(3)]));
-            seq.push(LoweredOp::reg(MOp::MmShufPs, d, vec![Slot::Tmp(4), Slot::Tmp(5)]));
+            seq.push(LoweredOp::reg(
+                MOp::MmUnpckPs,
+                Slot::Tmp(4),
+                vec![Slot::Tmp(0), Slot::Tmp(1)],
+            ));
+            seq.push(LoweredOp::reg(
+                MOp::MmUnpckPs,
+                Slot::Tmp(5),
+                vec![Slot::Tmp(2), Slot::Tmp(3)],
+            ));
+            seq.push(LoweredOp::reg(
+                MOp::MmShufPs,
+                d,
+                vec![Slot::Tmp(4), Slot::Tmp(5)],
+            ));
         }
     }
     seq
@@ -158,7 +206,12 @@ pub fn lower_store(isa: VectorIsa, src: VReg, map: &MemMap, aligned: bool) -> Ve
         VectorIsa::Ssse3 => lower_store_ssse3(s, map, aligned),
         VectorIsa::Neon => lower_store_neon(s, map),
         VectorIsa::Scalar => {
-            assert_eq!(map.lanes(), 1, "scalar ISA cannot store {} lanes", map.lanes());
+            assert_eq!(
+                map.lanes(),
+                1,
+                "scalar ISA cannot store {} lanes",
+                map.lanes()
+            );
             vec![LoweredOp::store(MOp::FStore, s, map.entries()[0].0)]
         }
     }
@@ -168,7 +221,11 @@ fn lower_store_ssse3(s: Slot, map: &MemMap, aligned: bool) -> Vec<LoweredOp> {
     if map.is_horizontal() {
         return match map.lanes() {
             4 => vec![LoweredOp::store(
-                if aligned { MOp::MmStoreAPs } else { MOp::MmStoreUPs },
+                if aligned {
+                    MOp::MmStoreAPs
+                } else {
+                    MOp::MmStoreUPs
+                },
                 s,
                 0,
             )],
@@ -188,7 +245,11 @@ fn lower_store_ssse3(s: Slot, map: &MemMap, aligned: bool) -> Vec<LoweredOp> {
         if lane == 0 {
             seq.push(LoweredOp::store(MOp::MmStoreSs, s, off));
         } else {
-            seq.push(LoweredOp::reg(MOp::MmShufPs, Slot::Tmp(i as u32), vec![s, s]));
+            seq.push(LoweredOp::reg(
+                MOp::MmShufPs,
+                Slot::Tmp(i as u32),
+                vec![s, s],
+            ));
             seq.push(LoweredOp::store(MOp::MmStoreSs, Slot::Tmp(i as u32), off));
         }
     }
@@ -351,23 +412,31 @@ mod tests {
 
     /// The mismatched NEON 3-element implementations of Fig. 3.4.
     #[test]
-    fn fig_3_4_mismatched_three_element_access()  {
-        let load: Vec<MOp> =
-            lower_load(VectorIsa::Neon, 0, &MemMap::horizontal(3), false).iter().map(|l| l.op).collect();
+    fn fig_3_4_mismatched_three_element_access() {
+        let load: Vec<MOp> = lower_load(VectorIsa::Neon, 0, &MemMap::horizontal(3), false)
+            .iter()
+            .map(|l| l.op)
+            .collect();
         assert_eq!(load, vec![MOp::VldQ, MOp::Vzero, MOp::VsetLane]);
-        let store: Vec<MOp> =
-            lower_store(VectorIsa::Neon, 0, &MemMap::horizontal(3), false).iter().map(|l| l.op).collect();
+        let store: Vec<MOp> = lower_store(VectorIsa::Neon, 0, &MemMap::horizontal(3), false)
+            .iter()
+            .map(|l| l.op)
+            .collect();
         assert_eq!(store, vec![MOp::VstD, MOp::VstLane]);
     }
 
     /// The SSE 3-element sequences of Fig. 3.2.
     #[test]
     fn fig_3_2_three_element_sse() {
-        let load: Vec<MOp> =
-            lower_load(VectorIsa::Ssse3, 0, &MemMap::horizontal(3), false).iter().map(|l| l.op).collect();
+        let load: Vec<MOp> = lower_load(VectorIsa::Ssse3, 0, &MemMap::horizontal(3), false)
+            .iter()
+            .map(|l| l.op)
+            .collect();
         assert_eq!(load, vec![MOp::MmLoadLPi, MOp::MmLoadSs, MOp::MmShufPs]);
-        let store: Vec<MOp> =
-            lower_store(VectorIsa::Ssse3, 0, &MemMap::horizontal(3), false).iter().map(|l| l.op).collect();
+        let store: Vec<MOp> = lower_store(VectorIsa::Ssse3, 0, &MemMap::horizontal(3), false)
+            .iter()
+            .map(|l| l.op)
+            .collect();
         assert_eq!(store, vec![MOp::MmStoreLPi, MOp::MmShufPs, MOp::MmStoreSs]);
     }
 
@@ -381,15 +450,24 @@ mod tests {
         assert_eq!(seq.len(), 3);
         assert!(seq.iter().all(|l| l.op == MOp::VldLane));
         // Offsets follow the stride.
-        assert_eq!(seq.iter().map(|l| l.mem_off.unwrap()).collect::<Vec<_>>(), vec![0, 5, 10]);
+        assert_eq!(
+            seq.iter().map(|l| l.mem_off.unwrap()).collect::<Vec<_>>(),
+            vec![0, 5, 10]
+        );
     }
 
     #[test]
     fn fma_expands_on_ssse3_but_not_neon() {
         let x86 = lower_arith(VectorIsa::Ssse3, VArith::Fma(VWidth::Q), 0, 1, 2);
-        assert_eq!(x86.iter().map(|l| l.op).collect::<Vec<_>>(), vec![MOp::MmMulPs, MOp::MmAddPs]);
+        assert_eq!(
+            x86.iter().map(|l| l.op).collect::<Vec<_>>(),
+            vec![MOp::MmMulPs, MOp::MmAddPs]
+        );
         let neon = lower_arith(VectorIsa::Neon, VArith::Fma(VWidth::Q), 0, 1, 2);
-        assert_eq!(neon.iter().map(|l| l.op).collect::<Vec<_>>(), vec![MOp::VmlaQ]);
+        assert_eq!(
+            neon.iter().map(|l| l.op).collect::<Vec<_>>(),
+            vec![MOp::VmlaQ]
+        );
         // Doubleword on NEON.
         let neon_d = lower_arith(VectorIsa::Neon, VArith::Fma(VWidth::D), 0, 1, 2);
         assert_eq!(neon_d[0].op, MOp::VmlaD);

@@ -39,7 +39,10 @@ impl MemMap {
     ///
     /// Panics if `lanes` is 0 or greater than 4.
     pub fn horizontal(lanes: usize) -> Self {
-        assert!((1..=4).contains(&lanes), "lanes must be in 1..=4, got {lanes}");
+        assert!(
+            (1..=4).contains(&lanes),
+            "lanes must be in 1..=4, got {lanes}"
+        );
         MemMap {
             entries: (0..lanes).map(|i| (i as i64, i as u8)).collect(),
             broadcast: false,
@@ -53,7 +56,10 @@ impl MemMap {
     ///
     /// Panics if `lanes` is 0 or greater than 4, or `stride` is not positive.
     pub fn vertical(lanes: usize, stride: i64) -> Self {
-        assert!((1..=4).contains(&lanes), "lanes must be in 1..=4, got {lanes}");
+        assert!(
+            (1..=4).contains(&lanes),
+            "lanes must be in 1..=4, got {lanes}"
+        );
         assert!(stride > 0, "stride must be positive, got {stride}");
         MemMap {
             entries: (0..lanes).map(|i| (i as i64 * stride, i as u8)).collect(),
@@ -64,7 +70,10 @@ impl MemMap {
     /// A broadcast map: one element replicated into all `lanes` lanes
     /// (loads only; lowers to `_mm_load1_ps` / `vld1q_dup_f32`).
     pub fn splat(lanes: usize) -> Self {
-        assert!((1..=4).contains(&lanes), "lanes must be in 1..=4, got {lanes}");
+        assert!(
+            (1..=4).contains(&lanes),
+            "lanes must be in 1..=4, got {lanes}"
+        );
         MemMap {
             entries: (0..lanes).map(|i| (0, i as u8)).collect(),
             broadcast: true,
@@ -88,7 +97,10 @@ impl MemMap {
             assert!(w[0].1 < w[1].1, "duplicate lane {} in memory map", w[1].1);
         }
         assert!(entries.iter().all(|&(_, l)| l < 4), "lanes must be < 4");
-        MemMap { entries, broadcast: false }
+        MemMap {
+            entries,
+            broadcast: false,
+        }
     }
 
     /// The `(offset, lane)` pairs, sorted by lane.

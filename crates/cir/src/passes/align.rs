@@ -44,8 +44,20 @@ fn walk(
 ) {
     for inst in insts {
         match inst {
-            Inst::GLoad { arr, addr, map, aligned, .. }
-            | Inst::GStore { arr, addr, map, aligned, .. } => {
+            Inst::GLoad {
+                arr,
+                addr,
+                map,
+                aligned,
+                ..
+            }
+            | Inst::GStore {
+                arr,
+                addr,
+                map,
+                aligned,
+                ..
+            } => {
                 if map.contiguous_bytes() != Some(16) {
                     // Only full-width contiguous accesses have aligned
                     // instruction variants.
@@ -66,7 +78,14 @@ fn walk(
                 }
                 *aligned = v.divisible_by(ALIGN_CLASSES as i64);
             }
-            Inst::Loop { var, name, start, end, step, body } => {
+            Inst::Loop {
+                var,
+                name,
+                start,
+                end,
+                step,
+                body,
+            } => {
                 let value = loop_index_value(&LoopSpec::new(name, *start, *end, *step));
                 let saved = env.insert(*var, value);
                 walk(body, env, base_offsets);
@@ -135,14 +154,23 @@ pub fn version_for_alignment(kernel: &Kernel) -> Kernel {
         }
         let mut body = base_body.clone();
         detect_alignment(&mut body, &offsets);
-        versions.push(KernelVersion { required_offsets: Some(required), body });
+        versions.push(KernelVersion {
+            required_offsets: Some(required),
+            body,
+        });
     }
     // Unconditional fallback: everything unaligned.
     let mut fallback = base_body.clone();
     clear_alignment(&mut fallback);
-    versions.push(KernelVersion { required_offsets: None, body: fallback });
+    versions.push(KernelVersion {
+        required_offsets: None,
+        body: fallback,
+    });
 
-    Kernel { versions, ..kernel.clone() }
+    Kernel {
+        versions,
+        ..kernel.clone()
+    }
 }
 
 fn clear_alignment(insts: &mut [Inst]) {
@@ -163,13 +191,17 @@ pub fn count_aligned(insts: &[Inst]) -> (usize, usize) {
     fn go(insts: &[Inst], aligned: &mut usize, total: &mut usize) {
         for inst in insts {
             match inst {
-                Inst::GLoad { map, aligned: a, .. } | Inst::GStore { map, aligned: a, .. }
-                    if map.contiguous_bytes() == Some(16) => {
-                        *total += 1;
-                        if *a {
-                            *aligned += 1;
-                        }
+                Inst::GLoad {
+                    map, aligned: a, ..
+                }
+                | Inst::GStore {
+                    map, aligned: a, ..
+                } if map.contiguous_bytes() == Some(16) => {
+                    *total += 1;
+                    if *a {
+                        *aligned += 1;
                     }
+                }
                 Inst::Loop { body, .. } => go(body, aligned, total),
                 _ => {}
             }

@@ -35,14 +35,24 @@ fn prop_block(insts: Vec<Inst>) -> Vec<Inst> {
     let mut out = Vec::with_capacity(insts.len());
     for inst in insts {
         match inst {
-            Inst::Move { op: VMove::Mov, dst, a, b: _ } => {
+            Inst::Move {
+                op: VMove::Mov,
+                dst,
+                a,
+                b: _,
+            } => {
                 let src = resolve(&copies, a);
                 kill(&mut copies, dst);
                 if src != dst {
                     copies.insert(dst, src);
                 }
                 // Keep the move; DCE removes it if no un-rewritten use remains.
-                out.push(Inst::Move { op: VMove::Mov, dst, a: src, b: 0 });
+                out.push(Inst::Move {
+                    op: VMove::Mov,
+                    dst,
+                    a: src,
+                    b: 0,
+                });
             }
             Inst::Move { op, dst, a, b } => {
                 let (a, b) = (resolve(&copies, a), resolve(&copies, b));
@@ -57,22 +67,60 @@ fn prop_block(insts: Vec<Inst>) -> Vec<Inst> {
                 kill(&mut copies, dst);
                 out.push(Inst::Arith { op, dst, a, b });
             }
-            Inst::GLoad { dst, arr, addr, map, aligned } => {
+            Inst::GLoad {
+                dst,
+                arr,
+                addr,
+                map,
+                aligned,
+            } => {
                 kill(&mut copies, dst);
-                out.push(Inst::GLoad { dst, arr, addr, map, aligned });
+                out.push(Inst::GLoad {
+                    dst,
+                    arr,
+                    addr,
+                    map,
+                    aligned,
+                });
             }
-            Inst::GStore { src, arr, addr, map, aligned } => {
+            Inst::GStore {
+                src,
+                arr,
+                addr,
+                map,
+                aligned,
+            } => {
                 let src = resolve(&copies, src);
-                out.push(Inst::GStore { src, arr, addr, map, aligned });
+                out.push(Inst::GStore {
+                    src,
+                    arr,
+                    addr,
+                    map,
+                    aligned,
+                });
             }
             Inst::Overhead { kind, count } => {
                 out.push(Inst::Overhead { kind, count });
             }
-            Inst::Loop { var, name, start, end, step, body } => {
+            Inst::Loop {
+                var,
+                name,
+                start,
+                end,
+                step,
+                body,
+            } => {
                 // Copies made before the loop hold on entry, but iterating
                 // may redefine sources; be conservative.
                 copies.clear();
-                out.push(Inst::Loop { var, name, start, end, step, body: prop_block(body) });
+                out.push(Inst::Loop {
+                    var,
+                    name,
+                    start,
+                    end,
+                    step,
+                    body: prop_block(body),
+                });
             }
         }
     }
@@ -87,11 +135,21 @@ mod tests {
     use lgen_absint::AffineExpr;
 
     fn mov(dst: VReg, a: VReg) -> Inst {
-        Inst::Move { op: VMove::Mov, dst, a, b: 0 }
+        Inst::Move {
+            op: VMove::Mov,
+            dst,
+            a,
+            b: 0,
+        }
     }
 
     fn add(dst: VReg, a: VReg, b: VReg) -> Inst {
-        Inst::Arith { op: VArith::Add(VWidth::Q), dst, a, b }
+        Inst::Arith {
+            op: VArith::Add(VWidth::Q),
+            dst,
+            a,
+            b,
+        }
     }
 
     #[test]
@@ -136,7 +194,9 @@ mod tests {
                 aligned: false,
             },
         ]);
-        let Inst::GStore { src, .. } = out[1] else { panic!() };
+        let Inst::GStore { src, .. } = out[1] else {
+            panic!()
+        };
         assert_eq!(src, 0);
     }
 }

@@ -22,7 +22,15 @@ pub fn dce(insts: Vec<Inst>, arrays: &[ArrayDecl]) -> Vec<Inst> {
         let mut read_arrays: HashSet<usize> = HashSet::new();
         collect_uses(&insts, &live, &mut 0, &mut used_regs, &mut read_arrays);
         let mut changed = false;
-        mark(&insts, &mut live, &mut 0, arrays, &used_regs, &read_arrays, &mut changed);
+        mark(
+            &insts,
+            &mut live,
+            &mut 0,
+            arrays,
+            &used_regs,
+            &read_arrays,
+            &mut changed,
+        );
         if !changed {
             break;
         }
@@ -128,10 +136,24 @@ fn filter(insts: Vec<Inst>, live: &[bool], idx: &mut usize) -> Vec<Inst> {
         let my = *idx;
         *idx += 1;
         match inst {
-            Inst::Loop { var, name, start, end, step, body } => {
+            Inst::Loop {
+                var,
+                name,
+                start,
+                end,
+                step,
+                body,
+            } => {
                 let body = filter(body, live, idx);
                 if !body.is_empty() {
-                    out.push(Inst::Loop { var, name, start, end, step, body });
+                    out.push(Inst::Loop {
+                        var,
+                        name,
+                        start,
+                        end,
+                        step,
+                        body,
+                    });
                 }
             }
             _ if live[my] => out.push(inst),
@@ -160,7 +182,12 @@ mod tests {
         let bb = b.input("B", 4);
         let c = b.input("C", 4);
         let d = b.output("D", 4);
-        let t = [b.local("t0", 4), b.local("t1", 4), b.local("t2", 4), b.local("t3", 4)];
+        let t = [
+            b.local("t0", 4),
+            b.local("t1", 4),
+            b.local("t2", 4),
+            b.local("t3", 4),
+        ];
         let zero = AffineExpr::constant(0);
         let m = MemMap::horizontal(4);
 
@@ -189,10 +216,22 @@ mod tests {
         let body = dce(body, &k.arrays);
 
         // Exactly: 3 loads (A, B, C), 2 adds, 1 store (D).
-        let loads = body.iter().filter(|i| matches!(i, Inst::GLoad { .. })).count();
-        let stores = body.iter().filter(|i| matches!(i, Inst::GStore { .. })).count();
-        let adds = body.iter().filter(|i| matches!(i, Inst::Arith { .. })).count();
-        let movs = body.iter().filter(|i| matches!(i, Inst::Move { .. })).count();
+        let loads = body
+            .iter()
+            .filter(|i| matches!(i, Inst::GLoad { .. }))
+            .count();
+        let stores = body
+            .iter()
+            .filter(|i| matches!(i, Inst::GStore { .. }))
+            .count();
+        let adds = body
+            .iter()
+            .filter(|i| matches!(i, Inst::Arith { .. }))
+            .count();
+        let movs = body
+            .iter()
+            .filter(|i| matches!(i, Inst::Move { .. }))
+            .count();
         assert_eq!((loads, stores, adds, movs), (3, 1, 2, 0), "body: {body:#?}");
     }
 

@@ -79,27 +79,47 @@ fn replace_block(insts: Vec<Inst>, arrays: &[ArrayDecl]) -> Vec<Inst> {
             avail.retain(|_, v| *v != d);
         }
         match inst {
-            Inst::GStore { src, arr, ref addr, ref map, .. }
-                if arrays[arr.0].kind == ArrayKind::Local =>
-            {
+            Inst::GStore {
+                src,
+                arr,
+                ref addr,
+                ref map,
+                ..
+            } if arrays[arr.0].kind == ArrayKind::Local => {
                 let fp = footprint(arr, addr, map);
                 // A store may invalidate overlapping prior stores.
                 avail.retain(|k, _| !may_overlap(k, &fp) || k == &fp);
                 avail.insert(fp, src);
                 out.push(inst);
             }
-            Inst::GLoad { dst, arr, ref addr, ref map, .. }
-                if arrays[arr.0].kind == ArrayKind::Local =>
-            {
+            Inst::GLoad {
+                dst,
+                arr,
+                ref addr,
+                ref map,
+                ..
+            } if arrays[arr.0].kind == ArrayKind::Local => {
                 let fp = footprint(arr, addr, map);
                 if let Some(&src) = avail.get(&fp) {
                     // Matched footprint: forward through a register move.
-                    out.push(Inst::Move { op: VMove::Mov, dst, a: src, b: 0 });
+                    out.push(Inst::Move {
+                        op: VMove::Mov,
+                        dst,
+                        a: src,
+                        b: 0,
+                    });
                 } else {
                     out.push(inst);
                 }
             }
-            Inst::Loop { var, name, start, end, step, body } => {
+            Inst::Loop {
+                var,
+                name,
+                start,
+                end,
+                step,
+                body,
+            } => {
                 // Conservative: a loop body may overwrite any local array,
                 // so forwardings do not survive across the loop boundary,
                 // and the body starts with an empty availability set.
@@ -148,7 +168,9 @@ mod tests {
             .filter(|i| matches!(i, Inst::GLoad { arr, .. } if arr.0 == 2))
             .count();
         assert_eq!(loads_from_local, 0, "local load must be forwarded");
-        assert!(body.iter().any(|i| matches!(i, Inst::Move { op: VMove::Mov, .. })));
+        assert!(body
+            .iter()
+            .any(|i| matches!(i, Inst::Move { op: VMove::Mov, .. })));
     }
 
     /// The Fig. 3.4 scenario: 3-element store and 3-element load through a
@@ -175,9 +197,7 @@ mod tests {
         // No access to the local array survives.
         let mut local_accesses = 0;
         k.visit_insts(|i| match i {
-            Inst::GLoad { arr, .. } | Inst::GStore { arr, .. } if arr.0 == 2 => {
-                local_accesses += 1
-            }
+            Inst::GLoad { arr, .. } | Inst::GStore { arr, .. } if arr.0 == 2 => local_accesses += 1,
             _ => {}
         });
         assert_eq!(local_accesses, 0);
@@ -188,8 +208,14 @@ mod tests {
         let mut xv = vec![1.0f32, 2.0, 3.0];
         let mut yv = vec![0.0f32; 3];
         let mut sink = lgen_isa::inst::CountingSink::new();
-        crate::interp::run_kernel(&k, &mut [&mut xv, &mut yv], &layout, VectorIsa::Neon, &mut sink)
-            .unwrap();
+        crate::interp::run_kernel(
+            &k,
+            &mut [&mut xv, &mut yv],
+            &layout,
+            VectorIsa::Neon,
+            &mut sink,
+        )
+        .unwrap();
         assert_eq!(yv, vec![2.0, 4.0, 6.0]);
         assert_eq!(sink.count(MOp::VstD), 1, "only the final store remains");
     }
@@ -204,7 +230,10 @@ mod tests {
         b.store(w, x, AffineExpr::constant(0), MemMap::horizontal(4));
         let k = b.finish(0);
         let body = scalar_replacement(k.versions[0].body.clone(), &k.arrays);
-        let loads = body.iter().filter(|i| matches!(i, Inst::GLoad { .. })).count();
+        let loads = body
+            .iter()
+            .filter(|i| matches!(i, Inst::GLoad { .. }))
+            .count();
         assert_eq!(loads, 2, "parameter accesses must not be forwarded");
     }
 
@@ -244,7 +273,9 @@ mod tests {
         let k = b.finish(0);
         let body = scalar_replacement(k.versions[0].body.clone(), &k.arrays);
         // The load must NOT be forwarded to v0.
-        let forwarded = body.iter().any(|i| matches!(i, Inst::Move { op: VMove::Mov, .. }));
+        let forwarded = body
+            .iter()
+            .any(|i| matches!(i, Inst::Move { op: VMove::Mov, .. }));
         assert!(!forwarded, "overlapped store must invalidate forwarding");
     }
 
@@ -295,7 +326,9 @@ mod tests {
         let k = b.finish(0);
         let body = scalar_replacement(k.versions[0].body.clone(), &k.arrays);
         // Inside the loop, the load survives (conservatively).
-        let Inst::Loop { body: inner, .. } = &body[2] else { panic!() };
+        let Inst::Loop { body: inner, .. } = &body[2] else {
+            panic!()
+        };
         assert!(matches!(inner[0], Inst::GLoad { .. }));
     }
 }

@@ -10,7 +10,9 @@ use crate::ir::Inst;
 use lgen_absint::{AffineExpr, VarId};
 
 /// Unrolling policy applied to every loop in a body (innermost included).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// `Hash` so the policy can be part of the kernel-cache key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum UnrollPolicy {
     /// Leave loops as written.
     None,
@@ -29,7 +31,10 @@ pub enum UnrollPolicy {
 
 /// Substitutes `var := value` in an affine expression.
 fn subst_expr(e: &AffineExpr, var: VarId, value: i64) -> AffineExpr {
-    let mut out = AffineExpr { terms: Vec::with_capacity(e.terms.len()), constant: e.constant };
+    let mut out = AffineExpr {
+        terms: Vec::with_capacity(e.terms.len()),
+        constant: e.constant,
+    };
     for &(c, v) in &e.terms {
         if v == var {
             out.constant += c * value;
@@ -45,21 +50,40 @@ pub fn subst_block(insts: &[Inst], var: VarId, value: i64) -> Vec<Inst> {
     insts
         .iter()
         .map(|inst| match inst {
-            Inst::GLoad { dst, arr, addr, map, aligned } => Inst::GLoad {
+            Inst::GLoad {
+                dst,
+                arr,
+                addr,
+                map,
+                aligned,
+            } => Inst::GLoad {
                 dst: *dst,
                 arr: *arr,
                 addr: subst_expr(addr, var, value),
                 map: map.clone(),
                 aligned: *aligned,
             },
-            Inst::GStore { src, arr, addr, map, aligned } => Inst::GStore {
+            Inst::GStore {
+                src,
+                arr,
+                addr,
+                map,
+                aligned,
+            } => Inst::GStore {
                 src: *src,
                 arr: *arr,
                 addr: subst_expr(addr, var, value),
                 map: map.clone(),
                 aligned: *aligned,
             },
-            Inst::Loop { var: v, name, start, end, step, body } => Inst::Loop {
+            Inst::Loop {
+                var: v,
+                name,
+                start,
+                end,
+                step,
+                body,
+            } => Inst::Loop {
                 var: *v,
                 name: name.clone(),
                 start: *start,
@@ -74,7 +98,10 @@ pub fn subst_block(insts: &[Inst], var: VarId, value: i64) -> Vec<Inst> {
 
 /// Applies `policy` to every loop in `insts`, bottom-up.
 pub fn unroll(insts: Vec<Inst>, policy: UnrollPolicy) -> Vec<Inst> {
-    insts.into_iter().flat_map(|inst| unroll_inst(inst, policy)).collect()
+    insts
+        .into_iter()
+        .flat_map(|inst| unroll_inst(inst, policy))
+        .collect()
 }
 
 fn trip_count(start: i64, end: i64, step: i64) -> usize {
@@ -86,7 +113,15 @@ fn trip_count(start: i64, end: i64, step: i64) -> usize {
 }
 
 fn unroll_inst(inst: Inst, policy: UnrollPolicy) -> Vec<Inst> {
-    let Inst::Loop { var, name, start, end, step, body } = inst else {
+    let Inst::Loop {
+        var,
+        name,
+        start,
+        end,
+        step,
+        body,
+    } = inst
+    else {
         return vec![inst];
     };
     let body = unroll(body, policy);
@@ -102,13 +137,27 @@ fn unroll_inst(inst: Inst, policy: UnrollPolicy) -> Vec<Inst> {
     };
     match policy {
         UnrollPolicy::None => {
-            vec![Inst::Loop { var, name, start, end, step, body }]
+            vec![Inst::Loop {
+                var,
+                name,
+                start,
+                end,
+                step,
+                body,
+            }]
         }
         UnrollPolicy::Full { max_trip } => {
             if trips <= max_trip {
                 full(&body)
             } else {
-                vec![Inst::Loop { var, name, start, end, step, body }]
+                vec![Inst::Loop {
+                    var,
+                    name,
+                    start,
+                    end,
+                    step,
+                    body,
+                }]
             }
         }
         UnrollPolicy::Factor { factor } => {
@@ -133,7 +182,14 @@ fn unroll_inst(inst: Inst, policy: UnrollPolicy) -> Vec<Inst> {
                     body: widened,
                 }]
             } else {
-                vec![Inst::Loop { var, name, start, end, step, body }]
+                vec![Inst::Loop {
+                    var,
+                    name,
+                    start,
+                    end,
+                    step,
+                    body,
+                }]
             }
         }
     }
@@ -147,21 +203,40 @@ fn shift_var(inst: &Inst, var: VarId, delta: i64) -> Inst {
         e.offset(coeff * delta)
     };
     match inst {
-        Inst::GLoad { dst, arr, addr, map, aligned } => Inst::GLoad {
+        Inst::GLoad {
+            dst,
+            arr,
+            addr,
+            map,
+            aligned,
+        } => Inst::GLoad {
             dst: *dst,
             arr: *arr,
             addr: shift_expr(addr),
             map: map.clone(),
             aligned: *aligned,
         },
-        Inst::GStore { src, arr, addr, map, aligned } => Inst::GStore {
+        Inst::GStore {
+            src,
+            arr,
+            addr,
+            map,
+            aligned,
+        } => Inst::GStore {
             src: *src,
             arr: *arr,
             addr: shift_expr(addr),
             map: map.clone(),
             aligned: *aligned,
         },
-        Inst::Loop { var: v, name, start, end, step, body } => Inst::Loop {
+        Inst::Loop {
+            var: v,
+            name,
+            start,
+            end,
+            step,
+            body,
+        } => Inst::Loop {
             var: *v,
             name: name.clone(),
             start: *start,
@@ -180,7 +255,13 @@ mod tests {
     use crate::map::MemMap;
 
     fn load_at(addr: AffineExpr) -> Inst {
-        Inst::GLoad { dst: 0, arr: ArrayId(0), addr, map: MemMap::horizontal(4), aligned: false }
+        Inst::GLoad {
+            dst: 0,
+            arr: ArrayId(0),
+            addr,
+            map: MemMap::horizontal(4),
+            aligned: false,
+        }
     }
 
     fn simple_loop(start: i64, end: i64, step: i64) -> Inst {
@@ -196,7 +277,10 @@ mod tests {
 
     #[test]
     fn full_unroll_substitutes_constants() {
-        let out = unroll(vec![simple_loop(0, 12, 4)], UnrollPolicy::Full { max_trip: 8 });
+        let out = unroll(
+            vec![simple_loop(0, 12, 4)],
+            UnrollPolicy::Full { max_trip: 8 },
+        );
         assert_eq!(out.len(), 3);
         let addrs: Vec<i64> = out
             .iter()
@@ -213,18 +297,28 @@ mod tests {
 
     #[test]
     fn full_unroll_respects_threshold() {
-        let out = unroll(vec![simple_loop(0, 400, 4)], UnrollPolicy::Full { max_trip: 8 });
+        let out = unroll(
+            vec![simple_loop(0, 400, 4)],
+            UnrollPolicy::Full { max_trip: 8 },
+        );
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0], Inst::Loop { .. }));
     }
 
     #[test]
     fn factor_unroll_widens_step() {
-        let out = unroll(vec![simple_loop(0, 32, 4)], UnrollPolicy::Factor { factor: 2 });
-        let Inst::Loop { step, body, .. } = &out[0] else { panic!() };
+        let out = unroll(
+            vec![simple_loop(0, 32, 4)],
+            UnrollPolicy::Factor { factor: 2 },
+        );
+        let Inst::Loop { step, body, .. } = &out[0] else {
+            panic!()
+        };
         assert_eq!(*step, 8);
         assert_eq!(body.len(), 2);
-        let Inst::GLoad { addr, .. } = &body[1] else { panic!() };
+        let Inst::GLoad { addr, .. } = &body[1] else {
+            panic!()
+        };
         // Second copy accesses var + 4.
         assert_eq!(addr.constant, 4);
         assert_eq!(addr.terms, vec![(1, 0)]);
@@ -232,9 +326,14 @@ mod tests {
 
     #[test]
     fn factor_unroll_skips_nondividing_trip_counts() {
-        let out = unroll(vec![simple_loop(0, 12, 4)], UnrollPolicy::Factor { factor: 2 });
+        let out = unroll(
+            vec![simple_loop(0, 12, 4)],
+            UnrollPolicy::Factor { factor: 2 },
+        );
         // 3 trips, not divisible by 2, but 3 > 2 → untouched.
-        let Inst::Loop { step, body, .. } = &out[0] else { panic!() };
+        let Inst::Loop { step, body, .. } = &out[0] else {
+            panic!()
+        };
         assert_eq!(*step, 4);
         assert_eq!(body.len(), 1);
     }
@@ -252,7 +351,9 @@ mod tests {
         };
         let out = unroll(vec![outer], UnrollPolicy::Full { max_trip: 4 });
         // Outer survives (100 trips), inner fully unrolled inside it.
-        let Inst::Loop { body, .. } = &out[0] else { panic!() };
+        let Inst::Loop { body, .. } = &out[0] else {
+            panic!()
+        };
         assert_eq!(body.len(), 2);
         assert!(body.iter().all(|i| matches!(i, Inst::GLoad { .. })));
     }

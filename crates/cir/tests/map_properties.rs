@@ -110,14 +110,23 @@ mod dispatch_overhead {
             let mut xv = vec![1.0f32; 8];
             let mut yv = vec![0.0f32; 8];
             let mut sink = CountingSink::new();
-            run_kernel(&k, &mut [&mut xv, &mut yv], &layout, VectorIsa::Ssse3, &mut sink)
-                .unwrap();
+            run_kernel(
+                &k,
+                &mut [&mut xv, &mut yv],
+                &layout,
+                VectorIsa::Ssse3,
+                &mut sink,
+            )
+            .unwrap();
             sink.count(MOp::Branch)
         };
         // Version (0,0) is first in the chain; (3,3) is last of 16 — it
         // must execute strictly more dispatch branches.
         let first = run_at(&[0, 0]);
         let last = run_at(&[3, 3]);
-        assert!(last > first, "dispatch depth not charged: {first} vs {last}");
+        assert!(
+            last > first,
+            "dispatch depth not charged: {first} vs {last}"
+        );
     }
 }

@@ -8,10 +8,21 @@
 //! unrolling policy enforces by skipping non-dividing trip counts).
 //! The paper uses "random search over the search space with sample size
 //! 10"; the sample size is configurable.
+//!
+//! Candidate evaluation (compile → validate → measure) is embarrassingly
+//! parallel, so it fans out over a scoped worker pool ([`crate::pool`]).
+//! Every stage of evaluation is deterministic (the simulator is exact and
+//! validation uses fixed seeds), results are collected index-addressed in
+//! candidate order, and the reduction keeps the *first* best under a strict
+//! `<` comparison — so the winning kernel is byte-identical no matter how
+//! many threads ran the search. A shared [`KernelCache`] (optional) dedups
+//! compilation across candidates, repeated tunes, and batch jobs.
 
+use crate::cache::KernelCache;
 use crate::config::CompileConfig;
 use crate::exec::{check_kernel, measure_blac, tolerance};
 use crate::pipeline::compile;
+use crate::pool::run_indexed;
 use lgen_cir::passes::UnrollPolicy;
 use lgen_cir::Kernel;
 use lgen_ll::Blac;
@@ -19,6 +30,7 @@ use lgen_machine::Measurement;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// What the autotuner minimizes (§6 future work: "introduction of
 /// energy-related metrics in the autotuning feedback loop").
@@ -80,11 +92,14 @@ pub struct Autotuner {
     objective: Objective,
     reps: usize,
     seed: u64,
+    threads: usize,
+    cache: Option<Arc<KernelCache>>,
 }
 
 impl Autotuner {
     /// Autotuner with the paper's defaults: random search, sample size 10,
-    /// minimizing cycles.
+    /// minimizing cycles. Runs single-threaded and uncached; see
+    /// [`Self::with_threads`] and [`Self::with_cache`].
     pub fn new(cfg: CompileConfig) -> Self {
         Autotuner {
             cfg,
@@ -92,7 +107,26 @@ impl Autotuner {
             objective: Objective::Cycles,
             reps: 3,
             seed: 0x5EED,
+            threads: 1,
+            cache: None,
         }
+    }
+
+    /// Sets the worker-pool width for candidate evaluation (`0` = one per
+    /// available core). The tuning result is identical for every width.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Shares a kernel cache: candidates already compiled (by earlier
+    /// tunes, batch jobs, or plain [`compile`] calls through the cache)
+    /// skip the pipeline.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<KernelCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Overrides the random-search sample size.
@@ -124,51 +158,25 @@ impl Autotuner {
         self
     }
 
-    /// The candidate unrolling decisions.
-    fn search_space() -> Vec<UnrollPolicy> {
-        vec![
-            UnrollPolicy::None,
-            UnrollPolicy::Full { max_trip: 2 },
-            UnrollPolicy::Full { max_trip: 4 },
-            UnrollPolicy::Full { max_trip: 8 },
-            UnrollPolicy::Full { max_trip: 16 },
-            UnrollPolicy::Full { max_trip: 32 },
-            UnrollPolicy::Full { max_trip: 128 },
-            UnrollPolicy::Factor { factor: 2 },
-            UnrollPolicy::Factor { factor: 4 },
-            UnrollPolicy::Factor { factor: 8 },
-        ]
-    }
-
-    /// Evaluates one candidate: compile, validate against the naive
-    /// reference (§5.1.4), measure.
-    fn evaluate(&self, blac: &Blac, name: &str, unroll: UnrollPolicy) -> (Kernel, Measurement) {
-        let isa = self.cfg.arch.vector_isa();
-        let offsets = vec![0usize; blac.operands.len()];
-        let cfg = self.cfg.with_unroll(unroll);
-        let kernel = compile(blac, name, &cfg);
-        let diff = check_kernel(blac, &kernel, isa, 11)
-            .unwrap_or_else(|e| panic!("candidate failed to execute: {e}"));
-        assert!(
-            diff < tolerance(blac.flops()),
-            "candidate {unroll:?} numerically wrong: {diff}"
+    /// The candidate unrolling decisions, ordered: no unrolling, then full
+    /// unrolling by rising trip-count threshold, then factor unrolling by
+    /// rising factor. Guided search climbs along this order.
+    pub fn search_space() -> Vec<UnrollPolicy> {
+        let mut space = vec![UnrollPolicy::None];
+        space.extend(
+            [2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128]
+                .map(|max_trip| UnrollPolicy::Full { max_trip }),
         );
-        let m = measure_blac(blac, &kernel, self.cfg.arch, &offsets, self.reps)
-            .expect("measurement");
-        (kernel, m)
+        space.extend([2, 3, 4, 6, 8].map(|factor| UnrollPolicy::Factor { factor }));
+        space
     }
 
-    /// Tunes `blac` per the configured strategy and objective, returning
-    /// the best validated kernel.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a generated kernel fails validation — a compiler bug, not
-    /// an input condition.
-    pub fn tune(&self, blac: &Blac, name: &str) -> TunedKernel {
+    /// The candidate list the configured strategy will evaluate (the whole
+    /// space for `Exhaustive`, a seeded shuffle prefix for `Random`).
+    fn candidates(&self) -> Vec<UnrollPolicy> {
         let space = Self::search_space();
-        let candidates: Vec<UnrollPolicy> = match self.strategy {
-            SearchStrategy::Exhaustive => space,
+        match self.strategy {
+            SearchStrategy::Exhaustive | SearchStrategy::Guided => space,
             SearchStrategy::Random(sample_size) => {
                 let mut rng = StdRng::seed_from_u64(self.seed);
                 let mut s = space;
@@ -176,48 +184,140 @@ impl Autotuner {
                 s.truncate(sample_size);
                 s
             }
-            SearchStrategy::Guided => {
-                return self.tune_guided(blac, name, &space);
-            }
-        };
+        }
+    }
 
-        let mut best: Option<(Kernel, Measurement, UnrollPolicy)> = None;
-        let mut samples = Vec::with_capacity(candidates.len());
-        for unroll in candidates {
-            let (kernel, m) = self.evaluate(blac, name, unroll);
-            samples.push((unroll, m.cycles));
-            let better = match &best {
-                None => true,
-                Some((_, bm, _)) => self.objective.score(&m) < self.objective.score(bm),
-            };
-            if better {
-                best = Some((kernel, m, unroll));
+    /// Evaluates one candidate: compile (through the shared cache when one
+    /// is attached), validate against the naive reference (§5.1.4),
+    /// measure. Fully deterministic: safe to run from any worker thread.
+    fn evaluate(
+        &self,
+        blac: &Blac,
+        name: &str,
+        unroll: UnrollPolicy,
+    ) -> (Arc<Kernel>, Measurement) {
+        let isa = self.cfg.arch.vector_isa();
+        let offsets = vec![0usize; blac.operands.len()];
+        let cfg = self.cfg.with_unroll(unroll);
+        let kernel = match &self.cache {
+            Some(cache) => cache.get_or_compile(blac, name, &cfg),
+            None => Arc::new(compile(blac, name, &cfg)),
+        };
+        let diff = check_kernel(blac, &kernel, isa, 11)
+            .unwrap_or_else(|e| panic!("candidate failed to execute: {e}"));
+        assert!(
+            diff < tolerance(blac.flops()),
+            "candidate {unroll:?} numerically wrong: {diff}"
+        );
+        let m =
+            measure_blac(blac, &kernel, self.cfg.arch, &offsets, self.reps).expect("measurement");
+        (kernel, m)
+    }
+
+    /// Reduces evaluated candidates to the winner, scanning in candidate
+    /// order with a strict `<`: the first best wins, independent of which
+    /// worker finished when.
+    fn reduce(
+        &self,
+        candidates: &[UnrollPolicy],
+        results: Vec<(Arc<Kernel>, Measurement)>,
+    ) -> TunedKernel {
+        let samples: Vec<(UnrollPolicy, u64)> = candidates
+            .iter()
+            .zip(&results)
+            .map(|(u, (_, m))| (*u, m.cycles))
+            .collect();
+        let mut best = 0;
+        for i in 1..results.len() {
+            if self.objective.score(&results[i].1) < self.objective.score(&results[best].1) {
+                best = i;
             }
         }
-        let (kernel, measurement, unroll) = best.expect("non-empty sample");
-        TunedKernel { kernel, measurement, unroll, samples }
+        let (kernel, measurement) = &results[best];
+        TunedKernel {
+            kernel: (**kernel).clone(),
+            measurement: *measurement,
+            unroll: candidates[best],
+            samples,
+        }
+    }
+
+    /// Tunes `blac` per the configured strategy and objective, returning
+    /// the best validated kernel. Candidates are evaluated on the worker
+    /// pool; the result is identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a generated kernel fails validation — a compiler bug, not
+    /// an input condition.
+    pub fn tune(&self, blac: &Blac, name: &str) -> TunedKernel {
+        if self.strategy == SearchStrategy::Guided {
+            return self.tune_guided(blac, name, &Self::search_space());
+        }
+        let candidates = self.candidates();
+        let results = run_indexed(candidates.len(), self.threads, |i| {
+            self.evaluate(blac, name, candidates[i])
+        });
+        self.reduce(&candidates, results)
+    }
+
+    /// Tunes a batch of BLACs over one worker pool (and one cache, when
+    /// attached). For `Exhaustive`/`Random` the whole
+    /// `(BLAC, candidate)` grid is flattened into a single job list so the
+    /// pool stays saturated across kernels; `Guided` is inherently
+    /// sequential per BLAC and falls back to per-BLAC tuning. Results are
+    /// in job order and identical to calling [`Self::tune`] per entry.
+    pub fn tune_many(&self, jobs: &[(Blac, String)]) -> Vec<TunedKernel> {
+        if self.strategy == SearchStrategy::Guided {
+            return jobs
+                .iter()
+                .map(|(blac, name)| self.tune(blac, name))
+                .collect();
+        }
+        let candidates = self.candidates();
+        let per = candidates.len();
+        let results = run_indexed(jobs.len() * per, self.threads, |i| {
+            let (blac, name) = &jobs[i / per];
+            self.evaluate(blac, name, candidates[i % per])
+        });
+        let mut results = results.into_iter();
+        jobs.iter()
+            .map(|_| self.reduce(&candidates, results.by_ref().take(per).collect()))
+            .collect()
     }
 
     /// Guided search: probe a few structurally diverse seeds (no unrolling,
-    /// the default, maximal full unrolling, maximal factor unrolling), then
-    /// hill-climb from the best seed.
+    /// a mid-size full unroll, the maximal full unroll, the maximal factor
+    /// unroll), then hill-climb from the best seed. The seed probes run on
+    /// the worker pool; the climb itself is inherently sequential but
+    /// evaluates both neighbours of the current point in parallel.
     fn tune_guided(&self, blac: &Blac, name: &str, space: &[UnrollPolicy]) -> TunedKernel {
         let mut samples = Vec::new();
         let mut evaluated = vec![false; space.len()];
-        let seeds = [
-            0,               // UnrollPolicy::None
-            space.len() / 2, // a mid-size full unroll
-            space.len() - 4, // the largest full unroll
-            space.len() - 1, // the largest factor unroll
+        // Seed indices are derived from the space's structure so the probe
+        // set stays meaningful if the space grows.
+        let full_at = |pick: fn(&[usize]) -> usize| {
+            let fulls: Vec<usize> = (0..space.len())
+                .filter(|&i| matches!(space[i], UnrollPolicy::Full { .. }))
+                .collect();
+            pick(&fulls)
+        };
+        let mut seeds = vec![
+            0,                               // UnrollPolicy::None
+            full_at(|f| f[f.len() / 2]),     // a mid-size full unroll
+            full_at(|f| *f.last().unwrap()), // the largest full unroll
+            space.len() - 1,                 // the largest factor unroll
         ];
-        let mut idx = seeds[0];
-        let mut best: Option<(Kernel, Measurement)> = None;
+        seeds.dedup();
         for &si in &seeds {
-            if evaluated[si] {
-                continue;
-            }
             evaluated[si] = true;
-            let (k, m) = self.evaluate(blac, name, space[si]);
+        }
+        let probes = run_indexed(seeds.len(), self.threads, |i| {
+            self.evaluate(blac, name, space[seeds[i]])
+        });
+        let mut idx = seeds[0];
+        let mut best: Option<(Arc<Kernel>, Measurement)> = None;
+        for (&si, (k, m)) in seeds.iter().zip(probes) {
             samples.push((space[si], m.cycles));
             if best
                 .as_ref()
@@ -229,13 +329,18 @@ impl Autotuner {
         }
         let (mut best_k, mut best_m) = best.expect("seeds evaluated");
         loop {
+            let neighbours: Vec<usize> = [idx.wrapping_sub(1), idx + 1]
+                .into_iter()
+                .filter(|&n| n < space.len() && !evaluated[n])
+                .collect();
+            for &n in &neighbours {
+                evaluated[n] = true;
+            }
+            let evals = run_indexed(neighbours.len(), self.threads, |i| {
+                self.evaluate(blac, name, space[neighbours[i]])
+            });
             let mut improved = false;
-            for next in [idx.wrapping_sub(1), idx + 1] {
-                if next >= space.len() || evaluated[next] {
-                    continue;
-                }
-                evaluated[next] = true;
-                let (k, m) = self.evaluate(blac, name, space[next]);
+            for (&next, (k, m)) in neighbours.iter().zip(evals) {
                 samples.push((space[next], m.cycles));
                 if self.objective.score(&m) < self.objective.score(&best_m) {
                     best_k = k;
@@ -253,7 +358,12 @@ impl Autotuner {
             .find(|(_, c)| *c == best_m.cycles)
             .map(|(u, _)| *u)
             .expect("best was sampled");
-        TunedKernel { kernel: best_k, measurement: best_m, unroll, samples }
+        TunedKernel {
+            kernel: (*best_k).clone(),
+            measurement: best_m,
+            unroll,
+            samples,
+        }
     }
 }
 
@@ -268,17 +378,33 @@ mod tests {
         let blac = paper::gemv(4, 48);
         let cfg = CompileConfig::full(Microarch::Arm1176);
         let rand3 = Autotuner::new(cfg).with_sample_size(3).tune(&blac, "k");
-        let exh = Autotuner::new(cfg).with_strategy(SearchStrategy::Exhaustive).tune(&blac, "k");
+        let exh = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Exhaustive)
+            .tune(&blac, "k");
         assert!(exh.measurement.cycles <= rand3.measurement.cycles);
-        assert_eq!(exh.samples.len(), 10);
+        assert_eq!(exh.samples.len(), Autotuner::search_space().len());
+    }
+
+    #[test]
+    fn search_space_supports_large_samples() {
+        // The paper's sample size is 10; the expanded space keeps larger
+        // samples (≥16) meaningful for the parallel tuner.
+        let space = Autotuner::search_space();
+        assert!(space.len() >= 16, "space has only {} points", space.len());
+        let unique: std::collections::HashSet<_> = space.iter().collect();
+        assert_eq!(unique.len(), space.len(), "duplicate candidates");
     }
 
     #[test]
     fn guided_search_converges_with_fewer_evaluations_than_exhaustive() {
         let blac = paper::gemv(4, 64);
         let cfg = CompileConfig::full(Microarch::Arm1176);
-        let guided = Autotuner::new(cfg).with_strategy(SearchStrategy::Guided).tune(&blac, "k");
-        let exh = Autotuner::new(cfg).with_strategy(SearchStrategy::Exhaustive).tune(&blac, "k");
+        let guided = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Guided)
+            .tune(&blac, "k");
+        let exh = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Exhaustive)
+            .tune(&blac, "k");
         assert!(guided.samples.len() < exh.samples.len());
         // Hill climbing must never end on a worse point than its start.
         let start_cycles = guided.samples[0].1;
@@ -318,8 +444,14 @@ mod tests {
     fn search_is_deterministic_per_seed() {
         let blac = paper::mmm(4, 8, 4);
         let cfg = CompileConfig::full(Microarch::CortexA9);
-        let a = Autotuner::new(cfg).with_sample_size(4).with_seed(7).tune(&blac, "k");
-        let b = Autotuner::new(cfg).with_sample_size(4).with_seed(7).tune(&blac, "k");
+        let a = Autotuner::new(cfg)
+            .with_sample_size(4)
+            .with_seed(7)
+            .tune(&blac, "k");
+        let b = Autotuner::new(cfg)
+            .with_sample_size(4)
+            .with_seed(7)
+            .tune(&blac, "k");
         assert_eq!(a.samples, b.samples);
         assert_eq!(a.unroll, b.unroll);
     }
@@ -330,5 +462,81 @@ mod tests {
         let cfg = CompileConfig::full(Microarch::CortexA8);
         let t = Autotuner::new(cfg).with_sample_size(2).tune(&blac, "k");
         assert_eq!(t.samples.len(), 2);
+    }
+
+    #[test]
+    fn winner_is_identical_for_any_thread_count() {
+        // The tentpole determinism guarantee: 1 thread and 8 threads pick
+        // byte-identical winners over a GEMV/GEMM suite, samples included.
+        let suite = [paper::gemv(4, 32), paper::gemm(4, 8, 8), paper::mvm(4, 48)];
+        let cfg = CompileConfig::full(Microarch::Atom);
+        for blac in &suite {
+            let seq = Autotuner::new(cfg)
+                .with_sample_size(16)
+                .with_threads(1)
+                .tune(blac, "k");
+            let par = Autotuner::new(cfg)
+                .with_sample_size(16)
+                .with_threads(8)
+                .tune(blac, "k");
+            assert_eq!(seq.unroll, par.unroll);
+            assert_eq!(seq.samples, par.samples);
+            assert_eq!(seq.measurement, par.measurement);
+            assert_eq!(seq.kernel, par.kernel, "winning kernels must be identical");
+        }
+    }
+
+    #[test]
+    fn guided_search_is_thread_count_invariant() {
+        let blac = paper::gemv(4, 64);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let seq = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Guided)
+            .with_threads(1)
+            .tune(&blac, "k");
+        let par = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Guided)
+            .with_threads(4)
+            .tune(&blac, "k");
+        assert_eq!(seq.unroll, par.unroll);
+        assert_eq!(seq.samples, par.samples);
+        assert_eq!(seq.kernel, par.kernel);
+    }
+
+    #[test]
+    fn tune_many_matches_per_blac_tune() {
+        let jobs = vec![
+            (paper::gemv(4, 24), "gemv".to_string()),
+            (paper::gemm(4, 4, 8), "gemm".to_string()),
+        ];
+        let cfg = CompileConfig::full(Microarch::CortexA9);
+        let tuner = Autotuner::new(cfg).with_sample_size(6).with_threads(4);
+        let batch = tuner.tune_many(&jobs);
+        assert_eq!(batch.len(), 2);
+        for ((blac, name), got) in jobs.iter().zip(&batch) {
+            let solo = tuner.tune(blac, name);
+            assert_eq!(solo.unroll, got.unroll);
+            assert_eq!(solo.samples, got.samples);
+            assert_eq!(solo.kernel, got.kernel);
+        }
+    }
+
+    #[test]
+    fn shared_cache_dedups_candidate_compiles() {
+        let blac = paper::mvm(4, 32);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let cache = Arc::new(KernelCache::new());
+        let tuner = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Exhaustive)
+            .with_cache(cache.clone());
+        let first = tuner.tune(&blac, "k");
+        let compiles_after_first = cache.stage_stats().compiles();
+        assert_eq!(compiles_after_first, Autotuner::search_space().len() as u64);
+        // Re-tuning the same BLAC is served entirely from the cache.
+        let second = tuner.tune(&blac, "k");
+        assert_eq!(cache.stage_stats().compiles(), compiles_after_first);
+        assert_eq!(first.unroll, second.unroll);
+        assert_eq!(first.kernel, second.kernel);
+        assert!(cache.stats().hits >= Autotuner::search_space().len() as u64);
     }
 }

@@ -1,0 +1,290 @@
+//! A concurrent, content-addressed kernel cache.
+//!
+//! The autotuning feedback loop (Fig. 2.1, §5.1.5) is dominated by
+//! redundant recompilation: every candidate re-runs the whole
+//! LL → Σ-LL → C-IR pipeline, and the same `(BLAC, config)` point is
+//! compiled again whenever the tuner resamples it, a benchmark reruns, or
+//! alignment versioning builds near-identical bodies. This module
+//! memoizes finished kernels behind a sharded map so repeated compiles are
+//! served in O(key hash) instead of O(pipeline).
+//!
+//! **Key derivation.** A kernel is fully determined by the *structure* of
+//! its BLAC (operand table + expression tree — [`lgen_ll::Blac`] hashes
+//! structurally), the kernel name (baked into the emitted C), and the
+//! [`CompileConfig`] (every field changes generated code; the unrolling
+//! decision the autotuner varies is part of it). The map keys on that full
+//! triple, so a hit is exact by construction — [`Blac::fingerprint`] is
+//! used only to pick a shard and to label diagnostics.
+//!
+//! **Concurrency.** The map is split into [`SHARDS`] independently locked
+//! shards; the autotuner's worker pool hits disjoint shards with high
+//! probability. Compilation happens *outside* the shard lock, so a slow
+//! pipeline never blocks unrelated lookups; when two threads race on the
+//! same cold key the first insert wins and both return the same `Arc`
+//! (compilation is deterministic, so the discarded duplicate was
+//! identical).
+
+use crate::config::CompileConfig;
+use crate::pipeline::{compile_with_stats, StageStats};
+use lgen_cir::Kernel;
+use lgen_ll::Blac;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of independently locked shards (power of two).
+pub const SHARDS: usize = 16;
+
+/// The exact identity of a compiled kernel.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// The computation, compared structurally.
+    pub blac: Blac,
+    /// Kernel (C function) name.
+    pub name: String,
+    /// The full compile configuration, unrolling decision included.
+    pub cfg: CompileConfig,
+}
+
+/// Monotonic counters describing cache behaviour; cheap to read at any
+/// time (used by `lgenc --cache-stats` and the benchmarks, and the hook
+/// point for future observability work).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Kernels inserted (≤ misses; racing duplicates are not inserted).
+    pub inserts: u64,
+    /// Cold compiles that lost an insert race to an identical kernel.
+    pub races: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.hits + self.misses;
+        let rate = if total == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / total as f64
+        };
+        write!(
+            f,
+            "{} hits / {} misses ({rate:.1}% hit rate), {} entries",
+            self.hits, self.misses, self.entries
+        )
+    }
+}
+
+/// A concurrent map from [`CacheKey`] to the compiled kernel.
+pub struct KernelCache {
+    shards: Vec<Mutex<HashMap<CacheKey, Arc<Kernel>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    races: AtomicU64,
+    stages: StageStats,
+}
+
+impl Default for KernelCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KernelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        KernelCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            races: AtomicU64::new(0),
+            stages: StageStats::default(),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Arc<Kernel>>> {
+        // The BLAC fingerprint is stable and already well mixed; fold in
+        // the config/name via the std hasher for shard spread.
+        let mut h = std::hash::DefaultHasher::new();
+        key.cfg.hash(&mut h);
+        key.name.hash(&mut h);
+        let idx = (key.blac.fingerprint() ^ h.finish()) as usize & (SHARDS - 1);
+        &self.shards[idx]
+    }
+
+    /// Looks up a kernel without compiling. Counts a hit or a miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Kernel>> {
+        let found = self.shard(key).lock().get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Returns the cached kernel for `(blac, name, cfg)`, compiling and
+    /// inserting it on a miss. Compilation runs outside the shard lock.
+    pub fn get_or_compile(&self, blac: &Blac, name: &str, cfg: &CompileConfig) -> Arc<Kernel> {
+        let key = CacheKey {
+            blac: blac.clone(),
+            name: name.to_string(),
+            cfg: *cfg,
+        };
+        if let Some(k) = self.shard(&key).lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return k.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let kernel = Arc::new(compile_with_stats(blac, name, cfg, Some(&self.stages)));
+        let mut shard = self.shard(&key).lock();
+        match shard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                // Another thread compiled the same point concurrently;
+                // everyone shares its (identical) kernel.
+                self.races.fetch_add(1, Ordering::Relaxed);
+                e.get().clone()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+                e.insert(kernel).clone()
+            }
+        }
+    }
+
+    /// Number of resident kernels.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+    }
+
+    /// Snapshot of the behaviour counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            races: self.races.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Per-pipeline-stage counters for compiles this cache performed.
+    pub fn stage_stats(&self) -> &StageStats {
+        &self.stages
+    }
+}
+
+impl fmt::Debug for KernelCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgen_isa::Microarch;
+    use lgen_ll::paper;
+
+    #[test]
+    fn second_compile_is_a_hit_with_identical_kernel() {
+        let cache = KernelCache::new();
+        let blac = paper::gemv(4, 12);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let cold = cache.get_or_compile(&blac, "k", &cfg);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.entries), (0, 1, 1, 1));
+        let warm = cache.get_or_compile(&blac, "k", &cfg);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.entries), (1, 1, 1, 1));
+        assert!(
+            Arc::ptr_eq(&cold, &warm),
+            "warm hit must share the cold kernel"
+        );
+        assert_eq!(*cold, *warm);
+        // The pipeline ran exactly once.
+        assert_eq!(cache.stage_stats().compiles(), 1);
+    }
+
+    #[test]
+    fn distinct_configs_and_names_do_not_collide() {
+        let cache = KernelCache::new();
+        let blac = paper::axpy(16);
+        let full = CompileConfig::full(Microarch::Atom);
+        let base = CompileConfig::base(Microarch::Atom);
+        let a = cache.get_or_compile(&blac, "k", &full);
+        let b = cache.get_or_compile(&blac, "k", &base);
+        let c = cache.get_or_compile(&blac, "other", &full);
+        assert_ne!(*a, *b, "different configs must compile different kernels");
+        assert_eq!(c.name, "other");
+        assert_eq!(cache.stats().entries, 3);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn structurally_equal_blacs_share_an_entry() {
+        let cache = KernelCache::new();
+        let cfg = CompileConfig::full(Microarch::CortexA8);
+        let a = cache.get_or_compile(&paper::gemm(4, 8, 4), "k", &cfg);
+        let b = cache.get_or_compile(&paper::gemm(4, 8, 4), "k", &cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hits, 1);
+        // A different size is a different structure.
+        let _ = cache.get_or_compile(&paper::gemm(4, 8, 8), "k", &cfg);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn concurrent_compiles_of_one_point_share_a_kernel() {
+        let cache = KernelCache::new();
+        let blac = paper::mvm(4, 32);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let kernels: Vec<Arc<Kernel>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| cache.get_or_compile(&blac, "k", &cfg)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for k in &kernels[1..] {
+            assert!(Arc::ptr_eq(&kernels[0], k));
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.hits + s.misses, 4);
+        assert_eq!(s.inserts, 1);
+    }
+
+    #[test]
+    fn stats_display_is_informative() {
+        let cache = KernelCache::new();
+        let blac = paper::axpy(8);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        cache.get_or_compile(&blac, "k", &cfg);
+        cache.get_or_compile(&blac, "k", &cfg);
+        let text = cache.stats().to_string();
+        assert!(text.contains("1 hits / 1 misses"), "{text}");
+        assert!(text.contains("50.0% hit rate"), "{text}");
+    }
+}

@@ -34,7 +34,11 @@ impl Variant {
 }
 
 /// Full configuration for one compilation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` make the config usable as part of the kernel-cache key:
+/// every field below changes generated code, so two compilations of the
+/// same BLAC under equal configs yield identical kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CompileConfig {
     /// Target core (fixes the vector ISA).
     pub arch: Microarch,

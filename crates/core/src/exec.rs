@@ -31,7 +31,10 @@ pub fn run_blac_kernel(
         let mut refs: Vec<&mut [f32]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
         run_kernel(kernel, &mut refs, &layout, isa, &mut NullSink)?;
     }
-    Ok(MatrixValue::new(blac.dims(blac.output), bufs[blac.output.0].clone()))
+    Ok(MatrixValue::new(
+        blac.dims(blac.output),
+        bufs[blac.output.0].clone(),
+    ))
 }
 
 /// Validates a kernel against the naive reference on deterministic
@@ -127,8 +130,7 @@ mod tests {
         let aligned = measure_blac(&blac, &k, Microarch::Atom, &[0, 0, 0], 3).unwrap();
         // alpha, x, y: shift x and y by one float.
         let k_unaligned = compile(&blac, "k", &CompileConfig::base(Microarch::Atom));
-        let misaligned =
-            measure_blac(&blac, &k_unaligned, Microarch::Atom, &[0, 1, 1], 3).unwrap();
+        let misaligned = measure_blac(&blac, &k_unaligned, Microarch::Atom, &[0, 1, 1], 3).unwrap();
         assert!(
             misaligned.cycles > aligned.cycles,
             "{} vs {}",

@@ -18,11 +18,15 @@
 //! `LGen-MVM`, and `LGen-Full`.
 
 pub mod autotune;
+pub mod cache;
 pub mod config;
 pub mod exec;
 pub mod pipeline;
+pub mod pool;
 
 pub use autotune::{Autotuner, Objective, SearchStrategy, TunedKernel};
+pub use cache::{CacheKey, CacheStats, KernelCache};
 pub use config::{CompileConfig, Variant};
 pub use exec::{check_kernel, measure_blac, run_blac_kernel};
-pub use pipeline::compile;
+pub use pipeline::{compile, compile_many, compile_with_stats, StageStats};
+pub use pool::effective_threads;

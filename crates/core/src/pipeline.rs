@@ -1,6 +1,8 @@
 //! The compilation pipeline: LL → Σ-LL-style codegen → C-IR passes → kernel.
 
+use crate::cache::KernelCache;
 use crate::config::CompileConfig;
+use crate::pool::run_indexed;
 use lgen_cir::passes::{
     copy_prop, dce, detect_alignment, detect_alignment_partial, scalar_replacement, unroll,
     version_for_alignment,
@@ -8,6 +10,55 @@ use lgen_cir::passes::{
 use lgen_cir::{merge_kernel_versions, ArrayKind, Kernel};
 use lgen_ll::Blac;
 use lgen_sigma::{compile_blac, CodegenOptions};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cumulative wall-clock nanoseconds and invocation counts per pipeline
+/// stage. Shared by reference across threads (all counters are relaxed
+/// atomics — totals, not a trace), these are the hook later observability
+/// work builds on; today they feed `lgenc --cache-stats`.
+#[derive(Debug, Default)]
+pub struct StageStats {
+    codegen_ns: AtomicU64,
+    unroll_ns: AtomicU64,
+    scalar_replacement_ns: AtomicU64,
+    copy_prop_ns: AtomicU64,
+    dce_ns: AtomicU64,
+    alignment_ns: AtomicU64,
+    compiles: AtomicU64,
+}
+
+impl StageStats {
+    fn add(counter: &AtomicU64, since: Instant) {
+        counter.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Number of full pipeline runs recorded.
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// `(stage name, cumulative nanoseconds)` rows in pipeline order.
+    pub fn rows(&self) -> [(&'static str, u64); 6] {
+        [
+            ("codegen", self.codegen_ns.load(Ordering::Relaxed)),
+            ("unroll", self.unroll_ns.load(Ordering::Relaxed)),
+            (
+                "scalar-replacement",
+                self.scalar_replacement_ns.load(Ordering::Relaxed),
+            ),
+            ("copy-prop", self.copy_prop_ns.load(Ordering::Relaxed)),
+            ("dce", self.dce_ns.load(Ordering::Relaxed)),
+            ("alignment", self.alignment_ns.load(Ordering::Relaxed)),
+        ]
+    }
+
+    /// Total nanoseconds across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.rows().iter().map(|(_, ns)| ns).sum()
+    }
+}
 
 /// Compiles a BLAC to a finished kernel for `cfg` (Fig. 2.1, minus the
 /// autotuning loop — see [`crate::Autotuner`]).
@@ -29,36 +80,90 @@ use lgen_sigma::{compile_blac, CodegenOptions};
 /// assert!(c.contains("_mm_")); // vectorized
 /// ```
 pub fn compile(blac: &Blac, name: &str, cfg: &CompileConfig) -> Kernel {
-    if cfg.peeling && cfg.arch.vector_isa() != lgen_isa::VectorIsa::Scalar {
-        return compile_peeled(blac, name, cfg);
+    compile_with_stats(blac, name, cfg, None)
+}
+
+/// [`compile`] with optional per-stage accounting: when `stats` is given,
+/// each stage's wall-clock time is added to the shared counters (this is
+/// what [`KernelCache`] threads through so cache misses are attributed to
+/// stages).
+pub fn compile_with_stats(
+    blac: &Blac,
+    name: &str,
+    cfg: &CompileConfig,
+    stats: Option<&StageStats>,
+) -> Kernel {
+    if let Some(s) = stats {
+        s.compiles.fetch_add(1, Ordering::Relaxed);
     }
-    let mut kernel = compile_one(blac, name, cfg, None);
+    if cfg.peeling && cfg.arch.vector_isa() != lgen_isa::VectorIsa::Scalar {
+        return compile_peeled(blac, name, cfg, stats);
+    }
+    let mut kernel = compile_one(blac, name, cfg, None, stats);
 
     // Alignment handling (§3.2).
+    let t = Instant::now();
     if cfg.alignment_versioning {
         kernel = version_for_alignment(&kernel);
     } else if cfg.alignment_detection {
         let zeros = vec![0usize; kernel.arrays.len()];
         detect_alignment(kernel.body_mut(), &zeros);
     }
+    if let Some(s) = stats {
+        StageStats::add(&s.alignment_ns, t);
+    }
     kernel
+}
+
+/// Compiles many `(BLAC, name, config)` jobs over one worker pool and one
+/// shared cache, returning kernels in job order. The batch analogue of
+/// [`KernelCache::get_or_compile`]: repeated points across the batch (or
+/// across batches on the same cache) compile once.
+pub fn compile_many(
+    jobs: &[(Blac, String, CompileConfig)],
+    threads: usize,
+    cache: &KernelCache,
+) -> Vec<Arc<Kernel>> {
+    run_indexed(jobs.len(), threads, |i| {
+        let (blac, name, cfg) = &jobs[i];
+        cache.get_or_compile(blac, name, cfg)
+    })
 }
 
 /// One body: codegen with an optional peel assumption, then the code-level
 /// optimizations (§2.1.4, §3.1).
-fn compile_one(blac: &Blac, name: &str, cfg: &CompileConfig, peel: Option<usize>) -> Kernel {
+fn compile_one(
+    blac: &Blac,
+    name: &str,
+    cfg: &CompileConfig,
+    peel: Option<usize>,
+    stats: Option<&StageStats>,
+) -> Kernel {
     let opts = CodegenOptions {
         isa: cfg.arch.vector_isa(),
         mvm: cfg.mvm,
         specialized_leftovers: cfg.specialized_leftovers,
         peel_offset: peel,
     };
-    let mut kernel = compile_blac(blac, name, &opts);
+    macro_rules! staged {
+        ($counter:ident, $e:expr) => {{
+            let t = Instant::now();
+            let out = $e;
+            if let Some(s) = stats {
+                StageStats::add(&s.$counter, t);
+            }
+            out
+        }};
+    }
+    let mut kernel = staged!(codegen_ns, compile_blac(blac, name, &opts));
     let body = std::mem::take(kernel.body_mut());
-    let body = unroll(body, cfg.unroll);
-    let body = scalar_replacement(body, &kernel.arrays);
-    let body = copy_prop(body);
-    let body = dce(body, &kernel.arrays);
+    let body = staged!(unroll_ns, unroll(body, cfg.unroll));
+    let body = staged!(
+        scalar_replacement_ns,
+        scalar_replacement(body, &kernel.arrays)
+    );
+    let body = staged!(copy_prop_ns, copy_prop(body));
+    let body = staged!(dce_ns, dce(body, &kernel.arrays));
     *kernel.body_mut() = body;
     kernel
 }
@@ -67,11 +172,16 @@ fn compile_one(blac: &Blac, name: &str, cfg: &CompileConfig, peel: Option<usize>
 /// the vector-sized parameter arrays (a common single-allocation pattern —
 /// exactly the Fig. 5.9 protocol), each analyzed under its own assumption,
 /// plus an unconditional unaligned fallback.
-fn compile_peeled(blac: &Blac, name: &str, cfg: &CompileConfig) -> Kernel {
+fn compile_peeled(
+    blac: &Blac,
+    name: &str,
+    cfg: &CompileConfig,
+    stats: Option<&StageStats>,
+) -> Kernel {
     let nu = 4usize;
     let mut versions = Vec::with_capacity(nu + 1);
     for off in 0..nu {
-        let mut k = compile_one(blac, name, cfg, Some(off));
+        let mut k = compile_one(blac, name, cfg, Some(off), stats);
         let assumptions: Vec<Option<usize>> = k
             .arrays
             .iter()
@@ -90,7 +200,7 @@ fn compile_peeled(blac: &Blac, name: &str, cfg: &CompileConfig) -> Kernel {
             .collect();
         versions.push((Some(required), k));
     }
-    versions.push((None, compile_one(blac, name, cfg, None)));
+    versions.push((None, compile_one(blac, name, cfg, None, stats)));
     merge_kernel_versions(versions)
 }
 
@@ -106,7 +216,11 @@ mod tests {
     #[test]
     fn align_variant_marks_accesses() {
         let blac = paper::axpy(32);
-        let base = compile(&blac, "k", &CompileConfig::variant(Microarch::Atom, Variant::Base));
+        let base = compile(
+            &blac,
+            "k",
+            &CompileConfig::variant(Microarch::Atom, Variant::Base),
+        );
         let full = compile(&blac, "k", &CompileConfig::full(Microarch::Atom));
         assert_eq!(count_aligned(base.body()).0, 0);
         let (aligned, total) = count_aligned(full.body());
@@ -176,7 +290,10 @@ mod tests {
         // Every non-fallback version must contain aligned full-width ops.
         for v in &k.versions[..4] {
             let (aligned, total) = count_aligned(&v.body);
-            assert!(aligned > 0, "peeled version has no aligned access ({total} total)");
+            assert!(
+                aligned > 0,
+                "peeled version has no aligned access ({total} total)"
+            );
         }
         // The fallback has none.
         assert_eq!(count_aligned(&k.versions[4].body).0, 0);
@@ -232,10 +349,16 @@ mod tests {
         // when every row is off by one float; peeling can.
         use crate::exec::measure_blac;
         let blac = paper::axpy(256);
-        let peeled =
-            compile(&blac, "k", &CompileConfig::full(Microarch::Atom).with_peeling());
-        let versioned =
-            compile(&blac, "k", &CompileConfig::full(Microarch::Atom).with_versioning());
+        let peeled = compile(
+            &blac,
+            "k",
+            &CompileConfig::full(Microarch::Atom).with_peeling(),
+        );
+        let versioned = compile(
+            &blac,
+            "k",
+            &CompileConfig::full(Microarch::Atom).with_versioning(),
+        );
         let offs = [0usize, 1, 1]; // alpha aligned, x and y off by one float
         let mp = measure_blac(&blac, &peeled, Microarch::Atom, &offs, 3).unwrap();
         let mv = measure_blac(&blac, &versioned, Microarch::Atom, &offs, 3).unwrap();

@@ -1,0 +1,103 @@
+//! A minimal scoped worker pool for embarrassingly parallel compile /
+//! validate / measure jobs.
+//!
+//! Candidate evaluation in the autotuner and batch compilation are
+//! index-addressed: job `i` writes result slot `i`, so the output order is
+//! the input order no matter which worker ran what — the determinism the
+//! autotuner's reduction relies on. Work distribution is a single atomic
+//! counter (jobs are coarse — a full compile+validate+measure each — so
+//! contention is negligible).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested thread count: `0` means "one per available core".
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Runs `job(0..n_jobs)` on up to `threads` scoped workers and returns the
+/// results in job order. With `threads <= 1` (or a single job) everything
+/// runs on the caller's thread — the sequential path is the parallel path.
+///
+/// # Panics
+///
+/// A panicking job propagates out (after the scope joins all workers),
+/// matching the sequential behaviour the autotuner documents: a candidate
+/// failing validation is a compiler bug, not a recoverable condition.
+pub fn run_indexed<T, F>(n_jobs: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(threads).min(n_jobs);
+    if threads <= 1 {
+        return (0..n_jobs).map(job).collect();
+    }
+
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n_jobs).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let job = &job;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let slots = &slots;
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_jobs {
+                    break;
+                }
+                // The job (a whole compile+validate+measure) runs outside
+                // the lock; only the slot write serializes.
+                let result = job(i);
+                slots.lock()[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|s| s.expect("every job index was claimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_job_order() {
+        for threads in [1, 2, 8] {
+            let out = run_indexed(25, threads, |i| i * i);
+            assert_eq!(out, (0..25).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_indexed(100, 4, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<usize> = run_indexed(0, 8, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

@@ -52,7 +52,11 @@ pub struct InstCost {
 }
 
 const fn c(latency: u32, issue: u32, ports: PortReq) -> InstCost {
-    InstCost { latency, issue, ports }
+    InstCost {
+        latency,
+        issue,
+        ports,
+    }
 }
 
 const ANY: PortReq = PortReq::AnyOf(0xff);
@@ -265,7 +269,11 @@ mod tests {
                 (MOp::VmlaQ, MOp::VmlaD),
                 (MOp::VmlaLaneQ, MOp::VmlaLaneD),
             ] {
-                assert_eq!(cost(arch, q).issue, 2 * cost(arch, d).issue, "{arch:?} {q:?}");
+                assert_eq!(
+                    cost(arch, q).issue,
+                    2 * cost(arch, d).issue,
+                    "{arch:?} {q:?}"
+                );
             }
         }
     }
@@ -309,12 +317,55 @@ mod tests {
     fn all_costs_well_formed() {
         use MOp::*;
         let all_ops = [
-            MmLoadAPs, MmLoadUPs, MmLoadSs, MmLoadLPi, MmLoad1Ps, MmStoreAPs, MmStoreUPs,
-            MmStoreSs, MmStoreLPi, MmAddPs, MmMulPs, MmHaddPs, MmShufPs, MmUnpckPs, MmSetZeroPs,
-            MmMovAps, VldQ, VldD, VldLane, VldDup, VstQ, VstD, VstLane, VaddQ, VaddD, VmulQ,
-            VmulD, VmlaQ, VmlaD, VmulLaneQ, VmulLaneD, VmlaLaneQ, VmlaLaneD, Vpadd, Vmov,
-            VdupLane, Vperm, VsetLane, VgetLane, Vzero, FLoad, FStore, FAdd, FMul, FMac, FMov,
-            IAddr, Branch, CallOverhead,
+            MmLoadAPs,
+            MmLoadUPs,
+            MmLoadSs,
+            MmLoadLPi,
+            MmLoad1Ps,
+            MmStoreAPs,
+            MmStoreUPs,
+            MmStoreSs,
+            MmStoreLPi,
+            MmAddPs,
+            MmMulPs,
+            MmHaddPs,
+            MmShufPs,
+            MmUnpckPs,
+            MmSetZeroPs,
+            MmMovAps,
+            VldQ,
+            VldD,
+            VldLane,
+            VldDup,
+            VstQ,
+            VstD,
+            VstLane,
+            VaddQ,
+            VaddD,
+            VmulQ,
+            VmulD,
+            VmlaQ,
+            VmlaD,
+            VmulLaneQ,
+            VmulLaneD,
+            VmlaLaneQ,
+            VmlaLaneD,
+            Vpadd,
+            Vmov,
+            VdupLane,
+            Vperm,
+            VsetLane,
+            VgetLane,
+            Vzero,
+            FLoad,
+            FStore,
+            FAdd,
+            FMul,
+            FMac,
+            FMov,
+            IAddr,
+            Branch,
+            CallOverhead,
         ];
         for arch in [
             Microarch::Atom,

@@ -46,19 +46,40 @@ impl MachInst {
     /// A register-only instruction.
     pub fn reg(op: MOp, dst: Option<u32>, srcs: Vec<u32>) -> Self {
         debug_assert!(!op.touches_memory(), "{op} needs a memory operand");
-        MachInst { op, dst, srcs, mem: None }
+        MachInst {
+            op,
+            dst,
+            srcs,
+            mem: None,
+        }
     }
 
     /// A load producing `dst` from `addr`.
     pub fn load(op: MOp, dst: u32, addr: usize) -> Self {
         debug_assert!(op.is_load(), "{op} is not a load");
-        MachInst { op, dst: Some(dst), srcs: Vec::new(), mem: Some(MemRef { addr, bytes: op.access_bytes() }) }
+        MachInst {
+            op,
+            dst: Some(dst),
+            srcs: Vec::new(),
+            mem: Some(MemRef {
+                addr,
+                bytes: op.access_bytes(),
+            }),
+        }
     }
 
     /// A store of `src` to `addr`.
     pub fn store(op: MOp, src: u32, addr: usize) -> Self {
         debug_assert!(op.is_store(), "{op} is not a store");
-        MachInst { op, dst: None, srcs: vec![src], mem: Some(MemRef { addr, bytes: op.access_bytes() }) }
+        MachInst {
+            op,
+            dst: None,
+            srcs: vec![src],
+            mem: Some(MemRef {
+                addr,
+                bytes: op.access_bytes(),
+            }),
+        }
     }
 }
 
@@ -106,7 +127,11 @@ impl CountingSink {
 
     /// Sum of counts over the opcodes for which `pred` holds.
     pub fn count_matching(&self, pred: impl Fn(MOp) -> bool) -> u64 {
-        self.counts.iter().filter(|(op, _)| pred(**op)).map(|(_, n)| n).sum()
+        self.counts
+            .iter()
+            .filter(|(op, _)| pred(**op))
+            .map(|(_, n)| n)
+            .sum()
     }
 
     /// Iterator over `(opcode, count)` pairs (unspecified order).
@@ -141,8 +166,16 @@ mod tests {
 
     #[test]
     fn mem_ref_alignment() {
-        assert!(MemRef { addr: 32, bytes: 16 }.aligned16());
-        assert!(!MemRef { addr: 36, bytes: 16 }.aligned16());
+        assert!(MemRef {
+            addr: 32,
+            bytes: 16
+        }
+        .aligned16());
+        assert!(!MemRef {
+            addr: 36,
+            bytes: 16
+        }
+        .aligned16());
     }
 
     #[test]
@@ -163,6 +196,9 @@ mod tests {
         assert_eq!(s.count(MOp::MmAddPs), 2);
         assert_eq!(s.count(MOp::MmHaddPs), 1);
         assert_eq!(s.total(), 3);
-        assert_eq!(s.count_matching(|op| op == MOp::MmAddPs || op == MOp::MmHaddPs), 3);
+        assert_eq!(
+            s.count_matching(|op| op == MOp::MmAddPs || op == MOp::MmHaddPs),
+            3
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! The BLAC AST: operands, expressions, size inference, flop accounting.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Matrix dimensions. Vectors are `n×1` or `1×n`; scalars are `1×1`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -19,7 +19,10 @@ impl Dims {
     ///
     /// Panics if either dimension is 0.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "dimensions must be positive: {rows}×{cols}");
+        assert!(
+            rows > 0 && cols > 0,
+            "dimensions must be positive: {rows}×{cols}"
+        );
         Dims { rows, cols }
     }
 
@@ -45,7 +48,10 @@ impl Dims {
 
     /// The transposed dimensions.
     pub fn t(&self) -> Dims {
-        Dims { rows: self.cols, cols: self.rows }
+        Dims {
+            rows: self.cols,
+            cols: self.rows,
+        }
     }
 }
 
@@ -60,7 +66,7 @@ impl fmt::Display for Dims {
 pub struct OperandId(pub usize);
 
 /// An operand declaration.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Operand {
     /// Name (used for kernel parameter names).
     pub name: String,
@@ -69,21 +75,25 @@ pub struct Operand {
 }
 
 /// An LL expression.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Subtrees are [`Arc`]-shared so a [`Blac`] is `Send + Sync` — the
+/// parallel autotuner and the kernel cache share BLACs across threads.
+/// Equality and hashing are *structural* (they see through the `Arc`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// Reference to a declared operand.
     Ref(OperandId),
     /// Matrix addition (sizes must match).
-    Add(Rc<Expr>, Rc<Expr>),
+    Add(Arc<Expr>, Arc<Expr>),
     /// Matrix multiplication, or scalar–matrix multiplication when either
     /// side is 1×1.
-    Mul(Rc<Expr>, Rc<Expr>),
+    Mul(Arc<Expr>, Arc<Expr>),
     /// Transposition.
-    Trans(Rc<Expr>),
+    Trans(Arc<Expr>),
     /// Matrix-vector Hadamard product `A ⊙ x` (§3.3): `C_ij = A_ij · x_j`.
-    Mvh(Rc<Expr>, Rc<Expr>),
+    Mvh(Arc<Expr>, Arc<Expr>),
     /// Row reduction `⊘A` (§3.3): `x_i = Σ_j A_ij`.
-    Rr(Rc<Expr>),
+    Rr(Arc<Expr>),
 }
 
 /// Errors raised by size inference.
@@ -123,7 +133,12 @@ impl std::error::Error for SizeError {}
 ///
 /// The output operand may also appear in the expression (e.g.
 /// `y = αAx + βy`), making it an in/out kernel parameter.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// `Eq`/`Hash` are structural — two BLACs compare equal iff they declare
+/// the same operands (names and sizes, in order) and the same expression
+/// tree. This is the identity the kernel cache keys on; see also
+/// [`Blac::fingerprint`] for a stable 64-bit digest of the same identity.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Blac {
     /// Operand table.
     pub operands: Vec<Operand>,
@@ -210,7 +225,10 @@ impl Blac {
                     go(b, a) + go(b, x) + d.len() as u64
                 }
                 Expr::Mul(a, x) => {
-                    let (da, dx) = (b.infer(a).expect("validated"), b.infer(x).expect("validated"));
+                    let (da, dx) = (
+                        b.infer(a).expect("validated"),
+                        b.infer(x).expect("validated"),
+                    );
                     let own = if da.is_scalar() {
                         dx.len() as u64
                     } else if dx.is_scalar() {
@@ -236,14 +254,80 @@ impl Blac {
         go(self, &self.expr)
     }
 
+    /// A stable 64-bit structural digest of the BLAC: FNV-1a over a
+    /// canonical encoding of the operand table, the output id, and the
+    /// expression tree. Unlike `std::hash::Hash`, the value does not
+    /// depend on the process, the platform, or the Rust release, so it is
+    /// safe to persist (cache keys, log correlation, content addressing).
+    ///
+    /// Two BLACs have equal fingerprints iff they are structurally equal,
+    /// up to the negligible 64-bit collision probability; the kernel cache
+    /// therefore keys on the full structure and uses the fingerprint only
+    /// for shard selection and diagnostics.
+    pub fn fingerprint(&self) -> u64 {
+        /// FNV-1a, 64-bit.
+        struct Fnv(u64);
+        impl Fnv {
+            fn write(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+            fn write_usize(&mut self, v: usize) {
+                self.write(&(v as u64).to_le_bytes());
+            }
+        }
+        fn walk(e: &Expr, h: &mut Fnv) {
+            match e {
+                Expr::Ref(id) => {
+                    h.write(&[0]);
+                    h.write_usize(id.0);
+                }
+                Expr::Add(a, b) => {
+                    h.write(&[1]);
+                    walk(a, h);
+                    walk(b, h);
+                }
+                Expr::Mul(a, b) => {
+                    h.write(&[2]);
+                    walk(a, h);
+                    walk(b, h);
+                }
+                Expr::Trans(a) => {
+                    h.write(&[3]);
+                    walk(a, h);
+                }
+                Expr::Mvh(a, b) => {
+                    h.write(&[4]);
+                    walk(a, h);
+                    walk(b, h);
+                }
+                Expr::Rr(a) => {
+                    h.write(&[5]);
+                    walk(a, h);
+                }
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.write_usize(self.operands.len());
+        for op in &self.operands {
+            h.write_usize(op.name.len());
+            h.write(op.name.as_bytes());
+            h.write_usize(op.dims.rows);
+            h.write_usize(op.dims.cols);
+        }
+        h.write_usize(self.output.0);
+        walk(&self.expr, &mut h);
+        h.0
+    }
+
     /// Whether the output operand also occurs in the expression (in/out).
     pub fn output_is_input(&self) -> bool {
         fn uses(e: &Expr, id: OperandId) -> bool {
             match e {
                 Expr::Ref(r) => *r == id,
-                Expr::Add(a, b) | Expr::Mul(a, b) | Expr::Mvh(a, b) => {
-                    uses(a, id) || uses(b, id)
-                }
+                Expr::Add(a, b) | Expr::Mul(a, b) | Expr::Mvh(a, b) => uses(a, id) || uses(b, id),
                 Expr::Trans(a) | Expr::Rr(a) => uses(a, id),
             }
         }
@@ -272,20 +356,25 @@ impl Blac {
 impl fmt::Display for Blac {
     /// The equation in the paper's notation, e.g. `y = alpha A x + beta y`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} = {}", self.operands[self.output.0].name, self.expr_string(&self.expr))
+        write!(
+            f,
+            "{} = {}",
+            self.operands[self.output.0].name,
+            self.expr_string(&self.expr)
+        )
     }
 }
 
 /// A handle used by [`BlacBuilder`] to write expressions with `+`, `*`, and
 /// `.t()`.
 #[derive(Clone, Debug)]
-pub struct ExprHandle(pub(crate) Rc<Expr>);
+pub struct ExprHandle(pub(crate) Arc<Expr>);
 
 impl ExprHandle {
     /// Transposition.
     #[allow(clippy::should_implement_trait)]
     pub fn t(&self) -> ExprHandle {
-        ExprHandle(Rc::new(Expr::Trans(self.0.clone())))
+        ExprHandle(Arc::new(Expr::Trans(self.0.clone())))
     }
 
     /// The underlying expression.
@@ -297,14 +386,14 @@ impl ExprHandle {
 impl std::ops::Add for ExprHandle {
     type Output = ExprHandle;
     fn add(self, rhs: ExprHandle) -> ExprHandle {
-        ExprHandle(Rc::new(Expr::Add(self.0, rhs.0)))
+        ExprHandle(Arc::new(Expr::Add(self.0, rhs.0)))
     }
 }
 
 impl std::ops::Mul for ExprHandle {
     type Output = ExprHandle;
     fn mul(self, rhs: ExprHandle) -> ExprHandle {
-        ExprHandle(Rc::new(Expr::Mul(self.0, rhs.0)))
+        ExprHandle(Arc::new(Expr::Mul(self.0, rhs.0)))
     }
 }
 
@@ -340,7 +429,10 @@ impl BlacBuilder {
     }
 
     fn push(&mut self, name: &str, dims: Dims) -> OperandId {
-        self.operands.push(Operand { name: name.to_string(), dims });
+        self.operands.push(Operand {
+            name: name.to_string(),
+            dims,
+        });
         OperandId(self.operands.len() - 1)
     }
 
@@ -366,7 +458,7 @@ impl BlacBuilder {
 
     /// An expression handle for an operand id.
     pub fn handle(&self, id: OperandId) -> ExprHandle {
-        ExprHandle(Rc::new(Expr::Ref(id)))
+        ExprHandle(Arc::new(Expr::Ref(id)))
     }
 
     /// Finishes the BLAC `output = expr` and validates it.
@@ -375,7 +467,11 @@ impl BlacBuilder {
     ///
     /// Returns a [`SizeError`] if shapes are inconsistent.
     pub fn define(self, output: OperandId, expr: ExprHandle) -> Result<Blac, SizeError> {
-        let blac = Blac { operands: self.operands, output, expr: expr.expr() };
+        let blac = Blac {
+            operands: self.operands,
+            output,
+            expr: expr.expr(),
+        };
         blac.validate()?;
         Ok(blac)
     }
@@ -461,11 +557,15 @@ mod tests {
         let a = b.matrix("A", 4, 8);
         let x = b.col_vector("x", 8);
         let y = b.col_vector("y", 4);
-        let expr = Expr::Rr(Rc::new(Expr::Mvh(
-            Rc::new(Expr::Ref(a)),
-            Rc::new(Expr::Ref(x)),
+        let expr = Expr::Rr(Arc::new(Expr::Mvh(
+            Arc::new(Expr::Ref(a)),
+            Arc::new(Expr::Ref(x)),
         )));
-        let blac = Blac { operands: b.operands.clone(), output: y, expr };
+        let blac = Blac {
+            operands: b.operands.clone(),
+            output: y,
+            expr,
+        };
         blac.validate().unwrap();
         // MVH: 32 muls; RR: 4 × 7 adds. Same total as 2·4·8 − 4… the paper's
         // Table 3.2 point: both MVM approaches do the same arithmetic.

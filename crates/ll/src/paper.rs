@@ -48,8 +48,7 @@ pub fn gemv(m: usize, n: usize) -> Blac {
     let a = b.matrix("A", m, n);
     let x = b.col_vector("x", n);
     let y = b.col_vector("y", m);
-    let expr =
-        b.handle(alpha) * (b.handle(a) * b.handle(x)) + b.handle(beta) * b.handle(y);
+    let expr = b.handle(alpha) * (b.handle(a) * b.handle(x)) + b.handle(beta) * b.handle(y);
     b.define(y, expr).expect("valid by construction")
 }
 
@@ -61,8 +60,7 @@ pub fn gemm(m: usize, k: usize, n: usize) -> Blac {
     let a = b.matrix("A", m, k);
     let bb = b.matrix("B", k, n);
     let c = b.matrix("C", m, n);
-    let expr =
-        b.handle(alpha) * (b.handle(a) * b.handle(bb)) + b.handle(beta) * b.handle(c);
+    let expr = b.handle(alpha) * (b.handle(a) * b.handle(bb)) + b.handle(beta) * b.handle(c);
     b.define(c, expr).expect("valid by construction")
 }
 

@@ -22,7 +22,7 @@
 use crate::blac::{Blac, Dims, Expr, Operand, OperandId, SizeError};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Errors from parsing a BLAC source text.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -110,10 +110,15 @@ pub fn parse_blac(src: &str) -> Result<Blac, ParseError> {
         let (lhs, rhs) = (lhs.trim(), rhs.trim());
         if let Some(dims) = parse_decl(rhs, lineno + 1)? {
             if names.contains_key(lhs) {
-                return Err(ParseError::Redeclared { name: lhs.to_string() });
+                return Err(ParseError::Redeclared {
+                    name: lhs.to_string(),
+                });
             }
             names.insert(lhs.to_string(), OperandId(operands.len()));
-            operands.push(Operand { name: lhs.to_string(), dims });
+            operands.push(Operand {
+                name: lhs.to_string(),
+                dims,
+            });
         } else {
             // An equation line; the last one wins (there is normally one).
             equation = Some((lineno + 1, lhs.to_string(), rhs.to_string()));
@@ -121,13 +126,22 @@ pub fn parse_blac(src: &str) -> Result<Blac, ParseError> {
     }
 
     let (eq_line, out_name, rhs) = equation.ok_or(ParseError::MissingEquation)?;
-    let output = *names
-        .get(&out_name)
-        .ok_or(ParseError::Undeclared { name: out_name.clone() })?;
-    let mut p = ExprParser { tokens: tokenize(&rhs, eq_line)?, pos: 0, names: &names, line: eq_line };
+    let output = *names.get(&out_name).ok_or(ParseError::Undeclared {
+        name: out_name.clone(),
+    })?;
+    let mut p = ExprParser {
+        tokens: tokenize(&rhs, eq_line)?,
+        pos: 0,
+        names: &names,
+        line: eq_line,
+    };
     let expr = p.expression()?;
     p.expect_end()?;
-    let blac = Blac { operands, output, expr };
+    let blac = Blac {
+        operands,
+        output,
+        expr,
+    };
     blac.validate()?;
     Ok(blac)
 }
@@ -255,7 +269,10 @@ impl ExprParser<'_> {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError::Syntax { line: self.line, message: message.into() }
+        ParseError::Syntax {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     /// expression := product { '+' product }
@@ -264,7 +281,7 @@ impl ExprParser<'_> {
         while self.peek() == Some(&Tok::Plus) {
             self.bump();
             let rhs = self.product()?;
-            acc = Expr::Add(Rc::new(acc), Rc::new(rhs));
+            acc = Expr::Add(Arc::new(acc), Arc::new(rhs));
         }
         Ok(acc)
     }
@@ -275,7 +292,7 @@ impl ExprParser<'_> {
         while self.peek() == Some(&Tok::Star) {
             self.bump();
             let rhs = self.postfix()?;
-            acc = Expr::Mul(Rc::new(acc), Rc::new(rhs));
+            acc = Expr::Mul(Arc::new(acc), Arc::new(rhs));
         }
         Ok(acc)
     }
@@ -285,7 +302,7 @@ impl ExprParser<'_> {
         let mut acc = self.atom()?;
         while self.peek() == Some(&Tok::Tick) {
             self.bump();
-            acc = Expr::Trans(Rc::new(acc));
+            acc = Expr::Trans(Arc::new(acc));
         }
         Ok(acc)
     }
@@ -390,16 +407,20 @@ mod tests {
 
     #[test]
     fn rejects_shape_errors() {
-        let err = parse_blac(
-            "A = matrix(4, 4)\nB = matrix(5, 4)\nC = matrix(4, 4)\nC = A * B",
-        )
-        .unwrap_err();
-        assert!(matches!(err, ParseError::Sizes(SizeError::MulMismatch(_, _))));
+        let err = parse_blac("A = matrix(4, 4)\nB = matrix(5, 4)\nC = matrix(4, 4)\nC = A * B")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::Sizes(SizeError::MulMismatch(_, _))
+        ));
     }
 
     #[test]
     fn rejects_missing_equation_and_syntax_garbage() {
-        assert_eq!(parse_blac("A = matrix(2, 2)").unwrap_err(), ParseError::MissingEquation);
+        assert_eq!(
+            parse_blac("A = matrix(2, 2)").unwrap_err(),
+            ParseError::MissingEquation
+        );
         let err = parse_blac("A = matrix(2, 2)\nA = A $ A").unwrap_err();
         assert!(matches!(err, ParseError::Syntax { .. }));
         let err = parse_blac("A = matrix(2, 2)\nA = (A").unwrap_err();

@@ -28,7 +28,10 @@ impl MatrixValue {
 
     /// A zero-filled value.
     pub fn zeros(dims: Dims) -> Self {
-        MatrixValue { dims, data: vec![0.0; dims.len()] }
+        MatrixValue {
+            dims,
+            data: vec![0.0; dims.len()],
+        }
     }
 
     /// Element access.
@@ -49,7 +52,11 @@ impl MatrixValue {
 ///
 /// Panics if values are missing or ill-sized; call [`Blac::validate`] first.
 pub fn eval_reference(blac: &Blac, values: &[MatrixValue]) -> MatrixValue {
-    assert_eq!(values.len(), blac.operands.len(), "one value per operand required");
+    assert_eq!(
+        values.len(),
+        blac.operands.len(),
+        "one value per operand required"
+    );
     for (v, o) in values.iter().zip(&blac.operands) {
         assert_eq!(v.dims, o.dims, "operand {} has wrong size", o.name);
     }
@@ -190,7 +197,7 @@ mod tests {
     fn mvh_rr_equals_mvm() {
         // ⊘(A ⊙ x) == A x: the §3.3 equivalence at the semantic level.
         use crate::blac::Expr;
-        use std::rc::Rc;
+        use std::sync::Arc;
         let mut b = BlacBuilder::new();
         let a = b.matrix("A", 3, 5);
         let x = b.col_vector("x", 5);
@@ -200,9 +207,9 @@ mod tests {
         let rewritten = Blac {
             operands: blac_mvm.operands.clone(),
             output: y,
-            expr: Expr::Rr(Rc::new(Expr::Mvh(
-                Rc::new(Expr::Ref(a)),
-                Rc::new(Expr::Ref(x)),
+            expr: Expr::Rr(Arc::new(Expr::Mvh(
+                Arc::new(Expr::Ref(a)),
+                Arc::new(Expr::Ref(x)),
             ))),
         };
         rewritten.validate().unwrap();

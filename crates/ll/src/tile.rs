@@ -29,7 +29,12 @@ impl TileGrid {
     /// Panics if `tile` is 0.
     pub fn new(dim: usize, tile: usize) -> Self {
         assert!(tile > 0, "tile size must be positive");
-        TileGrid { dim, tile, full: dim / tile, leftover: dim % tile }
+        TileGrid {
+            dim,
+            tile,
+            full: dim / tile,
+            leftover: dim % tile,
+        }
     }
 
     /// Total number of tiles including the leftover.
@@ -40,8 +45,7 @@ impl TileGrid {
     /// Iterator over `(start, size)` of each tile.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         let full_part = (0..self.full).map(move |i| (i * self.tile, self.tile));
-        let tail = (self.leftover > 0)
-            .then_some((self.full * self.tile, self.leftover));
+        let tail = (self.leftover > 0).then_some((self.full * self.tile, self.leftover));
         full_part.chain(tail)
     }
 
@@ -73,7 +77,10 @@ mod tests {
         let g = TileGrid::new(16, 4);
         assert_eq!((g.full, g.leftover), (4, 0));
         assert_eq!(g.count(), 4);
-        assert_eq!(g.iter().collect::<Vec<_>>(), vec![(0, 4), (4, 4), (8, 4), (12, 4)]);
+        assert_eq!(
+            g.iter().collect::<Vec<_>>(),
+            vec![(0, 4), (4, 4), (8, 4), (12, 4)]
+        );
     }
 
     #[test]

@@ -126,7 +126,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = L1Cache::new(1024, 64); // 16 lines
-        // Stream 32 lines twice: second pass still misses everything.
+                                            // Stream 32 lines twice: second pass still misses everything.
         for _ in 0..2 {
             for i in 0..32 {
                 c.access(i * 64, 4);

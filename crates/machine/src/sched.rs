@@ -94,8 +94,7 @@ impl Simulator {
     /// core's static energy over the elapsed cycles (§6 future work: energy
     /// metrics in the autotuning loop).
     pub fn energy_pj(&self) -> u64 {
-        self.dyn_energy_pj
-            + self.horizon * lgen_isa::energy::static_energy_pj_per_cycle(self.arch)
+        self.dyn_energy_pj + self.horizon * lgen_isa::energy::static_energy_pj_per_cycle(self.arch)
     }
 
     /// Resets timing state but keeps the cache contents — the warm-cache
@@ -192,8 +191,7 @@ impl TraceSink for Simulator {
         };
         let mut c = ready;
         let (cycle, port) = loop {
-            let width_ok =
-                self.issued_at.get(&c).copied().unwrap_or(0) < self.params.issue_width;
+            let width_ok = self.issued_at.get(&c).copied().unwrap_or(0) < self.params.issue_width;
             if width_ok {
                 if blocks_all {
                     if self.port_busy.iter().all(|b| port_open(b, c)) {
@@ -225,7 +223,13 @@ impl TraceSink for Simulator {
         if std::env::var_os("LGEN_SCHED_TRACE").is_some() && self.ninsts < 60 {
             eprintln!(
                 "#{:3} {:16} dst={:?} srcs={:?} ready={} issue={} done={}",
-                self.ninsts, inst.op.mnemonic(), inst.dst, inst.srcs, ready, cycle, done
+                self.ninsts,
+                inst.op.mnemonic(),
+                inst.dst,
+                inst.srcs,
+                ready,
+                cycle,
+                done
             );
         }
         if let Some(dst) = inst.dst {
@@ -301,7 +305,11 @@ mod tests {
             let stream = |sim: &mut Simulator| {
                 for i in 0..64u32 {
                     sim.emit(&MachInst::load(MOp::VldD, 100 + i, (i as usize % 16) * 8));
-                    sim.emit(&MachInst::reg(MOp::VmlaD, Some(200 + i), vec![300 + i, 50 + i]));
+                    sim.emit(&MachInst::reg(
+                        MOp::VmlaD,
+                        Some(200 + i),
+                        vec![300 + i, 50 + i],
+                    ));
                 }
             };
             stream(&mut sim);
@@ -321,7 +329,11 @@ mod tests {
     fn ooo_window_hides_latency() {
         let trace: Vec<MachInst> = std::iter::once(MachInst::reg(MOp::VmlaD, Some(1), vec![0, 0]))
             .chain((0..6).map(|i| MachInst::reg(MOp::VaddD, Some(50 + i), vec![2, 3])))
-            .chain(std::iter::once(MachInst::reg(MOp::VmlaD, Some(4), vec![1, 1])))
+            .chain(std::iter::once(MachInst::reg(
+                MOp::VmlaD,
+                Some(4),
+                vec![1, 1],
+            )))
             .collect();
         let run = |arch: Microarch| {
             let mut sim = Simulator::new(arch);
@@ -346,7 +358,10 @@ mod tests {
         cold.reset_timing();
         cold.emit(&MachInst::load(MOp::MmLoadAPs, 1, 0));
         let warm_cycles = cold.cycles();
-        assert_eq!(cold_cycles - warm_cycles, Microarch::Atom.params().miss_penalty as u64);
+        assert_eq!(
+            cold_cycles - warm_cycles,
+            Microarch::Atom.params().miss_penalty as u64
+        );
     }
 
     #[test]

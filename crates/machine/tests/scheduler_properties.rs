@@ -1,19 +1,17 @@
 //! Property tests of the cycle scheduler: invariants any sane machine
 //! model must satisfy, independent of the particular cost numbers.
 
-use lgen_isa::{MachInst, MOp, Microarch, TraceSink};
+use lgen_isa::{MOp, MachInst, Microarch, TraceSink};
 use lgen_machine::Simulator;
 use proptest::prelude::*;
 
 /// A small random instruction vocabulary valid on every core family.
 fn arb_inst() -> impl Strategy<Value = MachInst> {
     prop_oneof![
-        (0u32..8, 0u32..8, 8u32..16).prop_map(|(a, b, d)| {
-            MachInst::reg(MOp::FAdd, Some(d), vec![a, b])
-        }),
-        (0u32..8, 0u32..8, 8u32..16).prop_map(|(a, b, d)| {
-            MachInst::reg(MOp::FMul, Some(d), vec![a, b])
-        }),
+        (0u32..8, 0u32..8, 8u32..16)
+            .prop_map(|(a, b, d)| { MachInst::reg(MOp::FAdd, Some(d), vec![a, b]) }),
+        (0u32..8, 0u32..8, 8u32..16)
+            .prop_map(|(a, b, d)| { MachInst::reg(MOp::FMul, Some(d), vec![a, b]) }),
         (8u32..16, 0usize..64).prop_map(|(d, w)| MachInst::load(MOp::FLoad, d, w * 4)),
         (0u32..16, 0usize..64).prop_map(|(s, w)| MachInst::store(MOp::FStore, s, w * 4)),
         Just(MachInst::reg(MOp::IAddr, None, vec![])),
@@ -125,5 +123,9 @@ fn store_load_dependency_is_enforced() {
     let mut sim2 = Simulator::new(Microarch::CortexA8);
     sim2.emit(&MachInst::store(MOp::FStore, 1, 128));
     sim2.emit(&MachInst::load(MOp::FLoad, 2, 256));
-    assert!(dependent > sim2.cycles(), "{dependent} vs {}", sim2.cycles());
+    assert!(
+        dependent > sim2.cycles(),
+        "{dependent} vs {}",
+        sim2.cycles()
+    );
 }

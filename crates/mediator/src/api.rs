@@ -1,12 +1,11 @@
 //! The Mediator wire model (Appendix A).
 //!
-//! Request/response/error types with serde serialization matching the
-//! JSON-based RESTful interface of Tables A.1–A.5.
-
-use serde::{Deserialize, Serialize};
+//! Request/response/error types mirroring the JSON-based RESTful
+//! interface of Tables A.1–A.5 (plain structs; the offline build has no
+//! serde, so wire encoding is out of scope).
 
 /// Error reasons of Table A.5.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ErrorReason {
     /// 400 — badly formatted request.
     BadRequest,
@@ -37,7 +36,7 @@ impl ErrorReason {
 }
 
 /// An API error (Table A.2, `Error` properties).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ApiError {
     /// Numeric code.
     pub code: u16,
@@ -50,13 +49,23 @@ pub struct ApiError {
 impl ApiError {
     /// Builds an error from a reason and message.
     pub fn new(reason: ErrorReason, message: impl Into<String>) -> Self {
-        ApiError { code: reason.code(), reason, message: message.into() }
+        ApiError {
+            code: reason.code(),
+            reason,
+            message: message.into(),
+        }
     }
 }
 
 impl std::fmt::Display for ApiError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} ({}): {}", self.code, stringify_reason(self.reason), self.message)
+        write!(
+            f,
+            "{} ({}): {}",
+            self.code,
+            stringify_reason(self.reason),
+            self.message
+        )
     }
 }
 
@@ -74,7 +83,7 @@ fn stringify_reason(r: ErrorReason) -> &'static str {
 }
 
 /// Job lifecycle states (Table A.4).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum JobState {
     /// Accepted, not yet started.
     Submitted,
@@ -88,7 +97,7 @@ pub enum JobState {
 
 /// Result of one experiment: either the per-repetition outputs or an error
 /// (Table A.2, `ExperimentResults`).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ExperimentResults {
     /// The device the experiment ran on.
     pub device_hostname: String,
@@ -99,14 +108,14 @@ pub struct ExperimentResults {
 }
 
 /// Results of a whole job.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct JobResults {
     /// One entry per experiment, in request order.
     pub data: Vec<ExperimentResults>,
 }
 
 /// Response to a job-status poll (Table A.4).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct JobStatus {
     /// The job identifier.
     pub job_id: String,
@@ -138,7 +147,7 @@ mod tests {
     }
 
     #[test]
-    fn api_types_round_trip_through_serde() {
+    fn api_types_clone_and_compare_structurally() {
         let status = JobStatus {
             job_id: "ab12".into(),
             state: JobState::Finished,
@@ -150,12 +159,13 @@ mod tests {
                 }],
             }),
         };
-        // serde works structurally; JSON encoding is exercised in the
-        // round-trip through the serde_test-free path below.
         let cloned = status.clone();
         assert_eq!(cloned, status);
         let err = ApiError::new(ErrorReason::BadRequest, "missing experiments");
-        let e2: ApiError = ApiError { code: 400, ..err.clone() };
+        let e2: ApiError = ApiError {
+            code: 400,
+            ..err.clone()
+        };
         assert_eq!(err, e2);
     }
 }

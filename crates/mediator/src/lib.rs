@@ -8,7 +8,7 @@
 //!
 //! This reimplementation keeps the architecture of Fig. 4.1 — listener,
 //! per-core queues, worker threads, results cache — and the wire model of
-//! Appendix A (serde-serializable request/response/error types), with one
+//! Appendix A (plain request/response/error types), with one
 //! substitution documented in DESIGN.md: "devices" are instances of the
 //! `lgen-machine` simulator instead of SSH targets, and an experiment's
 //! payload is a closure executed on the device's core instead of shell

@@ -47,7 +47,12 @@ pub fn module_for(arch: Microarch) -> Box<dyn MeasurementModule + Send> {
         // and instead we used the perf infrastructure of Linux."
         Microarch::CortexA9 => "perf",
     };
-    Box::new(CycleModule { counter, started_at: 0, initialized: false, samples: Vec::new() })
+    Box::new(CycleModule {
+        counter,
+        started_at: 0,
+        initialized: false,
+        samples: Vec::new(),
+    })
 }
 
 struct CycleModule {
@@ -64,7 +69,10 @@ impl MeasurementModule for CycleModule {
     }
 
     fn start(&mut self, sim: &Simulator) {
-        assert!(self.initialized, "measurement_start before measurement_init");
+        assert!(
+            self.initialized,
+            "measurement_start before measurement_init"
+        );
         self.started_at = sim.cycles();
     }
 
@@ -87,7 +95,7 @@ impl MeasurementModule for CycleModule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lgen_isa::{MachInst, MOp, TraceSink};
+    use lgen_isa::{MOp, MachInst, TraceSink};
 
     #[test]
     fn counter_dispatch_matches_paper() {

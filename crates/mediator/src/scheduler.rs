@@ -96,7 +96,12 @@ impl Mediator {
                     let handle = std::thread::spawn(move || {
                         while let Ok(msg) = rx.recv() {
                             match msg {
-                                CoreMsg::Run { work, arch, core, reply } => {
+                                CoreMsg::Run {
+                                    work,
+                                    arch,
+                                    core,
+                                    reply,
+                                } => {
                                     let r = work(arch, core);
                                     pending2.fetch_sub(1, Ordering::SeqCst);
                                     let _ = reply.send(r);
@@ -105,10 +110,20 @@ impl Mediator {
                             }
                         }
                     });
-                    CoreWorker { queue: tx, pending, handle: Some(handle) }
+                    CoreWorker {
+                        queue: tx,
+                        pending,
+                        handle: Some(handle),
+                    }
                 })
                 .collect();
-            map.insert(d.hostname.clone(), DeviceHandle { arch: d.arch, cores });
+            map.insert(
+                d.hostname.clone(),
+                DeviceHandle {
+                    arch: d.arch,
+                    cores,
+                },
+            );
         }
         Mediator {
             devices: map,
@@ -152,7 +167,12 @@ impl Mediator {
             dev.cores[core].pending.fetch_add(1, Ordering::SeqCst);
             dev.cores[core]
                 .queue
-                .send(CoreMsg::Run { work: e.work, arch: dev.arch, core, reply: reply_tx })
+                .send(CoreMsg::Run {
+                    work: e.work,
+                    arch: dev.arch,
+                    core,
+                    reply: reply_tx,
+                })
                 .map_err(|_| ApiError::new(ErrorReason::InternalError, "worker gone"))?;
             waits.push((e.device, core, reply_rx));
         }
@@ -165,12 +185,14 @@ impl Mediator {
             .map(|(device_hostname, core, rx)| {
                 let outcome = match rx.recv() {
                     Ok(Ok(outputs)) => Ok(outputs),
-                    Ok(Err(msg)) => {
-                        Err(ApiError::new(ErrorReason::InstructionExecutionError, msg))
-                    }
+                    Ok(Err(msg)) => Err(ApiError::new(ErrorReason::InstructionExecutionError, msg)),
                     Err(_) => Err(ApiError::new(ErrorReason::InternalError, "worker died")),
                 };
-                ExperimentResults { device_hostname, core, outcome }
+                ExperimentResults {
+                    device_hostname,
+                    core,
+                    outcome,
+                }
             })
             .collect();
         JobResults { data }
@@ -200,7 +222,11 @@ impl Mediator {
         let id = format!("job{:08x}", self.next_job.fetch_add(1, Ordering::SeqCst));
         self.jobs.lock().insert(
             id.clone(),
-            JobEntry { state: JobState::Pending, results: None, finished_at: None },
+            JobEntry {
+                state: JobState::Pending,
+                results: None,
+                finished_at: None,
+            },
         );
         let jobs = self.jobs.clone();
         let id2 = id.clone();
@@ -227,7 +253,11 @@ impl Mediator {
             None => true,
         });
         match map.get(job_id) {
-            None => JobStatus { job_id: job_id.into(), state: JobState::NotFound, data: None },
+            None => JobStatus {
+                job_id: job_id.into(),
+                state: JobState::NotFound,
+                data: None,
+            },
             Some(e) => JobStatus {
                 job_id: job_id.into(),
                 state: e.state.clone(),
@@ -268,8 +298,16 @@ mod tests {
     fn mediator() -> Mediator {
         Mediator::new(
             vec![
-                DeviceSpec { hostname: "zbox".into(), arch: Microarch::Atom, cores: 2 },
-                DeviceSpec { hostname: "kayla".into(), arch: Microarch::CortexA9, cores: 4 },
+                DeviceSpec {
+                    hostname: "zbox".into(),
+                    arch: Microarch::Atom,
+                    cores: 2,
+                },
+                DeviceSpec {
+                    hostname: "kayla".into(),
+                    arch: Microarch::CortexA9,
+                    cores: 4,
+                },
             ],
             Duration::from_secs(60),
         )
@@ -347,7 +385,10 @@ mod tests {
             .collect();
         let results = m.submit_sync(exps).unwrap();
         assert_eq!(results.data.len(), 8);
-        assert!(!violated.load(Ordering::SeqCst), "two experiments overlapped on core 1");
+        assert!(
+            !violated.load(Ordering::SeqCst),
+            "two experiments overlapped on core 1"
+        );
     }
 
     /// Load balancing: unpinned experiments spread across all cores.
@@ -368,7 +409,10 @@ mod tests {
         let mut cores: Vec<usize> = results.data.iter().map(|r| r.core).collect();
         cores.sort_unstable();
         cores.dedup();
-        assert!(cores.len() >= 3, "expected spreading over cores, got {cores:?}");
+        assert!(
+            cores.len() >= 3,
+            "expected spreading over cores, got {cores:?}"
+        );
     }
 
     #[test]
@@ -406,7 +450,11 @@ mod tests {
     #[test]
     fn results_expire() {
         let m = Mediator::new(
-            vec![DeviceSpec { hostname: "pi".into(), arch: Microarch::Arm1176, cores: 1 }],
+            vec![DeviceSpec {
+                hostname: "pi".into(),
+                arch: Microarch::Arm1176,
+                cores: 1,
+            }],
             Duration::from_millis(5),
         );
         let id = m

@@ -2,7 +2,7 @@
 //! with the Listing 4.1 measurement modules — the end-to-end workflow of
 //! Chapter 4.
 
-use lgen_isa::{MachInst, MOp, Microarch, TraceSink};
+use lgen_isa::{MOp, MachInst, Microarch, TraceSink};
 use lgen_machine::Simulator;
 use lgen_mediator::measure::module_for;
 use lgen_mediator::{DeviceSpec, ExperimentSpec, Mediator};
@@ -54,8 +54,7 @@ fn farm_measures_kernels_on_every_device() {
             work: Box::new(|arch, _core| {
                 // Compile and measure a gemv through the full pipeline.
                 let blac = lgen_ll::paper::gemv(4, 16);
-                let kernel =
-                    lgen_core::compile(&blac, "k", &lgen_core::CompileConfig::full(arch));
+                let kernel = lgen_core::compile(&blac, "k", &lgen_core::CompileConfig::full(arch));
                 let meas = lgen_core::measure_blac(&blac, &kernel, arch, &[0; 5], 3)
                     .map_err(|e| e.to_string())?;
                 Ok(vec![format!("{}", meas.cycles)])
@@ -71,7 +70,10 @@ fn farm_measures_kernels_on_every_device() {
         .collect();
     // The scalar ARM1176 must be the slowest of the four.
     let max = *cycles.iter().max().unwrap();
-    assert_eq!(cycles[3], max, "ARM1176 should need the most cycles: {cycles:?}");
+    assert_eq!(
+        cycles[3], max,
+        "ARM1176 should need the most cycles: {cycles:?}"
+    );
 }
 
 #[test]

@@ -93,11 +93,21 @@ struct LocInfo {
 
 impl LocInfo {
     fn plain(arr: ArrayId, d: Dims) -> Self {
-        LocInfo { arr, rows: d.rows, cols: d.cols, transposed: false }
+        LocInfo {
+            arr,
+            rows: d.rows,
+            cols: d.cols,
+            transposed: false,
+        }
     }
 
     fn flip(self) -> Self {
-        LocInfo { arr: self.arr, rows: self.cols, cols: self.rows, transposed: !self.transposed }
+        LocInfo {
+            arr: self.arr,
+            rows: self.cols,
+            cols: self.rows,
+            transposed: !self.transposed,
+        }
     }
 
     /// Physical row length of the backing array.
@@ -168,7 +178,8 @@ struct Cg<'a> {
 /// assert_eq!(kernel.arrays.len(), 3); // A, x, y
 /// ```
 pub fn compile_blac(blac: &Blac, name: &str, opts: &CodegenOptions) -> Kernel {
-    blac.validate().expect("BLAC must validate before compilation");
+    blac.validate()
+        .expect("BLAC must validate before compilation");
     let mut b = KernelBuilder::new(name);
     let mut operand_arrays = Vec::with_capacity(blac.operands.len());
     for (i, op) in blac.operands.iter().enumerate() {
@@ -230,14 +241,26 @@ impl Cg<'_> {
                     let s = self.splat_of(c);
                     Node::ScalarMul(s, Box::new(self.lower(a)))
                 } else if da.rows == 1 && dc.cols == 1 {
-                    Node::Dot { u: self.loc_of(a), v: self.loc_of(c) }
+                    Node::Dot {
+                        u: self.loc_of(a),
+                        v: self.loc_of(c),
+                    }
                 } else if dc.cols == 1 {
-                    Node::Mvm { a: self.loc_of(a), x: self.loc_of(c) }
+                    Node::Mvm {
+                        a: self.loc_of(a),
+                        x: self.loc_of(c),
+                    }
                 } else if da.rows == 1 {
                     // xᵀ B = (Bᵀ x)ᵀ — a transposed-operand MVM.
-                    Node::Mvm { a: self.loc_of(c).flip(), x: self.loc_of(a) }
+                    Node::Mvm {
+                        a: self.loc_of(c).flip(),
+                        x: self.loc_of(a),
+                    }
                 } else {
-                    Node::Mmm { a: self.loc_of(a), b: self.loc_of(c) }
+                    Node::Mmm {
+                        a: self.loc_of(a),
+                        b: self.loc_of(c),
+                    }
                 }
             }
             Expr::Mvh(a, x) => {
@@ -252,9 +275,7 @@ impl Cg<'_> {
     /// references, otherwise materialized into a local temporary.
     fn loc_of(&mut self, e: &Expr) -> LocInfo {
         match e {
-            Expr::Ref(id) => {
-                LocInfo::plain(self.operand_arrays[id.0], self.blac.dims(*id))
-            }
+            Expr::Ref(id) => LocInfo::plain(self.operand_arrays[id.0], self.blac.dims(*id)),
             Expr::Trans(inner) => self.loc_of(inner).flip(),
             _ => {
                 let d = self.dims(e);
@@ -277,12 +298,15 @@ impl Cg<'_> {
                 return r;
             }
             let arr = self.operand_arrays[id.0];
-            let r = self.b.load(arr, AffineExpr::constant(0), MemMap::splat(self.nu));
+            let r = self
+                .b
+                .load(arr, AffineExpr::constant(0), MemMap::splat(self.nu));
             self.splats.insert(id.0, r);
             return r;
         }
         let loc = self.loc_of(e);
-        self.b.load(loc.arr, AffineExpr::constant(0), MemMap::splat(self.nu))
+        self.b
+            .load(loc.arr, AffineExpr::constant(0), MemMap::splat(self.nu))
     }
 
     // ----- emission helpers -----
@@ -293,9 +317,7 @@ impl Cg<'_> {
     fn aw(&self, width: usize) -> VWidth {
         if self.nu == 1 {
             VWidth::S
-        } else if self.opts.specialized_leftovers
-            && self.opts.isa == VectorIsa::Neon
-            && width <= 2
+        } else if self.opts.specialized_leftovers && self.opts.isa == VectorIsa::Neon && width <= 2
         {
             VWidth::D
         } else {
@@ -344,7 +366,12 @@ impl Cg<'_> {
     /// In-place accumulate: `acc += val` (keeps `acc` stable across loop
     /// iterations, unlike the fresh-register [`KernelBuilder::arith`]).
     fn add_acc(&mut self, acc: VReg, val: VReg, w: VWidth) {
-        self.b.push(Inst::Arith { op: VArith::Add(w), dst: acc, a: acc, b: val });
+        self.b.push(Inst::Arith {
+            op: VArith::Add(w),
+            dst: acc,
+            a: acc,
+            b: val,
+        });
     }
 
     // ----- per-node tile generation -----
@@ -376,13 +403,17 @@ impl Cg<'_> {
                 let regs = self.gen(inner, ctx);
                 let w = self.aw(ctx.width);
                 let s = *s;
-                regs.into_iter().map(|r| self.b.arith(VArith::Mul(w), r, s)).collect()
+                regs.into_iter()
+                    .map(|r| self.b.arith(VArith::Mul(w), r, s))
+                    .collect()
             }
             Node::Mvh(a, x) => {
                 let regs = self.gen(a, ctx);
                 let xk = self.load_lin(*x, &ctx.col0, ctx.width);
                 let w = self.aw(ctx.width);
-                regs.into_iter().map(|r| self.b.arith(VArith::Mul(w), r, xk)).collect()
+                regs.into_iter()
+                    .map(|r| self.b.arith(VArith::Mul(w), r, xk))
+                    .collect()
             }
             Node::Mvm { a, x } => self.gen_mvm(*a, *x, ctx),
             Node::Mmm { a, b } => self.gen_mmm(*a, *b, ctx),
@@ -549,9 +580,7 @@ impl Cg<'_> {
                     let row = ctx.row0.offset(r as i64);
                     let v = cg.load_row(a, &row, &kb, klen);
                     match pad_zero {
-                        Some(z) if klen < nu => {
-                            cg.b.mov_op(VMove::Shuf([0, 1, 2, 3]), v, z)
-                        }
+                        Some(z) if klen < nu => cg.b.mov_op(VMove::Shuf([0, 1, 2, 3]), v, z),
                         _ => v,
                     }
                 })
@@ -562,9 +591,7 @@ impl Cg<'_> {
                     let brow = kb.offset(l as i64);
                     let v = cg.load_row(bm, &brow, &ctx.col0, width);
                     match pad_zero {
-                        Some(z) if width < nu => {
-                            cg.b.mov_op(VMove::Shuf([0, 1, 2, 3]), v, z)
-                        }
+                        Some(z) if width < nu => cg.b.mov_op(VMove::Shuf([0, 1, 2, 3]), v, z),
                         _ => v,
                     }
                 } else {
@@ -690,7 +717,12 @@ impl Cg<'_> {
                     width: peel,
                 };
                 let regs = self.gen(node, &ctx);
-                self.b.store(regs[0], dest.arr, AffineExpr::constant(0), self.chunk_map(peel));
+                self.b.store(
+                    regs[0],
+                    dest.arr,
+                    AffineExpr::constant(0),
+                    self.chunk_map(peel),
+                );
             }
             let main_len = len - peel;
             let full = peel + main_len / nu * nu;
@@ -704,7 +736,8 @@ impl Cg<'_> {
                     width: nu,
                 };
                 let regs = self.gen(node, &ctx);
-                self.b.store(regs[0], dest.arr, AffineExpr::var(pv), self.chunk_map(nu));
+                self.b
+                    .store(regs[0], dest.arr, AffineExpr::var(pv), self.chunk_map(nu));
                 self.b.end_loop();
             }
             if len % nu != peel % nu || (len - full) > 0 {
@@ -732,7 +765,9 @@ impl Cg<'_> {
             let (m, n) = (d.rows, d.cols);
             let rows = TileGrid::new(m, nu);
             if rows.full >= 1 {
-                let rv = self.b.begin_loop("rb", 0, rows.leftover_start() as i64, nu as i64);
+                let rv = self
+                    .b
+                    .begin_loop("rb", 0, rows.leftover_start() as i64, nu as i64);
                 self.drive_rows(node, dest, AffineExpr::var(rv), nu, n);
                 self.b.end_loop();
             }
@@ -754,12 +789,13 @@ impl Cg<'_> {
         let nu = self.nu;
         let cols = TileGrid::new(n, nu);
         let cfull = cols.leftover_start();
-        let store_tile = |cg: &mut Self, regs: &[VReg], row0: &AffineExpr, col0: &AffineExpr, w: usize| {
-            for (r, reg) in regs.iter().enumerate() {
-                let addr = row0.offset(r as i64).scale(n as i64).plus(col0);
-                cg.b.store(*reg, dest.arr, addr, cg.chunk_map(w));
-            }
-        };
+        let store_tile =
+            |cg: &mut Self, regs: &[VReg], row0: &AffineExpr, col0: &AffineExpr, w: usize| {
+                for (r, reg) in regs.iter().enumerate() {
+                    let addr = row0.offset(r as i64).scale(n as i64).plus(col0);
+                    cg.b.store(*reg, dest.arr, addr, cg.chunk_map(w));
+                }
+            };
         if cfull >= nu {
             let cv = self.b.begin_loop("cb", 0, cfull as i64, nu as i64);
             let ctx = TileCtx {
@@ -782,7 +818,13 @@ impl Cg<'_> {
                 width: n % nu,
             };
             let regs = self.gen(node, &ctx);
-            store_tile(self, &regs, &row0, &AffineExpr::constant(cfull as i64), n % nu);
+            store_tile(
+                self,
+                &regs,
+                &row0,
+                &AffineExpr::constant(cfull as i64),
+                n % nu,
+            );
         }
     }
 }
@@ -810,8 +852,7 @@ mod tests {
         let mut bufs: Vec<Vec<f32>> = values.iter().map(|v| v.data.clone()).collect();
         let layout = MemLayout::aligned(&kernel);
         {
-            let mut refs: Vec<&mut [f32]> =
-                bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+            let mut refs: Vec<&mut [f32]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
             run_kernel(&kernel, &mut refs, &layout, opts.isa, &mut NullSink)
                 .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
         }
@@ -833,7 +874,12 @@ mod tests {
         for isa in [VectorIsa::Ssse3, VectorIsa::Neon, VectorIsa::Scalar] {
             for mvm in [MvmStrategy::Classic, MvmStrategy::MvhRr] {
                 for spec in [false, true] {
-                    v.push(CodegenOptions { isa, mvm, specialized_leftovers: spec, peel_offset: None });
+                    v.push(CodegenOptions {
+                        isa,
+                        mvm,
+                        specialized_leftovers: spec,
+                        peel_offset: None,
+                    });
                 }
             }
         }
@@ -967,8 +1013,14 @@ mod tests {
             let mut c = vec![0.0f32; 4];
             let layout = MemLayout::aligned(&kernel);
             let mut sink = CountingSink::new();
-            run_kernel(&kernel, &mut [&mut a, &mut b, &mut c], &layout, VectorIsa::Neon, &mut sink)
-                .unwrap();
+            run_kernel(
+                &kernel,
+                &mut [&mut a, &mut b, &mut c],
+                &layout,
+                VectorIsa::Neon,
+                &mut sink,
+            )
+            .unwrap();
             sink
         };
         let padded = trace(false);
@@ -981,7 +1033,12 @@ mod tests {
         assert!(special.count(MOp::VmlaLaneD) > 0);
         assert_eq!(special.count(MOp::VmlaLaneQ), 0);
         // Strictly fewer dynamic instructions.
-        assert!(special.total() < padded.total(), "{} vs {}", special.total(), padded.total());
+        assert!(
+            special.total() < padded.total(),
+            "{} vs {}",
+            special.total(),
+            padded.total()
+        );
     }
 
     /// The fusion property: y = αAx + βy compiles to a single sweep with no
@@ -994,7 +1051,10 @@ mod tests {
             &CodegenOptions::full(VectorIsa::Ssse3),
         );
         assert!(
-            kernel.arrays.iter().all(|a| a.kind != lgen_cir::ArrayKind::Local),
+            kernel
+                .arrays
+                .iter()
+                .all(|a| a.kind != lgen_cir::ArrayKind::Local),
             "gemv must not materialize temporaries: {:?}",
             kernel.arrays
         );
@@ -1008,8 +1068,11 @@ mod tests {
             "k",
             &CodegenOptions::full(VectorIsa::Ssse3),
         );
-        let locals =
-            kernel.arrays.iter().filter(|a| a.kind == lgen_cir::ArrayKind::Local).count();
+        let locals = kernel
+            .arrays
+            .iter()
+            .filter(|a| a.kind == lgen_cir::ArrayKind::Local)
+            .count();
         assert_eq!(locals, 1);
     }
 
@@ -1022,7 +1085,10 @@ mod tests {
             "t",
             &CodegenOptions::new(VectorIsa::Ssse3),
         );
-        assert!(kernel.arrays.iter().all(|a| a.kind != lgen_cir::ArrayKind::Local));
+        assert!(kernel
+            .arrays
+            .iter()
+            .all(|a| a.kind != lgen_cir::ArrayKind::Local));
     }
 
     #[test]

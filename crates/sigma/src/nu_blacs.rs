@@ -83,9 +83,7 @@ impl NuBlacKind {
         use NuBlacKind::*;
         match self {
             AddMM | AddVV | AddRR => Operator::Addition,
-            SMulS | SMulM | SMulV | SMulR | MSMul | VSMul | RSMul => {
-                Operator::ScalarMultiplication
-            }
+            SMulS | SMulM | SMulV | SMulR | MSMul | VSMul | RSMul => Operator::ScalarMultiplication,
             MulMM | MulMV | MulRM | MulVR | MulRV => Operator::MatrixMultiplication,
             TransM | TransV | TransR => Operator::Transposition,
         }
@@ -234,7 +232,10 @@ mod tests {
     fn exactly_18_nu_blacs() {
         assert_eq!(NuBlacKind::all().len(), 18);
         let count = |op: Operator| {
-            NuBlacKind::all().iter().filter(|k| k.operator() == op).count()
+            NuBlacKind::all()
+                .iter()
+                .filter(|k| k.operator() == op)
+                .count()
         };
         // The Table 2.1 row counts: 3 + 7 + 5 + 3 = 18.
         assert_eq!(count(Operator::Addition), 3);
@@ -266,19 +267,39 @@ mod tests {
         let mut regs_a = [0; 4];
         let mut regs_c = [0; 4];
         for r in 0..4 {
-            regs_a[r] = b.load(aa, AffineExpr::constant(4 * r as i64), MemMap::horizontal(4));
-            regs_c[r] = b.load(cc, AffineExpr::constant(4 * r as i64), MemMap::horizontal(4));
+            regs_a[r] = b.load(
+                aa,
+                AffineExpr::constant(4 * r as i64),
+                MemMap::horizontal(4),
+            );
+            regs_c[r] = b.load(
+                cc,
+                AffineExpr::constant(4 * r as i64),
+                MemMap::horizontal(4),
+            );
         }
         let out = f(&mut b, &regs_a, &regs_c);
         for (r, reg) in out.iter().enumerate() {
-            b.store(*reg, oo, AffineExpr::constant(4 * r as i64), MemMap::horizontal(4));
+            b.store(
+                *reg,
+                oo,
+                AffineExpr::constant(4 * r as i64),
+                MemMap::horizontal(4),
+            );
         }
         let k = b.finish(0);
         let layout = MemLayout::aligned(&k);
         let mut va = a.to_vec();
         let mut vc = c.to_vec();
         let mut vo = vec![0.0f32; 16];
-        run_kernel(&k, &mut [&mut va, &mut vc, &mut vo], &layout, isa, &mut NullSink).unwrap();
+        run_kernel(
+            &k,
+            &mut [&mut va, &mut vc, &mut vo],
+            &layout,
+            isa,
+            &mut NullSink,
+        )
+        .unwrap();
         vo
     }
 
@@ -343,12 +364,7 @@ mod tests {
                 expected[4 * i + j] = a[i] * c[j];
             }
         }
-        let got = run_mm(
-            VectorIsa::Neon,
-            |b, ra, rc| mul_vr(b, ra[0], rc[0]),
-            &a,
-            &c,
-        );
+        let got = run_mm(VectorIsa::Neon, |b, ra, rc| mul_vr(b, ra[0], rc[0]), &a, &c);
         assert_eq!(got, expected);
     }
 
@@ -433,7 +449,11 @@ mod tests {
         );
         for i in 0..4 {
             let expect: f32 = (0..4).map(|k| a[4 * i + k] * c[k]).sum();
-            assert!((got[i] - expect).abs() < 1e-4, "row {i}: {} vs {expect}", got[i]);
+            assert!(
+                (got[i] - expect).abs() < 1e-4,
+                "row {i}: {} vs {expect}",
+                got[i]
+            );
         }
         let dot: f32 = (0..4).map(|k| c[k] * c[k]).sum();
         assert!((got[4] - dot).abs() < 1e-4);

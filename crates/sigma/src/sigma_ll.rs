@@ -24,7 +24,10 @@ pub struct Mat {
 impl Mat {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { dims: Dims::new(rows, cols), data: vec![0.0; rows * cols] }
+        Mat {
+            dims: Dims::new(rows, cols),
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// From parts.
@@ -34,7 +37,10 @@ impl Mat {
     /// Panics if sizes mismatch.
     pub fn new(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols);
-        Mat { dims: Dims::new(rows, cols), data }
+        Mat {
+            dims: Dims::new(rows, cols),
+            data,
+        }
     }
 
     /// Element access.
@@ -52,7 +58,11 @@ impl Mat {
     ///
     /// Panics on dimension mismatch.
     pub fn matmul(&self, other: &Mat) -> Mat {
-        assert_eq!(self.dims.cols, other.dims.rows, "{} · {}", self.dims, other.dims);
+        assert_eq!(
+            self.dims.cols, other.dims.rows,
+            "{} · {}",
+            self.dims, other.dims
+        );
         let mut out = Mat::zeros(self.dims.rows, other.dims.cols);
         for i in 0..self.dims.rows {
             for j in 0..other.dims.cols {
@@ -75,7 +85,12 @@ impl Mat {
         assert_eq!(self.dims, other.dims);
         Mat {
             dims: self.dims,
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 
@@ -227,7 +242,10 @@ impl TiledMmm {
 impl fmt::Display for TiledMmm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (ri, rj, rk) = self.ranges();
-        write!(f, "C = {ri} {rj} {rk} S_i (G_i A G_k) S_k S_k (G_k B G_j) S_j")
+        write!(
+            f,
+            "C = {ri} {rj} {rk} S_i (G_i A G_k) S_k S_k (G_k B G_j) S_j"
+        )
     }
 }
 
@@ -303,19 +321,27 @@ mod tests {
     use super::*;
 
     fn seq_mat(rows: usize, cols: usize, scale: f32) -> Mat {
-        Mat::new(rows, cols, (0..rows * cols).map(|i| scale * (i as f32 - 3.0)).collect())
+        Mat::new(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| scale * (i as f32 - 3.0)).collect(),
+        )
     }
 
     #[test]
     fn gathers_extract_tiles() {
         // The paper's 4×4 example: upper-left 2×2 via G_L A G_R.
         let a = seq_mat(4, 4, 1.0);
-        let tile = gather_left(0, 2, 4).matmul(&a).matmul(&gather_right(0, 2, 4));
+        let tile = gather_left(0, 2, 4)
+            .matmul(&a)
+            .matmul(&gather_right(0, 2, 4));
         assert_eq!(tile.dims, Dims::new(2, 2));
         assert_eq!(tile.at(0, 0), a.at(0, 0));
         assert_eq!(tile.at(1, 1), a.at(1, 1));
         // And a non-corner tile.
-        let tile = gather_left(1, 2, 4).matmul(&a).matmul(&gather_right(2, 2, 4));
+        let tile = gather_left(1, 2, 4)
+            .matmul(&a)
+            .matmul(&gather_right(2, 2, 4));
         assert_eq!(tile.at(0, 0), a.at(1, 2));
     }
 
@@ -328,7 +354,14 @@ mod tests {
     /// Equation (2.4): the 4×16×4 product tiled (2, 4, 8) evaluates to AB.
     #[test]
     fn equation_2_4_is_ab() {
-        let t = TiledMmm { m: 4, k: 16, n: 4, ti: 2, tj: 4, tk: 8 };
+        let t = TiledMmm {
+            m: 4,
+            k: 16,
+            n: 4,
+            ti: 2,
+            tj: 4,
+            tk: 8,
+        };
         let a = seq_mat(4, 16, 0.25);
         let b = seq_mat(16, 4, 0.5);
         assert_eq!(t.eval(&a, &b), a.matmul(&b));
@@ -343,7 +376,14 @@ mod tests {
     /// Tilings with leftovers still evaluate correctly.
     #[test]
     fn leftover_tiles_evaluate() {
-        let t = TiledMmm { m: 5, k: 7, n: 3, ti: 4, tj: 4, tk: 4 };
+        let t = TiledMmm {
+            m: 5,
+            k: 7,
+            n: 3,
+            ti: 4,
+            tj: 4,
+            tk: 4,
+        };
         let a = seq_mat(5, 7, 0.5);
         let b = seq_mat(7, 3, 0.25);
         assert_eq!(t.eval(&a, &b), a.matmul(&b));

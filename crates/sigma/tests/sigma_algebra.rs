@@ -9,7 +9,9 @@ fn mat(rows: usize, cols: usize, seed: i64) -> Mat {
     Mat::new(
         rows,
         cols,
-        (0..rows * cols).map(|i| ((i as i64 * 7 + seed) % 13 - 6) as f32 * 0.5).collect(),
+        (0..rows * cols)
+            .map(|i| ((i as i64 * 7 + seed) % 13 - 6) as f32 * 0.5)
+            .collect(),
     )
 }
 

@@ -73,7 +73,11 @@ fn main() {
         .with_strategy(SearchStrategy::Exhaustive)
         .tune(&blac, "gemv");
     for (unroll, cycles) in &t.samples {
-        let marker = if *cycles == t.measurement.cycles { "  <= best" } else { "" };
+        let marker = if *cycles == t.measurement.cycles {
+            "  <= best"
+        } else {
+            ""
+        };
         println!("{unroll:?}: {cycles} cycles{marker}");
     }
 }

@@ -21,14 +21,21 @@ fn main() {
     // And a strip of 64 vertices packed as a 4×64 matrix: Y = M X.
     let strip = lgen::ll::paper::mmm(4, 4, 64);
 
-    for (name, blac) in [("single vertex y = Mx (4x4)", &blac), ("vertex strip Y = MX (4x4x64)", &strip)] {
+    for (name, blac) in [
+        ("single vertex y = Mx (4x4)", &blac),
+        ("vertex strip Y = MX (4x4x64)", &strip),
+    ] {
         println!("== {name} ==");
         for arch in Microarch::EVALUATED {
             let cfg = CompileConfig::full(arch);
             let kernel = compile(blac, "transform", &cfg);
             let m = measure_blac(blac, &kernel, arch, &vec![0; blac.operands.len()], 3)
                 .expect("kernel runs");
-            print!("{:<14} LGen {:>5.2} f/c |", arch.name(), m.flops_per_cycle());
+            print!(
+                "{:<14} LGen {:>5.2} f/c |",
+                arch.name(),
+                m.flops_per_cycle()
+            );
             for comp in Competitor::ALL {
                 if let Some(k) = compile_baseline(blac, comp, arch) {
                     let c = measure_blac(blac, &k, arch, &vec![0; blac.operands.len()], 3)
@@ -49,9 +56,13 @@ fn main() {
         .map(|(i, op)| test_data(op.dims, i as u64 + 7))
         .collect();
     let expected = eval_reference(&blac, &values);
-    let kernel = compile(&blac, "transform", &CompileConfig::full(Microarch::CortexA8));
-    let got = lgen::core::run_blac_kernel(&blac, &kernel, VectorIsa::Neon, &values)
-        .expect("kernel runs");
+    let kernel = compile(
+        &blac,
+        "transform",
+        &CompileConfig::full(Microarch::CortexA8),
+    );
+    let got =
+        lgen::core::run_blac_kernel(&blac, &kernel, VectorIsa::Neon, &values).expect("kernel runs");
     println!(
         "NEON kernel transforms a vertex with max|err| = {:.2e} vs the reference",
         max_abs_diff(&got, &expected)

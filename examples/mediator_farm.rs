@@ -20,8 +20,7 @@ fn experiment(m: usize, n: usize) -> ExperimentSpec {
         work: Box::new(move |arch, core| {
             let blac = lgen::ll::paper::gemv(m, n);
             let kernel = compile(&blac, "gemv", &CompileConfig::full(arch));
-            let meas = measure_blac(&blac, &kernel, arch, &[0; 5], 3)
-                .map_err(|e| e.to_string())?;
+            let meas = measure_blac(&blac, &kernel, arch, &[0; 5], 3).map_err(|e| e.to_string())?;
             Ok(vec![format!(
                 "gemv {m}x{n} on core {core}: {} cycles, {:.3} f/c",
                 meas.cycles,
@@ -35,10 +34,26 @@ fn main() {
     // The paper's device farm (§2.2): one entry per evaluated processor.
     let mediator = Mediator::new(
         vec![
-            DeviceSpec { hostname: "zbox-atom".into(), arch: Microarch::Atom, cores: 2 },
-            DeviceSpec { hostname: "beaglebone-a8".into(), arch: Microarch::CortexA8, cores: 1 },
-            DeviceSpec { hostname: "kayla-a9".into(), arch: Microarch::CortexA9, cores: 4 },
-            DeviceSpec { hostname: "raspi-1176".into(), arch: Microarch::Arm1176, cores: 1 },
+            DeviceSpec {
+                hostname: "zbox-atom".into(),
+                arch: Microarch::Atom,
+                cores: 2,
+            },
+            DeviceSpec {
+                hostname: "beaglebone-a8".into(),
+                arch: Microarch::CortexA8,
+                cores: 1,
+            },
+            DeviceSpec {
+                hostname: "kayla-a9".into(),
+                arch: Microarch::CortexA9,
+                cores: 4,
+            },
+            DeviceSpec {
+                hostname: "raspi-1176".into(),
+                arch: Microarch::Arm1176,
+                cores: 1,
+            },
         ],
         Duration::from_secs(60),
     );
@@ -54,7 +69,12 @@ fn main() {
     let results = mediator.submit_sync(batch).expect("job accepted");
     println!("synchronous sweep on kayla-a9:");
     for r in &results.data {
-        println!("  [{} core {}] {}", r.device_hostname, r.core, r.outcome.as_ref().unwrap()[0]);
+        println!(
+            "  [{} core {}] {}",
+            r.device_hostname,
+            r.core,
+            r.outcome.as_ref().unwrap()[0]
+        );
     }
 
     // Asynchronous job with polling (Fig. 4.3), one experiment per device.
@@ -71,7 +91,11 @@ fn main() {
         match status.state {
             JobState::Finished => {
                 for r in &status.data.unwrap().data {
-                    println!("  [{}] {}", r.device_hostname, r.outcome.as_ref().unwrap()[0]);
+                    println!(
+                        "  [{}] {}",
+                        r.device_hostname,
+                        r.outcome.as_ref().unwrap()[0]
+                    );
                 }
                 break;
             }
@@ -84,5 +108,8 @@ fn main() {
     let mut bad = experiment(4, 4);
     bad.device = "no-such-device".into();
     let err = mediator.submit_sync(vec![bad]).unwrap_err();
-    println!("\nsubmitting to an unknown device: error {} — {}", err.code, err.message);
+    println!(
+        "\nsubmitting to an unknown device: error {} — {}",
+        err.code, err.message
+    );
 }

@@ -15,10 +15,12 @@ fn main() {
     let a = b.matrix("A", 4, 12);
     let x = b.col_vector("x", 12);
     let y = b.col_vector("y", 4);
-    let expr =
-        b.handle(alpha) * (b.handle(a) * b.handle(x)) + b.handle(beta) * b.handle(y);
+    let expr = b.handle(alpha) * (b.handle(a) * b.handle(x)) + b.handle(beta) * b.handle(y);
     let blac = b.define(y, expr).expect("shapes are consistent");
-    println!("BLAC: y = alpha*A*x + beta*y   ({} useful flops)", blac.flops());
+    println!(
+        "BLAC: y = alpha*A*x + beta*y   ({} useful flops)",
+        blac.flops()
+    );
 
     for arch in Microarch::EVALUATED {
         // Compile with all thesis optimizations (alignment detection,

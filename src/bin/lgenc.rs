@@ -8,15 +8,21 @@
 //! ```text
 //! lgenc <file.blac> [--target atom|cortex-a8|cortex-a9|arm1176]
 //!       [--variant base|align|mvm|full] [--tune] [--peel] [--version-align]
+//!       [--threads N | -j N] [--cache-stats]
 //! ```
 
-use lgen::core::SearchStrategy;
+use lgen::core::{KernelCache, SearchStrategy};
 use lgen::prelude::*;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: lgenc <file.blac> [--target atom|cortex-a8|cortex-a9|arm1176]\n\
          \x20            [--variant base|align|mvm|full] [--tune] [--peel] [--version-align]\n\
+         \x20            [--threads N | -j N] [--cache-stats]\n\
+         \n\
+         \x20 --threads N, -j N   worker threads for tuning/compilation (0 = one per core)\n\
+         \x20 --cache-stats       print kernel-cache and per-stage pipeline counters\n\
          \n\
          example input file:\n\
          \x20 alpha = scalar\n\
@@ -36,10 +42,19 @@ fn main() {
     let mut tune = false;
     let mut peel = false;
     let mut version_align = false;
+    let mut threads = 0usize; // 0 = one worker per available core
+    let mut cache_stats = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--threads" | "-j" => {
+                threads = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => usage(),
+                }
+            }
+            "--cache-stats" => cache_stats = true,
             "--target" => {
                 target = match it.next().map(String::as_str) {
                     Some("atom") => Microarch::Atom,
@@ -86,9 +101,16 @@ fn main() {
     }
 
     eprintln!("lgenc: {blac}   ({} flops) for {target}", blac.flops());
+    let cache = Arc::new(KernelCache::new());
     let kernel = if tune {
+        eprintln!(
+            "lgenc: tuning on {} worker(s)",
+            lgen::core::effective_threads(threads)
+        );
         let tuned = Autotuner::new(cfg)
             .with_strategy(SearchStrategy::Exhaustive)
+            .with_threads(threads)
+            .with_cache(cache.clone())
             .tune(&blac, "kernel");
         eprintln!(
             "lgenc: autotuned to {:?} ({} cycles over {} candidates)",
@@ -98,8 +120,17 @@ fn main() {
         );
         tuned.kernel
     } else {
-        compile(&blac, "kernel", &cfg)
+        (*cache.get_or_compile(&blac, "kernel", &cfg)).clone()
     };
+
+    if cache_stats {
+        eprintln!("lgenc: cache: {}", cache.stats());
+        let stages = cache.stage_stats();
+        eprintln!("lgenc: pipeline: {} compile(s)", stages.compiles());
+        for (stage, ns) in stages.rows() {
+            eprintln!("lgenc:   {stage:<20} {:>9.3} ms", ns as f64 / 1e6);
+        }
+    }
 
     // Validate and measure.
     match check_kernel(&blac, &kernel, target.vector_isa(), 1) {
@@ -122,5 +153,8 @@ fn main() {
     }
 
     // The product: C on stdout.
-    print!("{}", lgen::cir::unparse::unparse(&kernel, target.vector_isa()));
+    print!(
+        "{}",
+        lgen::cir::unparse::unparse(&kernel, target.vector_isa())
+    );
 }

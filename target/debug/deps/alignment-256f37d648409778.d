@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alignment-256f37d648409778.d: tests/alignment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalignment-256f37d648409778.rmeta: tests/alignment.rs Cargo.toml
+
+tests/alignment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alignment-695cf1fef045858a.d: tests/alignment.rs
+
+/root/repo/target/debug/deps/alignment-695cf1fef045858a: tests/alignment.rs
+
+tests/alignment.rs:

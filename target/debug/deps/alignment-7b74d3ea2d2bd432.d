@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alignment-7b74d3ea2d2bd432.d: tests/alignment.rs
+
+/root/repo/target/debug/deps/alignment-7b74d3ea2d2bd432: tests/alignment.rs
+
+tests/alignment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-1f321c38f1fc4667.d: crates/baselines/tests/correctness.rs
+
+/root/repo/target/debug/deps/correctness-1f321c38f1fc4667: crates/baselines/tests/correctness.rs
+
+crates/baselines/tests/correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/correctness-c9c2fe62fffd196f.d: crates/baselines/tests/correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorrectness-c9c2fe62fffd196f.rmeta: crates/baselines/tests/correctness.rs Cargo.toml
+
+crates/baselines/tests/correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

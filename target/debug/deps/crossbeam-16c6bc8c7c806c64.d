@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-16c6bc8c7c806c64.d: compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-16c6bc8c7c806c64.rlib: compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-16c6bc8c7c806c64.rmeta: compat/crossbeam/src/lib.rs
+
+compat/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-ce90db2c19ca3b9a.d: compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-ce90db2c19ca3b9a: compat/crossbeam/src/lib.rs
+
+compat/crossbeam/src/lib.rs:

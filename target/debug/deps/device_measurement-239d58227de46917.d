@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_measurement-239d58227de46917.d: crates/mediator/tests/device_measurement.rs
+
+/root/repo/target/debug/deps/device_measurement-239d58227de46917: crates/mediator/tests/device_measurement.rs
+
+crates/mediator/tests/device_measurement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/device_measurement-52710687dd8b7fe1.d: crates/mediator/tests/device_measurement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdevice_measurement-52710687dd8b7fe1.rmeta: crates/mediator/tests/device_measurement.rs Cargo.toml
+
+crates/mediator/tests/device_measurement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

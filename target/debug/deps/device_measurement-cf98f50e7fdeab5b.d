@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device_measurement-cf98f50e7fdeab5b.d: crates/mediator/tests/device_measurement.rs
+
+/root/repo/target/debug/deps/device_measurement-cf98f50e7fdeab5b: crates/mediator/tests/device_measurement.rs
+
+crates/mediator/tests/device_measurement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ab79b3e1f3801549.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ab79b3e1f3801549: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-36846e558f556136.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-36846e558f556136: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-6a9706ff9730add3.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-6a9706ff9730add3: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_c-1c799676ae380392.d: tests/golden_c.rs
+
+/root/repo/target/debug/deps/golden_c-1c799676ae380392: tests/golden_c.rs
+
+tests/golden_c.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

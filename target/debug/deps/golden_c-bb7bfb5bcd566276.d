@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_c-bb7bfb5bcd566276.d: tests/golden_c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_c-bb7bfb5bcd566276.rmeta: tests/golden_c.rs Cargo.toml
+
+tests/golden_c.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_c-ee766f8f0a54aa88.d: tests/golden_c.rs
+
+/root/repo/target/debug/deps/golden_c-ee766f8f0a54aa88: tests/golden_c.rs
+
+tests/golden_c.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

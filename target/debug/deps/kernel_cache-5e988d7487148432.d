@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_cache-5e988d7487148432.d: tests/kernel_cache.rs
+
+/root/repo/target/debug/deps/kernel_cache-5e988d7487148432: tests/kernel_cache.rs
+
+tests/kernel_cache.rs:

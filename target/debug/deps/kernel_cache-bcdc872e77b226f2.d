@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_cache-bcdc872e77b226f2.d: tests/kernel_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_cache-bcdc872e77b226f2.rmeta: tests/kernel_cache.rs Cargo.toml
+
+tests/kernel_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lgen-2379afcbfd5a2620.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblgen-2379afcbfd5a2620.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblgen-2379afcbfd5a2620.rmeta: src/lib.rs
+
+src/lib.rs:

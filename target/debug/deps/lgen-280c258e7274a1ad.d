@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lgen-280c258e7274a1ad.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblgen-280c258e7274a1ad.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblgen-280c258e7274a1ad.rmeta: src/lib.rs
+
+src/lib.rs:

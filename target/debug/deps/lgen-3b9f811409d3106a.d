@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lgen-3b9f811409d3106a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblgen-3b9f811409d3106a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

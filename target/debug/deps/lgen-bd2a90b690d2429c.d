@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lgen-bd2a90b690d2429c.d: src/lib.rs
+
+/root/repo/target/debug/deps/lgen-bd2a90b690d2429c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lgen-d868059531f253c0.d: src/lib.rs
+
+/root/repo/target/debug/deps/lgen-d868059531f253c0: src/lib.rs
+
+src/lib.rs:

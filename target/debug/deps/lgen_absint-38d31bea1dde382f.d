@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lgen_absint-38d31bea1dde382f.d: crates/absint/src/lib.rs crates/absint/src/analysis.rs crates/absint/src/congruence.rs crates/absint/src/domain.rs crates/absint/src/interval.rs crates/absint/src/reduced.rs crates/absint/src/sign.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblgen_absint-38d31bea1dde382f.rmeta: crates/absint/src/lib.rs crates/absint/src/analysis.rs crates/absint/src/congruence.rs crates/absint/src/domain.rs crates/absint/src/interval.rs crates/absint/src/reduced.rs crates/absint/src/sign.rs Cargo.toml
+
+crates/absint/src/lib.rs:
+crates/absint/src/analysis.rs:
+crates/absint/src/congruence.rs:
+crates/absint/src/domain.rs:
+crates/absint/src/interval.rs:
+crates/absint/src/reduced.rs:
+crates/absint/src/sign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

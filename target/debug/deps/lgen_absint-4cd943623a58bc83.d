@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lgen_absint-4cd943623a58bc83.d: crates/absint/src/lib.rs crates/absint/src/analysis.rs crates/absint/src/congruence.rs crates/absint/src/domain.rs crates/absint/src/interval.rs crates/absint/src/reduced.rs crates/absint/src/sign.rs
+
+/root/repo/target/debug/deps/liblgen_absint-4cd943623a58bc83.rlib: crates/absint/src/lib.rs crates/absint/src/analysis.rs crates/absint/src/congruence.rs crates/absint/src/domain.rs crates/absint/src/interval.rs crates/absint/src/reduced.rs crates/absint/src/sign.rs
+
+/root/repo/target/debug/deps/liblgen_absint-4cd943623a58bc83.rmeta: crates/absint/src/lib.rs crates/absint/src/analysis.rs crates/absint/src/congruence.rs crates/absint/src/domain.rs crates/absint/src/interval.rs crates/absint/src/reduced.rs crates/absint/src/sign.rs
+
+crates/absint/src/lib.rs:
+crates/absint/src/analysis.rs:
+crates/absint/src/congruence.rs:
+crates/absint/src/domain.rs:
+crates/absint/src/interval.rs:
+crates/absint/src/reduced.rs:
+crates/absint/src/sign.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lgen_absint-e4a185cc5f6fcef4.d: crates/absint/src/lib.rs crates/absint/src/analysis.rs crates/absint/src/congruence.rs crates/absint/src/domain.rs crates/absint/src/interval.rs crates/absint/src/reduced.rs crates/absint/src/sign.rs
+
+/root/repo/target/debug/deps/lgen_absint-e4a185cc5f6fcef4: crates/absint/src/lib.rs crates/absint/src/analysis.rs crates/absint/src/congruence.rs crates/absint/src/domain.rs crates/absint/src/interval.rs crates/absint/src/reduced.rs crates/absint/src/sign.rs
+
+crates/absint/src/lib.rs:
+crates/absint/src/analysis.rs:
+crates/absint/src/congruence.rs:
+crates/absint/src/domain.rs:
+crates/absint/src/interval.rs:
+crates/absint/src/reduced.rs:
+crates/absint/src/sign.rs:

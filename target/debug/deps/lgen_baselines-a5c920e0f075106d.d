@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lgen_baselines-a5c920e0f075106d.d: crates/baselines/src/lib.rs crates/baselines/src/blas.rs crates/baselines/src/eigen.rs crates/baselines/src/emit.rs crates/baselines/src/handwritten.rs crates/baselines/src/pattern.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblgen_baselines-a5c920e0f075106d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/blas.rs crates/baselines/src/eigen.rs crates/baselines/src/emit.rs crates/baselines/src/handwritten.rs crates/baselines/src/pattern.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/blas.rs:
+crates/baselines/src/eigen.rs:
+crates/baselines/src/emit.rs:
+crates/baselines/src/handwritten.rs:
+crates/baselines/src/pattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

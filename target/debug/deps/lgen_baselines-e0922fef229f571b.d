@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lgen_baselines-e0922fef229f571b.d: crates/baselines/src/lib.rs crates/baselines/src/blas.rs crates/baselines/src/eigen.rs crates/baselines/src/emit.rs crates/baselines/src/handwritten.rs crates/baselines/src/pattern.rs
+
+/root/repo/target/debug/deps/lgen_baselines-e0922fef229f571b: crates/baselines/src/lib.rs crates/baselines/src/blas.rs crates/baselines/src/eigen.rs crates/baselines/src/emit.rs crates/baselines/src/handwritten.rs crates/baselines/src/pattern.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/blas.rs:
+crates/baselines/src/eigen.rs:
+crates/baselines/src/emit.rs:
+crates/baselines/src/handwritten.rs:
+crates/baselines/src/pattern.rs:

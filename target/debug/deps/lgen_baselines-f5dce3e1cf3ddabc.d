@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lgen_baselines-f5dce3e1cf3ddabc.d: crates/baselines/src/lib.rs crates/baselines/src/blas.rs crates/baselines/src/eigen.rs crates/baselines/src/emit.rs crates/baselines/src/handwritten.rs crates/baselines/src/pattern.rs
+
+/root/repo/target/debug/deps/liblgen_baselines-f5dce3e1cf3ddabc.rlib: crates/baselines/src/lib.rs crates/baselines/src/blas.rs crates/baselines/src/eigen.rs crates/baselines/src/emit.rs crates/baselines/src/handwritten.rs crates/baselines/src/pattern.rs
+
+/root/repo/target/debug/deps/liblgen_baselines-f5dce3e1cf3ddabc.rmeta: crates/baselines/src/lib.rs crates/baselines/src/blas.rs crates/baselines/src/eigen.rs crates/baselines/src/emit.rs crates/baselines/src/handwritten.rs crates/baselines/src/pattern.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/blas.rs:
+crates/baselines/src/eigen.rs:
+crates/baselines/src/emit.rs:
+crates/baselines/src/handwritten.rs:
+crates/baselines/src/pattern.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lgen_bench-13e0fb3f44fe702e.d: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+/root/repo/target/debug/deps/liblgen_bench-13e0fb3f44fe702e.rlib: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+/root/repo/target/debug/deps/liblgen_bench-13e0fb3f44fe702e.rmeta: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/drivers.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/series.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lgen_bench-1b1fb1ed0088ca75.d: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+/root/repo/target/debug/deps/lgen_bench-1b1fb1ed0088ca75: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/drivers.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/series.rs:

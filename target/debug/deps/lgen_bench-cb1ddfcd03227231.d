@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lgen_bench-cb1ddfcd03227231.d: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+/root/repo/target/debug/deps/lgen_bench-cb1ddfcd03227231: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/drivers.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/series.rs:

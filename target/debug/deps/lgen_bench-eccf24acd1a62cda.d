@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lgen_bench-eccf24acd1a62cda.d: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+/root/repo/target/debug/deps/liblgen_bench-eccf24acd1a62cda.rlib: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+/root/repo/target/debug/deps/liblgen_bench-eccf24acd1a62cda.rmeta: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/drivers.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/series.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lgen_core-2ed6885c58172bf7.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/lgen_core-2ed6885c58172bf7: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/config.rs:
+crates/core/src/exec.rs:
+crates/core/src/pipeline.rs:

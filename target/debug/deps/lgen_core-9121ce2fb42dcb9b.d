@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lgen_core-9121ce2fb42dcb9b.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/liblgen_core-9121ce2fb42dcb9b.rlib: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/liblgen_core-9121ce2fb42dcb9b.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/config.rs:
+crates/core/src/exec.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lgen_core-bc7889bc3d7c10db.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+/root/repo/target/debug/deps/liblgen_core-bc7889bc3d7c10db.rlib: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+/root/repo/target/debug/deps/liblgen_core-bc7889bc3d7c10db.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/exec.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/pool.rs:

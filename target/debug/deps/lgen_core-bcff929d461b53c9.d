@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lgen_core-bcff929d461b53c9.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs crates/core/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblgen_core-bcff929d461b53c9.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs crates/core/src/pool.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/exec.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lgen_isa-6e36fc288c4a74e4.d: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/energy.rs crates/isa/src/inst.rs crates/isa/src/ops.rs crates/isa/src/uarch.rs
+
+/root/repo/target/debug/deps/liblgen_isa-6e36fc288c4a74e4.rlib: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/energy.rs crates/isa/src/inst.rs crates/isa/src/ops.rs crates/isa/src/uarch.rs
+
+/root/repo/target/debug/deps/liblgen_isa-6e36fc288c4a74e4.rmeta: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/energy.rs crates/isa/src/inst.rs crates/isa/src/ops.rs crates/isa/src/uarch.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/energy.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/ops.rs:
+crates/isa/src/uarch.rs:

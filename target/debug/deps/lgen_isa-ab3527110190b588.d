@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lgen_isa-ab3527110190b588.d: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/energy.rs crates/isa/src/inst.rs crates/isa/src/ops.rs crates/isa/src/uarch.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblgen_isa-ab3527110190b588.rmeta: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/energy.rs crates/isa/src/inst.rs crates/isa/src/ops.rs crates/isa/src/uarch.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/energy.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/ops.rs:
+crates/isa/src/uarch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

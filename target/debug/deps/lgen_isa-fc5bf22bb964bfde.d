@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lgen_isa-fc5bf22bb964bfde.d: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/energy.rs crates/isa/src/inst.rs crates/isa/src/ops.rs crates/isa/src/uarch.rs
+
+/root/repo/target/debug/deps/lgen_isa-fc5bf22bb964bfde: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/energy.rs crates/isa/src/inst.rs crates/isa/src/ops.rs crates/isa/src/uarch.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/energy.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/ops.rs:
+crates/isa/src/uarch.rs:

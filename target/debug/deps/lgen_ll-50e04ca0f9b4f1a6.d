@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lgen_ll-50e04ca0f9b4f1a6.d: crates/ll/src/lib.rs crates/ll/src/blac.rs crates/ll/src/paper.rs crates/ll/src/parse.rs crates/ll/src/reference.rs crates/ll/src/tile.rs
+
+/root/repo/target/debug/deps/liblgen_ll-50e04ca0f9b4f1a6.rlib: crates/ll/src/lib.rs crates/ll/src/blac.rs crates/ll/src/paper.rs crates/ll/src/parse.rs crates/ll/src/reference.rs crates/ll/src/tile.rs
+
+/root/repo/target/debug/deps/liblgen_ll-50e04ca0f9b4f1a6.rmeta: crates/ll/src/lib.rs crates/ll/src/blac.rs crates/ll/src/paper.rs crates/ll/src/parse.rs crates/ll/src/reference.rs crates/ll/src/tile.rs
+
+crates/ll/src/lib.rs:
+crates/ll/src/blac.rs:
+crates/ll/src/paper.rs:
+crates/ll/src/parse.rs:
+crates/ll/src/reference.rs:
+crates/ll/src/tile.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lgen_ll-9e145e900e1a546c.d: crates/ll/src/lib.rs crates/ll/src/blac.rs crates/ll/src/paper.rs crates/ll/src/parse.rs crates/ll/src/reference.rs crates/ll/src/tile.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblgen_ll-9e145e900e1a546c.rmeta: crates/ll/src/lib.rs crates/ll/src/blac.rs crates/ll/src/paper.rs crates/ll/src/parse.rs crates/ll/src/reference.rs crates/ll/src/tile.rs Cargo.toml
+
+crates/ll/src/lib.rs:
+crates/ll/src/blac.rs:
+crates/ll/src/paper.rs:
+crates/ll/src/parse.rs:
+crates/ll/src/reference.rs:
+crates/ll/src/tile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

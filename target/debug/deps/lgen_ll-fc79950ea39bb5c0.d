@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lgen_ll-fc79950ea39bb5c0.d: crates/ll/src/lib.rs crates/ll/src/blac.rs crates/ll/src/paper.rs crates/ll/src/parse.rs crates/ll/src/reference.rs crates/ll/src/tile.rs
+
+/root/repo/target/debug/deps/lgen_ll-fc79950ea39bb5c0: crates/ll/src/lib.rs crates/ll/src/blac.rs crates/ll/src/paper.rs crates/ll/src/parse.rs crates/ll/src/reference.rs crates/ll/src/tile.rs
+
+crates/ll/src/lib.rs:
+crates/ll/src/blac.rs:
+crates/ll/src/paper.rs:
+crates/ll/src/parse.rs:
+crates/ll/src/reference.rs:
+crates/ll/src/tile.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lgen_machine-3611e5ad0b66a9dd.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/measure.rs crates/machine/src/sched.rs
+
+/root/repo/target/debug/deps/lgen_machine-3611e5ad0b66a9dd: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/measure.rs crates/machine/src/sched.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/measure.rs:
+crates/machine/src/sched.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lgen_machine-ab4b056a389c5bd6.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/measure.rs crates/machine/src/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblgen_machine-ab4b056a389c5bd6.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/measure.rs crates/machine/src/sched.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/measure.rs:
+crates/machine/src/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

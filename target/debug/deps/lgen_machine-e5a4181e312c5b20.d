@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lgen_machine-e5a4181e312c5b20.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/measure.rs crates/machine/src/sched.rs
+
+/root/repo/target/debug/deps/liblgen_machine-e5a4181e312c5b20.rlib: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/measure.rs crates/machine/src/sched.rs
+
+/root/repo/target/debug/deps/liblgen_machine-e5a4181e312c5b20.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/measure.rs crates/machine/src/sched.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/measure.rs:
+crates/machine/src/sched.rs:

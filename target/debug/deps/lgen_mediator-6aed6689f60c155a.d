@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lgen_mediator-6aed6689f60c155a.d: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblgen_mediator-6aed6689f60c155a.rmeta: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs Cargo.toml
+
+crates/mediator/src/lib.rs:
+crates/mediator/src/api.rs:
+crates/mediator/src/measure.rs:
+crates/mediator/src/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

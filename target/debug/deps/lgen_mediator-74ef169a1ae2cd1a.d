@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lgen_mediator-74ef169a1ae2cd1a.d: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs
+
+/root/repo/target/debug/deps/lgen_mediator-74ef169a1ae2cd1a: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs
+
+crates/mediator/src/lib.rs:
+crates/mediator/src/api.rs:
+crates/mediator/src/measure.rs:
+crates/mediator/src/scheduler.rs:

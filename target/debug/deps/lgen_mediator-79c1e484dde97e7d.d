@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lgen_mediator-79c1e484dde97e7d.d: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs
+
+/root/repo/target/debug/deps/lgen_mediator-79c1e484dde97e7d: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs
+
+crates/mediator/src/lib.rs:
+crates/mediator/src/api.rs:
+crates/mediator/src/measure.rs:
+crates/mediator/src/scheduler.rs:

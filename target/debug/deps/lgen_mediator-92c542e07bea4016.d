@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lgen_mediator-92c542e07bea4016.d: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs
+
+/root/repo/target/debug/deps/liblgen_mediator-92c542e07bea4016.rlib: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs
+
+/root/repo/target/debug/deps/liblgen_mediator-92c542e07bea4016.rmeta: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs
+
+crates/mediator/src/lib.rs:
+crates/mediator/src/api.rs:
+crates/mediator/src/measure.rs:
+crates/mediator/src/scheduler.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lgen_sigma-9f15ef2fdc8cdbb7.d: crates/sigma/src/lib.rs crates/sigma/src/codegen.rs crates/sigma/src/nu_blacs.rs crates/sigma/src/sigma_ll.rs
+
+/root/repo/target/debug/deps/lgen_sigma-9f15ef2fdc8cdbb7: crates/sigma/src/lib.rs crates/sigma/src/codegen.rs crates/sigma/src/nu_blacs.rs crates/sigma/src/sigma_ll.rs
+
+crates/sigma/src/lib.rs:
+crates/sigma/src/codegen.rs:
+crates/sigma/src/nu_blacs.rs:
+crates/sigma/src/sigma_ll.rs:

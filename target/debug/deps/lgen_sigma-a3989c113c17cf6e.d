@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lgen_sigma-a3989c113c17cf6e.d: crates/sigma/src/lib.rs crates/sigma/src/codegen.rs crates/sigma/src/nu_blacs.rs crates/sigma/src/sigma_ll.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblgen_sigma-a3989c113c17cf6e.rmeta: crates/sigma/src/lib.rs crates/sigma/src/codegen.rs crates/sigma/src/nu_blacs.rs crates/sigma/src/sigma_ll.rs Cargo.toml
+
+crates/sigma/src/lib.rs:
+crates/sigma/src/codegen.rs:
+crates/sigma/src/nu_blacs.rs:
+crates/sigma/src/sigma_ll.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

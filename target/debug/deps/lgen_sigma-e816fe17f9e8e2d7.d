@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lgen_sigma-e816fe17f9e8e2d7.d: crates/sigma/src/lib.rs crates/sigma/src/codegen.rs crates/sigma/src/nu_blacs.rs crates/sigma/src/sigma_ll.rs
+
+/root/repo/target/debug/deps/liblgen_sigma-e816fe17f9e8e2d7.rlib: crates/sigma/src/lib.rs crates/sigma/src/codegen.rs crates/sigma/src/nu_blacs.rs crates/sigma/src/sigma_ll.rs
+
+/root/repo/target/debug/deps/liblgen_sigma-e816fe17f9e8e2d7.rmeta: crates/sigma/src/lib.rs crates/sigma/src/codegen.rs crates/sigma/src/nu_blacs.rs crates/sigma/src/sigma_ll.rs
+
+crates/sigma/src/lib.rs:
+crates/sigma/src/codegen.rs:
+crates/sigma/src/nu_blacs.rs:
+crates/sigma/src/sigma_ll.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lgenc-8851d7ab93a8e034.d: src/bin/lgenc.rs
+
+/root/repo/target/debug/deps/lgenc-8851d7ab93a8e034: src/bin/lgenc.rs
+
+src/bin/lgenc.rs:

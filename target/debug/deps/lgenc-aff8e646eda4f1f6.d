@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lgenc-aff8e646eda4f1f6.d: src/bin/lgenc.rs
+
+/root/repo/target/debug/deps/lgenc-aff8e646eda4f1f6: src/bin/lgenc.rs
+
+src/bin/lgenc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lgenc-bef735b32893e616.d: src/bin/lgenc.rs
+
+/root/repo/target/debug/deps/lgenc-bef735b32893e616: src/bin/lgenc.rs
+
+src/bin/lgenc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lgenc-da56f3224b20b7b7.d: src/bin/lgenc.rs
+
+/root/repo/target/debug/deps/lgenc-da56f3224b20b7b7: src/bin/lgenc.rs
+
+src/bin/lgenc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lgenc-dcb06835ee378d13.d: src/bin/lgenc.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblgenc-dcb06835ee378d13.rmeta: src/bin/lgenc.rs Cargo.toml
+
+src/bin/lgenc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/map_properties-0c3d34c9646b5ae9.d: crates/cir/tests/map_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmap_properties-0c3d34c9646b5ae9.rmeta: crates/cir/tests/map_properties.rs Cargo.toml
+
+crates/cir/tests/map_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/map_properties-848820e8fdb83956.d: crates/cir/tests/map_properties.rs
+
+/root/repo/target/debug/deps/map_properties-848820e8fdb83956: crates/cir/tests/map_properties.rs
+
+crates/cir/tests/map_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-57b83f381ddc3e69.d: compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-57b83f381ddc3e69: compat/parking_lot/src/lib.rs
+
+compat/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-7c3702a87a61d45a.d: compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-7c3702a87a61d45a.rlib: compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-7c3702a87a61d45a.rmeta: compat/parking_lot/src/lib.rs
+
+compat/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-d80d9ea8d2a0a9bb.d: compat/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-d80d9ea8d2a0a9bb.rmeta: compat/parking_lot/src/lib.rs Cargo.toml
+
+compat/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-dc00196d4ce9be5b.d: compat/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-dc00196d4ce9be5b.rmeta: compat/parking_lot/src/lib.rs Cargo.toml
+
+compat/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

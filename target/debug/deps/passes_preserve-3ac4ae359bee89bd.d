@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/passes_preserve-3ac4ae359bee89bd.d: tests/passes_preserve.rs
+
+/root/repo/target/debug/deps/passes_preserve-3ac4ae359bee89bd: tests/passes_preserve.rs
+
+tests/passes_preserve.rs:

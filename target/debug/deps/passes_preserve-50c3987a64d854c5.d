@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/passes_preserve-50c3987a64d854c5.d: tests/passes_preserve.rs
+
+/root/repo/target/debug/deps/passes_preserve-50c3987a64d854c5: tests/passes_preserve.rs
+
+tests/passes_preserve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/passes_preserve-f9634c8d9342ed24.d: tests/passes_preserve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpasses_preserve-f9634c8d9342ed24.rmeta: tests/passes_preserve.rs Cargo.toml
+
+tests/passes_preserve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-8c816ca96a56958a.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-8c816ca96a56958a: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

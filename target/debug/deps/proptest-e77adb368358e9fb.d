@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-e77adb368358e9fb.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e77adb368358e9fb.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e77adb368358e9fb.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_blacs-4812cbe56a4c8f7d.d: tests/random_blacs.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_blacs-4812cbe56a4c8f7d.rmeta: tests/random_blacs.rs Cargo.toml
+
+tests/random_blacs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

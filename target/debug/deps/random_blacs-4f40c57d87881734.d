@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_blacs-4f40c57d87881734.d: tests/random_blacs.rs
+
+/root/repo/target/debug/deps/random_blacs-4f40c57d87881734: tests/random_blacs.rs
+
+tests/random_blacs.rs:

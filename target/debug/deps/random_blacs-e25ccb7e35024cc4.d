@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_blacs-e25ccb7e35024cc4.d: tests/random_blacs.rs
+
+/root/repo/target/debug/deps/random_blacs-e25ccb7e35024cc4: tests/random_blacs.rs
+
+tests/random_blacs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_properties-6f4abaec9d5fa712.d: crates/machine/tests/scheduler_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_properties-6f4abaec9d5fa712.rmeta: crates/machine/tests/scheduler_properties.rs Cargo.toml
+
+crates/machine/tests/scheduler_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

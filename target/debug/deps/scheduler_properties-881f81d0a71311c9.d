@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_properties-881f81d0a71311c9.d: crates/machine/tests/scheduler_properties.rs
+
+/root/repo/target/debug/deps/scheduler_properties-881f81d0a71311c9: crates/machine/tests/scheduler_properties.rs
+
+crates/machine/tests/scheduler_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sigma_algebra-4bf37a842192bef1.d: crates/sigma/tests/sigma_algebra.rs
+
+/root/repo/target/debug/deps/sigma_algebra-4bf37a842192bef1: crates/sigma/tests/sigma_algebra.rs
+
+crates/sigma/tests/sigma_algebra.rs:

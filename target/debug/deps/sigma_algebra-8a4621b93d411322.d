@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sigma_algebra-8a4621b93d411322.d: crates/sigma/tests/sigma_algebra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsigma_algebra-8a4621b93d411322.rmeta: crates/sigma/tests/sigma_algebra.rs Cargo.toml
+
+crates/sigma/tests/sigma_algebra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tune_cache-646b7d509ccd4c48.d: crates/bench/benches/tune_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtune_cache-646b7d509ccd4c48.rmeta: crates/bench/benches/tune_cache.rs Cargo.toml
+
+crates/bench/benches/tune_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

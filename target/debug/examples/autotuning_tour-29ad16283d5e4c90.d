@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotuning_tour-29ad16283d5e4c90.d: examples/autotuning_tour.rs
+
+/root/repo/target/debug/examples/autotuning_tour-29ad16283d5e4c90: examples/autotuning_tour.rs
+
+examples/autotuning_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotuning_tour-47f443d9209b017c.d: examples/autotuning_tour.rs
+
+/root/repo/target/debug/examples/autotuning_tour-47f443d9209b017c: examples/autotuning_tour.rs
+
+examples/autotuning_tour.rs:

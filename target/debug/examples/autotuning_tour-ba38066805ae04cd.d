@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autotuning_tour-ba38066805ae04cd.d: examples/autotuning_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautotuning_tour-ba38066805ae04cd.rmeta: examples/autotuning_tour.rs Cargo.toml
+
+examples/autotuning_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graphics_transform-075376f9876ed512.d: examples/graphics_transform.rs
+
+/root/repo/target/debug/examples/graphics_transform-075376f9876ed512: examples/graphics_transform.rs
+
+examples/graphics_transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graphics_transform-1f6636f92af37daa.d: examples/graphics_transform.rs
+
+/root/repo/target/debug/examples/graphics_transform-1f6636f92af37daa: examples/graphics_transform.rs
+
+examples/graphics_transform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/graphics_transform-90b36404924fac29.d: examples/graphics_transform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgraphics_transform-90b36404924fac29.rmeta: examples/graphics_transform.rs Cargo.toml
+
+examples/graphics_transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kalman_update-4fb8f24338766891.d: examples/kalman_update.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkalman_update-4fb8f24338766891.rmeta: examples/kalman_update.rs Cargo.toml
+
+examples/kalman_update.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kalman_update-8212d82fe241d73d.d: examples/kalman_update.rs
+
+/root/repo/target/debug/examples/kalman_update-8212d82fe241d73d: examples/kalman_update.rs
+
+examples/kalman_update.rs:

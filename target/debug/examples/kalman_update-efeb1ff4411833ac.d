@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kalman_update-efeb1ff4411833ac.d: examples/kalman_update.rs
+
+/root/repo/target/debug/examples/kalman_update-efeb1ff4411833ac: examples/kalman_update.rs
+
+examples/kalman_update.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mediator_farm-1f7d0cf31dcb7f08.d: examples/mediator_farm.rs
+
+/root/repo/target/debug/examples/mediator_farm-1f7d0cf31dcb7f08: examples/mediator_farm.rs
+
+examples/mediator_farm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mediator_farm-ace342a13521a377.d: examples/mediator_farm.rs
+
+/root/repo/target/debug/examples/mediator_farm-ace342a13521a377: examples/mediator_farm.rs
+
+examples/mediator_farm.rs:

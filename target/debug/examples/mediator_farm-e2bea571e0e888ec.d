@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mediator_farm-e2bea571e0e888ec.d: examples/mediator_farm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmediator_farm-e2bea571e0e888ec.rmeta: examples/mediator_farm.rs Cargo.toml
+
+examples/mediator_farm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6abe08385d9afbb9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6abe08385d9afbb9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-825650fa7cd42292.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-825650fa7cd42292: examples/quickstart.rs
+
+examples/quickstart.rs:

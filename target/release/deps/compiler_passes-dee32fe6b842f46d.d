@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compiler_passes-dee32fe6b842f46d.d: crates/bench/benches/compiler_passes.rs
+
+/root/repo/target/release/deps/compiler_passes-dee32fe6b842f46d: crates/bench/benches/compiler_passes.rs
+
+crates/bench/benches/compiler_passes.rs:

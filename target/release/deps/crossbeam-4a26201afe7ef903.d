@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-4a26201afe7ef903.d: compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-4a26201afe7ef903: compat/crossbeam/src/lib.rs
+
+compat/crossbeam/src/lib.rs:

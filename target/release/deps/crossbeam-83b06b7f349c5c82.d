@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-83b06b7f349c5c82.d: compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-83b06b7f349c5c82.rlib: compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-83b06b7f349c5c82.rmeta: compat/crossbeam/src/lib.rs
+
+compat/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-ec8ff3457b684782.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-ec8ff3457b684782: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-f1da3530ecf07159.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-f1da3530ecf07159: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

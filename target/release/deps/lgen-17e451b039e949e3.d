@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lgen-17e451b039e949e3.d: src/lib.rs
+
+/root/repo/target/release/deps/lgen-17e451b039e949e3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lgen-a1a3c214004c244a.d: src/lib.rs
+
+/root/repo/target/release/deps/liblgen-a1a3c214004c244a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblgen-a1a3c214004c244a.rmeta: src/lib.rs
+
+src/lib.rs:

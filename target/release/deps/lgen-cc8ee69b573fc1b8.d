@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lgen-cc8ee69b573fc1b8.d: src/lib.rs
+
+/root/repo/target/release/deps/liblgen-cc8ee69b573fc1b8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblgen-cc8ee69b573fc1b8.rmeta: src/lib.rs
+
+src/lib.rs:

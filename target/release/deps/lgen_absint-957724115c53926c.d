@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lgen_absint-957724115c53926c.d: crates/absint/src/lib.rs crates/absint/src/analysis.rs crates/absint/src/congruence.rs crates/absint/src/domain.rs crates/absint/src/interval.rs crates/absint/src/reduced.rs crates/absint/src/sign.rs
+
+/root/repo/target/release/deps/liblgen_absint-957724115c53926c.rlib: crates/absint/src/lib.rs crates/absint/src/analysis.rs crates/absint/src/congruence.rs crates/absint/src/domain.rs crates/absint/src/interval.rs crates/absint/src/reduced.rs crates/absint/src/sign.rs
+
+/root/repo/target/release/deps/liblgen_absint-957724115c53926c.rmeta: crates/absint/src/lib.rs crates/absint/src/analysis.rs crates/absint/src/congruence.rs crates/absint/src/domain.rs crates/absint/src/interval.rs crates/absint/src/reduced.rs crates/absint/src/sign.rs
+
+crates/absint/src/lib.rs:
+crates/absint/src/analysis.rs:
+crates/absint/src/congruence.rs:
+crates/absint/src/domain.rs:
+crates/absint/src/interval.rs:
+crates/absint/src/reduced.rs:
+crates/absint/src/sign.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lgen_absint-d1908c6d208e8492.d: crates/absint/src/lib.rs crates/absint/src/analysis.rs crates/absint/src/congruence.rs crates/absint/src/domain.rs crates/absint/src/interval.rs crates/absint/src/reduced.rs crates/absint/src/sign.rs
+
+/root/repo/target/release/deps/lgen_absint-d1908c6d208e8492: crates/absint/src/lib.rs crates/absint/src/analysis.rs crates/absint/src/congruence.rs crates/absint/src/domain.rs crates/absint/src/interval.rs crates/absint/src/reduced.rs crates/absint/src/sign.rs
+
+crates/absint/src/lib.rs:
+crates/absint/src/analysis.rs:
+crates/absint/src/congruence.rs:
+crates/absint/src/domain.rs:
+crates/absint/src/interval.rs:
+crates/absint/src/reduced.rs:
+crates/absint/src/sign.rs:

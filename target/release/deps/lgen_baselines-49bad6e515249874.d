@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lgen_baselines-49bad6e515249874.d: crates/baselines/src/lib.rs crates/baselines/src/blas.rs crates/baselines/src/eigen.rs crates/baselines/src/emit.rs crates/baselines/src/handwritten.rs crates/baselines/src/pattern.rs
+
+/root/repo/target/release/deps/lgen_baselines-49bad6e515249874: crates/baselines/src/lib.rs crates/baselines/src/blas.rs crates/baselines/src/eigen.rs crates/baselines/src/emit.rs crates/baselines/src/handwritten.rs crates/baselines/src/pattern.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/blas.rs:
+crates/baselines/src/eigen.rs:
+crates/baselines/src/emit.rs:
+crates/baselines/src/handwritten.rs:
+crates/baselines/src/pattern.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lgen_baselines-d53a7686c0a7caa6.d: crates/baselines/src/lib.rs crates/baselines/src/blas.rs crates/baselines/src/eigen.rs crates/baselines/src/emit.rs crates/baselines/src/handwritten.rs crates/baselines/src/pattern.rs
+
+/root/repo/target/release/deps/liblgen_baselines-d53a7686c0a7caa6.rlib: crates/baselines/src/lib.rs crates/baselines/src/blas.rs crates/baselines/src/eigen.rs crates/baselines/src/emit.rs crates/baselines/src/handwritten.rs crates/baselines/src/pattern.rs
+
+/root/repo/target/release/deps/liblgen_baselines-d53a7686c0a7caa6.rmeta: crates/baselines/src/lib.rs crates/baselines/src/blas.rs crates/baselines/src/eigen.rs crates/baselines/src/emit.rs crates/baselines/src/handwritten.rs crates/baselines/src/pattern.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/blas.rs:
+crates/baselines/src/eigen.rs:
+crates/baselines/src/emit.rs:
+crates/baselines/src/handwritten.rs:
+crates/baselines/src/pattern.rs:

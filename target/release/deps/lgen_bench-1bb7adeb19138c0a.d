@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lgen_bench-1bb7adeb19138c0a.d: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+/root/repo/target/release/deps/liblgen_bench-1bb7adeb19138c0a.rlib: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+/root/repo/target/release/deps/liblgen_bench-1bb7adeb19138c0a.rmeta: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/drivers.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/series.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lgen_bench-7ebe6cdc2e2f0fd5.d: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+/root/repo/target/release/deps/lgen_bench-7ebe6cdc2e2f0fd5: crates/bench/src/lib.rs crates/bench/src/drivers.rs crates/bench/src/figures.rs crates/bench/src/series.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/drivers.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/series.rs:

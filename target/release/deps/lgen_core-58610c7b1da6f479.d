@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lgen_core-58610c7b1da6f479.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+/root/repo/target/release/deps/liblgen_core-58610c7b1da6f479.rlib: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+/root/repo/target/release/deps/liblgen_core-58610c7b1da6f479.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/exec.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/pool.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lgen_core-754d02b7d0f08666.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+/root/repo/target/release/deps/lgen_core-754d02b7d0f08666: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs crates/core/src/pool.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/exec.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/pool.rs:

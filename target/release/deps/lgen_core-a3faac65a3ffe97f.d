@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lgen_core-a3faac65a3ffe97f.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/liblgen_core-a3faac65a3ffe97f.rlib: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/liblgen_core-a3faac65a3ffe97f.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/config.rs:
+crates/core/src/exec.rs:
+crates/core/src/pipeline.rs:

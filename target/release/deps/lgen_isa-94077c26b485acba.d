@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lgen_isa-94077c26b485acba.d: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/energy.rs crates/isa/src/inst.rs crates/isa/src/ops.rs crates/isa/src/uarch.rs
+
+/root/repo/target/release/deps/lgen_isa-94077c26b485acba: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/energy.rs crates/isa/src/inst.rs crates/isa/src/ops.rs crates/isa/src/uarch.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/energy.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/ops.rs:
+crates/isa/src/uarch.rs:

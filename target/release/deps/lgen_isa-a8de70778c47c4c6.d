@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lgen_isa-a8de70778c47c4c6.d: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/energy.rs crates/isa/src/inst.rs crates/isa/src/ops.rs crates/isa/src/uarch.rs
+
+/root/repo/target/release/deps/liblgen_isa-a8de70778c47c4c6.rlib: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/energy.rs crates/isa/src/inst.rs crates/isa/src/ops.rs crates/isa/src/uarch.rs
+
+/root/repo/target/release/deps/liblgen_isa-a8de70778c47c4c6.rmeta: crates/isa/src/lib.rs crates/isa/src/cost.rs crates/isa/src/energy.rs crates/isa/src/inst.rs crates/isa/src/ops.rs crates/isa/src/uarch.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/cost.rs:
+crates/isa/src/energy.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/ops.rs:
+crates/isa/src/uarch.rs:

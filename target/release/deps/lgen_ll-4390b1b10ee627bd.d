@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lgen_ll-4390b1b10ee627bd.d: crates/ll/src/lib.rs crates/ll/src/blac.rs crates/ll/src/paper.rs crates/ll/src/parse.rs crates/ll/src/reference.rs crates/ll/src/tile.rs
+
+/root/repo/target/release/deps/lgen_ll-4390b1b10ee627bd: crates/ll/src/lib.rs crates/ll/src/blac.rs crates/ll/src/paper.rs crates/ll/src/parse.rs crates/ll/src/reference.rs crates/ll/src/tile.rs
+
+crates/ll/src/lib.rs:
+crates/ll/src/blac.rs:
+crates/ll/src/paper.rs:
+crates/ll/src/parse.rs:
+crates/ll/src/reference.rs:
+crates/ll/src/tile.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lgen_ll-b32035bf9d5f1c4b.d: crates/ll/src/lib.rs crates/ll/src/blac.rs crates/ll/src/paper.rs crates/ll/src/parse.rs crates/ll/src/reference.rs crates/ll/src/tile.rs
+
+/root/repo/target/release/deps/liblgen_ll-b32035bf9d5f1c4b.rlib: crates/ll/src/lib.rs crates/ll/src/blac.rs crates/ll/src/paper.rs crates/ll/src/parse.rs crates/ll/src/reference.rs crates/ll/src/tile.rs
+
+/root/repo/target/release/deps/liblgen_ll-b32035bf9d5f1c4b.rmeta: crates/ll/src/lib.rs crates/ll/src/blac.rs crates/ll/src/paper.rs crates/ll/src/parse.rs crates/ll/src/reference.rs crates/ll/src/tile.rs
+
+crates/ll/src/lib.rs:
+crates/ll/src/blac.rs:
+crates/ll/src/paper.rs:
+crates/ll/src/parse.rs:
+crates/ll/src/reference.rs:
+crates/ll/src/tile.rs:

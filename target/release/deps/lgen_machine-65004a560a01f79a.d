@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lgen_machine-65004a560a01f79a.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/measure.rs crates/machine/src/sched.rs
+
+/root/repo/target/release/deps/liblgen_machine-65004a560a01f79a.rlib: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/measure.rs crates/machine/src/sched.rs
+
+/root/repo/target/release/deps/liblgen_machine-65004a560a01f79a.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/measure.rs crates/machine/src/sched.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/measure.rs:
+crates/machine/src/sched.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lgen_machine-aefe73e2a995d217.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/measure.rs crates/machine/src/sched.rs
+
+/root/repo/target/release/deps/lgen_machine-aefe73e2a995d217: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/measure.rs crates/machine/src/sched.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/measure.rs:
+crates/machine/src/sched.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lgen_mediator-03fe8ebf5cf1cb6a.d: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs
+
+/root/repo/target/release/deps/lgen_mediator-03fe8ebf5cf1cb6a: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs
+
+crates/mediator/src/lib.rs:
+crates/mediator/src/api.rs:
+crates/mediator/src/measure.rs:
+crates/mediator/src/scheduler.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lgen_mediator-bbeb023a11c023c6.d: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs
+
+/root/repo/target/release/deps/liblgen_mediator-bbeb023a11c023c6.rlib: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs
+
+/root/repo/target/release/deps/liblgen_mediator-bbeb023a11c023c6.rmeta: crates/mediator/src/lib.rs crates/mediator/src/api.rs crates/mediator/src/measure.rs crates/mediator/src/scheduler.rs
+
+crates/mediator/src/lib.rs:
+crates/mediator/src/api.rs:
+crates/mediator/src/measure.rs:
+crates/mediator/src/scheduler.rs:

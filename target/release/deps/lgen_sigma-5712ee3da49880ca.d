@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/lgen_sigma-5712ee3da49880ca.d: crates/sigma/src/lib.rs crates/sigma/src/codegen.rs crates/sigma/src/nu_blacs.rs crates/sigma/src/sigma_ll.rs
+
+/root/repo/target/release/deps/lgen_sigma-5712ee3da49880ca: crates/sigma/src/lib.rs crates/sigma/src/codegen.rs crates/sigma/src/nu_blacs.rs crates/sigma/src/sigma_ll.rs
+
+crates/sigma/src/lib.rs:
+crates/sigma/src/codegen.rs:
+crates/sigma/src/nu_blacs.rs:
+crates/sigma/src/sigma_ll.rs:

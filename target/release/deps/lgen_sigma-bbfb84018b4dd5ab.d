@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lgen_sigma-bbfb84018b4dd5ab.d: crates/sigma/src/lib.rs crates/sigma/src/codegen.rs crates/sigma/src/nu_blacs.rs crates/sigma/src/sigma_ll.rs
+
+/root/repo/target/release/deps/liblgen_sigma-bbfb84018b4dd5ab.rlib: crates/sigma/src/lib.rs crates/sigma/src/codegen.rs crates/sigma/src/nu_blacs.rs crates/sigma/src/sigma_ll.rs
+
+/root/repo/target/release/deps/liblgen_sigma-bbfb84018b4dd5ab.rmeta: crates/sigma/src/lib.rs crates/sigma/src/codegen.rs crates/sigma/src/nu_blacs.rs crates/sigma/src/sigma_ll.rs
+
+crates/sigma/src/lib.rs:
+crates/sigma/src/codegen.rs:
+crates/sigma/src/nu_blacs.rs:
+crates/sigma/src/sigma_ll.rs:

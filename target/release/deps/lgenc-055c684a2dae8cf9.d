@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lgenc-055c684a2dae8cf9.d: src/bin/lgenc.rs
+
+/root/repo/target/release/deps/lgenc-055c684a2dae8cf9: src/bin/lgenc.rs
+
+src/bin/lgenc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lgenc-23460cce8e01035a.d: src/bin/lgenc.rs
+
+/root/repo/target/release/deps/lgenc-23460cce8e01035a: src/bin/lgenc.rs
+
+src/bin/lgenc.rs:

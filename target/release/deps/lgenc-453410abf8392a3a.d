@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lgenc-453410abf8392a3a.d: src/bin/lgenc.rs
+
+/root/repo/target/release/deps/lgenc-453410abf8392a3a: src/bin/lgenc.rs
+
+src/bin/lgenc.rs:

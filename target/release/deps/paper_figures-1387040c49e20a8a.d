@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_figures-1387040c49e20a8a.d: crates/bench/benches/paper_figures.rs
+
+/root/repo/target/release/deps/paper_figures-1387040c49e20a8a: crates/bench/benches/paper_figures.rs
+
+crates/bench/benches/paper_figures.rs:

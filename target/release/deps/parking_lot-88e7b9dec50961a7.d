@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-88e7b9dec50961a7.d: compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-88e7b9dec50961a7: compat/parking_lot/src/lib.rs
+
+compat/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-eded382f992e90d4.d: compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-eded382f992e90d4.rlib: compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-eded382f992e90d4.rmeta: compat/parking_lot/src/lib.rs
+
+compat/parking_lot/src/lib.rs:

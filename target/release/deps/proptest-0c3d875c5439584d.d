@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-0c3d875c5439584d.d: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-0c3d875c5439584d: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-52accfc48fd9078e.d: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-52accfc48fd9078e.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-52accfc48fd9078e.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune_cache-9ae8b4c64366aa18.d: crates/bench/benches/tune_cache.rs
+
+/root/repo/target/release/deps/tune_cache-9ae8b4c64366aa18: crates/bench/benches/tune_cache.rs
+
+crates/bench/benches/tune_cache.rs:

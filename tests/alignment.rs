@@ -22,23 +22,38 @@ fn check_at_offsets(blac: &lgen::ll::Blac, kernel: &lgen::cir::Kernel, offsets: 
     let layout = lgen::cir::MemLayout::with_float_offsets(kernel, offsets);
     {
         let mut refs: Vec<&mut [f32]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
-        lgen::cir::run_kernel(kernel, &mut refs, &layout, VectorIsa::Ssse3, &mut lgen::isa::inst::NullSink)
-            .unwrap_or_else(|e| panic!("offsets {offsets:?}: {e}"));
+        lgen::cir::run_kernel(
+            kernel,
+            &mut refs,
+            &layout,
+            VectorIsa::Ssse3,
+            &mut lgen::isa::inst::NullSink,
+        )
+        .unwrap_or_else(|e| panic!("offsets {offsets:?}: {e}"));
     }
-    let got = lgen::ll::reference::MatrixValue::new(
-        blac.dims(blac.output),
-        bufs[blac.output.0].clone(),
-    );
+    let got =
+        lgen::ll::reference::MatrixValue::new(blac.dims(blac.output), bufs[blac.output.0].clone());
     let tol = 1e-4 + 1e-6 * blac.flops() as f32;
-    assert!(max_abs_diff(&got, &expected) < tol, "wrong at offsets {offsets:?}");
+    assert!(
+        max_abs_diff(&got, &expected) < tol,
+        "wrong at offsets {offsets:?}"
+    );
 }
 
 #[test]
 fn versioned_gemv_correct_at_every_alignment_combination() {
     // 3 vector arrays (A, x, y) → 65 versions; try every combination.
     let blac = paper::gemv(6, 10);
-    let kernel = compile(&blac, "k", &CompileConfig::full(Microarch::Atom).with_versioning());
-    assert_eq!(kernel.versions.len(), 4 * 4 * 4 + 1, "the paper's 65 versions");
+    let kernel = compile(
+        &blac,
+        "k",
+        &CompileConfig::full(Microarch::Atom).with_versioning(),
+    );
+    assert_eq!(
+        kernel.versions.len(),
+        4 * 4 * 4 + 1,
+        "the paper's 65 versions"
+    );
     for a in 0..4usize {
         for x in 0..4usize {
             for y in 0..4usize {
@@ -60,7 +75,11 @@ fn unversioned_aligned_kernel_never_marks_unaligned_access() {
 #[test]
 fn versioned_c_code_has_the_listing_3_3_shape() {
     let blac = paper::axpy(16);
-    let kernel = compile(&blac, "k", &CompileConfig::full(Microarch::Atom).with_versioning());
+    let kernel = compile(
+        &blac,
+        "k",
+        &CompileConfig::full(Microarch::Atom).with_versioning(),
+    );
     let c = lgen::cir::unparse::unparse(&kernel, VectorIsa::Ssse3);
     assert!(c.contains("% (4 * sizeof(float)) == 0 * sizeof(float)"));
     assert!(c.contains("% (4 * sizeof(float)) == 3 * sizeof(float)"));

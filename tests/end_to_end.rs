@@ -67,7 +67,10 @@ fn generated_c_is_well_formed_for_each_backend() {
             VectorIsa::Ssse3 => assert!(c.contains("_mm_"), "{arch} must use SSE intrinsics"),
             VectorIsa::Neon => assert!(c.contains("vld1") || c.contains("vmla"), "{arch}"),
             VectorIsa::Scalar => {
-                assert!(!c.contains("_mm_") && !c.contains("vld1"), "{arch} must be scalar")
+                assert!(
+                    !c.contains("_mm_") && !c.contains("vld1"),
+                    "{arch} must be scalar"
+                )
             }
         }
         // Braces balance.
@@ -81,8 +84,14 @@ fn autotuner_improves_or_matches_every_paper_blac_on_atom() {
         let cfg = CompileConfig::full(Microarch::Atom);
         let tuned = Autotuner::new(cfg).with_sample_size(6).tune(&blac, "k");
         let default = compile(&blac, "k", &cfg);
-        let dm = measure_blac(&blac, &default, Microarch::Atom, &vec![0; blac.operands.len()], 3)
-            .expect("measure");
+        let dm = measure_blac(
+            &blac,
+            &default,
+            Microarch::Atom,
+            &vec![0; blac.operands.len()],
+            3,
+        )
+        .expect("measure");
         assert!(
             tuned.measurement.cycles <= dm.cycles,
             "{name}: tuned {} > default {}",
@@ -107,11 +116,14 @@ fn headline_claim_lgen_full_beats_every_competitor() {
         (Microarch::Arm1176, paper::gemv(4, 64)),
     ];
     for (arch, blac) in cases {
-        let kernel =
-            Autotuner::new(CompileConfig::full(arch)).with_sample_size(6).tune(&blac, "k");
+        let kernel = Autotuner::new(CompileConfig::full(arch))
+            .with_sample_size(6)
+            .tune(&blac, "k");
         let lgen_fc = kernel.measurement.flops_per_cycle();
         for comp in Competitor::ALL {
-            let Some(bk) = compile_baseline(&blac, comp, arch) else { continue };
+            let Some(bk) = compile_baseline(&blac, comp, arch) else {
+                continue;
+            };
             let m = measure_blac(&blac, &bk, arch, &vec![0; blac.operands.len()], 3)
                 .expect("baseline measures");
             assert!(
@@ -140,7 +152,10 @@ fn variant_ordering_on_atom_mvm() {
     let full = fc(Variant::Full);
     assert!(align > base, "Align {align} vs Base {base}");
     assert!(mvm > base, "Mvm {mvm} vs Base {base}");
-    assert!(full > align && full > mvm, "Full {full} vs Align {align} / Mvm {mvm}");
+    assert!(
+        full > align && full > mvm,
+        "Full {full} vs Align {align} / Mvm {mvm}"
+    );
 }
 
 #[test]

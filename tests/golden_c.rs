@@ -15,7 +15,10 @@ fn golden(name: &str, actual: &str) {
     }
     let expected = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing golden {path}: {e} (run with LGEN_BLESS=1)"));
-    assert_eq!(actual, expected, "golden mismatch for {name}; LGEN_BLESS=1 to regenerate");
+    assert_eq!(
+        actual, expected,
+        "golden mismatch for {name}; LGEN_BLESS=1 to regenerate"
+    );
 }
 
 fn kernel_c(arch: Microarch) -> String {
@@ -47,5 +50,8 @@ fn golden_versioned_axpy_dispatch() {
         "saxpy_8",
         &CompileConfig::full(Microarch::Atom).with_versioning(),
     );
-    golden("saxpy_8_versioned", &lgen::cir::unparse::unparse(&kernel, VectorIsa::Ssse3));
+    golden(
+        "saxpy_8_versioned",
+        &lgen::cir::unparse::unparse(&kernel, VectorIsa::Ssse3),
+    );
 }

@@ -35,7 +35,11 @@ fn optimized_kernel(blac: &Blac, arch: Microarch, unroll: UnrollPolicy) -> lgen:
 /// floating-point arithmetic, so raw and optimized outputs are identical.
 fn assert_preserved(blac: &Blac, arch: Microarch, unroll: UnrollPolicy) {
     let raw = outputs(blac, &raw_kernel(blac, arch), arch.vector_isa());
-    let opt = outputs(blac, &optimized_kernel(blac, arch, unroll), arch.vector_isa());
+    let opt = outputs(
+        blac,
+        &optimized_kernel(blac, arch, unroll),
+        arch.vector_isa(),
+    );
     assert_eq!(raw, opt, "{arch} {unroll:?}");
 }
 
@@ -125,6 +129,13 @@ fn scalar_replacement_reduces_dynamic_memory_traffic() {
         sink.count_matching(|op| op.touches_memory())
     };
     let raw = count_mem(&raw_kernel(&blac, arch));
-    let opt = count_mem(&optimized_kernel(&blac, arch, UnrollPolicy::Full { max_trip: 16 }));
-    assert!(opt < raw, "optimized {opt} must move less memory than raw {raw}");
+    let opt = count_mem(&optimized_kernel(
+        &blac,
+        arch,
+        UnrollPolicy::Full { max_trip: 16 },
+    ));
+    assert!(
+        opt < raw,
+        "optimized {opt} must move less memory than raw {raw}"
+    );
 }

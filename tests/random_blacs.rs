@@ -6,7 +6,7 @@ use lgen::ll::blac::{Blac, Dims, Expr, OperandId};
 use lgen::ll::reference::{eval_reference, max_abs_diff, test_data};
 use lgen::prelude::*;
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Operand pool under construction.
 #[derive(Default)]
@@ -40,22 +40,22 @@ fn gen_expr(pool: &mut Pool, d: Dims, depth: usize, seed: &mut u64) -> Expr {
     match next() % 6 {
         0 => pool.fresh(d),
         1 => Expr::Add(
-            Rc::new(gen_expr(pool, d, depth - 1, seed)),
-            Rc::new(gen_expr(pool, d, depth - 1, seed)),
+            Arc::new(gen_expr(pool, d, depth - 1, seed)),
+            Arc::new(gen_expr(pool, d, depth - 1, seed)),
         ),
         2 => {
             // scalar × expr
             let s = pool.fresh(Dims::new(1, 1));
-            Expr::Mul(Rc::new(s), Rc::new(gen_expr(pool, d, depth - 1, seed)))
+            Expr::Mul(Arc::new(s), Arc::new(gen_expr(pool, d, depth - 1, seed)))
         }
         3 => {
             // product with a random inner dimension
             let k = 1 + (next() % 9) as usize;
             let left = gen_expr(pool, Dims::new(d.rows, k), depth - 1, seed);
             let right = gen_expr(pool, Dims::new(k, d.cols), depth - 1, seed);
-            Expr::Mul(Rc::new(left), Rc::new(right))
+            Expr::Mul(Arc::new(left), Arc::new(right))
         }
-        4 => Expr::Trans(Rc::new(gen_expr(pool, d.t(), depth - 1, seed))),
+        4 => Expr::Trans(Arc::new(gen_expr(pool, d.t(), depth - 1, seed))),
         _ => pool.fresh(d),
     }
 }
@@ -69,8 +69,13 @@ fn gen_blac(rows: usize, cols: usize, depth: usize, seed: u64) -> Blac {
         name: "out".into(),
         dims: Dims::new(rows, cols),
     });
-    let blac = Blac { operands: pool.operands, output: out, expr };
-    blac.validate().expect("generated BLACs are well-formed by construction");
+    let blac = Blac {
+        operands: pool.operands,
+        output: out,
+        expr,
+    };
+    blac.validate()
+        .expect("generated BLACs are well-formed by construction");
     blac
 }
 
@@ -88,7 +93,10 @@ fn check(blac: &Blac, arch: Microarch, variant: Variant) {
         .unwrap_or_else(|e| panic!("{arch} {variant:?}: {e}"));
     let tol = 1e-3 + 1e-5 * blac.flops() as f32;
     let diff = max_abs_diff(&got, &expected);
-    assert!(diff < tol, "{arch} {variant:?}: diff {diff} > {tol} for {blac:?}");
+    assert!(
+        diff < tol,
+        "{arch} {variant:?}: diff {diff} > {tol} for {blac:?}"
+    );
 }
 
 proptest! {
