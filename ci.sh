@@ -16,4 +16,11 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> examples under LGEN_VERIFY=paranoid (verify between every pass)"
+cargo build --release --examples
+for ex in quickstart autotuning_tour graphics_transform kalman_update mediator_farm; do
+    echo "    -> $ex"
+    LGEN_VERIFY=paranoid "./target/release/examples/$ex" > /dev/null
+done
+
 echo "==> ci.sh: all checks passed"

@@ -237,12 +237,7 @@ impl Analyzer {
 
     /// Evaluates an affine expression in the reduced product domain.
     pub fn eval(&self, e: &AffineExpr) -> IntervalCongruence {
-        let mut acc = IntervalCongruence::constant(e.constant);
-        for &(coeff, v) in &e.terms {
-            let term = IntervalCongruence::constant(coeff).mul(&self.values[v]);
-            acc = acc.add(&term);
-        }
-        acc
+        eval_affine(e, |v| self.values[v])
     }
 }
 
@@ -268,10 +263,19 @@ pub fn analyze_program<D: AbstractDomain>(stmts: &[Stmt], nvars: usize) -> Vec<D
     env
 }
 
-fn eval_affine<D: AbstractDomain>(e: &AffineExpr, env: &[D]) -> D {
+/// Evaluates an affine expression in any abstract domain, resolving each
+/// variable through `value_of`.
+///
+/// This is the public entry point for clients that maintain their own
+/// variable environments — the alignment-detection pass and the C-IR
+/// verifier in `lgen-cir` both evaluate address expressions against a map
+/// from loop variables to [`loop_index_value`] fixpoints. Unbound variables
+/// are the caller's concern: return [`AbstractDomain::top`] for them to
+/// stay sound.
+pub fn eval_affine<D: AbstractDomain>(e: &AffineExpr, mut value_of: impl FnMut(VarId) -> D) -> D {
     let mut acc = D::constant(e.constant);
     for &(coeff, v) in &e.terms {
-        acc = acc.add(&D::constant(coeff).mul(&env[v]));
+        acc = acc.add(&D::constant(coeff).mul(&value_of(v)));
     }
     acc
 }
@@ -280,7 +284,8 @@ fn analyze_block<D: AbstractDomain>(stmts: &[Stmt], env: &mut [D]) {
     for s in stmts {
         match s {
             Stmt::Assign(v, e) => {
-                env[*v] = eval_affine(e, env);
+                let val = eval_affine(e, |v| env[v].clone());
+                env[*v] = val;
             }
             Stmt::For(v, spec, body) => {
                 if spec.trip_count() == 0 {

@@ -40,7 +40,7 @@ pub mod interval;
 pub mod reduced;
 pub mod sign;
 
-pub use analysis::{loop_index_value, AffineExpr, Analyzer, LoopSpec, VarId};
+pub use analysis::{eval_affine, loop_index_value, AffineExpr, Analyzer, LoopSpec, VarId};
 pub use congruence::Congruence;
 pub use domain::AbstractDomain;
 pub use interval::Interval;

@@ -18,20 +18,27 @@
 //! * lowering of C-IR to machine opcodes per ISA ([`lower`]),
 //! * a reference interpreter that executes kernels numerically while
 //!   emitting the dynamic instruction trace ([`interp`]),
+//! * a static verifier that re-proves the pass invariants (bounds,
+//!   def-before-use, lane consistency) by abstract interpretation
+//!   ([`verify`], [`diag`]),
 //! * an unparser producing C-with-intrinsics source text ([`unparse`]).
 
 pub mod builder;
+pub mod diag;
 pub mod interp;
 pub mod ir;
 pub mod lower;
 pub mod map;
 pub mod passes;
 pub mod unparse;
+pub mod verify;
 
 pub use builder::KernelBuilder;
+pub use diag::{render, Check, Diagnostic};
 pub use interp::{run_kernel, ExecError, MemLayout};
 pub use ir::{
     merge_kernel_versions, ArrayDecl, ArrayId, ArrayKind, Inst, Kernel, KernelVersion,
     OverheadKind, VArith, VMove, VReg, VWidth,
 };
 pub use map::MemMap;
+pub use verify::{verify_kernel, verify_stage, VerifyFailure, VerifyLevel};

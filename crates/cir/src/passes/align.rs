@@ -12,7 +12,7 @@
 //! dispatch (Listing 3.3).
 
 use crate::ir::{ArrayKind, Inst, Kernel, KernelVersion};
-use lgen_absint::{loop_index_value, AbstractDomain, IntervalCongruence, LoopSpec};
+use lgen_absint::{eval_affine, loop_index_value, AbstractDomain, IntervalCongruence, LoopSpec};
 use std::collections::HashMap;
 
 /// Number of float offsets per alignment class (ν for single precision with
@@ -68,14 +68,12 @@ fn walk(
                     *aligned = false;
                     continue;
                 };
-                let mut v = IntervalCongruence::constant(addr.constant + base as i64);
-                for &(coeff, var) in &addr.terms {
-                    let val = env
-                        .get(&var)
+                let v = eval_affine(addr, |var| {
+                    env.get(&var)
                         .copied()
-                        .unwrap_or_else(IntervalCongruence::top);
-                    v = v.add(&IntervalCongruence::constant(coeff).mul(&val));
-                }
+                        .unwrap_or_else(IntervalCongruence::top)
+                })
+                .add(&IntervalCongruence::constant(base as i64));
                 *aligned = v.divisible_by(ALIGN_CLASSES as i64);
             }
             Inst::Loop {

@@ -27,21 +27,49 @@ pub use scalar_replacement::scalar_replacement;
 pub use unroll::{unroll, UnrollPolicy};
 
 use crate::ir::Kernel;
+use crate::verify::{verify_stage, VerifyFailure, VerifyLevel};
 
 /// Applies the standard optimization pipeline in the canonical order.
 ///
-/// `assume_aligned_params` is the §3.2 default: all parameter arrays are
-/// 16-byte aligned (versioning for arbitrary alignment is a separate,
-/// opt-in step via [`version_for_alignment`]).
+/// When `detect_align` is true (the §3.2 default), the pipeline finishes
+/// with alignment detection under the assumption that all parameter arrays
+/// are 16-byte aligned; versioning for arbitrary alignment is a separate,
+/// opt-in step via [`version_for_alignment`].
+///
+/// Runs no verification; see [`optimize_verified`].
 pub fn optimize(kernel: &mut Kernel, policy: UnrollPolicy, detect_align: bool) {
+    optimize_verified(kernel, policy, detect_align, VerifyLevel::Off).expect("verification is off");
+}
+
+/// [`optimize`] under a [`VerifyLevel`]: the kernel is statically verified
+/// at pipeline boundaries (or between every pass at
+/// [`VerifyLevel::EveryPass`]), and the first failure names the pass whose
+/// output broke an invariant.
+pub fn optimize_verified(
+    kernel: &mut Kernel,
+    policy: UnrollPolicy,
+    detect_align: bool,
+    level: VerifyLevel,
+) -> Result<(), VerifyFailure> {
+    verify_stage("codegen", kernel, level, true)?;
     let body = std::mem::take(kernel.body_mut());
-    let body = unroll(body, policy);
+    *kernel.body_mut() = unroll(body, policy);
+    verify_stage("unroll", kernel, level, false)?;
+    let body = std::mem::take(kernel.body_mut());
     let body = scalar_replacement(body, &kernel.arrays);
-    let body = copy_prop(body);
+    *kernel.body_mut() = body;
+    verify_stage("scalar-replacement", kernel, level, false)?;
+    let body = std::mem::take(kernel.body_mut());
+    *kernel.body_mut() = copy_prop(body);
+    verify_stage("copy-prop", kernel, level, false)?;
+    let body = std::mem::take(kernel.body_mut());
     let body = dce(body, &kernel.arrays);
     *kernel.body_mut() = body;
+    verify_stage("dce", kernel, level, !detect_align)?;
     if detect_align {
         let zeros = vec![0usize; kernel.arrays.len()];
         detect_alignment(kernel.body_mut(), &zeros);
+        verify_stage("alignment", kernel, level, true)?;
     }
+    Ok(())
 }

@@ -21,10 +21,10 @@
 use crate::cache::KernelCache;
 use crate::config::CompileConfig;
 use crate::exec::{check_kernel, measure_blac, tolerance};
-use crate::pipeline::compile;
+use crate::pipeline::try_compile;
 use crate::pool::run_indexed;
 use lgen_cir::passes::UnrollPolicy;
-use lgen_cir::Kernel;
+use lgen_cir::{verify_kernel, Kernel, VerifyFailure};
 use lgen_ll::Blac;
 use lgen_machine::Measurement;
 use rand::rngs::StdRng;
@@ -82,6 +82,9 @@ pub struct TunedKernel {
     pub unroll: UnrollPolicy,
     /// `(candidate, median cycles)` for every sampled point.
     pub samples: Vec<(UnrollPolicy, u64)>,
+    /// Candidates excluded because they failed static verification
+    /// (`cfg.verify` enabled) — never measured, never eligible to win.
+    pub rejected: usize,
 }
 
 /// Autotuner over the tiling/unrolling space.
@@ -188,21 +191,39 @@ impl Autotuner {
     }
 
     /// Evaluates one candidate: compile (through the shared cache when one
-    /// is attached), validate against the naive reference (§5.1.4),
-    /// measure. Fully deterministic: safe to run from any worker thread.
+    /// is attached), statically verify when `cfg.verify` is enabled,
+    /// validate against the naive reference (§5.1.4), measure. Fully
+    /// deterministic: safe to run from any worker thread. Returns `Err`
+    /// when the candidate fails verification — the tuner skips it instead
+    /// of measuring garbage.
     fn evaluate(
         &self,
         blac: &Blac,
         name: &str,
         unroll: UnrollPolicy,
-    ) -> (Arc<Kernel>, Measurement) {
+    ) -> Result<(Arc<Kernel>, Measurement), VerifyFailure> {
         let isa = self.cfg.arch.vector_isa();
         let offsets = vec![0usize; blac.operands.len()];
         let cfg = self.cfg.with_unroll(unroll);
         let kernel = match &self.cache {
-            Some(cache) => cache.get_or_compile(blac, name, &cfg),
-            None => Arc::new(compile(blac, name, &cfg)),
+            Some(cache) => cache.try_get_or_compile(blac, name, &cfg)?,
+            None => Arc::new(try_compile(blac, name, &cfg)?),
         };
+        // Re-check cache-served kernels too: a seeded/stale entry must not
+        // slip past the verification gate just because it skipped the
+        // pipeline's boundary checks.
+        if cfg.verify.is_enabled() {
+            let diagnostics = verify_kernel(&kernel);
+            if !diagnostics.is_empty() {
+                if let Some(cache) = &self.cache {
+                    cache.record_verify_reject();
+                }
+                return Err(VerifyFailure {
+                    pass: "autotune-candidate",
+                    diagnostics,
+                });
+            }
+        }
         let diff = check_kernel(blac, &kernel, isa, 11)
             .unwrap_or_else(|e| panic!("candidate failed to execute: {e}"));
         assert!(
@@ -211,34 +232,57 @@ impl Autotuner {
         );
         let m =
             measure_blac(blac, &kernel, self.cfg.arch, &offsets, self.reps).expect("measurement");
-        (kernel, m)
+        Ok((kernel, m))
     }
 
     /// Reduces evaluated candidates to the winner, scanning in candidate
     /// order with a strict `<`: the first best wins, independent of which
-    /// worker finished when.
+    /// worker finished when. Verification-rejected candidates are counted
+    /// and excluded from `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every candidate was rejected, quoting the first failure.
     fn reduce(
         &self,
         candidates: &[UnrollPolicy],
-        results: Vec<(Arc<Kernel>, Measurement)>,
+        results: Vec<Result<(Arc<Kernel>, Measurement), VerifyFailure>>,
     ) -> TunedKernel {
-        let samples: Vec<(UnrollPolicy, u64)> = candidates
-            .iter()
-            .zip(&results)
-            .map(|(u, (_, m))| (*u, m.cycles))
-            .collect();
+        let mut evaluated: Vec<(UnrollPolicy, Arc<Kernel>, Measurement)> = Vec::new();
+        let mut rejected = 0usize;
+        let mut first_err = None;
+        for (u, r) in candidates.iter().zip(results) {
+            match r {
+                Ok((k, m)) => evaluated.push((*u, k, m)),
+                Err(e) => {
+                    rejected += 1;
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if evaluated.is_empty() {
+            panic!(
+                "all {rejected} candidates failed verification: {}",
+                first_err.expect("at least one rejection")
+            );
+        }
+        let samples: Vec<(UnrollPolicy, u64)> =
+            evaluated.iter().map(|(u, _, m)| (*u, m.cycles)).collect();
         let mut best = 0;
-        for i in 1..results.len() {
-            if self.objective.score(&results[i].1) < self.objective.score(&results[best].1) {
+        for i in 1..evaluated.len() {
+            if self.objective.score(&evaluated[i].2) < self.objective.score(&evaluated[best].2) {
                 best = i;
             }
         }
-        let (kernel, measurement) = &results[best];
+        let (unroll, kernel, measurement) = &evaluated[best];
         TunedKernel {
             kernel: (**kernel).clone(),
             measurement: *measurement,
-            unroll: candidates[best],
+            unroll: *unroll,
             samples,
+            rejected,
         }
     }
 
@@ -315,9 +359,21 @@ impl Autotuner {
         let probes = run_indexed(seeds.len(), self.threads, |i| {
             self.evaluate(blac, name, space[seeds[i]])
         });
+        let mut rejected = 0usize;
+        let mut first_err = None;
         let mut idx = seeds[0];
         let mut best: Option<(Arc<Kernel>, Measurement)> = None;
-        for (&si, (k, m)) in seeds.iter().zip(probes) {
+        for (&si, probe) in seeds.iter().zip(probes) {
+            let (k, m) = match probe {
+                Ok(r) => r,
+                Err(e) => {
+                    rejected += 1;
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    continue;
+                }
+            };
             samples.push((space[si], m.cycles));
             if best
                 .as_ref()
@@ -327,7 +383,12 @@ impl Autotuner {
                 idx = si;
             }
         }
-        let (mut best_k, mut best_m) = best.expect("seeds evaluated");
+        let Some((mut best_k, mut best_m)) = best else {
+            panic!(
+                "all {rejected} guided seed candidates failed verification: {}",
+                first_err.expect("at least one rejection")
+            );
+        };
         loop {
             let neighbours: Vec<usize> = [idx.wrapping_sub(1), idx + 1]
                 .into_iter()
@@ -340,7 +401,14 @@ impl Autotuner {
                 self.evaluate(blac, name, space[neighbours[i]])
             });
             let mut improved = false;
-            for (&next, (k, m)) in neighbours.iter().zip(evals) {
+            for (&next, eval) in neighbours.iter().zip(evals) {
+                let (k, m) = match eval {
+                    Ok(r) => r,
+                    Err(_) => {
+                        rejected += 1;
+                        continue;
+                    }
+                };
                 samples.push((space[next], m.cycles));
                 if self.objective.score(&m) < self.objective.score(&best_m) {
                     best_k = k;
@@ -363,6 +431,7 @@ impl Autotuner {
             measurement: best_m,
             unroll,
             samples,
+            rejected,
         }
     }
 }
@@ -370,6 +439,7 @@ impl Autotuner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::compile;
     use lgen_isa::Microarch;
     use lgen_ll::paper;
 

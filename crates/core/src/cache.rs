@@ -25,8 +25,8 @@
 //! identical).
 
 use crate::config::CompileConfig;
-use crate::pipeline::{compile_with_stats, StageStats};
-use lgen_cir::Kernel;
+use crate::pipeline::{try_compile_with_stats, StageStats};
+use lgen_cir::{Kernel, VerifyFailure};
 use lgen_ll::Blac;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -62,6 +62,10 @@ pub struct CacheStats {
     pub inserts: u64,
     /// Cold compiles that lost an insert race to an identical kernel.
     pub races: u64,
+    /// Candidates rejected because they failed static verification
+    /// (never inserted — see [`KernelCache::try_get_or_compile`] and the
+    /// autotuner's final verification gate).
+    pub verify_rejects: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -78,7 +82,11 @@ impl fmt::Display for CacheStats {
             f,
             "{} hits / {} misses ({rate:.1}% hit rate), {} entries",
             self.hits, self.misses, self.entries
-        )
+        )?;
+        if self.verify_rejects > 0 {
+            write!(f, ", {} verify-rejected", self.verify_rejects)?;
+        }
+        Ok(())
     }
 }
 
@@ -89,6 +97,7 @@ pub struct KernelCache {
     misses: AtomicU64,
     inserts: AtomicU64,
     races: AtomicU64,
+    verify_rejects: AtomicU64,
     stages: StageStats,
 }
 
@@ -107,6 +116,7 @@ impl KernelCache {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             races: AtomicU64::new(0),
+            verify_rejects: AtomicU64::new(0),
             stages: StageStats::default(),
         }
     }
@@ -133,7 +143,27 @@ impl KernelCache {
 
     /// Returns the cached kernel for `(blac, name, cfg)`, compiling and
     /// inserting it on a miss. Compilation runs outside the shard lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.verify` is enabled and compilation fails
+    /// verification; use [`try_get_or_compile`](Self::try_get_or_compile)
+    /// to handle that case.
     pub fn get_or_compile(&self, blac: &Blac, name: &str, cfg: &CompileConfig) -> Arc<Kernel> {
+        self.try_get_or_compile(blac, name, cfg)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`get_or_compile`](Self::get_or_compile) that reports verification
+    /// failures instead of panicking. A kernel that fails verification is
+    /// *not* inserted (the failure is not cached — every retry re-checks)
+    /// and is counted in [`CacheStats::verify_rejects`].
+    pub fn try_get_or_compile(
+        &self,
+        blac: &Blac,
+        name: &str,
+        cfg: &CompileConfig,
+    ) -> Result<Arc<Kernel>, VerifyFailure> {
         let key = CacheKey {
             blac: blac.clone(),
             name: name.to_string(),
@@ -141,12 +171,18 @@ impl KernelCache {
         };
         if let Some(k) = self.shard(&key).lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return k.clone();
+            return Ok(k.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let kernel = Arc::new(compile_with_stats(blac, name, cfg, Some(&self.stages)));
+        let kernel = match try_compile_with_stats(blac, name, cfg, Some(&self.stages)) {
+            Ok(k) => Arc::new(k),
+            Err(e) => {
+                self.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
         let mut shard = self.shard(&key).lock();
-        match shard.entry(key) {
+        Ok(match shard.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 // Another thread compiled the same point concurrently;
                 // everyone shares its (identical) kernel.
@@ -157,7 +193,22 @@ impl KernelCache {
                 self.inserts.fetch_add(1, Ordering::Relaxed);
                 e.insert(kernel).clone()
             }
-        }
+        })
+    }
+
+    /// Inserts a pre-built kernel under an explicit key, replacing any
+    /// resident entry. Used to seed a cache with externally produced
+    /// kernels (and, in tests, to plant corrupt candidates that exercise
+    /// the autotuner's verification gate).
+    pub fn insert(&self, key: CacheKey, kernel: Arc<Kernel>) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.shard(&key).lock().insert(key, kernel);
+    }
+
+    /// Counts a verification rejection decided outside the cache (the
+    /// autotuner re-verifies even cache-served kernels before measuring).
+    pub fn record_verify_reject(&self) {
+        self.verify_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of resident kernels.
@@ -184,6 +235,7 @@ impl KernelCache {
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             races: self.races.load(Ordering::Relaxed),
+            verify_rejects: self.verify_rejects.load(Ordering::Relaxed),
             entries: self.len(),
         }
     }

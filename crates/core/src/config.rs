@@ -1,6 +1,7 @@
 //! Compilation configuration and the paper's plot variants.
 
 use lgen_cir::passes::UnrollPolicy;
+use lgen_cir::VerifyLevel;
 use lgen_isa::Microarch;
 use lgen_sigma::MvmStrategy;
 
@@ -58,6 +59,10 @@ pub struct CompileConfig {
     pub peeling: bool,
     /// Loop unrolling decision (part of the autotuning search space).
     pub unroll: UnrollPolicy,
+    /// Static verification level for the pipeline (does not change the
+    /// generated code, but is part of the cache key so hits reflect the
+    /// requested checking exactly).
+    pub verify: VerifyLevel,
 }
 
 impl CompileConfig {
@@ -77,6 +82,7 @@ impl CompileConfig {
             specialized_leftovers: full,
             peeling: false,
             unroll: UnrollPolicy::Full { max_trip: 8 },
+            verify: VerifyLevel::from_env(),
         }
     }
 
@@ -108,6 +114,13 @@ impl CompileConfig {
     #[must_use]
     pub fn with_peeling(mut self) -> Self {
         self.peeling = true;
+        self
+    }
+
+    /// Returns a copy with the given static verification level.
+    #[must_use]
+    pub fn with_verify(mut self, level: VerifyLevel) -> Self {
+        self.verify = level;
         self
     }
 }

@@ -28,5 +28,8 @@ pub use autotune::{Autotuner, Objective, SearchStrategy, TunedKernel};
 pub use cache::{CacheKey, CacheStats, KernelCache};
 pub use config::{CompileConfig, Variant};
 pub use exec::{check_kernel, measure_blac, run_blac_kernel};
-pub use pipeline::{compile, compile_many, compile_with_stats, StageStats};
+pub use lgen_cir::{VerifyFailure, VerifyLevel};
+pub use pipeline::{
+    compile, compile_many, compile_with_stats, try_compile, try_compile_with_stats, StageStats,
+};
 pub use pool::effective_threads;

@@ -7,7 +7,7 @@ use lgen_cir::passes::{
     copy_prop, dce, detect_alignment, detect_alignment_partial, scalar_replacement, unroll,
     version_for_alignment,
 };
-use lgen_cir::{merge_kernel_versions, ArrayKind, Kernel};
+use lgen_cir::{merge_kernel_versions, verify_stage, ArrayKind, Kernel, VerifyFailure};
 use lgen_ll::Blac;
 use lgen_sigma::{compile_blac, CodegenOptions};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,7 +65,10 @@ impl StageStats {
 ///
 /// # Panics
 ///
-/// Panics if the BLAC does not validate.
+/// Panics if the BLAC does not validate, or if `cfg.verify` is enabled and
+/// the kernel fails static verification (the message names the offending
+/// pass and renders the diagnostics). Use [`try_compile`] to handle
+/// verification failures programmatically.
 ///
 /// # Example
 ///
@@ -83,6 +86,11 @@ pub fn compile(blac: &Blac, name: &str, cfg: &CompileConfig) -> Kernel {
     compile_with_stats(blac, name, cfg, None)
 }
 
+/// [`compile`] that reports verification failures instead of panicking.
+pub fn try_compile(blac: &Blac, name: &str, cfg: &CompileConfig) -> Result<Kernel, VerifyFailure> {
+    try_compile_with_stats(blac, name, cfg, None)
+}
+
 /// [`compile`] with optional per-stage accounting: when `stats` is given,
 /// each stage's wall-clock time is added to the shared counters (this is
 /// what [`KernelCache`] threads through so cache misses are attributed to
@@ -93,13 +101,28 @@ pub fn compile_with_stats(
     cfg: &CompileConfig,
     stats: Option<&StageStats>,
 ) -> Kernel {
+    try_compile_with_stats(blac, name, cfg, stats).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`compile_with_stats`] that reports verification failures instead of
+/// panicking. Per `cfg.verify`, the kernel is checked at pipeline
+/// boundaries or between every pass, so the returned failure pinpoints the
+/// stage that broke an invariant.
+pub fn try_compile_with_stats(
+    blac: &Blac,
+    name: &str,
+    cfg: &CompileConfig,
+    stats: Option<&StageStats>,
+) -> Result<Kernel, VerifyFailure> {
     if let Some(s) = stats {
         s.compiles.fetch_add(1, Ordering::Relaxed);
     }
     if cfg.peeling && cfg.arch.vector_isa() != lgen_isa::VectorIsa::Scalar {
-        return compile_peeled(blac, name, cfg, stats);
+        let kernel = compile_peeled(blac, name, cfg, stats)?;
+        verify_stage("peeling", &kernel, cfg.verify, true)?;
+        return Ok(kernel);
     }
-    let mut kernel = compile_one(blac, name, cfg, None, stats);
+    let mut kernel = compile_one(blac, name, cfg, None, stats)?;
 
     // Alignment handling (§3.2).
     let t = Instant::now();
@@ -112,7 +135,15 @@ pub fn compile_with_stats(
     if let Some(s) = stats {
         StageStats::add(&s.alignment_ns, t);
     }
-    kernel
+    let exit_stage = if cfg.alignment_versioning {
+        "alignment-versioning"
+    } else if cfg.alignment_detection {
+        "alignment"
+    } else {
+        "pipeline"
+    };
+    verify_stage(exit_stage, &kernel, cfg.verify, true)?;
+    Ok(kernel)
 }
 
 /// Compiles many `(BLAC, name, config)` jobs over one worker pool and one
@@ -138,7 +169,7 @@ fn compile_one(
     cfg: &CompileConfig,
     peel: Option<usize>,
     stats: Option<&StageStats>,
-) -> Kernel {
+) -> Result<Kernel, VerifyFailure> {
     let opts = CodegenOptions {
         isa: cfg.arch.vector_isa(),
         mvm: cfg.mvm,
@@ -156,16 +187,27 @@ fn compile_one(
         }};
     }
     let mut kernel = staged!(codegen_ns, compile_blac(blac, name, &opts));
+    verify_stage("codegen", &kernel, cfg.verify, true)?;
     let body = std::mem::take(kernel.body_mut());
     let body = staged!(unroll_ns, unroll(body, cfg.unroll));
+    *kernel.body_mut() = body;
+    verify_stage("unroll", &kernel, cfg.verify, false)?;
+    let body = std::mem::take(kernel.body_mut());
     let body = staged!(
         scalar_replacement_ns,
         scalar_replacement(body, &kernel.arrays)
     );
+    *kernel.body_mut() = body;
+    verify_stage("scalar-replacement", &kernel, cfg.verify, false)?;
+    let body = std::mem::take(kernel.body_mut());
     let body = staged!(copy_prop_ns, copy_prop(body));
+    *kernel.body_mut() = body;
+    verify_stage("copy-prop", &kernel, cfg.verify, false)?;
+    let body = std::mem::take(kernel.body_mut());
     let body = staged!(dce_ns, dce(body, &kernel.arrays));
     *kernel.body_mut() = body;
-    kernel
+    verify_stage("dce", &kernel, cfg.verify, false)?;
+    Ok(kernel)
 }
 
 /// §6 future-work loop peeling: one version per shared base-offset class of
@@ -177,11 +219,11 @@ fn compile_peeled(
     name: &str,
     cfg: &CompileConfig,
     stats: Option<&StageStats>,
-) -> Kernel {
+) -> Result<Kernel, VerifyFailure> {
     let nu = 4usize;
     let mut versions = Vec::with_capacity(nu + 1);
     for off in 0..nu {
-        let mut k = compile_one(blac, name, cfg, Some(off), stats);
+        let mut k = compile_one(blac, name, cfg, Some(off), stats)?;
         let assumptions: Vec<Option<usize>> = k
             .arrays
             .iter()
@@ -200,8 +242,8 @@ fn compile_peeled(
             .collect();
         versions.push((Some(required), k));
     }
-    versions.push((None, compile_one(blac, name, cfg, None, stats)));
-    merge_kernel_versions(versions)
+    versions.push((None, compile_one(blac, name, cfg, None, stats)?));
+    Ok(merge_kernel_versions(versions))
 }
 
 #[cfg(test)]

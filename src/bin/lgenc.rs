@@ -8,10 +8,10 @@
 //! ```text
 //! lgenc <file.blac> [--target atom|cortex-a8|cortex-a9|arm1176]
 //!       [--variant base|align|mvm|full] [--tune] [--peel] [--version-align]
-//!       [--threads N | -j N] [--cache-stats]
+//!       [--verify[=paranoid]] [--threads N | -j N] [--cache-stats]
 //! ```
 
-use lgen::core::{KernelCache, SearchStrategy};
+use lgen::core::{KernelCache, SearchStrategy, VerifyLevel};
 use lgen::prelude::*;
 use std::sync::Arc;
 
@@ -19,8 +19,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: lgenc <file.blac> [--target atom|cortex-a8|cortex-a9|arm1176]\n\
          \x20            [--variant base|align|mvm|full] [--tune] [--peel] [--version-align]\n\
-         \x20            [--threads N | -j N] [--cache-stats]\n\
+         \x20            [--verify[=paranoid]] [--threads N | -j N] [--cache-stats]\n\
          \n\
+         \x20 --verify            statically verify the kernel at pipeline boundaries\n\
+         \x20 --verify=paranoid   verify between every optimization pass\n\
          \x20 --threads N, -j N   worker threads for tuning/compilation (0 = one per core)\n\
          \x20 --cache-stats       print kernel-cache and per-stage pipeline counters\n\
          \n\
@@ -44,6 +46,7 @@ fn main() {
     let mut version_align = false;
     let mut threads = 0usize; // 0 = one worker per available core
     let mut cache_stats = false;
+    let mut verify = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -76,6 +79,8 @@ fn main() {
             "--tune" => tune = true,
             "--peel" => peel = true,
             "--version-align" => version_align = true,
+            "--verify" => verify = Some(VerifyLevel::Boundaries),
+            "--verify=paranoid" | "--verify=every-pass" => verify = Some(VerifyLevel::EveryPass),
             "--help" | "-h" => usage(),
             other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
             _ => usage(),
@@ -99,6 +104,10 @@ fn main() {
     if version_align {
         cfg = cfg.with_versioning();
     }
+    // --verify wins over LGEN_VERIFY (already folded in by `variant`).
+    if let Some(level) = verify {
+        cfg = cfg.with_verify(level);
+    }
 
     eprintln!("lgenc: {blac}   ({} flops) for {target}", blac.flops());
     let cache = Arc::new(KernelCache::new());
@@ -118,9 +127,22 @@ fn main() {
             tuned.measurement.cycles,
             tuned.samples.len()
         );
+        if tuned.rejected > 0 {
+            eprintln!(
+                "lgenc: {} candidate(s) rejected by verification",
+                tuned.rejected
+            );
+        }
         tuned.kernel
     } else {
-        (*cache.get_or_compile(&blac, "kernel", &cfg)).clone()
+        match cache.try_get_or_compile(&blac, "kernel", &cfg) {
+            Ok(kernel) => (*kernel).clone(),
+            Err(failure) => {
+                eprintln!("lgenc: verification failed after pass `{}`:", failure.pass);
+                eprint!("{}", lgen::cir::render(&failure.diagnostics));
+                std::process::exit(1);
+            }
+        }
     };
 
     if cache_stats {

@@ -59,7 +59,10 @@ pub use lgen_sigma as sigma;
 /// The most commonly used items, for `use lgen::prelude::*`.
 pub mod prelude {
     pub use lgen_baselines::{compile_baseline, Competitor};
-    pub use lgen_core::{check_kernel, compile, measure_blac, Autotuner, CompileConfig, Variant};
+    pub use lgen_core::{
+        check_kernel, compile, measure_blac, try_compile, Autotuner, CompileConfig, Variant,
+        VerifyLevel,
+    };
     pub use lgen_isa::{Microarch, VectorIsa};
     pub use lgen_ll::{Blac, BlacBuilder};
     pub use lgen_machine::Simulator;

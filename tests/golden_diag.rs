@@ -1,0 +1,61 @@
+//! Golden-file tests of the verifier's rendered diagnostics: the text
+//! format is a public contract (scripts grep it, `lgenc` prints it), so
+//! changes must be deliberate.
+//!
+//! To regenerate after an intentional change:
+//! `LGEN_BLESS=1 cargo test --test golden_diag`.
+
+use lgen::absint::AffineExpr;
+use lgen::cir::{render, verify_kernel, KernelBuilder, MemMap, VArith, VWidth};
+
+fn golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("LGEN_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e} (run with LGEN_BLESS=1)"));
+    assert_eq!(
+        actual, expected,
+        "golden mismatch for {name}; LGEN_BLESS=1 to regenerate"
+    );
+}
+
+#[test]
+fn golden_oob_scatter_diagnostics() {
+    // A scatter loop that runs twice as long as the destination: indices
+    // reach 28..31 against `len 4 + pad 4`.
+    let mut b = KernelBuilder::new("oob_scatter");
+    let x = b.input("x", 4);
+    let y = b.output("y", 32);
+    let v = b.load(x, AffineExpr::constant(0), MemMap::horizontal(4));
+    let i = b.begin_loop("i", 0, 8, 1);
+    b.store(v, y, AffineExpr::scaled(4, i), MemMap::horizontal(4));
+    b.end_loop();
+    let mut kernel = b.finish(0);
+    assert!(
+        verify_kernel(&kernel).is_empty(),
+        "premise: kernel is clean"
+    );
+    // Shrink the destination: the loop now scatters far past the end.
+    kernel.arrays[y.0].len = 4;
+    let diags = verify_kernel(&kernel);
+    assert!(!diags.is_empty());
+    golden("verifier_oob_scatter", &render(&diags));
+}
+
+#[test]
+fn golden_use_before_def_diagnostics() {
+    let mut b = KernelBuilder::new("use_before_def");
+    let x = b.input("x", 4);
+    let y = b.output("y", 4);
+    let v = b.load(x, AffineExpr::constant(0), MemMap::horizontal(4));
+    let ghost = b.fresh_reg(); // never written
+    let sum = b.arith(VArith::Add(VWidth::Q), v, ghost);
+    b.store(sum, y, AffineExpr::constant(0), MemMap::horizontal(4));
+    let kernel = b.finish(4);
+    let diags = verify_kernel(&kernel);
+    assert!(!diags.is_empty());
+    golden("verifier_use_before_def", &render(&diags));
+}

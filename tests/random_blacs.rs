@@ -1,10 +1,19 @@
 //! Property-based fuzzing of the whole compiler: *random* BLAC expression
 //! trees — not just the paper's fixed suite — must compile and compute the
 //! same result as the naive reference on every backend and option set.
+//! A second, differential property interprets each random kernel after
+//! every *individual* optimization pass: outputs must stay bit-identical
+//! and the static verifier must stay clean, so a failure shrinks straight
+//! to the offending pass.
 
+use lgen::cir::passes::{
+    copy_prop, dce, detect_alignment, scalar_replacement, unroll, UnrollPolicy,
+};
+use lgen::cir::verify_kernel;
 use lgen::ll::blac::{Blac, Dims, Expr, OperandId};
 use lgen::ll::reference::{eval_reference, max_abs_diff, test_data};
 use lgen::prelude::*;
+use lgen::sigma::CodegenOptions;
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -127,6 +136,92 @@ proptest! {
         let blac = gen_blac(rows, cols, 5, seed);
         check(&blac, Microarch::Atom, Variant::Full);
         check(&blac, Microarch::CortexA8, Variant::Full);
+    }
+}
+
+/// Interprets the kernel and returns the output bits (exact comparison —
+/// optimization passes may not change a single ulp).
+fn output_bits(
+    blac: &Blac,
+    kernel: &lgen::cir::Kernel,
+    arch: Microarch,
+    values: &[lgen::ll::reference::MatrixValue],
+) -> Vec<u32> {
+    lgen::core::run_blac_kernel(blac, kernel, arch.vector_isa(), values)
+        .unwrap_or_else(|e| panic!("{arch}: {e}"))
+        .data
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Differential per-pass property: after *each individual* pass the
+    /// kernel still verifies clean and computes bit-identical outputs.
+    /// The assert message names the offending pass.
+    #[test]
+    fn every_pass_preserves_outputs_and_verifies(
+        rows in 1usize..9,
+        cols in 1usize..9,
+        depth in 1usize..4,
+        seed in any::<u64>(),
+        arch_pick in 0usize..4,
+        policy_pick in 0usize..4,
+    ) {
+        let blac = gen_blac(rows, cols, depth, seed);
+        let arch = Microarch::EVALUATED[arch_pick];
+        let policy = [
+            UnrollPolicy::None,
+            UnrollPolicy::Full { max_trip: 8 },
+            UnrollPolicy::Full { max_trip: 128 },
+            UnrollPolicy::Factor { factor: 2 },
+        ][policy_pick];
+        let values: Vec<_> = blac
+            .operands
+            .iter()
+            .enumerate()
+            .map(|(i, op)| test_data(op.dims, 400 + i as u64))
+            .collect();
+        let opts = CodegenOptions::full(arch.vector_isa());
+        let mut kernel = lgen::sigma::compile_blac(&blac, "diff", &opts);
+        let diags = verify_kernel(&kernel);
+        prop_assert!(diags.is_empty(), "codegen fails verification:\n{}", lgen::cir::render(&diags));
+        let baseline = output_bits(&blac, &kernel, arch, &values);
+        let arrays = kernel.arrays.clone();
+
+        macro_rules! step {
+            ($name:expr, $apply:expr) => {{
+                let body = std::mem::take(kernel.body_mut());
+                #[allow(clippy::redundant_closure_call)]
+                { *kernel.body_mut() = ($apply)(body); }
+                let diags = verify_kernel(&kernel);
+                prop_assert!(
+                    diags.is_empty(),
+                    "pass `{}` broke verification:\n{}",
+                    $name,
+                    lgen::cir::render(&diags)
+                );
+                let got = output_bits(&blac, &kernel, arch, &values);
+                prop_assert_eq!(&got, &baseline, "pass `{}` changed outputs", $name);
+            }};
+        }
+        step!("unroll", |b| unroll(b, policy));
+        step!("scalar-replacement", |b| scalar_replacement(b, &arrays));
+        step!("copy-prop", copy_prop);
+        step!("dce", |b| dce(b, &arrays));
+
+        let zeros = vec![0usize; arrays.len()];
+        detect_alignment(kernel.body_mut(), &zeros);
+        let diags = verify_kernel(&kernel);
+        prop_assert!(
+            diags.is_empty(),
+            "pass `alignment` broke verification:\n{}",
+            lgen::cir::render(&diags)
+        );
+        let got = output_bits(&blac, &kernel, arch, &values);
+        prop_assert_eq!(&got, &baseline, "pass `alignment` changed outputs");
     }
 }
 
