@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_diag-ab1681ed9fda49fa.d: tests/golden_diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_diag-ab1681ed9fda49fa.rmeta: tests/golden_diag.rs Cargo.toml
+
+tests/golden_diag.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

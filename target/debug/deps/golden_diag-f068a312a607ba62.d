@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_diag-f068a312a607ba62.d: tests/golden_diag.rs
+
+/root/repo/target/debug/deps/golden_diag-f068a312a607ba62: tests/golden_diag.rs
+
+tests/golden_diag.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/lgen_cir-6cf2934d1e01b7df.d: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs Cargo.toml
+/root/repo/target/debug/deps/lgen_cir-6cf2934d1e01b7df.d: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/diag.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs crates/cir/src/verify.rs Cargo.toml
 
-/root/repo/target/debug/deps/liblgen_cir-6cf2934d1e01b7df.rmeta: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs Cargo.toml
+/root/repo/target/debug/deps/liblgen_cir-6cf2934d1e01b7df.rmeta: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/diag.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs crates/cir/src/verify.rs Cargo.toml
 
 crates/cir/src/lib.rs:
 crates/cir/src/builder.rs:
+crates/cir/src/diag.rs:
 crates/cir/src/interp.rs:
 crates/cir/src/ir.rs:
 crates/cir/src/lower.rs:
@@ -15,6 +16,7 @@ crates/cir/src/passes/dce.rs:
 crates/cir/src/passes/scalar_replacement.rs:
 crates/cir/src/passes/unroll.rs:
 crates/cir/src/unparse.rs:
+crates/cir/src/verify.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

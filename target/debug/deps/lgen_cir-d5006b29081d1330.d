@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/lgen_cir-d5006b29081d1330.d: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs
+/root/repo/target/debug/deps/lgen_cir-d5006b29081d1330.d: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/diag.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs crates/cir/src/verify.rs
 
-/root/repo/target/debug/deps/lgen_cir-d5006b29081d1330: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs
+/root/repo/target/debug/deps/lgen_cir-d5006b29081d1330: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/diag.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs crates/cir/src/verify.rs
 
 crates/cir/src/lib.rs:
 crates/cir/src/builder.rs:
+crates/cir/src/diag.rs:
 crates/cir/src/interp.rs:
 crates/cir/src/ir.rs:
 crates/cir/src/lower.rs:
@@ -15,3 +16,4 @@ crates/cir/src/passes/dce.rs:
 crates/cir/src/passes/scalar_replacement.rs:
 crates/cir/src/passes/unroll.rs:
 crates/cir/src/unparse.rs:
+crates/cir/src/verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verifier-9ef70170f6464551.d: tests/verifier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverifier-9ef70170f6464551.rmeta: tests/verifier.rs Cargo.toml
+
+tests/verifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verifier-ec240b1d76db7599.d: tests/verifier.rs
+
+/root/repo/target/debug/deps/verifier-ec240b1d76db7599: tests/verifier.rs
+
+tests/verifier.rs:

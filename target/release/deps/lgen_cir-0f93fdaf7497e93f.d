@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/lgen_cir-0f93fdaf7497e93f.d: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs
+/root/repo/target/release/deps/lgen_cir-0f93fdaf7497e93f.d: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/diag.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs crates/cir/src/verify.rs
 
-/root/repo/target/release/deps/liblgen_cir-0f93fdaf7497e93f.rlib: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs
+/root/repo/target/release/deps/liblgen_cir-0f93fdaf7497e93f.rlib: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/diag.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs crates/cir/src/verify.rs
 
-/root/repo/target/release/deps/liblgen_cir-0f93fdaf7497e93f.rmeta: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs
+/root/repo/target/release/deps/liblgen_cir-0f93fdaf7497e93f.rmeta: crates/cir/src/lib.rs crates/cir/src/builder.rs crates/cir/src/diag.rs crates/cir/src/interp.rs crates/cir/src/ir.rs crates/cir/src/lower.rs crates/cir/src/map.rs crates/cir/src/passes/mod.rs crates/cir/src/passes/align.rs crates/cir/src/passes/copy_prop.rs crates/cir/src/passes/dce.rs crates/cir/src/passes/scalar_replacement.rs crates/cir/src/passes/unroll.rs crates/cir/src/unparse.rs crates/cir/src/verify.rs
 
 crates/cir/src/lib.rs:
 crates/cir/src/builder.rs:
+crates/cir/src/diag.rs:
 crates/cir/src/interp.rs:
 crates/cir/src/ir.rs:
 crates/cir/src/lower.rs:
@@ -17,3 +18,4 @@ crates/cir/src/passes/dce.rs:
 crates/cir/src/passes/scalar_replacement.rs:
 crates/cir/src/passes/unroll.rs:
 crates/cir/src/unparse.rs:
+crates/cir/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_chk-97e7045f23eea694.d: examples/_chk.rs
+
+/root/repo/target/release/examples/_chk-97e7045f23eea694: examples/_chk.rs
+
+examples/_chk.rs:

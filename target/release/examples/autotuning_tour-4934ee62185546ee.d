@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/autotuning_tour-4934ee62185546ee.d: examples/autotuning_tour.rs
+
+/root/repo/target/release/examples/autotuning_tour-4934ee62185546ee: examples/autotuning_tour.rs
+
+examples/autotuning_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/graphics_transform-a7fde9970c69f099.d: examples/graphics_transform.rs
+
+/root/repo/target/release/examples/graphics_transform-a7fde9970c69f099: examples/graphics_transform.rs
+
+examples/graphics_transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/kalman_update-ead0938b08edd312.d: examples/kalman_update.rs
+
+/root/repo/target/release/examples/kalman_update-ead0938b08edd312: examples/kalman_update.rs
+
+examples/kalman_update.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mediator_farm-df91b14fb19b4a1e.d: examples/mediator_farm.rs
+
+/root/repo/target/release/examples/mediator_farm-df91b14fb19b4a1e: examples/mediator_farm.rs
+
+examples/mediator_farm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8d76273486288242.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8d76273486288242: examples/quickstart.rs
+
+examples/quickstart.rs:
