@@ -23,4 +23,24 @@ for ex in quickstart autotuning_tour graphics_transform kalman_update mediator_f
     LGEN_VERIFY=paranoid "./target/release/examples/$ex" > /dev/null
 done
 
+echo "==> lgenc under a non-default pass schedule (paranoid verify)"
+blacfile=$(mktemp --suffix=.blac)
+trap 'rm -f "$blacfile"' EXIT
+cat > "$blacfile" <<'EOF'
+alpha = scalar
+A = matrix(4, 8)
+x = vector(8)
+y = vector(4)
+y = alpha * (A * x) + y
+EOF
+./target/release/lgenc "$blacfile" --verify=paranoid \
+    --passes "unroll,scalrep,repeat(copyprop,dce),align" --cache-stats > /dev/null
+
+echo "==> no build artifacts tracked by git"
+tracked=$(git ls-files 'target/*' | wc -l)
+if [ "$tracked" -ne 0 ]; then
+    echo "error: $tracked file(s) under target/ are tracked by git" >&2
+    exit 1
+fi
+
 echo "==> ci.sh: all checks passed"

@@ -28,7 +28,7 @@ fn bench_tune(c: &mut Criterion) {
     // throughput, not cache warmth.
     g.bench_function(format!("sequential/sample-{SAMPLE}").as_str(), |b| {
         b.iter(|| {
-            let tuner = Autotuner::new(cfg)
+            let tuner = Autotuner::new(cfg.clone())
                 .with_sample_size(SAMPLE)
                 .with_threads(1)
                 .with_cache(Arc::new(KernelCache::new()));
@@ -37,7 +37,7 @@ fn bench_tune(c: &mut Criterion) {
     });
     g.bench_function(format!("parallel/sample-{SAMPLE}").as_str(), |b| {
         b.iter(|| {
-            let tuner = Autotuner::new(cfg)
+            let tuner = Autotuner::new(cfg.clone())
                 .with_sample_size(SAMPLE)
                 .with_threads(0) // one worker per available core
                 .with_cache(Arc::new(KernelCache::new()));
@@ -51,7 +51,7 @@ fn bench_cache(c: &mut Criterion) {
     let cfg = CompileConfig::full(Microarch::Atom);
     let jobs: Vec<(lgen_ll::Blac, String, CompileConfig)> = suite()
         .into_iter()
-        .map(|(blac, name)| (blac, name, cfg))
+        .map(|(blac, name)| (blac, name, cfg.clone()))
         .collect();
     let mut g = c.benchmark_group("kernel-cache");
     g.sample_size(10);
@@ -76,13 +76,13 @@ fn bench_tune_strategies(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("exhaustive/gemv-4x48", |b| {
         b.iter(|| {
-            let tuner = Autotuner::new(cfg).with_strategy(SearchStrategy::Exhaustive);
+            let tuner = Autotuner::new(cfg.clone()).with_strategy(SearchStrategy::Exhaustive);
             black_box(tuner.tune(&blac, "k"))
         })
     });
     g.bench_function("guided/gemv-4x48", |b| {
         b.iter(|| {
-            let tuner = Autotuner::new(cfg).with_strategy(SearchStrategy::Guided);
+            let tuner = Autotuner::new(cfg.clone()).with_strategy(SearchStrategy::Guided);
             black_box(tuner.tune(&blac, "k"))
         })
     });

@@ -1012,7 +1012,7 @@ fn ext_energy() -> String {
         ("axpy 256", paper::axpy(256)),
     ] {
         let cfg = CompileConfig::full(Microarch::CortexA8);
-        let by_cycles = Autotuner::new(cfg)
+        let by_cycles = Autotuner::new(cfg.clone())
             .with_strategy(SearchStrategy::Exhaustive)
             .with_objective(Objective::Cycles)
             .tune(&blac, "k");
@@ -1092,8 +1092,10 @@ fn ext_search() -> String {
     for n in [24usize, 48, 96, 190] {
         let blac = paper::gemv(4, n);
         let cfg = CompileConfig::full(Microarch::Arm1176);
-        let r = Autotuner::new(cfg).with_sample_size(3).tune(&blac, "k");
-        let g = Autotuner::new(cfg)
+        let r = Autotuner::new(cfg.clone())
+            .with_sample_size(3)
+            .tune(&blac, "k");
+        let g = Autotuner::new(cfg.clone())
             .with_strategy(SearchStrategy::Guided)
             .tune(&blac, "k");
         let e = Autotuner::new(cfg)

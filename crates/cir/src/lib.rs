@@ -14,7 +14,10 @@
 //! * the IR itself ([`ir`], [`map`]) and a builder API ([`builder`]),
 //! * code-level optimizations ([`passes`]): loop unrolling, scalar
 //!   replacement, copy propagation, dead-code elimination, and alignment
-//!   detection with alignment versioning (§3.2),
+//!   detection with alignment versioning (§3.2) — each registered as a
+//!   first-class [`Pass`](passes::Pass) schedulable by a spec-string
+//!   [`PassPipeline`] with per-pass timing, between-pass verification,
+//!   fixpoint `repeat(...)` groups, and IR tracing,
 //! * lowering of C-IR to machine opcodes per ISA ([`lower`]),
 //! * a reference interpreter that executes kernels numerically while
 //!   emitting the dynamic instruction trace ([`interp`]),
@@ -41,4 +44,5 @@ pub use ir::{
     OverheadKind, VArith, VMove, VReg, VWidth,
 };
 pub use map::MemMap;
+pub use passes::{PassCtx, PassPipeline, PassStats, PassTrace};
 pub use verify::{verify_kernel, verify_stage, VerifyFailure, VerifyLevel};

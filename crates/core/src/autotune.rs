@@ -9,6 +9,13 @@
 //! The paper uses "random search over the search space with sample size
 //! 10"; the sample size is configurable.
 //!
+//! Because the C-IR schedule is first-class data ([`PassPipeline`]), the
+//! search space can optionally extend beyond tile sizes to *pass order*:
+//! [`Autotuner::with_pipeline_search`] crosses the unrolling space with a
+//! small set of legal schedule variants (fixpoint cleanup, extra
+//! copy-propagation rounds, pass-dropped schedules), and the winner records
+//! which schedule produced it.
+//!
 //! Candidate evaluation (compile → validate → measure) is embarrassingly
 //! parallel, so it fans out over a scoped worker pool ([`crate::pool`]).
 //! Every stage of evaluation is deterministic (the simulator is exact and
@@ -23,7 +30,7 @@ use crate::config::CompileConfig;
 use crate::exec::{check_kernel, measure_blac, tolerance};
 use crate::pipeline::try_compile;
 use crate::pool::run_indexed;
-use lgen_cir::passes::UnrollPolicy;
+use lgen_cir::passes::{PassPipeline, UnrollPolicy};
 use lgen_cir::{verify_kernel, Kernel, VerifyFailure};
 use lgen_ll::Blac;
 use lgen_machine::Measurement;
@@ -71,6 +78,11 @@ pub enum SearchStrategy {
     Guided,
 }
 
+/// One point of the (possibly pipeline-extended) search space: an
+/// unrolling decision plus the schedule to run it under (`None` = the
+/// tuner config's own pipeline).
+type Candidate = (UnrollPolicy, Option<PassPipeline>);
+
 /// Result of an autotuning run.
 #[derive(Clone, Debug)]
 pub struct TunedKernel {
@@ -80,14 +92,19 @@ pub struct TunedKernel {
     pub measurement: Measurement,
     /// The winning unroll decision.
     pub unroll: UnrollPolicy,
-    /// `(candidate, median cycles)` for every sampled point.
+    /// The schedule that produced the winner (the config's own pipeline
+    /// unless pass-order search found a better one).
+    pub pipeline: PassPipeline,
+    /// `(candidate, median cycles)` for every sampled point (with
+    /// pass-order search, one entry per `(unroll, pipeline)` pair).
     pub samples: Vec<(UnrollPolicy, u64)>,
     /// Candidates excluded because they failed static verification
     /// (`cfg.verify` enabled) — never measured, never eligible to win.
     pub rejected: usize,
 }
 
-/// Autotuner over the tiling/unrolling space.
+/// Autotuner over the tiling/unrolling space, optionally crossed with
+/// pass-order variants.
 #[derive(Clone, Debug)]
 pub struct Autotuner {
     cfg: CompileConfig,
@@ -97,6 +114,9 @@ pub struct Autotuner {
     seed: u64,
     threads: usize,
     cache: Option<Arc<KernelCache>>,
+    /// Pass schedules to search over; empty = unrolling-only search under
+    /// the config's own pipeline.
+    pipelines: Vec<PassPipeline>,
 }
 
 impl Autotuner {
@@ -112,6 +132,7 @@ impl Autotuner {
             seed: 0x5EED,
             threads: 1,
             cache: None,
+            pipelines: Vec::new(),
         }
     }
 
@@ -124,8 +145,8 @@ impl Autotuner {
     }
 
     /// Shares a kernel cache: candidates already compiled (by earlier
-    /// tunes, batch jobs, or plain [`compile`] calls through the cache)
-    /// skip the pipeline.
+    /// tunes, batch jobs, or plain [`compile`](crate::compile) calls
+    /// through the cache) skip the pipeline.
     #[must_use]
     pub fn with_cache(mut self, cache: Arc<KernelCache>) -> Self {
         self.cache = Some(cache);
@@ -161,6 +182,23 @@ impl Autotuner {
         self
     }
 
+    /// Enables pass-order search: the unrolling space is crossed with
+    /// [`Self::pipeline_space`] built from the config's own schedule, and
+    /// each candidate compiles under its own [`PassPipeline`].
+    #[must_use]
+    pub fn with_pipeline_search(mut self) -> Self {
+        self.pipelines = Self::pipeline_space(&self.cfg.pipeline);
+        self
+    }
+
+    /// Pass-order search over an explicit list of schedules (each must
+    /// already have been validated by [`PassPipeline::parse`]).
+    #[must_use]
+    pub fn with_pipelines(mut self, pipelines: Vec<PassPipeline>) -> Self {
+        self.pipelines = pipelines;
+        self
+    }
+
     /// The candidate unrolling decisions, ordered: no unrolling, then full
     /// unrolling by rising trip-count threshold, then factor unrolling by
     /// rising factor. Guided search climbs along this order.
@@ -174,19 +212,62 @@ impl Autotuner {
         space
     }
 
+    /// Legal schedule variants derived from a base pipeline: the base
+    /// itself, fixpoint cleanup (`repeat(copyprop,dce)`), an extra
+    /// copy-propagation round before scalar replacement, a double cleanup
+    /// tail, and a scalar-replacement-dropped schedule. Variants keep the
+    /// base's `align` decision (it changes semantics-visible alignment
+    /// assumptions, not just code shape), and duplicates of the base are
+    /// removed.
+    pub fn pipeline_space(base: &PassPipeline) -> Vec<PassPipeline> {
+        let tail = if base.contains("align") { ",align" } else { "" };
+        let specs = [
+            format!("unroll,scalrep,repeat(copyprop,dce){tail}"),
+            format!("unroll,copyprop,scalrep,copyprop,dce{tail}"),
+            format!("unroll,scalrep,copyprop,dce,copyprop,dce{tail}"),
+            format!("unroll,copyprop,dce{tail}"),
+        ];
+        let mut space = vec![base.clone()];
+        for spec in specs {
+            let p = PassPipeline::parse(&spec).expect("pipeline_space specs are legal");
+            if !space.contains(&p) {
+                space.push(p);
+            }
+        }
+        space
+    }
+
     /// The candidate list the configured strategy will evaluate (the whole
-    /// space for `Exhaustive`, a seeded shuffle prefix for `Random`).
-    fn candidates(&self) -> Vec<UnrollPolicy> {
-        let space = Self::search_space();
+    /// space for `Exhaustive`, a seeded shuffle prefix for `Random`). With
+    /// pass-order search on, the unrolling space is crossed with the
+    /// schedule space.
+    fn candidates(&self) -> Vec<Candidate> {
+        let unrolls = Self::search_space();
+        let mut space: Vec<Candidate> = if self.pipelines.is_empty() {
+            unrolls.into_iter().map(|u| (u, None)).collect()
+        } else {
+            unrolls
+                .into_iter()
+                .flat_map(|u| self.pipelines.iter().map(move |p| (u, Some(p.clone()))))
+                .collect()
+        };
         match self.strategy {
             SearchStrategy::Exhaustive | SearchStrategy::Guided => space,
             SearchStrategy::Random(sample_size) => {
                 let mut rng = StdRng::seed_from_u64(self.seed);
-                let mut s = space;
-                s.shuffle(&mut rng);
-                s.truncate(sample_size);
-                s
+                space.shuffle(&mut rng);
+                space.truncate(sample_size);
+                space
             }
+        }
+    }
+
+    /// The config a candidate compiles under.
+    fn candidate_cfg(&self, candidate: &Candidate) -> CompileConfig {
+        let cfg = self.cfg.clone().with_unroll(candidate.0);
+        match &candidate.1 {
+            Some(p) => cfg.with_passes(p.clone()),
+            None => cfg,
         }
     }
 
@@ -200,11 +281,11 @@ impl Autotuner {
         &self,
         blac: &Blac,
         name: &str,
-        unroll: UnrollPolicy,
+        candidate: &Candidate,
     ) -> Result<(Arc<Kernel>, Measurement), VerifyFailure> {
         let isa = self.cfg.arch.vector_isa();
         let offsets = vec![0usize; blac.operands.len()];
-        let cfg = self.cfg.with_unroll(unroll);
+        let cfg = self.candidate_cfg(candidate);
         let kernel = match &self.cache {
             Some(cache) => cache.try_get_or_compile(blac, name, &cfg)?,
             None => Arc::new(try_compile(blac, name, &cfg)?),
@@ -228,7 +309,8 @@ impl Autotuner {
             .unwrap_or_else(|e| panic!("candidate failed to execute: {e}"));
         assert!(
             diff < tolerance(blac.flops()),
-            "candidate {unroll:?} numerically wrong: {diff}"
+            "candidate {:?} numerically wrong: {diff}",
+            candidate.0
         );
         let m =
             measure_blac(blac, &kernel, self.cfg.arch, &offsets, self.reps).expect("measurement");
@@ -245,15 +327,15 @@ impl Autotuner {
     /// Panics if every candidate was rejected, quoting the first failure.
     fn reduce(
         &self,
-        candidates: &[UnrollPolicy],
+        candidates: &[Candidate],
         results: Vec<Result<(Arc<Kernel>, Measurement), VerifyFailure>>,
     ) -> TunedKernel {
-        let mut evaluated: Vec<(UnrollPolicy, Arc<Kernel>, Measurement)> = Vec::new();
+        let mut evaluated: Vec<(&Candidate, Arc<Kernel>, Measurement)> = Vec::new();
         let mut rejected = 0usize;
         let mut first_err = None;
-        for (u, r) in candidates.iter().zip(results) {
+        for (c, r) in candidates.iter().zip(results) {
             match r {
-                Ok((k, m)) => evaluated.push((*u, k, m)),
+                Ok((k, m)) => evaluated.push((c, k, m)),
                 Err(e) => {
                     rejected += 1;
                     if first_err.is_none() {
@@ -269,18 +351,22 @@ impl Autotuner {
             );
         }
         let samples: Vec<(UnrollPolicy, u64)> =
-            evaluated.iter().map(|(u, _, m)| (*u, m.cycles)).collect();
+            evaluated.iter().map(|(c, _, m)| (c.0, m.cycles)).collect();
         let mut best = 0;
         for i in 1..evaluated.len() {
             if self.objective.score(&evaluated[i].2) < self.objective.score(&evaluated[best].2) {
                 best = i;
             }
         }
-        let (unroll, kernel, measurement) = &evaluated[best];
+        let (candidate, kernel, measurement) = &evaluated[best];
         TunedKernel {
             kernel: (**kernel).clone(),
             measurement: *measurement,
-            unroll: *unroll,
+            unroll: candidate.0,
+            pipeline: candidate
+                .1
+                .clone()
+                .unwrap_or_else(|| self.cfg.pipeline.clone()),
             samples,
             rejected,
         }
@@ -296,11 +382,11 @@ impl Autotuner {
     /// an input condition.
     pub fn tune(&self, blac: &Blac, name: &str) -> TunedKernel {
         if self.strategy == SearchStrategy::Guided {
-            return self.tune_guided(blac, name, &Self::search_space());
+            return self.tune_guided_over_pipelines(blac, name);
         }
         let candidates = self.candidates();
         let results = run_indexed(candidates.len(), self.threads, |i| {
-            self.evaluate(blac, name, candidates[i])
+            self.evaluate(blac, name, &candidates[i])
         });
         self.reduce(&candidates, results)
     }
@@ -322,7 +408,7 @@ impl Autotuner {
         let per = candidates.len();
         let results = run_indexed(jobs.len() * per, self.threads, |i| {
             let (blac, name) = &jobs[i / per];
-            self.evaluate(blac, name, candidates[i % per])
+            self.evaluate(blac, name, &candidates[i % per])
         });
         let mut results = results.into_iter();
         jobs.iter()
@@ -330,12 +416,39 @@ impl Autotuner {
             .collect()
     }
 
+    /// Guided search across schedules: one hill climb over the unrolling
+    /// space per candidate pipeline (just the config's own when pass-order
+    /// search is off), keeping the first best under a strict `<`.
+    fn tune_guided_over_pipelines(&self, blac: &Blac, name: &str) -> TunedKernel {
+        if self.pipelines.is_empty() {
+            return self.tune_guided(blac, name, &Self::search_space(), None);
+        }
+        let mut best: Option<TunedKernel> = None;
+        for p in &self.pipelines {
+            let t = self.tune_guided(blac, name, &Self::search_space(), Some(p));
+            if best
+                .as_ref()
+                .is_none_or(|b| t.measurement.cycles < b.measurement.cycles)
+            {
+                best = Some(t);
+            }
+        }
+        best.expect("at least one pipeline candidate")
+    }
+
     /// Guided search: probe a few structurally diverse seeds (no unrolling,
     /// a mid-size full unroll, the maximal full unroll, the maximal factor
     /// unroll), then hill-climb from the best seed. The seed probes run on
     /// the worker pool; the climb itself is inherently sequential but
     /// evaluates both neighbours of the current point in parallel.
-    fn tune_guided(&self, blac: &Blac, name: &str, space: &[UnrollPolicy]) -> TunedKernel {
+    fn tune_guided(
+        &self,
+        blac: &Blac,
+        name: &str,
+        space: &[UnrollPolicy],
+        pipeline: Option<&PassPipeline>,
+    ) -> TunedKernel {
+        let cand = |u: UnrollPolicy| (u, pipeline.cloned());
         let mut samples = Vec::new();
         let mut evaluated = vec![false; space.len()];
         // Seed indices are derived from the space's structure so the probe
@@ -357,7 +470,7 @@ impl Autotuner {
             evaluated[si] = true;
         }
         let probes = run_indexed(seeds.len(), self.threads, |i| {
-            self.evaluate(blac, name, space[seeds[i]])
+            self.evaluate(blac, name, &cand(space[seeds[i]]))
         });
         let mut rejected = 0usize;
         let mut first_err = None;
@@ -398,7 +511,7 @@ impl Autotuner {
                 evaluated[n] = true;
             }
             let evals = run_indexed(neighbours.len(), self.threads, |i| {
-                self.evaluate(blac, name, space[neighbours[i]])
+                self.evaluate(blac, name, &cand(space[neighbours[i]]))
             });
             let mut improved = false;
             for (&next, eval) in neighbours.iter().zip(evals) {
@@ -430,6 +543,9 @@ impl Autotuner {
             kernel: (*best_k).clone(),
             measurement: best_m,
             unroll,
+            pipeline: pipeline
+                .cloned()
+                .unwrap_or_else(|| self.cfg.pipeline.clone()),
             samples,
             rejected,
         }
@@ -440,6 +556,7 @@ impl Autotuner {
 mod tests {
     use super::*;
     use crate::pipeline::compile;
+    use lgen_cir::VerifyLevel;
     use lgen_isa::Microarch;
     use lgen_ll::paper;
 
@@ -447,7 +564,9 @@ mod tests {
     fn exhaustive_search_is_at_least_as_good_as_random() {
         let blac = paper::gemv(4, 48);
         let cfg = CompileConfig::full(Microarch::Arm1176);
-        let rand3 = Autotuner::new(cfg).with_sample_size(3).tune(&blac, "k");
+        let rand3 = Autotuner::new(cfg.clone())
+            .with_sample_size(3)
+            .tune(&blac, "k");
         let exh = Autotuner::new(cfg)
             .with_strategy(SearchStrategy::Exhaustive)
             .tune(&blac, "k");
@@ -469,7 +588,7 @@ mod tests {
     fn guided_search_converges_with_fewer_evaluations_than_exhaustive() {
         let blac = paper::gemv(4, 64);
         let cfg = CompileConfig::full(Microarch::Arm1176);
-        let guided = Autotuner::new(cfg)
+        let guided = Autotuner::new(cfg.clone())
             .with_strategy(SearchStrategy::Guided)
             .tune(&blac, "k");
         let exh = Autotuner::new(cfg)
@@ -485,7 +604,7 @@ mod tests {
     fn energy_objective_selects_by_energy() {
         let blac = paper::mmm(4, 16, 4);
         let cfg = CompileConfig::full(Microarch::CortexA8);
-        let by_energy = Autotuner::new(cfg)
+        let by_energy = Autotuner::new(cfg.clone())
             .with_strategy(SearchStrategy::Exhaustive)
             .with_objective(Objective::Energy)
             .tune(&blac, "k");
@@ -502,19 +621,24 @@ mod tests {
     fn tuning_never_loses_to_the_default() {
         let blac = paper::mvm(4, 64);
         let cfg = CompileConfig::full(Microarch::Atom);
-        let tuned = Autotuner::new(cfg).with_sample_size(9).tune(&blac, "mvm");
+        let tuned = Autotuner::new(cfg.clone())
+            .with_sample_size(9)
+            .tune(&blac, "mvm");
         let default_kernel = compile(&blac, "mvm", &cfg);
         let default_m =
             measure_blac(&blac, &default_kernel, Microarch::Atom, &[0, 0, 0], 3).unwrap();
         assert!(tuned.measurement.cycles <= default_m.cycles);
         assert_eq!(tuned.samples.len(), 9);
+        // Without pass-order search, the winner reports the config's own
+        // schedule.
+        assert_eq!(tuned.pipeline, cfg.pipeline);
     }
 
     #[test]
     fn search_is_deterministic_per_seed() {
         let blac = paper::mmm(4, 8, 4);
         let cfg = CompileConfig::full(Microarch::CortexA9);
-        let a = Autotuner::new(cfg)
+        let a = Autotuner::new(cfg.clone())
             .with_sample_size(4)
             .with_seed(7)
             .tune(&blac, "k");
@@ -536,16 +660,16 @@ mod tests {
 
     #[test]
     fn winner_is_identical_for_any_thread_count() {
-        // The tentpole determinism guarantee: 1 thread and 8 threads pick
+        // The determinism guarantee: 1 thread and 8 threads pick
         // byte-identical winners over a GEMV/GEMM suite, samples included.
         let suite = [paper::gemv(4, 32), paper::gemm(4, 8, 8), paper::mvm(4, 48)];
         let cfg = CompileConfig::full(Microarch::Atom);
         for blac in &suite {
-            let seq = Autotuner::new(cfg)
+            let seq = Autotuner::new(cfg.clone())
                 .with_sample_size(16)
                 .with_threads(1)
                 .tune(blac, "k");
-            let par = Autotuner::new(cfg)
+            let par = Autotuner::new(cfg.clone())
                 .with_sample_size(16)
                 .with_threads(8)
                 .tune(blac, "k");
@@ -560,7 +684,7 @@ mod tests {
     fn guided_search_is_thread_count_invariant() {
         let blac = paper::gemv(4, 64);
         let cfg = CompileConfig::full(Microarch::Atom);
-        let seq = Autotuner::new(cfg)
+        let seq = Autotuner::new(cfg.clone())
             .with_strategy(SearchStrategy::Guided)
             .with_threads(1)
             .tune(&blac, "k");
@@ -600,13 +724,74 @@ mod tests {
             .with_strategy(SearchStrategy::Exhaustive)
             .with_cache(cache.clone());
         let first = tuner.tune(&blac, "k");
-        let compiles_after_first = cache.stage_stats().compiles();
+        let compiles_after_first = cache.pass_stats().compiles();
         assert_eq!(compiles_after_first, Autotuner::search_space().len() as u64);
         // Re-tuning the same BLAC is served entirely from the cache.
         let second = tuner.tune(&blac, "k");
-        assert_eq!(cache.stage_stats().compiles(), compiles_after_first);
+        assert_eq!(cache.pass_stats().compiles(), compiles_after_first);
         assert_eq!(first.unroll, second.unroll);
         assert_eq!(first.kernel, second.kernel);
         assert!(cache.stats().hits >= Autotuner::search_space().len() as u64);
+    }
+
+    #[test]
+    fn pipeline_space_derives_legal_variants() {
+        let full = Autotuner::pipeline_space(&PassPipeline::standard());
+        assert!(full.len() >= 4);
+        assert_eq!(full[0], PassPipeline::standard());
+        assert!(full.iter().all(|p| p.contains("align")));
+        let base = Autotuner::pipeline_space(&PassPipeline::standard().without("align"));
+        assert!(base.iter().all(|p| !p.contains("align")));
+        // All variants are distinct.
+        for (i, p) in full.iter().enumerate() {
+            assert!(!full[i + 1..].contains(p), "duplicate schedule {p}");
+        }
+    }
+
+    #[test]
+    fn pipeline_search_crosses_schedules_with_unrolls() {
+        let blac = paper::gemv(4, 24);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let tuner = Autotuner::new(cfg.clone())
+            .with_strategy(SearchStrategy::Exhaustive)
+            .with_pipeline_search()
+            .with_threads(4);
+        let tuned = tuner.tune(&blac, "k");
+        let n_pipelines = Autotuner::pipeline_space(&cfg.pipeline).len();
+        assert_eq!(
+            tuned.samples.len(),
+            Autotuner::search_space().len() * n_pipelines
+        );
+        assert!(Autotuner::pipeline_space(&cfg.pipeline).contains(&tuned.pipeline));
+        // Pass-order search can only improve on unrolling-only search.
+        let plain = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Exhaustive)
+            .tune(&blac, "k");
+        assert!(tuned.measurement.cycles <= plain.measurement.cycles);
+    }
+
+    #[test]
+    fn pipeline_search_is_deterministic_and_verified() {
+        // Acceptance: pass-order search end-to-end under paranoid
+        // verification, identical across runs and thread counts.
+        let blac = paper::gemm(4, 8, 4);
+        let cfg = CompileConfig::full(Microarch::Atom).with_verify(VerifyLevel::EveryPass);
+        let a = Autotuner::new(cfg.clone())
+            .with_sample_size(8)
+            .with_seed(13)
+            .with_pipeline_search()
+            .with_threads(1)
+            .tune(&blac, "k");
+        let b = Autotuner::new(cfg)
+            .with_sample_size(8)
+            .with_seed(13)
+            .with_pipeline_search()
+            .with_threads(4)
+            .tune(&blac, "k");
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.unroll, b.unroll);
+        assert_eq!(a.pipeline, b.pipeline);
+        assert_eq!(a.kernel, b.kernel);
+        assert_eq!(a.rejected, 0, "no candidate may fail verification");
     }
 }

@@ -12,9 +12,12 @@
 //! its BLAC (operand table + expression tree — [`lgen_ll::Blac`] hashes
 //! structurally), the kernel name (baked into the emitted C), and the
 //! [`CompileConfig`] (every field changes generated code; the unrolling
-//! decision the autotuner varies is part of it). The map keys on that full
-//! triple, so a hit is exact by construction — [`Blac::fingerprint`] is
-//! used only to pick a shard and to label diagnostics.
+//! decision the autotuner varies is part of it, and so is the
+//! [`PassPipeline`](lgen_cir::PassPipeline) — its structural hash *and*
+//! its spec fingerprint enter the shard choice, so two schedules of the
+//! same BLAC are distinct entries). The map keys on that full triple, so a
+//! hit is exact by construction — [`Blac::fingerprint`] is used only to
+//! pick a shard and to label diagnostics.
 //!
 //! **Concurrency.** The map is split into [`SHARDS`] independently locked
 //! shards; the autotuner's worker pool hits disjoint shards with high
@@ -25,7 +28,8 @@
 //! identical).
 
 use crate::config::CompileConfig;
-use crate::pipeline::{try_compile_with_stats, StageStats};
+use crate::pipeline::try_compile_with_stats;
+use lgen_cir::passes::PassStats;
 use lgen_cir::{Kernel, VerifyFailure};
 use lgen_ll::Blac;
 use parking_lot::Mutex;
@@ -98,7 +102,7 @@ pub struct KernelCache {
     inserts: AtomicU64,
     races: AtomicU64,
     verify_rejects: AtomicU64,
-    stages: StageStats,
+    stages: PassStats,
 }
 
 impl Default for KernelCache {
@@ -117,17 +121,19 @@ impl KernelCache {
             inserts: AtomicU64::new(0),
             races: AtomicU64::new(0),
             verify_rejects: AtomicU64::new(0),
-            stages: StageStats::default(),
+            stages: PassStats::new(),
         }
     }
 
     fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Arc<Kernel>>> {
         // The BLAC fingerprint is stable and already well mixed; fold in
-        // the config/name via the std hasher for shard spread.
+        // the config/name via the std hasher, plus the pipeline's spec
+        // fingerprint explicitly, for shard spread.
         let mut h = std::hash::DefaultHasher::new();
         key.cfg.hash(&mut h);
         key.name.hash(&mut h);
-        let idx = (key.blac.fingerprint() ^ h.finish()) as usize & (SHARDS - 1);
+        let idx = (key.blac.fingerprint() ^ h.finish() ^ key.cfg.pipeline.fingerprint()) as usize
+            & (SHARDS - 1);
         &self.shards[idx]
     }
 
@@ -167,7 +173,7 @@ impl KernelCache {
         let key = CacheKey {
             blac: blac.clone(),
             name: name.to_string(),
-            cfg: *cfg,
+            cfg: cfg.clone(),
         };
         if let Some(k) = self.shard(&key).lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -240,8 +246,9 @@ impl KernelCache {
         }
     }
 
-    /// Per-pipeline-stage counters for compiles this cache performed.
-    pub fn stage_stats(&self) -> &StageStats {
+    /// Per-pass dynamic counters for compiles this cache performed: one
+    /// row per pass actually run (plus `codegen`), in first-run order.
+    pub fn pass_stats(&self) -> &PassStats {
         &self.stages
     }
 }
@@ -277,7 +284,7 @@ mod tests {
         );
         assert_eq!(*cold, *warm);
         // The pipeline ran exactly once.
-        assert_eq!(cache.stage_stats().compiles(), 1);
+        assert_eq!(cache.pass_stats().compiles(), 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Compilation configuration and the paper's plot variants.
 
-use lgen_cir::passes::UnrollPolicy;
+use lgen_cir::passes::{PassPipeline, UnrollPolicy};
 use lgen_cir::VerifyLevel;
 use lgen_isa::Microarch;
 use lgen_sigma::MvmStrategy;
@@ -37,18 +37,23 @@ impl Variant {
 /// Full configuration for one compilation.
 ///
 /// `Hash`/`Eq` make the config usable as part of the kernel-cache key:
-/// every field below changes generated code, so two compilations of the
-/// same BLAC under equal configs yield identical kernels.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// every field below changes generated code (the [`PassPipeline`] hashes
+/// structurally and [`fingerprint`](PassPipeline::fingerprint)s its spec),
+/// so two compilations of the same BLAC under equal configs yield
+/// identical kernels — and two configs with different pipelines never
+/// collide.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CompileConfig {
     /// Target core (fixes the vector ISA).
     pub arch: Microarch,
     /// Matrix-vector strategy (§3.3).
     pub mvm: MvmStrategy,
-    /// Alignment detection (§3.2) under the all-aligned assumption.
-    pub alignment_detection: bool,
+    /// The C-IR optimization schedule. Variants with alignment detection
+    /// (§3.2) end in the `align` pass; the base schedule omits it.
+    pub pipeline: PassPipeline,
     /// Alignment versioning with runtime dispatch (§3.2.4) — opt-in, used
-    /// for the arbitrary-alignment experiments (Fig. 5.9).
+    /// for the arbitrary-alignment experiments (Fig. 5.9). Replaces the
+    /// pipeline's `align` step with per-version detection.
     pub alignment_versioning: bool,
     /// Specialized leftover ν-BLACs on NEON (§3.4).
     pub specialized_leftovers: bool,
@@ -70,6 +75,7 @@ impl CompileConfig {
     /// unrolling decision (the autotuner overrides it).
     pub fn variant(arch: Microarch, v: Variant) -> Self {
         let full = matches!(v, Variant::Full);
+        let align = matches!(v, Variant::Align | Variant::Full);
         CompileConfig {
             arch,
             mvm: if matches!(v, Variant::Mvm | Variant::Full) {
@@ -77,7 +83,11 @@ impl CompileConfig {
             } else {
                 MvmStrategy::Classic
             },
-            alignment_detection: matches!(v, Variant::Align | Variant::Full),
+            pipeline: if align {
+                PassPipeline::standard()
+            } else {
+                PassPipeline::standard().without("align")
+            },
             alignment_versioning: false,
             specialized_leftovers: full,
             peeling: false,
@@ -96,10 +106,23 @@ impl CompileConfig {
         Self::variant(arch, Variant::Base)
     }
 
+    /// Whether the schedule performs alignment detection (§3.2), i.e. the
+    /// pipeline contains the `align` pass.
+    pub fn alignment_detection(&self) -> bool {
+        self.pipeline.contains("align")
+    }
+
     /// Returns a copy with a different unrolling decision.
     #[must_use]
     pub fn with_unroll(mut self, unroll: UnrollPolicy) -> Self {
         self.unroll = unroll;
+        self
+    }
+
+    /// Returns a copy with a different optimization schedule.
+    #[must_use]
+    pub fn with_passes(mut self, pipeline: PassPipeline) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -133,21 +156,33 @@ mod tests {
     fn variants_toggle_the_right_options() {
         let base = CompileConfig::variant(Microarch::Atom, Variant::Base);
         assert_eq!(base.mvm, MvmStrategy::Classic);
-        assert!(!base.alignment_detection);
+        assert!(!base.alignment_detection());
         assert!(!base.specialized_leftovers);
+        assert_eq!(base.pipeline.to_spec(), "unroll,scalrep,copyprop,dce");
 
         let align = CompileConfig::variant(Microarch::Atom, Variant::Align);
-        assert!(align.alignment_detection);
+        assert!(align.alignment_detection());
         assert_eq!(align.mvm, MvmStrategy::Classic);
 
         let mvm = CompileConfig::variant(Microarch::Atom, Variant::Mvm);
-        assert!(!mvm.alignment_detection);
+        assert!(!mvm.alignment_detection());
         assert_eq!(mvm.mvm, MvmStrategy::MvhRr);
 
         let full = CompileConfig::full(Microarch::CortexA8);
-        assert!(full.alignment_detection);
+        assert!(full.alignment_detection());
         assert!(full.specialized_leftovers);
         assert_eq!(full.mvm, MvmStrategy::MvhRr);
+        assert_eq!(full.pipeline, PassPipeline::standard());
+    }
+
+    #[test]
+    fn with_passes_swaps_the_schedule() {
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let custom = PassPipeline::parse("unroll,repeat(copyprop,dce)").unwrap();
+        let swapped = cfg.clone().with_passes(custom.clone());
+        assert_eq!(swapped.pipeline, custom);
+        assert_ne!(cfg, swapped, "pipeline is part of config identity");
+        assert!(!swapped.alignment_detection());
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //!
 //! 1. a BLAC (from `lgen-ll`) is tiled and lowered through the Σ-LL-style
 //!    code generator (`lgen-sigma`) into C-IR;
-//! 2. the code-level optimizations of `lgen-cir` run (loop unrolling,
-//!    scalar replacement, copy propagation, DCE, alignment detection, and
-//!    optionally alignment versioning);
+//! 2. the code-level optimizations of `lgen-cir` run as a data-driven
+//!    [`PassPipeline`] (by default: loop unrolling, scalar replacement,
+//!    copy propagation, DCE, alignment detection — any other spec-string
+//!    schedule is equally runnable, and alignment versioning is a
+//!    whole-kernel step behind the pipeline);
 //! 3. the kernel is measured on the target microarchitecture simulator
 //!    (`lgen-machine`) inside the **autotuning feedback loop**: LGen "was
 //!    configured to use a random search over the search space with sample
@@ -28,8 +30,9 @@ pub use autotune::{Autotuner, Objective, SearchStrategy, TunedKernel};
 pub use cache::{CacheKey, CacheStats, KernelCache};
 pub use config::{CompileConfig, Variant};
 pub use exec::{check_kernel, measure_blac, run_blac_kernel};
-pub use lgen_cir::{VerifyFailure, VerifyLevel};
+pub use lgen_cir::{PassPipeline, PassStats, PassTrace, VerifyFailure, VerifyLevel};
 pub use pipeline::{
-    compile, compile_many, compile_with_stats, try_compile, try_compile_with_stats, StageStats,
+    compile, compile_many, compile_with_stats, try_compile, try_compile_traced,
+    try_compile_with_stats,
 };
 pub use pool::effective_threads;

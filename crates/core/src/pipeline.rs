@@ -1,64 +1,27 @@
-//! The compilation pipeline: LL → Σ-LL-style codegen → C-IR passes → kernel.
+//! The compilation pipeline: LL → Σ-LL-style codegen → C-IR pass pipeline
+//! → kernel.
+//!
+//! The C-IR optimization schedule is *data*, not code: the config's
+//! [`PassPipeline`] (see `lgen_cir::passes::manager`) is run by the pass
+//! manager, which owns per-pass timing ([`PassStats`]), between-pass
+//! verification, fixpoint `repeat(...)` groups, and `--print-after-all`
+//! tracing ([`PassTrace`]). This module contributes only what sits outside
+//! the schedule: codegen in front of it, and the whole-kernel alignment
+//! versioning / loop-peeling transforms behind it.
 
 use crate::cache::KernelCache;
 use crate::config::CompileConfig;
 use crate::pool::run_indexed;
 use lgen_cir::passes::{
-    copy_prop, dce, detect_alignment, detect_alignment_partial, scalar_replacement, unroll,
-    version_for_alignment,
+    detect_alignment_partial, version_for_alignment, PassCtx, PassPipeline, PassStats, PassTrace,
 };
-use lgen_cir::{merge_kernel_versions, verify_stage, ArrayKind, Kernel, VerifyFailure};
+use lgen_cir::{
+    merge_kernel_versions, verify_stage, ArrayKind, Kernel, VerifyFailure, VerifyLevel,
+};
 use lgen_ll::Blac;
 use lgen_sigma::{compile_blac, CodegenOptions};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-
-/// Cumulative wall-clock nanoseconds and invocation counts per pipeline
-/// stage. Shared by reference across threads (all counters are relaxed
-/// atomics — totals, not a trace), these are the hook later observability
-/// work builds on; today they feed `lgenc --cache-stats`.
-#[derive(Debug, Default)]
-pub struct StageStats {
-    codegen_ns: AtomicU64,
-    unroll_ns: AtomicU64,
-    scalar_replacement_ns: AtomicU64,
-    copy_prop_ns: AtomicU64,
-    dce_ns: AtomicU64,
-    alignment_ns: AtomicU64,
-    compiles: AtomicU64,
-}
-
-impl StageStats {
-    fn add(counter: &AtomicU64, since: Instant) {
-        counter.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    }
-
-    /// Number of full pipeline runs recorded.
-    pub fn compiles(&self) -> u64 {
-        self.compiles.load(Ordering::Relaxed)
-    }
-
-    /// `(stage name, cumulative nanoseconds)` rows in pipeline order.
-    pub fn rows(&self) -> [(&'static str, u64); 6] {
-        [
-            ("codegen", self.codegen_ns.load(Ordering::Relaxed)),
-            ("unroll", self.unroll_ns.load(Ordering::Relaxed)),
-            (
-                "scalar-replacement",
-                self.scalar_replacement_ns.load(Ordering::Relaxed),
-            ),
-            ("copy-prop", self.copy_prop_ns.load(Ordering::Relaxed)),
-            ("dce", self.dce_ns.load(Ordering::Relaxed)),
-            ("alignment", self.alignment_ns.load(Ordering::Relaxed)),
-        ]
-    }
-
-    /// Total nanoseconds across all stages.
-    pub fn total_ns(&self) -> u64 {
-        self.rows().iter().map(|(_, ns)| ns).sum()
-    }
-}
 
 /// Compiles a BLAC to a finished kernel for `cfg` (Fig. 2.1, minus the
 /// autotuning loop — see [`crate::Autotuner`]).
@@ -91,15 +54,15 @@ pub fn try_compile(blac: &Blac, name: &str, cfg: &CompileConfig) -> Result<Kerne
     try_compile_with_stats(blac, name, cfg, None)
 }
 
-/// [`compile`] with optional per-stage accounting: when `stats` is given,
-/// each stage's wall-clock time is added to the shared counters (this is
-/// what [`KernelCache`] threads through so cache misses are attributed to
-/// stages).
+/// [`compile`] with optional per-pass accounting: when `stats` is given,
+/// every pass the pipeline runs (plus `codegen`) adds its wall-clock time
+/// to the shared dynamic counters (this is what [`KernelCache`] threads
+/// through so cache misses are attributed to passes).
 pub fn compile_with_stats(
     blac: &Blac,
     name: &str,
     cfg: &CompileConfig,
-    stats: Option<&StageStats>,
+    stats: Option<&PassStats>,
 ) -> Kernel {
     try_compile_with_stats(blac, name, cfg, stats).unwrap_or_else(|e| panic!("{e}"))
 }
@@ -112,37 +75,51 @@ pub fn try_compile_with_stats(
     blac: &Blac,
     name: &str,
     cfg: &CompileConfig,
-    stats: Option<&StageStats>,
+    stats: Option<&PassStats>,
+) -> Result<Kernel, VerifyFailure> {
+    try_compile_traced(blac, name, cfg, stats, None)
+}
+
+/// [`try_compile_with_stats`] that additionally records a
+/// `--print-after-all` style IR snapshot after codegen and after every
+/// pass the pipeline runs.
+pub fn try_compile_traced(
+    blac: &Blac,
+    name: &str,
+    cfg: &CompileConfig,
+    stats: Option<&PassStats>,
+    trace: Option<&PassTrace>,
 ) -> Result<Kernel, VerifyFailure> {
     if let Some(s) = stats {
-        s.compiles.fetch_add(1, Ordering::Relaxed);
+        s.record_compile();
     }
     if cfg.peeling && cfg.arch.vector_isa() != lgen_isa::VectorIsa::Scalar {
-        let kernel = compile_peeled(blac, name, cfg, stats)?;
+        let kernel = compile_peeled(blac, name, cfg, stats, trace)?;
         verify_stage("peeling", &kernel, cfg.verify, true)?;
         return Ok(kernel);
     }
-    let mut kernel = compile_one(blac, name, cfg, None, stats)?;
-
-    // Alignment handling (§3.2).
-    let t = Instant::now();
-    if cfg.alignment_versioning {
-        kernel = version_for_alignment(&kernel);
-    } else if cfg.alignment_detection {
-        let zeros = vec![0usize; kernel.arrays.len()];
-        detect_alignment(kernel.body_mut(), &zeros);
-    }
-    if let Some(s) = stats {
-        StageStats::add(&s.alignment_ns, t);
-    }
-    let exit_stage = if cfg.alignment_versioning {
-        "alignment-versioning"
-    } else if cfg.alignment_detection {
-        "alignment"
+    // Versioning replaces the in-pipeline `align` step with per-version
+    // detection, so the schedule runs without it.
+    let pipeline = if cfg.alignment_versioning {
+        cfg.pipeline.without("align")
     } else {
-        "pipeline"
+        cfg.pipeline.clone()
     };
-    verify_stage(exit_stage, &kernel, cfg.verify, true)?;
+    let mut kernel = compile_one(blac, name, cfg, None, &pipeline, stats, trace)?;
+
+    if cfg.alignment_versioning {
+        // Alignment versioning with runtime dispatch (§3.2.4).
+        let t = Instant::now();
+        kernel = version_for_alignment(&kernel);
+        if let Some(s) = stats {
+            s.record("align-version", t.elapsed().as_nanos() as u64);
+        }
+        verify_stage("alignment-versioning", &kernel, cfg.verify, true)?;
+    } else if cfg.verify != VerifyLevel::EveryPass || pipeline.is_empty() {
+        // Pipeline-exit boundary check; at EveryPass the manager already
+        // verified this exact kernel after its final pass.
+        verify_stage("pipeline", &kernel, cfg.verify, true)?;
+    }
     Ok(kernel)
 }
 
@@ -161,52 +138,41 @@ pub fn compile_many(
     })
 }
 
-/// One body: codegen with an optional peel assumption, then the code-level
-/// optimizations (§2.1.4, §3.1).
+/// One body: codegen with an optional peel assumption, then the given
+/// C-IR pass schedule (§2.1.4, §3.1) under the pass manager.
 fn compile_one(
     blac: &Blac,
     name: &str,
     cfg: &CompileConfig,
     peel: Option<usize>,
-    stats: Option<&StageStats>,
+    pipeline: &PassPipeline,
+    stats: Option<&PassStats>,
+    trace: Option<&PassTrace>,
 ) -> Result<Kernel, VerifyFailure> {
+    let isa = cfg.arch.vector_isa();
     let opts = CodegenOptions {
-        isa: cfg.arch.vector_isa(),
+        isa,
         mvm: cfg.mvm,
         specialized_leftovers: cfg.specialized_leftovers,
         peel_offset: peel,
     };
-    macro_rules! staged {
-        ($counter:ident, $e:expr) => {{
-            let t = Instant::now();
-            let out = $e;
-            if let Some(s) = stats {
-                StageStats::add(&s.$counter, t);
-            }
-            out
-        }};
+    let t = Instant::now();
+    let mut kernel = compile_blac(blac, name, &opts);
+    if let Some(s) = stats {
+        s.record("codegen", t.elapsed().as_nanos() as u64);
     }
-    let mut kernel = staged!(codegen_ns, compile_blac(blac, name, &opts));
+    if let Some(tr) = trace {
+        tr.record("codegen", &kernel, isa);
+    }
     verify_stage("codegen", &kernel, cfg.verify, true)?;
-    let body = std::mem::take(kernel.body_mut());
-    let body = staged!(unroll_ns, unroll(body, cfg.unroll));
-    *kernel.body_mut() = body;
-    verify_stage("unroll", &kernel, cfg.verify, false)?;
-    let body = std::mem::take(kernel.body_mut());
-    let body = staged!(
-        scalar_replacement_ns,
-        scalar_replacement(body, &kernel.arrays)
-    );
-    *kernel.body_mut() = body;
-    verify_stage("scalar-replacement", &kernel, cfg.verify, false)?;
-    let body = std::mem::take(kernel.body_mut());
-    let body = staged!(copy_prop_ns, copy_prop(body));
-    *kernel.body_mut() = body;
-    verify_stage("copy-prop", &kernel, cfg.verify, false)?;
-    let body = std::mem::take(kernel.body_mut());
-    let body = staged!(dce_ns, dce(body, &kernel.arrays));
-    *kernel.body_mut() = body;
-    verify_stage("dce", &kernel, cfg.verify, false)?;
+    let ctx = PassCtx {
+        unroll: cfg.unroll,
+        verify: cfg.verify,
+        isa,
+        stats,
+        trace,
+    };
+    pipeline.run(&mut kernel, &ctx)?;
     Ok(kernel)
 }
 
@@ -218,12 +184,16 @@ fn compile_peeled(
     blac: &Blac,
     name: &str,
     cfg: &CompileConfig,
-    stats: Option<&StageStats>,
+    stats: Option<&PassStats>,
+    trace: Option<&PassTrace>,
 ) -> Result<Kernel, VerifyFailure> {
     let nu = 4usize;
+    // Per-version alignment detection below replaces the schedule's
+    // all-aligned `align` step.
+    let pipeline = cfg.pipeline.without("align");
     let mut versions = Vec::with_capacity(nu + 1);
     for off in 0..nu {
-        let mut k = compile_one(blac, name, cfg, Some(off), stats)?;
+        let mut k = compile_one(blac, name, cfg, Some(off), &pipeline, stats, trace)?;
         let assumptions: Vec<Option<usize>> = k
             .arrays
             .iter()
@@ -242,7 +212,10 @@ fn compile_peeled(
             .collect();
         versions.push((Some(required), k));
     }
-    versions.push((None, compile_one(blac, name, cfg, None, stats)?));
+    versions.push((
+        None,
+        compile_one(blac, name, cfg, None, &pipeline, stats, trace)?,
+    ));
     Ok(merge_kernel_versions(versions))
 }
 
@@ -321,6 +294,71 @@ mod tests {
             }
         });
         assert_eq!(loops, 0);
+    }
+
+    #[test]
+    fn custom_pipeline_spec_drives_the_schedule() {
+        // A schedule without `align` must leave no aligned marks even on
+        // the Full variant; a repeat(...) schedule still converges and
+        // matches the standard schedule's output bits.
+        let blac = paper::gemv(4, 12);
+        let no_align = CompileConfig::full(Microarch::Atom)
+            .with_passes(PassPipeline::parse("unroll,scalrep,copyprop,dce").unwrap());
+        let k = compile(&blac, "k", &no_align);
+        assert_eq!(count_aligned(k.body()).0, 0);
+
+        let fixpoint = CompileConfig::full(Microarch::Atom)
+            .with_passes(PassPipeline::parse("unroll,scalrep,repeat(copyprop,dce),align").unwrap());
+        let kf = compile(&blac, "k", &fixpoint);
+        let ks = compile(&blac, "k", &CompileConfig::full(Microarch::Atom));
+        assert_eq!(kf.flops, ks.flops);
+    }
+
+    #[test]
+    fn traced_compiles_snapshot_every_pass() {
+        let blac = paper::gemv(4, 8);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let trace = PassTrace::new();
+        try_compile_traced(&blac, "k", &cfg, None, Some(&trace)).unwrap();
+        let stages: Vec<String> = trace.snapshots().iter().map(|(s, _)| s.clone()).collect();
+        assert_eq!(
+            stages,
+            ["codegen", "unroll", "scalrep", "copyprop", "dce", "align"]
+        );
+        // Every snapshot is renderable C text.
+        assert!(trace.snapshots().iter().all(|(_, ir)| ir.contains("void")));
+    }
+
+    #[test]
+    fn pass_stats_have_one_row_per_pass_actually_run() {
+        let blac = paper::gemv(4, 8);
+        let stats = PassStats::new();
+        compile_with_stats(
+            &blac,
+            "k",
+            &CompileConfig::full(Microarch::Atom),
+            Some(&stats),
+        );
+        let names: Vec<String> = stats.rows().iter().map(|(n, _, _)| n.clone()).collect();
+        assert_eq!(
+            names,
+            ["codegen", "unroll", "scalrep", "copyprop", "dce", "align"]
+        );
+        assert_eq!(stats.compiles(), 1);
+        // The base schedule runs fewer passes: no align row appears.
+        let base_stats = PassStats::new();
+        compile_with_stats(
+            &blac,
+            "k",
+            &CompileConfig::base(Microarch::Atom),
+            Some(&base_stats),
+        );
+        let names: Vec<String> = base_stats
+            .rows()
+            .iter()
+            .map(|(n, _, _)| n.clone())
+            .collect();
+        assert!(!names.contains(&"align".to_string()));
     }
 
     #[test]

@@ -80,4 +80,24 @@ fn main() {
         };
         println!("{unroll:?}: {cycles} cycles{marker}");
     }
+
+    // 5. Pass-order search: the C-IR schedule is data, so the tuner can
+    //    cross the unrolling space with legal schedule variants.
+    println!("\n-- pass-order search on Atom (small GEMM) --");
+    let blac = lgen::ll::paper::gemm(4, 8, 8);
+    let cfg = CompileConfig::full(Microarch::Atom);
+    for p in Autotuner::pipeline_space(&cfg.pipeline) {
+        println!("candidate schedule: {p}");
+    }
+    let t = Autotuner::new(cfg)
+        .with_strategy(SearchStrategy::Exhaustive)
+        .with_pipeline_search()
+        .tune(&blac, "gemm");
+    println!(
+        "winner: {:?} under \"{}\" at {} cycles ({} candidates)",
+        t.unroll,
+        t.pipeline,
+        t.measurement.cycles,
+        t.samples.len()
+    );
 }

@@ -7,24 +7,33 @@
 //!
 //! ```text
 //! lgenc <file.blac> [--target atom|cortex-a8|cortex-a9|arm1176]
-//!       [--variant base|align|mvm|full] [--tune] [--peel] [--version-align]
-//!       [--verify[=paranoid]] [--threads N | -j N] [--cache-stats]
+//!       [--variant base|align|mvm|full] [--passes <spec>]
+//!       [--tune] [--tune-passes] [--peel] [--version-align]
+//!       [--verify[=paranoid]] [--print-after-all]
+//!       [--threads N | -j N] [--cache-stats]
 //! ```
 
-use lgen::core::{KernelCache, SearchStrategy, VerifyLevel};
+use lgen::core::{KernelCache, PassTrace, SearchStrategy, VerifyLevel};
 use lgen::prelude::*;
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: lgenc <file.blac> [--target atom|cortex-a8|cortex-a9|arm1176]\n\
-         \x20            [--variant base|align|mvm|full] [--tune] [--peel] [--version-align]\n\
-         \x20            [--verify[=paranoid]] [--threads N | -j N] [--cache-stats]\n\
+         \x20            [--variant base|align|mvm|full] [--passes <spec>]\n\
+         \x20            [--tune] [--tune-passes] [--peel] [--version-align]\n\
+         \x20            [--verify[=paranoid]] [--print-after-all]\n\
+         \x20            [--threads N | -j N] [--cache-stats]\n\
          \n\
+         \x20 --passes <spec>     C-IR pass schedule, e.g. \"unroll,scalrep,copyprop,dce,align\"\n\
+         \x20                     or \"unroll,scalrep,repeat(copyprop,dce)\" (fixpoint group)\n\
+         \x20 --print-after-all   dump the IR after codegen and after every pass (stderr)\n\
+         \x20 --tune              autotune the unrolling decision\n\
+         \x20 --tune-passes       also search over pass schedules (implies --tune)\n\
          \x20 --verify            statically verify the kernel at pipeline boundaries\n\
          \x20 --verify=paranoid   verify between every optimization pass\n\
          \x20 --threads N, -j N   worker threads for tuning/compilation (0 = one per core)\n\
-         \x20 --cache-stats       print kernel-cache and per-stage pipeline counters\n\
+         \x20 --cache-stats       print kernel-cache and per-pass timing counters\n\
          \n\
          example input file:\n\
          \x20 alpha = scalar\n\
@@ -41,9 +50,12 @@ fn main() {
     let mut file = None;
     let mut target = Microarch::Atom;
     let mut variant = Variant::Full;
+    let mut passes: Option<PassPipeline> = None;
     let mut tune = false;
+    let mut tune_passes = false;
     let mut peel = false;
     let mut version_align = false;
+    let mut print_after_all = false;
     let mut threads = 0usize; // 0 = one worker per available core
     let mut cache_stats = false;
     let mut verify = None;
@@ -76,9 +88,24 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--passes" => {
+                let Some(spec) = it.next() else { usage() };
+                passes = match spec.parse::<PassPipeline>() {
+                    Ok(p) => Some(p),
+                    Err(e) => {
+                        eprintln!("lgenc: bad --passes spec: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--tune" => tune = true,
+            "--tune-passes" => {
+                tune = true;
+                tune_passes = true;
+            }
             "--peel" => peel = true,
             "--version-align" => version_align = true,
+            "--print-after-all" => print_after_all = true,
             "--verify" => verify = Some(VerifyLevel::Boundaries),
             "--verify=paranoid" | "--verify=every-pass" => verify = Some(VerifyLevel::EveryPass),
             "--help" | "-h" => usage(),
@@ -98,6 +125,9 @@ fn main() {
     });
 
     let mut cfg = CompileConfig::variant(target, variant);
+    if let Some(p) = passes {
+        cfg = cfg.with_passes(p);
+    }
     if peel {
         cfg = cfg.with_peeling();
     }
@@ -108,22 +138,29 @@ fn main() {
     if let Some(level) = verify {
         cfg = cfg.with_verify(level);
     }
-
-    eprintln!("lgenc: {blac}   ({} flops) for {target}", blac.flops());
+    eprintln!(
+        "lgenc: {blac}   ({} flops) for {target}, passes \"{}\"",
+        blac.flops(),
+        cfg.pipeline
+    );
     let cache = Arc::new(KernelCache::new());
     let kernel = if tune {
         eprintln!(
             "lgenc: tuning on {} worker(s)",
             lgen::core::effective_threads(threads)
         );
-        let tuned = Autotuner::new(cfg)
+        let mut tuner = Autotuner::new(cfg.clone())
             .with_strategy(SearchStrategy::Exhaustive)
             .with_threads(threads)
-            .with_cache(cache.clone())
-            .tune(&blac, "kernel");
+            .with_cache(cache.clone());
+        if tune_passes {
+            tuner = tuner.with_pipeline_search();
+        }
+        let tuned = tuner.tune(&blac, "kernel");
         eprintln!(
-            "lgenc: autotuned to {:?} ({} cycles over {} candidates)",
+            "lgenc: autotuned to {:?} under \"{}\" ({} cycles over {} candidates)",
             tuned.unroll,
+            tuned.pipeline,
             tuned.measurement.cycles,
             tuned.samples.len()
         );
@@ -133,7 +170,43 @@ fn main() {
                 tuned.rejected
             );
         }
+        if print_after_all {
+            // Replay the winning compile with tracing on (served from the
+            // cache-independent path so snapshots reflect every pass).
+            let winner_cfg = cfg
+                .clone()
+                .with_unroll(tuned.unroll)
+                .with_passes(tuned.pipeline.clone());
+            let trace = PassTrace::new();
+            if let Err(failure) =
+                lgen::core::try_compile_traced(&blac, "kernel", &winner_cfg, None, Some(&trace))
+            {
+                eprintln!("lgenc: verification failed after pass `{}`:", failure.pass);
+                eprint!("{}", lgen::cir::render(&failure.diagnostics));
+                std::process::exit(1);
+            }
+            dump_trace(&trace);
+        }
         tuned.kernel
+    } else if print_after_all {
+        let trace = PassTrace::new();
+        match lgen::core::try_compile_traced(
+            &blac,
+            "kernel",
+            &cfg,
+            Some(cache.pass_stats()),
+            Some(&trace),
+        ) {
+            Ok(kernel) => {
+                dump_trace(&trace);
+                kernel
+            }
+            Err(failure) => {
+                eprintln!("lgenc: verification failed after pass `{}`:", failure.pass);
+                eprint!("{}", lgen::cir::render(&failure.diagnostics));
+                std::process::exit(1);
+            }
+        }
     } else {
         match cache.try_get_or_compile(&blac, "kernel", &cfg) {
             Ok(kernel) => (*kernel).clone(),
@@ -147,10 +220,13 @@ fn main() {
 
     if cache_stats {
         eprintln!("lgenc: cache: {}", cache.stats());
-        let stages = cache.stage_stats();
-        eprintln!("lgenc: pipeline: {} compile(s)", stages.compiles());
-        for (stage, ns) in stages.rows() {
-            eprintln!("lgenc:   {stage:<20} {:>9.3} ms", ns as f64 / 1e6);
+        let stats = cache.pass_stats();
+        eprintln!("lgenc: pipeline: {} compile(s)", stats.compiles());
+        for (pass, ns, runs) in stats.rows() {
+            eprintln!(
+                "lgenc:   {pass:<16} {runs:>5} run(s) {:>9.3} ms",
+                ns as f64 / 1e6
+            );
         }
     }
 
@@ -179,4 +255,12 @@ fn main() {
         "{}",
         lgen::cir::unparse::unparse(&kernel, target.vector_isa())
     );
+}
+
+/// Prints every recorded IR snapshot (`--print-after-all`) to stderr.
+fn dump_trace(trace: &PassTrace) {
+    for (stage, ir) in trace.snapshots() {
+        eprintln!("== IR after {stage} ==");
+        eprint!("{ir}");
+    }
 }

@@ -82,7 +82,9 @@ fn generated_c_is_well_formed_for_each_backend() {
 fn autotuner_improves_or_matches_every_paper_blac_on_atom() {
     for (name, blac) in suite() {
         let cfg = CompileConfig::full(Microarch::Atom);
-        let tuned = Autotuner::new(cfg).with_sample_size(6).tune(&blac, "k");
+        let tuned = Autotuner::new(cfg.clone())
+            .with_sample_size(6)
+            .tune(&blac, "k");
         let default = compile(&blac, "k", &cfg);
         let dm = measure_blac(
             &blac,

@@ -144,13 +144,13 @@ fn warm_cache_compile_skips_the_pipeline_and_matches() {
     let cfg = CompileConfig::full(Microarch::Atom);
 
     let cold = cache.get_or_compile(&blac, "kernel", &cfg);
-    assert_eq!(cache.stage_stats().compiles(), 1);
+    assert_eq!(cache.pass_stats().compiles(), 1);
 
     // The warm path must be a counted hit that runs zero pipeline stages
     // and returns the identical kernel.
     let warm = cache.get_or_compile(&blac, "kernel", &cfg);
     assert_eq!(
-        cache.stage_stats().compiles(),
+        cache.pass_stats().compiles(),
         1,
         "warm compile must skip the pipeline"
     );
@@ -164,8 +164,8 @@ fn batch_compile_dedups_and_preserves_order() {
     let cache = KernelCache::new();
     let cfg = CompileConfig::full(Microarch::Atom);
     let jobs: Vec<(Blac, String, CompileConfig)> = vec![
-        (lgen::ll::paper::gemv(4, 12), "a".into(), cfg),
-        (lgen::ll::paper::axpy(16), "b".into(), cfg),
+        (lgen::ll::paper::gemv(4, 12), "a".into(), cfg.clone()),
+        (lgen::ll::paper::axpy(16), "b".into(), cfg.clone()),
         (lgen::ll::paper::gemv(4, 12), "a".into(), cfg), // duplicate of job 0
     ];
     let kernels = lgen::core::compile_many(&jobs, 4, &cache);
@@ -184,13 +184,42 @@ fn batch_compile_dedups_and_preserves_order() {
 }
 
 #[test]
+fn distinct_pipeline_specs_are_distinct_cache_entries() {
+    // The pass schedule is part of the kernel's identity: the same BLAC
+    // compiled under two different `--passes` specs must occupy two cache
+    // entries, and re-requesting either spec hits its own entry.
+    let cache = KernelCache::new();
+    let blac = lgen::ll::paper::gemv(4, 24);
+    let standard = CompileConfig::full(Microarch::Atom);
+    let fixpoint = standard
+        .clone()
+        .with_passes(PassPipeline::parse("unroll,scalrep,repeat(copyprop,dce),align").unwrap());
+    assert_ne!(
+        standard.pipeline.fingerprint(),
+        fixpoint.pipeline.fingerprint(),
+        "spec fingerprints must distinguish the schedules"
+    );
+
+    let a = cache.get_or_compile(&blac, "kernel", &standard);
+    let b = cache.get_or_compile(&blac, "kernel", &fixpoint);
+    assert_eq!(cache.stats().entries, 2, "one entry per schedule");
+    assert_eq!(cache.stats().misses, 2);
+
+    let a2 = cache.get_or_compile(&blac, "kernel", &standard);
+    let b2 = cache.get_or_compile(&blac, "kernel", &fixpoint);
+    assert_eq!(cache.stats().hits, 2, "each schedule hits its own entry");
+    assert!(Arc::ptr_eq(&a, &a2));
+    assert!(Arc::ptr_eq(&b, &b2));
+}
+
+#[test]
 fn tuned_winner_survives_a_cache_round_trip() {
     // End-to-end: tuning through a cache and re-tuning from the warm cache
     // agree exactly with the uncached tuner.
     let blac = lgen::ll::paper::gemm(4, 8, 4);
     let cfg = CompileConfig::full(Microarch::CortexA9);
     let cache = Arc::new(KernelCache::new());
-    let cached = Autotuner::new(cfg)
+    let cached = Autotuner::new(cfg.clone())
         .with_sample_size(16)
         .with_threads(2)
         .with_cache(cache.clone())

@@ -102,6 +102,75 @@ proptest! {
     }
 }
 
+/// The pass schedules the differential sweep below runs: the standard
+/// order, a fixpoint-cleanup variant, re-ordered cleanup, and schedules
+/// with a pass dropped (`align`, `scalrep`) — every one is a legal spec
+/// and must be a bit-exact semantics preserver.
+const PIPELINE_SPECS: [&str; 6] = [
+    "unroll,scalrep,copyprop,dce,align",
+    "unroll,scalrep,repeat(copyprop,dce),align",
+    "unroll,copyprop,scalrep,copyprop,dce,align",
+    "unroll,scalrep,copyprop,dce",
+    "unroll,copyprop,dce,align",
+    "unroll,repeat(scalrep,copyprop,dce)",
+];
+
+/// Differential testing over pass *schedules*: any legal pipeline spec —
+/// fixpoint groups and dropped passes included — must compute bit-exactly
+/// what the unoptimized emission computes, on paper BLACs and random
+/// shapes alike (checked through the C-IR interpreter).
+#[test]
+fn every_pipeline_spec_preserves_semantics_bit_exactly() {
+    let suite = [
+        paper::gemv(5, 9),
+        paper::gemm(4, 8, 4),
+        paper::bilinear(5, 7),
+        paper::axpy(19),
+        paper::addt_gemm(6, 4, 5),
+    ];
+    for blac in &suite {
+        for arch in [Microarch::Atom, Microarch::CortexA8] {
+            let raw = outputs(blac, &raw_kernel(blac, arch), arch.vector_isa());
+            for spec in PIPELINE_SPECS {
+                let pipeline = PassPipeline::parse(spec).expect("spec is legal");
+                let cfg = CompileConfig::full(arch)
+                    .with_unroll(UnrollPolicy::Full { max_trip: 16 })
+                    .with_passes(pipeline);
+                let opt = outputs(blac, &compile(blac, "opt", &cfg), arch.vector_isa());
+                assert_eq!(raw, opt, "{arch} spec \"{spec}\"");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The schedule sweep over random shapes: every spec agrees with the
+    /// raw emission on random GEMV/MMM sizes and unroll decisions.
+    #[test]
+    fn pipeline_specs_preserve_semantics_on_random_shapes(
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+        arch_pick in 0usize..4,
+        full_trip in 1usize..40,
+        spec_pick in 0usize..PIPELINE_SPECS.len(),
+    ) {
+        let arch = Microarch::EVALUATED[arch_pick];
+        let spec = PIPELINE_SPECS[spec_pick];
+        let pipeline = PassPipeline::parse(spec).expect("spec is legal");
+        for blac in [paper::mmm(m, k, n), paper::gemv(m, n)] {
+            let raw = outputs(&blac, &raw_kernel(&blac, arch), arch.vector_isa());
+            let cfg = CompileConfig::full(arch)
+                .with_unroll(UnrollPolicy::Full { max_trip: full_trip })
+                .with_passes(pipeline.clone());
+            let opt = outputs(&blac, &compile(&blac, "opt", &cfg), arch.vector_isa());
+            prop_assert_eq!(raw, opt, "{} spec \"{}\"", arch, spec);
+        }
+    }
+}
+
 /// Optimization must strictly reduce dynamic memory traffic whenever full
 /// unrolling exposes a store→load chain through a materialized temporary
 /// (the point of scalar replacement, Fig. 2.4). `α = xᵀAy` materializes

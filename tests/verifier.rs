@@ -60,8 +60,29 @@ fn paper_pipeline_verifies_clean_at_every_pass() {
 fn versioned_and_peeled_kernels_verify_clean() {
     let blac = paper::gemv(4, 12);
     let base = CompileConfig::full(Microarch::Atom).with_verify(VerifyLevel::EveryPass);
-    try_compile(&blac, "versioned", &base.with_versioning()).expect("versioning verifies");
+    try_compile(&blac, "versioned", &base.clone().with_versioning()).expect("versioning verifies");
     try_compile(&blac, "peeled", &base.with_peeling()).expect("peeling verifies");
+}
+
+#[test]
+fn custom_pipeline_specs_verify_clean_at_every_pass() {
+    // `--passes` schedules (fixpoint groups, reordered cleanup, dropped
+    // passes) run under paranoid verification: every interior pass output
+    // must re-prove the verifier's invariants.
+    let specs = [
+        "unroll,scalrep,repeat(copyprop,dce),align",
+        "unroll,copyprop,scalrep,copyprop,dce,align",
+        "unroll,copyprop,dce",
+    ];
+    for (blac, name) in &suite() {
+        for spec in specs {
+            let cfg = CompileConfig::full(Microarch::Atom)
+                .with_passes(PassPipeline::parse(spec).unwrap())
+                .with_verify(VerifyLevel::EveryPass);
+            try_compile(blac, name, &cfg)
+                .unwrap_or_else(|e| panic!("{name} under \"{spec}\": {e}"));
+        }
+    }
 }
 
 /// Adds `bump` to the address constant of the first generic load found
@@ -167,7 +188,7 @@ fn autotuner_rejects_corrupt_cached_candidate() {
 
     // Poison exactly one candidate's cache slot with an out-of-bounds
     // kernel; the tuner must reject it instead of measuring it.
-    let poisoned = cfg.with_unroll(UnrollPolicy::None);
+    let poisoned = cfg.clone().with_unroll(UnrollPolicy::None);
     let mut corrupt: Kernel = (*cache.get_or_compile(&blac, "k", &poisoned)).clone();
     assert!(bump_first_load(corrupt.body_mut(), 1000));
     cache.insert(
@@ -179,7 +200,7 @@ fn autotuner_rejects_corrupt_cached_candidate() {
         Arc::new(corrupt),
     );
 
-    let tuned = Autotuner::new(cfg)
+    let tuned = Autotuner::new(cfg.clone())
         .with_strategy(SearchStrategy::Exhaustive)
         .with_cache(cache.clone())
         .tune(&blac, "k");
