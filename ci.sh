@@ -36,6 +36,24 @@ EOF
 ./target/release/lgenc "$blacfile" --verify=paranoid \
     --passes "unroll,scalrep,repeat(copyprop,dce),align" --cache-stats > /dev/null
 
+echo "==> fault-injection suite under LGEN_VERIFY=paranoid"
+LGEN_VERIFY=paranoid cargo test -q --release --test fault_tolerance
+
+echo "==> lgenc degrades gracefully under injected faults"
+summary=$(LGEN_FAULTS="panic@1,corrupt@3,hang@5:300ms" \
+    ./target/release/lgenc "$blacfile" --tune --tune-deadline 100ms \
+    --cache-stats 2>&1 >/dev/null)
+if ! grep -q "candidate(s) failed: .* verify-rejected, .* panicked, .* timed out" <<<"$summary"; then
+    echo "error: lgenc failure summary missing under LGEN_FAULTS" >&2
+    echo "$summary" >&2
+    exit 1
+fi
+if ! grep -q "autotuned to" <<<"$summary"; then
+    echo "error: faulted tune did not return a surviving kernel" >&2
+    echo "$summary" >&2
+    exit 1
+fi
+
 echo "==> no build artifacts tracked by git"
 tracked=$(git ls-files 'target/*' | wc -l)
 if [ "$tracked" -ne 0 ]; then

@@ -24,12 +24,28 @@
 //! `<` comparison — so the winning kernel is byte-identical no matter how
 //! many threads ran the search. A shared [`KernelCache`] (optional) dedups
 //! compilation across candidates, repeated tunes, and batch jobs.
+//!
+//! **Fault tolerance.** A search is only as good as its ability to survive
+//! bad candidates. Every candidate evaluation is isolated
+//! ([`crate::pool::run_outcomes`]): a panicking candidate is contained by
+//! `catch_unwind`, a hanging one is abandoned at its per-candidate
+//! deadline, and a verifier-rejected one is skipped — each failure is
+//! recorded ([`CandidateFailure`], surfaced through [`TunedKernel`] and
+//! the cache's `--cache-stats` counters) and the search continues with
+//! the survivors. Only an all-candidates-failed search is an error
+//! ([`TuneError`]); [`tune`](Autotuner::tune) panics on it,
+//! [`try_tune`](Autotuner::try_tune) reports it. Deadlines and the
+//! whole-search [`TuneBudget`] are opt-in; without them (the default) the
+//! search remains byte-deterministic for every thread count. The
+//! env-gated [`FaultPlan`] harness (`LGEN_FAULTS`) injects failures
+//! deterministically to keep this degradation path tested end to end.
 
 use crate::cache::KernelCache;
 use crate::config::CompileConfig;
 use crate::exec::{check_kernel, measure_blac, tolerance};
+use crate::fault::{corrupt_kernel, FaultKind, FaultPlan};
 use crate::pipeline::try_compile;
-use crate::pool::run_indexed;
+use crate::pool::{run_outcomes, JobOutcome};
 use lgen_cir::passes::{PassPipeline, UnrollPolicy};
 use lgen_cir::{verify_kernel, Kernel, VerifyFailure};
 use lgen_ll::Blac;
@@ -37,7 +53,9 @@ use lgen_machine::Measurement;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// What the autotuner minimizes (§6 future work: "introduction of
 /// energy-related metrics in the autotuning feedback loop").
@@ -83,6 +101,117 @@ pub enum SearchStrategy {
 /// tuner config's own pipeline).
 type Candidate = (UnrollPolicy, Option<PassPipeline>);
 
+/// One evaluated candidate: its kernel and measurement.
+type Eval = (Arc<Kernel>, Measurement);
+
+/// Time limits for a tuning run: both knobs are opt-in (`None` = no
+/// limit, the deterministic default).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TuneBudget {
+    /// Per-candidate deadline: a candidate still evaluating when it
+    /// expires is abandoned and recorded as timed out.
+    pub deadline: Option<Duration>,
+    /// Whole-search budget: once spent, workers stop claiming candidates;
+    /// the unstarted remainder is recorded as timed out and the best
+    /// *surviving* kernel wins. (For [`Autotuner::tune_many`] the budget
+    /// spans the whole batch.)
+    pub total: Option<Duration>,
+}
+
+/// Why one candidate dropped out of the search.
+#[derive(Clone, Debug)]
+pub enum FailReason {
+    /// Static verification rejected its kernel (corrupt C-IR).
+    Rejected(VerifyFailure),
+    /// Its evaluation panicked (contained by the worker pool).
+    Panicked(String),
+    /// It exceeded the per-candidate deadline, or was never started
+    /// because the search budget was already spent.
+    TimedOut,
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailReason::Rejected(v) => write!(f, "verify-rejected: {v}"),
+            FailReason::Panicked(msg) => write!(f, "panicked: {msg}"),
+            FailReason::TimedOut => write!(f, "timed out"),
+        }
+    }
+}
+
+/// A candidate the search survived: which point failed and why.
+#[derive(Clone, Debug)]
+pub struct CandidateFailure {
+    /// The candidate's unrolling decision.
+    pub unroll: UnrollPolicy,
+    /// Its schedule, when pass-order search assigned one.
+    pub pipeline: Option<PassPipeline>,
+    /// What went wrong.
+    pub reason: FailReason,
+}
+
+impl fmt::Display for CandidateFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "candidate {:?} {}", self.unroll, self.reason)
+    }
+}
+
+/// The search could not produce any kernel: every candidate failed.
+#[derive(Clone, Debug)]
+pub enum TuneError {
+    /// No candidate survived evaluation; the failures say why.
+    AllCandidatesFailed {
+        /// How many candidates the strategy attempted.
+        attempted: usize,
+        /// Every failure, in candidate order.
+        failures: Vec<CandidateFailure>,
+    },
+}
+
+impl TuneError {
+    /// The per-candidate failures behind the error.
+    pub fn failures(&self) -> &[CandidateFailure] {
+        match self {
+            TuneError::AllCandidatesFailed { failures, .. } => failures,
+        }
+    }
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let TuneError::AllCandidatesFailed {
+            attempted,
+            failures,
+        } = self;
+        let (r, p, t) = count_reasons(failures);
+        write!(
+            f,
+            "all {attempted} tuning candidate(s) failed \
+             ({r} verify-rejected, {p} panicked, {t} timed out)"
+        )?;
+        if let Some(first) = failures.first() {
+            write!(f, "; first: {first}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// Counts `(rejected, panicked, timed_out)` over a failure list.
+fn count_reasons(failures: &[CandidateFailure]) -> (usize, usize, usize) {
+    let mut counts = (0, 0, 0);
+    for fail in failures {
+        match fail.reason {
+            FailReason::Rejected(_) => counts.0 += 1,
+            FailReason::Panicked(_) => counts.1 += 1,
+            FailReason::TimedOut => counts.2 += 1,
+        }
+    }
+    counts
+}
+
 /// Result of an autotuning run.
 #[derive(Clone, Debug)]
 pub struct TunedKernel {
@@ -97,10 +226,39 @@ pub struct TunedKernel {
     pub pipeline: PassPipeline,
     /// `(candidate, median cycles)` for every sampled point (with
     /// pass-order search, one entry per `(unroll, pipeline)` pair).
+    /// Failed candidates are excluded — see [`failures`](Self::failures).
     pub samples: Vec<(UnrollPolicy, u64)>,
     /// Candidates excluded because they failed static verification
     /// (`cfg.verify` enabled) — never measured, never eligible to win.
     pub rejected: usize,
+    /// Every candidate the search survived, with its reason — the
+    /// graceful-degradation record ([`rejected`](Self::rejected) counts
+    /// the `Rejected` subset).
+    pub failures: Vec<CandidateFailure>,
+}
+
+impl TunedKernel {
+    /// Candidates whose evaluation panicked.
+    pub fn panicked(&self) -> usize {
+        count_reasons(&self.failures).1
+    }
+
+    /// Candidates abandoned at a deadline or skipped by the budget.
+    pub fn timed_out(&self) -> usize {
+        count_reasons(&self.failures).2
+    }
+
+    /// A one-line degradation summary, or `None` if nothing failed.
+    pub fn failure_summary(&self) -> Option<String> {
+        if self.failures.is_empty() {
+            return None;
+        }
+        let (r, p, t) = count_reasons(&self.failures);
+        Some(format!(
+            "{} candidate(s) failed: {r} verify-rejected, {p} panicked, {t} timed out",
+            self.failures.len()
+        ))
+    }
 }
 
 /// Autotuner over the tiling/unrolling space, optionally crossed with
@@ -117,12 +275,15 @@ pub struct Autotuner {
     /// Pass schedules to search over; empty = unrolling-only search under
     /// the config's own pipeline.
     pipelines: Vec<PassPipeline>,
+    budget: TuneBudget,
+    faults: FaultPlan,
 }
 
 impl Autotuner {
     /// Autotuner with the paper's defaults: random search, sample size 10,
     /// minimizing cycles. Runs single-threaded and uncached; see
-    /// [`Self::with_threads`] and [`Self::with_cache`].
+    /// [`Self::with_threads`] and [`Self::with_cache`]. Fault injection is
+    /// read from `LGEN_FAULTS` (none when unset), like `LGEN_VERIFY`.
     pub fn new(cfg: CompileConfig) -> Self {
         Autotuner {
             cfg,
@@ -133,6 +294,8 @@ impl Autotuner {
             threads: 1,
             cache: None,
             pipelines: Vec::new(),
+            budget: TuneBudget::default(),
+            faults: FaultPlan::from_env(),
         }
     }
 
@@ -179,6 +342,42 @@ impl Autotuner {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets a per-candidate deadline: a candidate still compiling,
+    /// validating, or measuring when it expires is abandoned and counted
+    /// as timed out instead of stalling the search.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.budget.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a whole-search time budget: once spent, no further candidate
+    /// is started and the best kernel found so far wins.
+    #[must_use]
+    pub fn with_budget(mut self, total: Duration) -> Self {
+        self.budget.total = Some(total);
+        self
+    }
+
+    /// Sets both time limits at once.
+    #[must_use]
+    pub fn with_tune_budget(mut self, budget: TuneBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the fault-injection plan (normally read from
+    /// `LGEN_FAULTS`). Fault indices address the candidate list the
+    /// strategy evaluates: for `Exhaustive`/`Random` the sampled list in
+    /// order; for `Guided` (and per-BLAC entries of
+    /// [`tune_many`](Self::tune_many)) the position in
+    /// [`search_space`](Self::search_space).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -277,23 +476,56 @@ impl Autotuner {
     /// deterministic: safe to run from any worker thread. Returns `Err`
     /// when the candidate fails verification — the tuner skips it instead
     /// of measuring garbage.
+    ///
+    /// `index` addresses the fault plan; `deadline` (set by the isolating
+    /// pool) is checked cooperatively so an already-abandoned evaluation
+    /// stops before doing cacheable work.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an injected panic fault, an expired deadline, or a
+    /// candidate that fails numeric validation — all contained by
+    /// [`crate::pool::run_outcomes`] when called from the tuner.
     fn evaluate(
         &self,
         blac: &Blac,
         name: &str,
+        index: usize,
         candidate: &Candidate,
-    ) -> Result<(Arc<Kernel>, Measurement), VerifyFailure> {
+        deadline: Option<Instant>,
+    ) -> Result<Eval, VerifyFailure> {
+        let mut corrupt = false;
+        match self.faults.kind(index) {
+            Some(FaultKind::Panic) => panic!("injected fault: candidate {index} panicked"),
+            Some(FaultKind::Hang(delay)) => std::thread::sleep(delay),
+            Some(FaultKind::CorruptIr) => corrupt = true,
+            None => {}
+        }
+        let expired = || deadline.is_some_and(|d| Instant::now() >= d);
+        if expired() {
+            // The pool already recorded this candidate as timed out; bail
+            // before compiling (and caching) work nobody will collect.
+            panic!("candidate {index} abandoned at its deadline");
+        }
         let isa = self.cfg.arch.vector_isa();
         let offsets = vec![0usize; blac.operands.len()];
         let cfg = self.candidate_cfg(candidate);
-        let kernel = match &self.cache {
-            Some(cache) => cache.try_get_or_compile(blac, name, &cfg)?,
-            None => Arc::new(try_compile(blac, name, &cfg)?),
+        let kernel = if corrupt {
+            // Injected corrupt C-IR compiles *outside* the shared cache:
+            // a corrupt kernel must never be able to poison it.
+            let mut k = try_compile(blac, name, &cfg)?;
+            corrupt_kernel(&mut k);
+            Arc::new(k)
+        } else {
+            match &self.cache {
+                Some(cache) => cache.try_get_or_compile(blac, name, &cfg)?,
+                None => Arc::new(try_compile(blac, name, &cfg)?),
+            }
         };
         // Re-check cache-served kernels too: a seeded/stale entry must not
         // slip past the verification gate just because it skipped the
         // pipeline's boundary checks.
-        if cfg.verify.is_enabled() {
+        if cfg.verify.is_enabled() || corrupt {
             let diagnostics = verify_kernel(&kernel);
             if !diagnostics.is_empty() {
                 if let Some(cache) = &self.cache {
@@ -312,43 +544,98 @@ impl Autotuner {
             "candidate {:?} numerically wrong: {diff}",
             candidate.0
         );
+        if expired() {
+            panic!("candidate {index} abandoned at its deadline");
+        }
         let m =
             measure_blac(blac, &kernel, self.cfg.arch, &offsets, self.reps).expect("measurement");
         Ok((kernel, m))
     }
 
+    /// Evaluates `(fault index, candidate)` pairs on the isolating worker
+    /// pool: panics contained, per-candidate deadline enforced, claims
+    /// stopped once the budget (counted from `start`) is spent.
+    fn eval_outcomes(
+        &self,
+        blac: &Blac,
+        name: &str,
+        indexed: Vec<(usize, Candidate)>,
+        start: Instant,
+    ) -> Vec<JobOutcome<Eval>> {
+        let n = indexed.len();
+        let ctx = Arc::new(self.clone());
+        let blac = Arc::new(blac.clone());
+        let name: Arc<str> = Arc::from(name);
+        let indexed = Arc::new(indexed);
+        let total = self.budget.total;
+        let stop = move || total.is_some_and(|b| start.elapsed() >= b);
+        run_outcomes(
+            n,
+            self.threads,
+            self.budget.deadline,
+            &stop,
+            Arc::new(move |i, deadline| {
+                let (index, candidate) = &indexed[i];
+                ctx.evaluate(&blac, &name, *index, candidate, deadline)
+            }),
+        )
+    }
+
+    /// Records one failed candidate: bumps the attached cache's counters
+    /// (verify rejections were already counted at the cache layer) and
+    /// appends the reason to `failures`.
+    fn record_failure(
+        &self,
+        failures: &mut Vec<CandidateFailure>,
+        candidate: &Candidate,
+        reason: FailReason,
+    ) {
+        if let Some(cache) = &self.cache {
+            match reason {
+                FailReason::Panicked(_) => cache.record_tune_panic(),
+                FailReason::TimedOut => cache.record_tune_timeout(),
+                FailReason::Rejected(_) => {}
+            }
+        }
+        failures.push(CandidateFailure {
+            unroll: candidate.0,
+            pipeline: candidate.1.clone(),
+            reason,
+        });
+    }
+
     /// Reduces evaluated candidates to the winner, scanning in candidate
     /// order with a strict `<`: the first best wins, independent of which
-    /// worker finished when. Verification-rejected candidates are counted
-    /// and excluded from `samples`.
+    /// worker finished when. Failed candidates are recorded and excluded
+    /// from `samples`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if every candidate was rejected, quoting the first failure.
+    /// [`TuneError::AllCandidatesFailed`] if no candidate survived.
     fn reduce(
         &self,
         candidates: &[Candidate],
-        results: Vec<Result<(Arc<Kernel>, Measurement), VerifyFailure>>,
-    ) -> TunedKernel {
+        outcomes: Vec<JobOutcome<Eval>>,
+    ) -> Result<TunedKernel, TuneError> {
         let mut evaluated: Vec<(&Candidate, Arc<Kernel>, Measurement)> = Vec::new();
-        let mut rejected = 0usize;
-        let mut first_err = None;
-        for (c, r) in candidates.iter().zip(results) {
-            match r {
-                Ok((k, m)) => evaluated.push((c, k, m)),
-                Err(e) => {
-                    rejected += 1;
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
+        let mut failures = Vec::new();
+        for (c, outcome) in candidates.iter().zip(outcomes) {
+            match outcome {
+                JobOutcome::Ok((k, m)) => evaluated.push((c, k, m)),
+                JobOutcome::Rejected(v) => {
+                    self.record_failure(&mut failures, c, FailReason::Rejected(v))
                 }
+                JobOutcome::Panicked(msg) => {
+                    self.record_failure(&mut failures, c, FailReason::Panicked(msg))
+                }
+                JobOutcome::TimedOut => self.record_failure(&mut failures, c, FailReason::TimedOut),
             }
         }
         if evaluated.is_empty() {
-            panic!(
-                "all {rejected} candidates failed verification: {}",
-                first_err.expect("at least one rejection")
-            );
+            return Err(TuneError::AllCandidatesFailed {
+                attempted: candidates.len(),
+                failures,
+            });
         }
         let samples: Vec<(UnrollPolicy, u64)> =
             evaluated.iter().map(|(c, _, m)| (c.0, m.cycles)).collect();
@@ -359,7 +646,7 @@ impl Autotuner {
             }
         }
         let (candidate, kernel, measurement) = &evaluated[best];
-        TunedKernel {
+        Ok(TunedKernel {
             kernel: (**kernel).clone(),
             measurement: *measurement,
             unroll: candidate.0,
@@ -368,27 +655,38 @@ impl Autotuner {
                 .clone()
                 .unwrap_or_else(|| self.cfg.pipeline.clone()),
             samples,
-            rejected,
-        }
+            rejected: count_reasons(&failures).0,
+            failures,
+        })
     }
 
     /// Tunes `blac` per the configured strategy and objective, returning
-    /// the best validated kernel. Candidates are evaluated on the worker
-    /// pool; the result is identical for any thread count.
+    /// the best surviving kernel. Candidates are evaluated on the
+    /// isolating worker pool; without a deadline/budget the result is
+    /// identical for any thread count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a generated kernel fails validation — a compiler bug, not
-    /// an input condition.
-    pub fn tune(&self, blac: &Blac, name: &str) -> TunedKernel {
+    /// [`TuneError::AllCandidatesFailed`] if every candidate panicked,
+    /// timed out, or was verify-rejected.
+    pub fn try_tune(&self, blac: &Blac, name: &str) -> Result<TunedKernel, TuneError> {
         if self.strategy == SearchStrategy::Guided {
             return self.tune_guided_over_pipelines(blac, name);
         }
         let candidates = self.candidates();
-        let results = run_indexed(candidates.len(), self.threads, |i| {
-            self.evaluate(blac, name, &candidates[i])
-        });
-        self.reduce(&candidates, results)
+        let indexed = candidates.iter().cloned().enumerate().collect();
+        let outcomes = self.eval_outcomes(blac, name, indexed, Instant::now());
+        self.reduce(&candidates, outcomes)
+    }
+
+    /// [`try_tune`](Self::try_tune) that panics when every candidate
+    /// failed (historically the only failure mode surfaced).
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`TuneError`].
+    pub fn tune(&self, blac: &Blac, name: &str) -> TunedKernel {
+        self.try_tune(blac, name).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Tunes a batch of BLACs over one worker pool (and one cache, when
@@ -396,60 +694,126 @@ impl Autotuner {
     /// `(BLAC, candidate)` grid is flattened into a single job list so the
     /// pool stays saturated across kernels; `Guided` is inherently
     /// sequential per BLAC and falls back to per-BLAC tuning. Results are
-    /// in job order and identical to calling [`Self::tune`] per entry.
-    pub fn tune_many(&self, jobs: &[(Blac, String)]) -> Vec<TunedKernel> {
+    /// in job order and identical to calling [`Self::tune`] per entry
+    /// (fault indices address each BLAC's candidate list, and the search
+    /// budget spans the whole batch).
+    ///
+    /// # Errors
+    ///
+    /// One [`TuneError`] per entry whose candidates all failed; surviving
+    /// entries still tune.
+    pub fn try_tune_many(&self, jobs: &[(Blac, String)]) -> Vec<Result<TunedKernel, TuneError>> {
         if self.strategy == SearchStrategy::Guided {
             return jobs
                 .iter()
-                .map(|(blac, name)| self.tune(blac, name))
+                .map(|(blac, name)| self.try_tune(blac, name))
                 .collect();
         }
+        let start = Instant::now();
         let candidates = self.candidates();
         let per = candidates.len();
-        let results = run_indexed(jobs.len() * per, self.threads, |i| {
-            let (blac, name) = &jobs[i / per];
-            self.evaluate(blac, name, &candidates[i % per])
-        });
-        let mut results = results.into_iter();
+        let n = jobs.len() * per;
+        let ctx = Arc::new(self.clone());
+        let jobs_arc = Arc::new(jobs.to_vec());
+        let cands = Arc::new(candidates.clone());
+        let total = self.budget.total;
+        let stop = move || total.is_some_and(|b| start.elapsed() >= b);
+        let outcomes = run_outcomes(
+            n,
+            self.threads,
+            self.budget.deadline,
+            &stop,
+            Arc::new(move |i, deadline| {
+                let job: &(Blac, String) = &jobs_arc[i / per];
+                ctx.evaluate(&job.0, &job.1, i % per, &cands[i % per], deadline)
+            }),
+        );
+        let mut outcomes = outcomes.into_iter();
         jobs.iter()
-            .map(|_| self.reduce(&candidates, results.by_ref().take(per).collect()))
+            .map(|_| self.reduce(&candidates, outcomes.by_ref().take(per).collect()))
+            .collect()
+    }
+
+    /// [`try_tune_many`](Self::try_tune_many) that panics if any entry
+    /// lost every candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first [`TuneError`].
+    pub fn tune_many(&self, jobs: &[(Blac, String)]) -> Vec<TunedKernel> {
+        self.try_tune_many(jobs)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
             .collect()
     }
 
     /// Guided search across schedules: one hill climb over the unrolling
     /// space per candidate pipeline (just the config's own when pass-order
-    /// search is off), keeping the first best under a strict `<`.
-    fn tune_guided_over_pipelines(&self, blac: &Blac, name: &str) -> TunedKernel {
+    /// search is off), keeping the first best under a strict `<`. The
+    /// winner aggregates the failures of every climb.
+    fn tune_guided_over_pipelines(
+        &self,
+        blac: &Blac,
+        name: &str,
+    ) -> Result<TunedKernel, TuneError> {
+        let start = Instant::now();
         if self.pipelines.is_empty() {
-            return self.tune_guided(blac, name, &Self::search_space(), None);
+            return self.tune_guided(blac, name, &Self::search_space(), None, start);
         }
         let mut best: Option<TunedKernel> = None;
+        let mut all_failures = Vec::new();
+        let mut attempted = 0;
         for p in &self.pipelines {
-            let t = self.tune_guided(blac, name, &Self::search_space(), Some(p));
-            if best
-                .as_ref()
-                .is_none_or(|b| t.measurement.cycles < b.measurement.cycles)
-            {
-                best = Some(t);
+            match self.tune_guided(blac, name, &Self::search_space(), Some(p), start) {
+                Ok(t) => {
+                    all_failures.extend(t.failures.iter().cloned());
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| t.measurement.cycles < b.measurement.cycles)
+                    {
+                        best = Some(t);
+                    }
+                }
+                Err(TuneError::AllCandidatesFailed {
+                    attempted: a,
+                    failures,
+                }) => {
+                    attempted += a;
+                    all_failures.extend(failures);
+                }
             }
         }
-        best.expect("at least one pipeline candidate")
+        match best {
+            Some(mut t) => {
+                t.failures = all_failures;
+                t.rejected = count_reasons(&t.failures).0;
+                Ok(t)
+            }
+            None => Err(TuneError::AllCandidatesFailed {
+                attempted,
+                failures: all_failures,
+            }),
+        }
     }
 
     /// Guided search: probe a few structurally diverse seeds (no unrolling,
     /// a mid-size full unroll, the maximal full unroll, the maximal factor
     /// unroll), then hill-climb from the best seed. The seed probes run on
     /// the worker pool; the climb itself is inherently sequential but
-    /// evaluates both neighbours of the current point in parallel.
+    /// evaluates both neighbours of the current point in parallel. Fault
+    /// indices address positions in `space`.
     fn tune_guided(
         &self,
         blac: &Blac,
         name: &str,
         space: &[UnrollPolicy],
         pipeline: Option<&PassPipeline>,
-    ) -> TunedKernel {
+        start: Instant,
+    ) -> Result<TunedKernel, TuneError> {
         let cand = |u: UnrollPolicy| (u, pipeline.cloned());
         let mut samples = Vec::new();
+        let mut failures = Vec::new();
+        let mut attempted = 0usize;
         let mut evaluated = vec![false; space.len()];
         // Seed indices are derived from the space's structure so the probe
         // set stays meaningful if the space grows.
@@ -469,21 +833,20 @@ impl Autotuner {
         for &si in &seeds {
             evaluated[si] = true;
         }
-        let probes = run_indexed(seeds.len(), self.threads, |i| {
-            self.evaluate(blac, name, &cand(space[seeds[i]]))
-        });
-        let mut rejected = 0usize;
-        let mut first_err = None;
+        attempted += seeds.len();
+        let probes = self.eval_outcomes(
+            blac,
+            name,
+            seeds.iter().map(|&si| (si, cand(space[si]))).collect(),
+            start,
+        );
         let mut idx = seeds[0];
-        let mut best: Option<(Arc<Kernel>, Measurement)> = None;
+        let mut best: Option<Eval> = None;
         for (&si, probe) in seeds.iter().zip(probes) {
-            let (k, m) = match probe {
+            let (k, m) = match outcome_to_result(probe) {
                 Ok(r) => r,
-                Err(e) => {
-                    rejected += 1;
-                    if first_err.is_none() {
-                        first_err = Some(e);
-                    }
+                Err(reason) => {
+                    self.record_failure(&mut failures, &cand(space[si]), reason);
                     continue;
                 }
             };
@@ -497,10 +860,10 @@ impl Autotuner {
             }
         }
         let Some((mut best_k, mut best_m)) = best else {
-            panic!(
-                "all {rejected} guided seed candidates failed verification: {}",
-                first_err.expect("at least one rejection")
-            );
+            return Err(TuneError::AllCandidatesFailed {
+                attempted,
+                failures,
+            });
         };
         loop {
             let neighbours: Vec<usize> = [idx.wrapping_sub(1), idx + 1]
@@ -510,15 +873,18 @@ impl Autotuner {
             for &n in &neighbours {
                 evaluated[n] = true;
             }
-            let evals = run_indexed(neighbours.len(), self.threads, |i| {
-                self.evaluate(blac, name, &cand(space[neighbours[i]]))
-            });
+            let evals = self.eval_outcomes(
+                blac,
+                name,
+                neighbours.iter().map(|&n| (n, cand(space[n]))).collect(),
+                start,
+            );
             let mut improved = false;
             for (&next, eval) in neighbours.iter().zip(evals) {
-                let (k, m) = match eval {
+                let (k, m) = match outcome_to_result(eval) {
                     Ok(r) => r,
-                    Err(_) => {
-                        rejected += 1;
+                    Err(reason) => {
+                        self.record_failure(&mut failures, &cand(space[next]), reason);
                         continue;
                     }
                 };
@@ -539,7 +905,7 @@ impl Autotuner {
             .find(|(_, c)| *c == best_m.cycles)
             .map(|(u, _)| *u)
             .expect("best was sampled");
-        TunedKernel {
+        Ok(TunedKernel {
             kernel: (*best_k).clone(),
             measurement: best_m,
             unroll,
@@ -547,8 +913,19 @@ impl Autotuner {
                 .cloned()
                 .unwrap_or_else(|| self.cfg.pipeline.clone()),
             samples,
-            rejected,
-        }
+            rejected: count_reasons(&failures).0,
+            failures,
+        })
+    }
+}
+
+/// Splits a [`JobOutcome`] into success or a [`FailReason`].
+fn outcome_to_result(outcome: JobOutcome<Eval>) -> Result<Eval, FailReason> {
+    match outcome {
+        JobOutcome::Ok(eval) => Ok(eval),
+        JobOutcome::Rejected(v) => Err(FailReason::Rejected(v)),
+        JobOutcome::Panicked(msg) => Err(FailReason::Panicked(msg)),
+        JobOutcome::TimedOut => Err(FailReason::TimedOut),
     }
 }
 
@@ -793,5 +1170,56 @@ mod tests {
         assert_eq!(a.pipeline, b.pipeline);
         assert_eq!(a.kernel, b.kernel);
         assert_eq!(a.rejected, 0, "no candidate may fail verification");
+        assert!(a.failures.is_empty());
+    }
+
+    #[test]
+    fn injected_panic_degrades_instead_of_aborting() {
+        let blac = paper::gemv(4, 16);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let tuned = Autotuner::new(cfg.clone())
+            .with_strategy(SearchStrategy::Exhaustive)
+            .with_faults(FaultPlan::none().panic_at(0).panic_at(2))
+            .tune(&blac, "k");
+        let space = Autotuner::search_space().len();
+        assert_eq!(tuned.samples.len(), space - 2);
+        assert_eq!(tuned.panicked(), 2);
+        assert_eq!(tuned.rejected, 0);
+        // The clean run over the surviving candidates picks the same
+        // winner.
+        let clean = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Exhaustive)
+            .tune(&blac, "k");
+        let expected = clean
+            .samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 0 && *i != 2)
+            .min_by_key(|(_, (_, cycles))| *cycles)
+            .map(|(_, (u, _))| *u)
+            .unwrap();
+        assert_eq!(tuned.unroll, expected);
+    }
+
+    #[test]
+    fn all_candidates_failed_is_a_typed_error() {
+        let blac = paper::axpy(16);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let mut plan = FaultPlan::none();
+        for i in 0..Autotuner::search_space().len() {
+            plan = plan.panic_at(i);
+        }
+        let err = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Exhaustive)
+            .with_faults(plan)
+            .try_tune(&blac, "k")
+            .expect_err("no survivor");
+        let TuneError::AllCandidatesFailed {
+            attempted,
+            failures,
+        } = &err;
+        assert_eq!(*attempted, Autotuner::search_space().len());
+        assert_eq!(failures.len(), *attempted);
+        assert!(err.to_string().contains("panicked"), "{err}");
     }
 }

@@ -70,6 +70,12 @@ pub struct CacheStats {
     /// (never inserted — see [`KernelCache::try_get_or_compile`] and the
     /// autotuner's final verification gate).
     pub verify_rejects: u64,
+    /// Tuning candidates whose evaluation panicked (contained by the
+    /// fault-tolerant pool; nothing is cached for them).
+    pub tune_panics: u64,
+    /// Tuning candidates abandoned at their deadline or skipped once the
+    /// search budget was spent.
+    pub tune_timeouts: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -90,6 +96,12 @@ impl fmt::Display for CacheStats {
         if self.verify_rejects > 0 {
             write!(f, ", {} verify-rejected", self.verify_rejects)?;
         }
+        if self.tune_panics > 0 {
+            write!(f, ", {} candidate panic(s)", self.tune_panics)?;
+        }
+        if self.tune_timeouts > 0 {
+            write!(f, ", {} candidate timeout(s)", self.tune_timeouts)?;
+        }
         Ok(())
     }
 }
@@ -102,6 +114,8 @@ pub struct KernelCache {
     inserts: AtomicU64,
     races: AtomicU64,
     verify_rejects: AtomicU64,
+    tune_panics: AtomicU64,
+    tune_timeouts: AtomicU64,
     stages: PassStats,
 }
 
@@ -121,6 +135,8 @@ impl KernelCache {
             inserts: AtomicU64::new(0),
             races: AtomicU64::new(0),
             verify_rejects: AtomicU64::new(0),
+            tune_panics: AtomicU64::new(0),
+            tune_timeouts: AtomicU64::new(0),
             stages: PassStats::new(),
         }
     }
@@ -217,6 +233,18 @@ impl KernelCache {
         self.verify_rejects.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts a tuning candidate whose evaluation panicked (contained by
+    /// the fault-tolerant pool).
+    pub fn record_tune_panic(&self) {
+        self.tune_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a tuning candidate abandoned at its deadline or skipped by
+    /// an exhausted search budget.
+    pub fn record_tune_timeout(&self) {
+        self.tune_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of resident kernels.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
@@ -242,6 +270,8 @@ impl KernelCache {
             inserts: self.inserts.load(Ordering::Relaxed),
             races: self.races.load(Ordering::Relaxed),
             verify_rejects: self.verify_rejects.load(Ordering::Relaxed),
+            tune_panics: self.tune_panics.load(Ordering::Relaxed),
+            tune_timeouts: self.tune_timeouts.load(Ordering::Relaxed),
             entries: self.len(),
         }
     }

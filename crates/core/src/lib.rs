@@ -23,16 +23,21 @@ pub mod autotune;
 pub mod cache;
 pub mod config;
 pub mod exec;
+pub mod fault;
 pub mod pipeline;
 pub mod pool;
 
-pub use autotune::{Autotuner, Objective, SearchStrategy, TunedKernel};
+pub use autotune::{
+    Autotuner, CandidateFailure, FailReason, Objective, SearchStrategy, TuneBudget, TuneError,
+    TunedKernel,
+};
 pub use cache::{CacheKey, CacheStats, KernelCache};
 pub use config::{CompileConfig, Variant};
 pub use exec::{check_kernel, measure_blac, run_blac_kernel};
+pub use fault::{parse_duration, FaultKind, FaultPlan};
 pub use lgen_cir::{PassPipeline, PassStats, PassTrace, VerifyFailure, VerifyLevel};
 pub use pipeline::{
     compile, compile_many, compile_with_stats, try_compile, try_compile_traced,
     try_compile_with_stats,
 };
-pub use pool::effective_threads;
+pub use pool::{effective_threads, JobOutcome};

@@ -7,9 +7,26 @@
 //! autotuner's reduction relies on. Work distribution is a single atomic
 //! counter (jobs are coarse — a full compile+validate+measure each — so
 //! contention is negligible).
+//!
+//! Two entry points with different failure semantics:
+//!
+//! - [`run_indexed`] — a panicking job is fatal (batch compilation of
+//!   trusted inputs): the panic propagates to the caller, and a
+//!   cooperative cancel flag stops sibling workers from claiming further
+//!   doomed jobs while the scope joins.
+//! - [`run_outcomes`] — a panicking, hanging, or verifier-rejected job is
+//!   *contained*: every job is wrapped in `catch_unwind`, optionally
+//!   raced against a per-job deadline on a detached runner thread, and
+//!   reported as a [`JobOutcome`] so the caller (the autotuner) can
+//!   degrade gracefully instead of aborting the whole search.
 
+use lgen_cir::VerifyFailure;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// Resolves a requested thread count: `0` means "one per available core".
 pub fn effective_threads(requested: usize) -> usize {
@@ -20,15 +37,59 @@ pub fn effective_threads(requested: usize) -> usize {
     }
 }
 
+/// How one isolated job ended.
+///
+/// The lattice the fault-tolerant tuner reduces over: `Ok` beats
+/// everything, the three failure modes are recorded (reason + counters)
+/// and excluded from the reduction. `TimedOut` covers both a job that
+/// exceeded its per-job deadline and a job never started because the
+/// run's stop predicate (budget/cancel) already fired.
+#[derive(Debug)]
+pub enum JobOutcome<T> {
+    /// The job completed.
+    Ok(T),
+    /// The job reported a verification failure (corrupt C-IR).
+    Rejected(VerifyFailure),
+    /// The job panicked; the payload rendered as text.
+    Panicked(String),
+    /// The job exceeded its deadline (its abandoned runner thread may
+    /// still be unwinding) or was skipped because the run was stopped.
+    TimedOut,
+}
+
+impl<T> JobOutcome<T> {
+    /// The success value, if any.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            JobOutcome::Ok(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Renders a caught panic payload (the common `&str`/`String` cases).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `job(0..n_jobs)` on up to `threads` scoped workers and returns the
 /// results in job order. With `threads <= 1` (or a single job) everything
 /// runs on the caller's thread — the sequential path is the parallel path.
 ///
 /// # Panics
 ///
-/// A panicking job propagates out (after the scope joins all workers),
-/// matching the sequential behaviour the autotuner documents: a candidate
-/// failing validation is a compiler bug, not a recoverable condition.
+/// A panicking job propagates out, matching the sequential behaviour the
+/// batch compiler documents: a trusted input failing is a compiler bug,
+/// not a recoverable condition. The panic sets a cancel flag checked in
+/// the claim loop, so sibling workers stop claiming new (doomed) jobs
+/// instead of running the rest of the batch to completion first; the
+/// original payload is rethrown after the scope joins.
 pub fn run_indexed<T, F>(n_jobs: usize, threads: usize, job: F) -> Vec<T>
 where
     T: Send,
@@ -41,27 +102,144 @@ where
 
     let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n_jobs).map(|_| None).collect());
     let next = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
     let job = &job;
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let slots = &slots;
             let next = &next;
+            let cancelled = &cancelled;
+            let first_panic = &first_panic;
             scope.spawn(move || loop {
+                if cancelled.load(Ordering::Relaxed) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n_jobs {
                     break;
                 }
                 // The job (a whole compile+validate+measure) runs outside
                 // the lock; only the slot write serializes.
-                let result = job(i);
-                slots.lock()[i] = Some(result);
+                match catch_unwind(AssertUnwindSafe(|| job(i))) {
+                    Ok(result) => slots.lock()[i] = Some(result),
+                    Err(payload) => {
+                        cancelled.store(true, Ordering::Relaxed);
+                        let mut slot = first_panic.lock();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        break;
+                    }
+                }
             });
         }
     });
+    if let Some(payload) = first_panic.into_inner() {
+        resume_unwind(payload);
+    }
     slots
         .into_inner()
         .into_iter()
         .map(|s| s.expect("every job index was claimed"))
+        .collect()
+}
+
+/// Runs one job under isolation: `catch_unwind` always; when a deadline
+/// is given, the job runs on a detached runner thread and is abandoned if
+/// it has not finished in time. The job receives its own deadline instant
+/// so it can check cooperatively (e.g. to skip caching work whose result
+/// nobody will collect).
+fn run_isolated<T, F>(job: &Arc<F>, i: usize, deadline: Option<Duration>) -> JobOutcome<T>
+where
+    T: Send + 'static,
+    F: Fn(usize, Option<Instant>) -> Result<T, VerifyFailure> + Send + Sync + 'static,
+{
+    let outcome_of = |caught: Result<Result<T, VerifyFailure>, Box<dyn Any + Send>>| match caught {
+        Ok(Ok(t)) => JobOutcome::Ok(t),
+        Ok(Err(v)) => JobOutcome::Rejected(v),
+        Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
+    };
+    match deadline {
+        None => outcome_of(catch_unwind(AssertUnwindSafe(|| job(i, None)))),
+        Some(d) => {
+            let until = Instant::now() + d;
+            let (tx, rx) = mpsc::channel();
+            let job = job.clone();
+            std::thread::spawn(move || {
+                let _ = tx.send(catch_unwind(AssertUnwindSafe(|| job(i, Some(until)))));
+            });
+            match rx.recv_timeout(d) {
+                Ok(caught) => outcome_of(caught),
+                // The runner thread is abandoned: a hung job cannot be
+                // killed in safe Rust, but it no longer occupies a worker
+                // slot and its eventual result is discarded.
+                Err(_) => JobOutcome::TimedOut,
+            }
+        }
+    }
+}
+
+/// Fault-isolating variant of [`run_indexed`]: every job is contained
+/// (`catch_unwind`, optional per-job `deadline`), failures become
+/// [`JobOutcome`]s instead of aborting the run, and `stop` is checked in
+/// the claim loop so sibling workers stop claiming jobs once the run is
+/// doomed or its budget is spent (unclaimed slots report
+/// [`JobOutcome::TimedOut`]).
+///
+/// The `'static` bounds exist because a deadline-guarded job runs on a
+/// detached runner thread that may outlive the call; share context via
+/// `Arc`.
+pub fn run_outcomes<T, F>(
+    n_jobs: usize,
+    threads: usize,
+    deadline: Option<Duration>,
+    stop: &(dyn Fn() -> bool + Sync),
+    job: Arc<F>,
+) -> Vec<JobOutcome<T>>
+where
+    T: Send + 'static,
+    F: Fn(usize, Option<Instant>) -> Result<T, VerifyFailure> + Send + Sync + 'static,
+{
+    let threads = effective_threads(threads).min(n_jobs.max(1));
+    let slots: Mutex<Vec<Option<JobOutcome<T>>>> = Mutex::new((0..n_jobs).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    if threads <= 1 {
+        loop {
+            if stop() {
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_jobs {
+                break;
+            }
+            let outcome = run_isolated(&job, i, deadline);
+            slots.lock()[i] = Some(outcome);
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let slots = &slots;
+                let next = &next;
+                let job = &job;
+                scope.spawn(move || loop {
+                    if stop() {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_jobs {
+                        break;
+                    }
+                    let outcome = run_isolated(job, i, deadline);
+                    slots.lock()[i] = Some(outcome);
+                });
+            }
+        });
+    }
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|s| s.unwrap_or(JobOutcome::TimedOut))
         .collect()
 }
 
@@ -99,5 +277,129 @@ mod tests {
     fn effective_threads_resolves_zero() {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn panicking_job_still_propagates() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(8, 4, |i| {
+                if i == 3 {
+                    panic!("job 3 exploded");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        assert_eq!(panic_message(payload.as_ref()), "job 3 exploded");
+    }
+
+    /// Regression: after one job panics, remaining workers must stop
+    /// claiming doomed jobs instead of running the rest of the batch to
+    /// completion before the scope joins.
+    #[test]
+    fn panicking_job_cancels_sibling_claims() {
+        let ran = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed(200, 4, |i| {
+                if i == 0 {
+                    panic!("doomed");
+                }
+                // Slow enough that the cancel flag is set long before the
+                // batch could drain.
+                std::thread::sleep(Duration::from_millis(5));
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+        }));
+        assert!(caught.is_err(), "the panic still propagates");
+        let ran = ran.load(Ordering::Relaxed);
+        assert!(
+            ran < 40,
+            "cancel flag ignored: {ran}/200 doomed jobs still ran"
+        );
+    }
+
+    #[test]
+    fn outcomes_contain_panics_and_preserve_order() {
+        for threads in [1, 4] {
+            let out: Vec<JobOutcome<usize>> = run_outcomes(
+                10,
+                threads,
+                None,
+                &|| false,
+                Arc::new(|i, _| {
+                    if i % 3 == 0 {
+                        panic!("candidate {i} panicked");
+                    }
+                    Ok(i * 2)
+                }),
+            );
+            assert_eq!(out.len(), 10);
+            for (i, o) in out.iter().enumerate() {
+                match o {
+                    JobOutcome::Panicked(msg) => {
+                        assert_eq!(i % 3, 0);
+                        assert!(msg.contains("panicked"), "{msg}");
+                    }
+                    JobOutcome::Ok(v) => assert_eq!(*v, i * 2),
+                    other => panic!("job {i}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hung_job_times_out_and_the_run_continues() {
+        let start = Instant::now();
+        let out: Vec<JobOutcome<usize>> = run_outcomes(
+            6,
+            2,
+            Some(Duration::from_millis(30)),
+            &|| false,
+            Arc::new(|i, _| {
+                if i == 1 {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                Ok(i)
+            }),
+        );
+        assert!(matches!(out[1], JobOutcome::TimedOut));
+        let completed = out
+            .iter()
+            .filter(|o| matches!(o, JobOutcome::Ok(_)))
+            .count();
+        assert_eq!(completed, 5);
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "the pool must not wait for the hung job"
+        );
+    }
+
+    #[test]
+    fn stop_predicate_skips_unclaimed_jobs() {
+        // A stop predicate that fires after 4 completions: the remaining
+        // slots must be reported TimedOut, not run.
+        let done = Arc::new(AtomicUsize::new(0));
+        let done_job = done.clone();
+        let out: Vec<JobOutcome<usize>> = run_outcomes(
+            50,
+            2,
+            None,
+            &|| done.load(Ordering::Relaxed) >= 4,
+            Arc::new(move |i, _| {
+                done_job.fetch_add(1, Ordering::Relaxed);
+                Ok(i)
+            }),
+        );
+        assert_eq!(out.len(), 50);
+        let skipped = out
+            .iter()
+            .filter(|o| matches!(o, JobOutcome::TimedOut))
+            .count();
+        assert!(skipped >= 40, "only {skipped}/50 jobs were skipped");
+
+        // A stop predicate that is already true skips everything.
+        let out2: Vec<JobOutcome<usize>> =
+            run_outcomes(50, 2, None, &|| true, Arc::new(|i, _| Ok(i)));
+        assert!(out2.iter().all(|o| matches!(o, JobOutcome::TimedOut)));
     }
 }

@@ -103,8 +103,19 @@ pub struct ExperimentResults {
     pub device_hostname: String,
     /// Core the scheduler placed it on.
     pub core: usize,
+    /// How many attempts the experiment took (1 = first try; more when
+    /// transient failures were retried; 0 only if the worker died before
+    /// reporting).
+    pub attempts: usize,
     /// Output per repetition, or the error.
     pub outcome: Result<Vec<String>, ApiError>,
+}
+
+impl ExperimentResults {
+    /// Retries consumed beyond the first attempt.
+    pub fn retries_used(&self) -> usize {
+        self.attempts.saturating_sub(1)
+    }
 }
 
 /// Results of a whole job.
@@ -112,6 +123,19 @@ pub struct ExperimentResults {
 pub struct JobResults {
     /// One entry per experiment, in request order.
     pub data: Vec<ExperimentResults>,
+}
+
+impl JobResults {
+    /// Experiments that ended in an error (after any retries).
+    pub fn failures(&self) -> usize {
+        self.data.iter().filter(|r| r.outcome.is_err()).count()
+    }
+
+    /// Attempts summed over all experiments — equals `data.len()` when
+    /// nothing was retried.
+    pub fn total_attempts(&self) -> usize {
+        self.data.iter().map(|r| r.attempts).sum()
+    }
 }
 
 /// Response to a job-status poll (Table A.4).
@@ -155,6 +179,7 @@ mod tests {
                 data: vec![ExperimentResults {
                     device_hostname: "beaglebone".into(),
                     core: 0,
+                    attempts: 1,
                     outcome: Ok(vec!["cycles: 1234".into()]),
                 }],
             }),

@@ -6,12 +6,29 @@
 //! one (load balancing). Jobs are processed synchronously (the caller
 //! blocks, Fig. 4.2) or asynchronously with polling against the results
 //! cache (Fig. 4.3), whose entries expire after a configurable time.
+//!
+//! **Fault tolerance.** A device farm sees flaky runs: a measurement that
+//! segfaults, hangs, or trips a transient SSH-level error must not take
+//! the worker (or the whole campaign) down. Every experiment attempt runs
+//! under `catch_unwind` — a panic is reported as a 500
+//! (`InternalError`), never propagated into the core worker. An optional
+//! per-experiment [`timeout`](ExperimentSpec::timeout) bounds each
+//! attempt: a run still going when it expires is abandoned (the thesis
+//! kills the SSH session; threads cannot be killed, so the worker walks
+//! away and the stray attempt finishes unobserved) and reported as a 408
+//! (`InstructionTimeoutError`). Transient failures — the work returning
+//! `Err` — are retried up to [`retries`](ExperimentSpec::retries) times
+//! with exponential backoff before the 405 is reported; the attempt count
+//! is surfaced in [`ExperimentResults::attempts`]. Finally, a background
+//! sweeper evicts expired results-cache entries even when nobody polls,
+//! so a long-lived Mediator cannot leak finished jobs.
 
 use crate::api::{ApiError, ErrorReason, ExperimentResults, JobResults, JobState, JobStatus};
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 use lgen_isa::Microarch;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -19,8 +36,12 @@ use std::time::{Duration, Instant};
 
 /// An experiment payload: runs on the assigned device core and returns one
 /// output string per repetition (stdout/output-file contents in the
-/// thesis).
-pub type WorkFn = Box<dyn FnOnce(Microarch, usize) -> Result<Vec<String>, String> + Send>;
+/// thesis). `Fn` (not `FnOnce`) so a transient failure can be retried.
+pub type WorkFn = Box<dyn Fn(Microarch, usize) -> Result<Vec<String>, String> + Send + Sync>;
+
+/// Shared form of the payload: timed-out attempts run on an abandoned
+/// runner thread, which needs co-ownership.
+type SharedWork = Arc<dyn Fn(Microarch, usize) -> Result<Vec<String>, String> + Send + Sync>;
 
 /// A device registration (replaces the SSH `Device` of Table A.1).
 #[derive(Clone, Debug)]
@@ -42,17 +63,64 @@ pub struct ExperimentSpec {
     pub affinity: Vec<usize>,
     /// The payload.
     pub work: WorkFn,
+    /// Per-attempt deadline; an attempt still running when it expires is
+    /// abandoned and reported as `InstructionTimeoutError` (408). `None`
+    /// (the default) lets the attempt run to completion.
+    pub timeout: Option<Duration>,
+    /// How many times a transient failure (the work returning `Err`) is
+    /// retried, with exponential backoff, before the error is reported.
+    pub retries: usize,
 }
 
+impl ExperimentSpec {
+    /// An experiment on any core of `device`, no timeout, no retries.
+    pub fn new(device: impl Into<String>, work: WorkFn) -> Self {
+        ExperimentSpec {
+            device: device.into(),
+            affinity: Vec::new(),
+            work,
+            timeout: None,
+            retries: 0,
+        }
+    }
+
+    /// Restricts the experiment to the given cores.
+    #[must_use]
+    pub fn on_cores(mut self, affinity: Vec<usize>) -> Self {
+        self.affinity = affinity;
+        self
+    }
+
+    /// Sets the per-attempt deadline.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the transient-failure retry bound.
+    #[must_use]
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+}
+
+/// What a worker reports per experiment: the outcome and how many
+/// attempts it took.
+type Verdict = (Result<Vec<String>, ApiError>, usize);
+
 /// Per-experiment completion channel.
-type ReplyRx = crossbeam::channel::Receiver<Result<Vec<String>, String>>;
+type ReplyRx = crossbeam::channel::Receiver<Verdict>;
 
 enum CoreMsg {
     Run {
-        work: WorkFn,
+        work: SharedWork,
         arch: Microarch,
         core: usize,
-        reply: Sender<Result<Vec<String>, String>>,
+        timeout: Option<Duration>,
+        retries: usize,
+        reply: Sender<Verdict>,
     },
     Shutdown,
 }
@@ -66,6 +134,11 @@ struct CoreWorker {
 struct DeviceHandle {
     arch: Microarch,
     cores: Vec<CoreWorker>,
+    /// Serializes core selection + enqueue: least-loaded selection reads
+    /// every core's `pending` counter, and without the lock two concurrent
+    /// enqueues can both observe the same minimum and pile onto one core
+    /// (TOCTOU). Held only for the (cheap) pick/increment/send sequence.
+    enqueue: Mutex<()>,
 }
 
 struct JobEntry {
@@ -81,6 +154,90 @@ pub struct Mediator {
     next_job: AtomicUsize,
     /// Results expire this long after completion (§4.3).
     expiry: Duration,
+    /// Wakes the background sweeper for shutdown.
+    sweep_stop: Option<Sender<()>>,
+    sweeper: Option<JoinHandle<()>>,
+}
+
+/// Exponential backoff before retry `attempt` (1-based): 1, 2, 4, … ms,
+/// capped at 64 ms so a retry burst stays cheap.
+fn backoff(attempt: usize) -> Duration {
+    Duration::from_millis(1u64 << (attempt - 1).min(6) as u32)
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// One attempt: panic-contained, optionally deadline-bounded.
+fn run_attempt(
+    work: &SharedWork,
+    arch: Microarch,
+    core: usize,
+    timeout: Option<Duration>,
+) -> Result<Vec<String>, ApiError> {
+    let exec_err = |msg: String| ApiError::new(ErrorReason::InstructionExecutionError, msg);
+    let panic_err = |payload: Box<dyn std::any::Any + Send>| {
+        ApiError::new(
+            ErrorReason::InternalError,
+            format!("experiment panicked: {}", panic_message(&*payload)),
+        )
+    };
+    match timeout {
+        None => match catch_unwind(AssertUnwindSafe(|| work(arch, core))) {
+            Ok(Ok(out)) => Ok(out),
+            Ok(Err(msg)) => Err(exec_err(msg)),
+            Err(payload) => Err(panic_err(payload)),
+        },
+        Some(limit) => {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let w = work.clone();
+            std::thread::spawn(move || {
+                let r = catch_unwind(AssertUnwindSafe(|| w(arch, core)));
+                let _ = tx.send(r);
+            });
+            match rx.recv_timeout(limit) {
+                Ok(Ok(Ok(out))) => Ok(out),
+                Ok(Ok(Err(msg))) => Err(exec_err(msg)),
+                Ok(Err(payload)) => Err(panic_err(payload)),
+                Err(_) => Err(ApiError::new(
+                    ErrorReason::InstructionTimeoutError,
+                    format!("experiment exceeded its {limit:?} deadline"),
+                )),
+            }
+        }
+    }
+}
+
+/// Runs an experiment to its final verdict: transient failures (405) are
+/// retried with backoff up to `retries` times; timeouts and panics are
+/// terminal (the deadline budget is spent, and a panicking payload is not
+/// presumed transient).
+fn run_experiment(
+    work: &SharedWork,
+    arch: Microarch,
+    core: usize,
+    timeout: Option<Duration>,
+    retries: usize,
+) -> Verdict {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let outcome = run_attempt(work, arch, core, timeout);
+        match &outcome {
+            Err(e) if e.reason == ErrorReason::InstructionExecutionError && attempts <= retries => {
+                std::thread::sleep(backoff(attempts));
+            }
+            _ => return (outcome, attempts),
+        }
+    }
 }
 
 impl Mediator {
@@ -100,11 +257,14 @@ impl Mediator {
                                     work,
                                     arch,
                                     core,
+                                    timeout,
+                                    retries,
                                     reply,
                                 } => {
-                                    let r = work(arch, core);
+                                    let verdict =
+                                        run_experiment(&work, arch, core, timeout, retries);
                                     pending2.fetch_sub(1, Ordering::SeqCst);
-                                    let _ = reply.send(r);
+                                    let _ = reply.send(verdict);
                                 }
                                 CoreMsg::Shutdown => break,
                             }
@@ -122,20 +282,40 @@ impl Mediator {
                 DeviceHandle {
                     arch: d.arch,
                     cores,
+                    enqueue: Mutex::new(()),
                 },
             );
         }
+        let jobs: Arc<Mutex<HashMap<String, JobEntry>>> = Arc::new(Mutex::new(HashMap::new()));
+        // Background expiry sweep (§4.3): entries leave the cache on
+        // schedule even if nobody polls. Sweeping at a fraction of the
+        // expiry keeps eviction prompt at test-scale expiries without
+        // busy-waking long-lived farms.
+        let interval = (expiry / 4).clamp(Duration::from_millis(1), Duration::from_millis(500));
+        let (sweep_stop, stop_rx) = unbounded::<()>();
+        let jobs2 = jobs.clone();
+        let sweeper = std::thread::spawn(move || {
+            while let Err(RecvTimeoutError::Timeout) = stop_rx.recv_timeout(interval) {
+                jobs2
+                    .lock()
+                    .retain(|_, e| e.finished_at.is_none_or(|t| t.elapsed() < expiry));
+            }
+        });
         Mediator {
             devices: map,
-            jobs: Arc::new(Mutex::new(HashMap::new())),
+            jobs,
             next_job: AtomicUsize::new(1),
             expiry,
+            sweep_stop: Some(sweep_stop),
+            sweeper: Some(sweeper),
         }
     }
 
     /// Least-loaded core among the affinity set (the load-balance rule of
     /// §4.3: "assigns the experiment to the core that has the least number
-    /// of pending experiments").
+    /// of pending experiments"). Callers must hold the device's `enqueue`
+    /// lock so the counter scan and the subsequent increment are atomic
+    /// with respect to other enqueues.
     fn pick_core(dev: &DeviceHandle, affinity: &[usize]) -> Result<usize, ApiError> {
         let candidates: Vec<usize> = if affinity.is_empty() {
             (0..dev.cores.len()).collect()
@@ -162,18 +342,25 @@ impl Mediator {
                     format!("unknown device {}", e.device),
                 )
             })?;
+            // Pick + increment + send under the device lock: without it,
+            // concurrent enqueues race the `pending` scan and pile onto
+            // the same "least-loaded" core.
+            let guard = dev.enqueue.lock();
             let core = Self::pick_core(dev, &e.affinity)?;
             let (reply_tx, reply_rx) = unbounded();
             dev.cores[core].pending.fetch_add(1, Ordering::SeqCst);
             dev.cores[core]
                 .queue
                 .send(CoreMsg::Run {
-                    work: e.work,
+                    work: Arc::from(e.work),
                     arch: dev.arch,
                     core,
+                    timeout: e.timeout,
+                    retries: e.retries,
                     reply: reply_tx,
                 })
                 .map_err(|_| ApiError::new(ErrorReason::InternalError, "worker gone"))?;
+            drop(guard);
             waits.push((e.device, core, reply_rx));
         }
         Ok(waits)
@@ -183,14 +370,17 @@ impl Mediator {
         let data = waits
             .into_iter()
             .map(|(device_hostname, core, rx)| {
-                let outcome = match rx.recv() {
-                    Ok(Ok(outputs)) => Ok(outputs),
-                    Ok(Err(msg)) => Err(ApiError::new(ErrorReason::InstructionExecutionError, msg)),
-                    Err(_) => Err(ApiError::new(ErrorReason::InternalError, "worker died")),
+                let (outcome, attempts) = match rx.recv() {
+                    Ok(verdict) => verdict,
+                    Err(_) => (
+                        Err(ApiError::new(ErrorReason::InternalError, "worker died")),
+                        0,
+                    ),
                 };
                 ExperimentResults {
                     device_hostname,
                     core,
+                    attempts,
                     outcome,
                 }
             })
@@ -246,8 +436,9 @@ impl Mediator {
     /// [`JobState::NotFound`].
     pub fn poll(&self, job_id: &str) -> JobStatus {
         let mut map = self.jobs.lock();
-        // Expire stale results (§4.3: "results that stay in the Results
-        // Cache for more than a specific amount of time expire").
+        // Expire stale results on read too (§4.3: "results that stay in
+        // the Results Cache for more than a specific amount of time
+        // expire") — the background sweeper handles the no-poll case.
         map.retain(|_, e| match e.finished_at {
             Some(t) => t.elapsed() < self.expiry,
             None => true,
@@ -266,6 +457,13 @@ impl Mediator {
         }
     }
 
+    /// Number of entries currently held by the results cache (finished or
+    /// still pending). Expired entries leave on the next sweep even if
+    /// nobody polls.
+    pub fn cached_results(&self) -> usize {
+        self.jobs.lock().len()
+    }
+
     /// Number of experiments currently queued or running on a core.
     pub fn pending_on(&self, device: &str, core: usize) -> Option<usize> {
         self.devices
@@ -277,6 +475,12 @@ impl Mediator {
 
 impl Drop for Mediator {
     fn drop(&mut self) {
+        if let Some(stop) = self.sweep_stop.take() {
+            let _ = stop.send(());
+        }
+        if let Some(h) = self.sweeper.take() {
+            let _ = h.join();
+        }
         for dev in self.devices.values_mut() {
             for core in &mut dev.cores {
                 let _ = core.queue.send(CoreMsg::Shutdown);
@@ -317,28 +521,30 @@ mod tests {
     fn sync_job_returns_results_in_order() {
         let m = mediator();
         let exps = (0..3)
-            .map(|i| ExperimentSpec {
-                device: "zbox".into(),
-                affinity: vec![],
-                work: Box::new(move |arch, _| Ok(vec![format!("{i} on {arch}")])),
+            .map(|i| {
+                ExperimentSpec::new(
+                    "zbox",
+                    Box::new(move |arch, _| Ok(vec![format!("{i} on {arch}")])),
+                )
             })
             .collect();
         let results = m.submit_sync(exps).unwrap();
         assert_eq!(results.data.len(), 3);
         for (i, r) in results.data.iter().enumerate() {
             assert_eq!(r.outcome.as_ref().unwrap()[0], format!("{i} on Intel Atom"));
+            assert_eq!(r.attempts, 1);
         }
+        assert_eq!(results.failures(), 0);
     }
 
     #[test]
     fn unknown_device_is_auth_error() {
         let m = mediator();
         let err = m
-            .submit_sync(vec![ExperimentSpec {
-                device: "nope".into(),
-                affinity: vec![],
-                work: Box::new(|_, _| Ok(vec![])),
-            }])
+            .submit_sync(vec![ExperimentSpec::new(
+                "nope",
+                Box::new(|_, _| Ok(vec![])),
+            )])
             .unwrap_err();
         assert_eq!(err.code, 401);
     }
@@ -347,15 +553,112 @@ mod tests {
     fn failed_experiment_reports_execution_error() {
         let m = mediator();
         let results = m
-            .submit_sync(vec![ExperimentSpec {
-                device: "zbox".into(),
-                affinity: vec![],
-                work: Box::new(|_, _| Err("segfault".into())),
-            }])
+            .submit_sync(vec![ExperimentSpec::new(
+                "zbox",
+                Box::new(|_, _| Err("segfault".into())),
+            )])
             .unwrap();
         let err = results.data[0].outcome.as_ref().unwrap_err();
         assert_eq!(err.code, 405);
         assert!(err.message.contains("segfault"));
+        assert_eq!(results.data[0].attempts, 1, "no retries requested");
+        assert_eq!(results.failures(), 1);
+    }
+
+    #[test]
+    fn panicking_experiment_is_contained_as_internal_error() {
+        let m = mediator();
+        let results = m
+            .submit_sync(vec![ExperimentSpec::new(
+                "zbox",
+                Box::new(|_, _| panic!("measurement blew up")),
+            )
+            .on_cores(vec![0])])
+            .unwrap();
+        let err = results.data[0].outcome.as_ref().unwrap_err();
+        assert_eq!(err.code, 500);
+        assert!(err.message.contains("measurement blew up"));
+        // The core worker survived the panic and serves the next job.
+        let again = m
+            .submit_sync(vec![ExperimentSpec::new(
+                "zbox",
+                Box::new(|_, _| Ok(vec!["alive".into()])),
+            )
+            .on_cores(vec![0])])
+            .unwrap();
+        assert_eq!(again.data[0].outcome.as_ref().unwrap()[0], "alive");
+    }
+
+    #[test]
+    fn hung_experiment_times_out_with_408() {
+        let m = mediator();
+        let results = m
+            .submit_sync(vec![ExperimentSpec::new(
+                "zbox",
+                Box::new(|_, _| {
+                    std::thread::sleep(Duration::from_secs(5));
+                    Ok(vec!["too late".into()])
+                }),
+            )
+            .on_cores(vec![1])
+            .with_timeout(Duration::from_millis(20))])
+            .unwrap();
+        let err = results.data[0].outcome.as_ref().unwrap_err();
+        assert_eq!(err.code, 408);
+        assert_eq!(results.data[0].attempts, 1, "timeouts are not retried");
+        // The core is free again immediately (the hung attempt was
+        // abandoned, not waited for).
+        let again = m
+            .submit_sync(vec![ExperimentSpec::new(
+                "zbox",
+                Box::new(|_, _| Ok(vec!["next".into()])),
+            )
+            .on_cores(vec![1])])
+            .unwrap();
+        assert_eq!(again.data[0].outcome.as_ref().unwrap()[0], "next");
+    }
+
+    #[test]
+    fn transient_failures_are_retried_with_bounded_attempts() {
+        let m = mediator();
+        let flaky_calls = Arc::new(AtomicUsize::new(0));
+        let calls = flaky_calls.clone();
+        let results = m
+            .submit_sync(vec![ExperimentSpec::new(
+                "zbox",
+                Box::new(move |_, _| {
+                    if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                        Err("transient".into())
+                    } else {
+                        Ok(vec!["recovered".into()])
+                    }
+                }),
+            )
+            .with_retries(3)])
+            .unwrap();
+        assert_eq!(results.data[0].outcome.as_ref().unwrap()[0], "recovered");
+        assert_eq!(results.data[0].attempts, 3, "two failures + the success");
+        assert_eq!(flaky_calls.load(Ordering::SeqCst), 3);
+
+        // Retries are bounded: a permanent failure stops after 1 + retries
+        // attempts and reports the 405.
+        let always_calls = Arc::new(AtomicUsize::new(0));
+        let calls = always_calls.clone();
+        let results = m
+            .submit_sync(vec![ExperimentSpec::new(
+                "zbox",
+                Box::new(move |_, _| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    Err("permanent".into())
+                }),
+            )
+            .with_retries(2)])
+            .unwrap();
+        let err = results.data[0].outcome.as_ref().unwrap_err();
+        assert_eq!(err.code, 405);
+        assert_eq!(results.data[0].attempts, 3);
+        assert_eq!(always_calls.load(Ordering::SeqCst), 3);
+        assert_eq!(results.total_attempts(), 3);
     }
 
     /// The central guarantee: experiments pinned to one core never overlap.
@@ -368,10 +671,9 @@ mod tests {
             .map(|_| {
                 let busy = busy.clone();
                 let violated = violated.clone();
-                ExperimentSpec {
-                    device: "kayla".into(),
-                    affinity: vec![1], // all pinned to core 1
-                    work: Box::new(move |_, core| {
+                ExperimentSpec::new(
+                    "kayla",
+                    Box::new(move |_, core| {
                         assert_eq!(core, 1);
                         if busy.swap(true, Ordering::SeqCst) {
                             violated.store(true, Ordering::SeqCst);
@@ -380,7 +682,8 @@ mod tests {
                         busy.store(false, Ordering::SeqCst);
                         Ok(vec!["ok".into()])
                     }),
-                }
+                )
+                .on_cores(vec![1]) // all pinned to core 1
             })
             .collect();
         let results = m.submit_sync(exps).unwrap();
@@ -391,27 +694,110 @@ mod tests {
         );
     }
 
-    /// Load balancing: unpinned experiments spread across all cores.
+    /// Load balancing: with the jobs gated (none can finish before every
+    /// one is enqueued), least-loaded selection must deal 12 unpinned
+    /// experiments onto 4 cores exactly 3-3-3-3.
     #[test]
     fn load_balancing_uses_all_cores() {
-        let m = mediator();
+        let m = Arc::new(mediator());
+        let gate = Arc::new(AtomicBool::new(false));
         let exps = (0..12)
-            .map(|_| ExperimentSpec {
-                device: "kayla".into(),
-                affinity: vec![],
-                work: Box::new(move |_, core| {
-                    std::thread::sleep(Duration::from_millis(5));
-                    Ok(vec![format!("core{core}")])
-                }),
+            .map(|_| {
+                let gate = gate.clone();
+                ExperimentSpec::new(
+                    "kayla",
+                    Box::new(move |_, core| {
+                        while !gate.load(Ordering::SeqCst) {
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                        Ok(vec![format!("core{core}")])
+                    }),
+                )
             })
             .collect();
+        let opener = {
+            let m = m.clone();
+            let gate = gate.clone();
+            std::thread::spawn(move || {
+                // Open the gate only once all 12 are enqueued, so no job
+                // can finish while enqueue decisions are still being made.
+                let deadline = Instant::now() + Duration::from_secs(5);
+                loop {
+                    let queued: usize = (0..4).map(|c| m.pending_on("kayla", c).unwrap()).sum();
+                    if queued == 12 {
+                        break;
+                    }
+                    assert!(Instant::now() < deadline, "enqueues never landed");
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                gate.store(true, Ordering::SeqCst);
+            })
+        };
         let results = m.submit_sync(exps).unwrap();
-        let mut cores: Vec<usize> = results.data.iter().map(|r| r.core).collect();
-        cores.sort_unstable();
-        cores.dedup();
-        assert!(
-            cores.len() >= 3,
-            "expected spreading over cores, got {cores:?}"
+        opener.join().unwrap();
+        let mut per_core = [0usize; 4];
+        for r in &results.data {
+            per_core[r.core] += 1;
+        }
+        assert_eq!(
+            per_core,
+            [3, 3, 3, 3],
+            "least-loaded selection must deal evenly"
+        );
+    }
+
+    /// The TOCTOU regression: concurrent submitters racing the `pending`
+    /// scan must still deal evenly because selection + enqueue happen
+    /// under the device lock.
+    #[test]
+    fn concurrent_enqueues_balance_exactly() {
+        let m = Arc::new(mediator());
+        let gate = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                let gate = gate.clone();
+                std::thread::spawn(move || {
+                    let exps = (0..2)
+                        .map(|_| {
+                            let gate = gate.clone();
+                            ExperimentSpec::new(
+                                "kayla",
+                                Box::new(move |_, core| {
+                                    while !gate.load(Ordering::SeqCst) {
+                                        std::thread::sleep(Duration::from_micros(50));
+                                    }
+                                    Ok(vec![format!("core{core}")])
+                                }),
+                            )
+                        })
+                        .collect();
+                    m.submit_sync(exps).unwrap()
+                })
+            })
+            .collect();
+        // Wait until all 8 experiments are enqueued, then open the gate.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let queued: usize = (0..4).map(|c| m.pending_on("kayla", c).unwrap()).sum();
+            if queued == 8 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "enqueues never landed");
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        let mut per_core = [0usize; 4];
+        for (c, slot) in per_core.iter_mut().enumerate() {
+            *slot = m.pending_on("kayla", c).unwrap();
+        }
+        gate.store(true, Ordering::SeqCst);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            per_core,
+            [2, 2, 2, 2],
+            "racing submitters must not pile onto one core"
         );
     }
 
@@ -419,14 +805,14 @@ mod tests {
     fn async_polling_lifecycle() {
         let m = mediator();
         let id = m
-            .submit_async(vec![ExperimentSpec {
-                device: "zbox".into(),
-                affinity: vec![0],
-                work: Box::new(|_, _| {
+            .submit_async(vec![ExperimentSpec::new(
+                "zbox",
+                Box::new(|_, _| {
                     std::thread::sleep(Duration::from_millis(10));
                     Ok(vec!["42".into()])
                 }),
-            }])
+            )
+            .on_cores(vec![0])])
             .unwrap();
         // Poll until finished.
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -458,19 +844,25 @@ mod tests {
             Duration::from_millis(5),
         );
         let id = m
-            .submit_async(vec![ExperimentSpec {
-                device: "pi".into(),
-                affinity: vec![],
-                work: Box::new(|_, _| Ok(vec!["x".into()])),
-            }])
+            .submit_async(vec![ExperimentSpec::new(
+                "pi",
+                Box::new(|_, _| Ok(vec!["x".into()])),
+            )])
             .unwrap();
-        // Wait for completion, then for expiry.
+        // Wait for completion.
         let deadline = Instant::now() + Duration::from_secs(5);
         while m.poll(&id).state != JobState::Finished {
             assert!(Instant::now() < deadline);
             std::thread::sleep(Duration::from_millis(1));
         }
-        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(m.cached_results(), 1);
+        // The background sweeper must evict the entry *without any poll*
+        // touching the map (the leak this test regresses).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while m.cached_results() != 0 {
+            assert!(Instant::now() < deadline, "sweeper never evicted");
+            std::thread::sleep(Duration::from_millis(1));
+        }
         assert_eq!(m.poll(&id).state, JobState::NotFound);
     }
 

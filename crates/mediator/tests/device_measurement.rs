@@ -48,17 +48,19 @@ fn farm_measures_kernels_on_every_device() {
     let m = farm();
     let experiments = Microarch::EVALUATED
         .iter()
-        .map(|&arch| ExperimentSpec {
-            device: arch.name().to_lowercase().replace(' ', "-"),
-            affinity: vec![],
-            work: Box::new(|arch, _core| {
-                // Compile and measure a gemv through the full pipeline.
-                let blac = lgen_ll::paper::gemv(4, 16);
-                let kernel = lgen_core::compile(&blac, "k", &lgen_core::CompileConfig::full(arch));
-                let meas = lgen_core::measure_blac(&blac, &kernel, arch, &[0; 5], 3)
-                    .map_err(|e| e.to_string())?;
-                Ok(vec![format!("{}", meas.cycles)])
-            }),
+        .map(|&arch| {
+            ExperimentSpec::new(
+                arch.name().to_lowercase().replace(' ', "-"),
+                Box::new(|arch, _core| {
+                    // Compile and measure a gemv through the full pipeline.
+                    let blac = lgen_ll::paper::gemv(4, 16);
+                    let kernel =
+                        lgen_core::compile(&blac, "k", &lgen_core::CompileConfig::full(arch));
+                    let meas = lgen_core::measure_blac(&blac, &kernel, arch, &[0; 5], 3)
+                        .map_err(|e| e.to_string())?;
+                    Ok(vec![format!("{}", meas.cycles)])
+                }),
+            )
         })
         .collect();
     let results = m.submit_sync(experiments).expect("accepted");
@@ -80,11 +82,11 @@ fn farm_measures_kernels_on_every_device() {
 fn repetitions_run_on_the_same_core() {
     let m = farm();
     let results = m
-        .submit_sync(vec![ExperimentSpec {
-            device: "intel-atom".into(),
-            affinity: vec![1],
-            work: Box::new(|_, core| Ok((0..3).map(|r| format!("rep{r}@{core}")).collect())),
-        }])
+        .submit_sync(vec![ExperimentSpec::new(
+            "intel-atom",
+            Box::new(|_, core| Ok((0..3).map(|r| format!("rep{r}@{core}")).collect())),
+        )
+        .on_cores(vec![1])])
         .expect("accepted");
     let outs = results.data[0].outcome.as_ref().unwrap();
     assert_eq!(outs.len(), 3);
@@ -103,17 +105,16 @@ fn stress_many_concurrent_jobs() {
         let batch = (0..8)
             .map(|e| {
                 let completed = completed.clone();
-                ExperimentSpec {
-                    device: Microarch::EVALUATED[(j + e) % 4]
+                ExperimentSpec::new(
+                    Microarch::EVALUATED[(j + e) % 4]
                         .name()
                         .to_lowercase()
                         .replace(' ', "-"),
-                    affinity: vec![],
-                    work: Box::new(move |_, _| {
+                    Box::new(move |_, _| {
                         completed.fetch_add(1, Ordering::SeqCst);
                         Ok(vec![format!("{j}:{e}")])
                     }),
-                }
+                )
             })
             .collect();
         ids.push(m.submit_async(batch).expect("accepted"));

@@ -14,10 +14,11 @@ use lgen::prelude::*;
 use std::time::Duration;
 
 fn experiment(m: usize, n: usize) -> ExperimentSpec {
-    ExperimentSpec {
-        device: String::new(), // filled by the caller
-        affinity: vec![],
-        work: Box::new(move |arch, core| {
+    // A device farm sees flaky runs: give each experiment a deadline and a
+    // couple of retries so one bad measurement can't stall the campaign.
+    ExperimentSpec::new(
+        String::new(), // filled by the caller
+        Box::new(move |arch, core| {
             let blac = lgen::ll::paper::gemv(m, n);
             let kernel = compile(&blac, "gemv", &CompileConfig::full(arch));
             let meas = measure_blac(&blac, &kernel, arch, &[0; 5], 3).map_err(|e| e.to_string())?;
@@ -27,7 +28,9 @@ fn experiment(m: usize, n: usize) -> ExperimentSpec {
                 meas.flops_per_cycle()
             )])
         }),
-    }
+    )
+    .with_timeout(Duration::from_secs(30))
+    .with_retries(2)
 }
 
 fn main() {

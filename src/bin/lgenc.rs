@@ -9,19 +9,22 @@
 //! lgenc <file.blac> [--target atom|cortex-a8|cortex-a9|arm1176]
 //!       [--variant base|align|mvm|full] [--passes <spec>]
 //!       [--tune] [--tune-passes] [--peel] [--version-align]
+//!       [--tune-deadline <dur>] [--tune-budget <dur>]
 //!       [--verify[=paranoid]] [--print-after-all]
 //!       [--threads N | -j N] [--cache-stats]
 //! ```
 
-use lgen::core::{KernelCache, PassTrace, SearchStrategy, VerifyLevel};
+use lgen::core::{parse_duration, KernelCache, PassTrace, SearchStrategy, VerifyLevel};
 use lgen::prelude::*;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: lgenc <file.blac> [--target atom|cortex-a8|cortex-a9|arm1176]\n\
          \x20            [--variant base|align|mvm|full] [--passes <spec>]\n\
          \x20            [--tune] [--tune-passes] [--peel] [--version-align]\n\
+         \x20            [--tune-deadline <dur>] [--tune-budget <dur>]\n\
          \x20            [--verify[=paranoid]] [--print-after-all]\n\
          \x20            [--threads N | -j N] [--cache-stats]\n\
          \n\
@@ -30,6 +33,9 @@ fn usage() -> ! {
          \x20 --print-after-all   dump the IR after codegen and after every pass (stderr)\n\
          \x20 --tune              autotune the unrolling decision\n\
          \x20 --tune-passes       also search over pass schedules (implies --tune)\n\
+         \x20 --tune-deadline <dur>  per-candidate time limit (e.g. 250ms, 2s); slow or hung\n\
+         \x20                     candidates are abandoned and the search degrades gracefully\n\
+         \x20 --tune-budget <dur> whole-search time budget; unstarted candidates are skipped\n\
          \x20 --verify            statically verify the kernel at pipeline boundaries\n\
          \x20 --verify=paranoid   verify between every optimization pass\n\
          \x20 --threads N, -j N   worker threads for tuning/compilation (0 = one per core)\n\
@@ -59,6 +65,8 @@ fn main() {
     let mut threads = 0usize; // 0 = one worker per available core
     let mut cache_stats = false;
     let mut verify = None;
+    let mut tune_deadline: Option<Duration> = None;
+    let mut tune_budget: Option<Duration> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -66,6 +74,18 @@ fn main() {
             "--threads" | "-j" => {
                 threads = match it.next().and_then(|v| v.parse().ok()) {
                     Some(n) => n,
+                    None => usage(),
+                }
+            }
+            "--tune-deadline" => {
+                tune_deadline = match it.next().and_then(|v| parse_duration(v)) {
+                    Some(d) => Some(d),
+                    None => usage(),
+                }
+            }
+            "--tune-budget" => {
+                tune_budget = match it.next().and_then(|v| parse_duration(v)) {
+                    Some(d) => Some(d),
                     None => usage(),
                 }
             }
@@ -156,7 +176,19 @@ fn main() {
         if tune_passes {
             tuner = tuner.with_pipeline_search();
         }
-        let tuned = tuner.tune(&blac, "kernel");
+        if let Some(d) = tune_deadline {
+            tuner = tuner.with_deadline(d);
+        }
+        if let Some(b) = tune_budget {
+            tuner = tuner.with_budget(b);
+        }
+        let tuned = match tuner.try_tune(&blac, "kernel") {
+            Ok(tuned) => tuned,
+            Err(e) => {
+                eprintln!("lgenc: tuning failed: {e}");
+                std::process::exit(1);
+            }
+        };
         eprintln!(
             "lgenc: autotuned to {:?} under \"{}\" ({} cycles over {} candidates)",
             tuned.unroll,
@@ -164,11 +196,8 @@ fn main() {
             tuned.measurement.cycles,
             tuned.samples.len()
         );
-        if tuned.rejected > 0 {
-            eprintln!(
-                "lgenc: {} candidate(s) rejected by verification",
-                tuned.rejected
-            );
+        if let Some(summary) = tuned.failure_summary() {
+            eprintln!("lgenc: {summary}");
         }
         if print_after_all {
             // Replay the winning compile with tracing on (served from the

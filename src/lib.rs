@@ -60,8 +60,8 @@ pub use lgen_sigma as sigma;
 pub mod prelude {
     pub use lgen_baselines::{compile_baseline, Competitor};
     pub use lgen_core::{
-        check_kernel, compile, measure_blac, try_compile, Autotuner, CompileConfig, PassPipeline,
-        Variant, VerifyLevel,
+        check_kernel, compile, measure_blac, try_compile, Autotuner, CompileConfig, FaultPlan,
+        PassPipeline, TuneBudget, TuneError, Variant, VerifyLevel,
     };
     pub use lgen_isa::{Microarch, VectorIsa};
     pub use lgen_ll::{Blac, BlacBuilder};

@@ -1,0 +1,116 @@
+//! End-to-end tests of the `lgenc` binary: every flag-parse error path
+//! must exit nonzero with the usage message, and the tuning failure
+//! summary must reach stderr (the line `ci.sh` greps).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Writes the usage example's BLAC to a unique temp file.
+fn blac_file(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("lgenc_cli_{}_{tag}.blac", std::process::id()));
+    std::fs::write(
+        &path,
+        "alpha = scalar\n\
+         A = matrix(4, 8)\n\
+         x = vector(8)\n\
+         y = vector(4)\n\
+         y = alpha * (A * x) + y\n",
+    )
+    .unwrap();
+    path
+}
+
+fn lgenc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lgenc"))
+        .args(args)
+        .output()
+        .expect("lgenc runs")
+}
+
+fn assert_usage_error(args: &[&str]) {
+    let out = lgenc(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} must exit 2, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage: lgenc"),
+        "{args:?} must print usage, got: {stderr}"
+    );
+}
+
+#[test]
+fn missing_or_bad_flag_values_exit_with_usage() {
+    let file = blac_file("flags");
+    let file = file.to_str().unwrap();
+    // No input file at all.
+    assert_usage_error(&[]);
+    // --threads / -j: missing and non-numeric values.
+    assert_usage_error(&[file, "--threads"]);
+    assert_usage_error(&[file, "--threads", "many"]);
+    assert_usage_error(&[file, "-j"]);
+    assert_usage_error(&[file, "-j", "-1"]);
+    // --tune-deadline / --tune-budget: missing and non-duration values.
+    assert_usage_error(&[file, "--tune", "--tune-deadline"]);
+    assert_usage_error(&[file, "--tune", "--tune-deadline", "soon"]);
+    assert_usage_error(&[file, "--tune", "--tune-budget"]);
+    assert_usage_error(&[file, "--tune", "--tune-budget", "10x"]);
+    // --target / --variant: missing and unknown values.
+    assert_usage_error(&[file, "--target"]);
+    assert_usage_error(&[file, "--target", "z80"]);
+    assert_usage_error(&[file, "--variant"]);
+    assert_usage_error(&[file, "--variant", "turbo"]);
+    // Unknown flags.
+    assert_usage_error(&[file, "--frobnicate"]);
+}
+
+#[test]
+fn bad_passes_spec_exits_nonzero() {
+    let file = blac_file("passes");
+    let out = lgenc(&[file.to_str().unwrap(), "--passes", "unroll,notapass"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad --passes spec"), "{stderr}");
+}
+
+#[test]
+fn compiles_and_prints_c() {
+    let file = blac_file("ok");
+    let out = lgenc(&[file.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("void kernel"), "no C emitted: {stdout}");
+    assert!(stderr.contains("validated"), "{stderr}");
+}
+
+#[test]
+fn faulted_tune_prints_failure_summary_and_survives() {
+    let file = blac_file("faults");
+    let out = Command::new(env!("CARGO_BIN_EXE_lgenc"))
+        .args([
+            file.to_str().unwrap(),
+            "--tune",
+            "--tune-deadline",
+            "30s",
+            "-j",
+            "2",
+        ])
+        .env("LGEN_FAULTS", "panic@1,corrupt@3")
+        .output()
+        .expect("lgenc runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "degrades, not aborts: {stderr}");
+    assert!(
+        stderr.contains("2 candidate(s) failed"),
+        "summary missing: {stderr}"
+    );
+    assert!(stderr.contains("1 panicked"), "{stderr}");
+    assert!(stderr.contains("1 verify-rejected"), "{stderr}");
+    assert!(
+        stderr.contains("autotuned to"),
+        "a winner emerged: {stderr}"
+    );
+}
