@@ -54,6 +54,54 @@ if ! grep -q "autotuned to" <<<"$summary"; then
     exit 1
 fi
 
+echo "==> telemetry smoke: --trace-out/--metrics give a valid trace and metrics dump"
+tracefile=$(mktemp --suffix=.json)
+trap 'rm -f "$blacfile" "$tracefile"' EXIT
+metrics=$(./target/release/lgenc "$blacfile" --tune --tune-deadline 30s \
+    --trace-out "$tracefile" --metrics 2>&1 >/dev/null)
+python3 - "$tracefile" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+names = [e["name"] for e in events]
+for stage in ["compile", "codegen", "ll_tiling", "sigma_ll_rewrite",
+              "unroll", "scalrep", "copyprop", "dce", "align",
+              "candidate", "tune"]:
+    assert stage in names, f"no `{stage}` span in the trace"
+EOF
+if ! grep -q "lgen.cache.hits" <<<"$metrics"; then
+    echo "error: metrics dump missing the cache hit counter" >&2
+    echo "$metrics" >&2
+    exit 1
+fi
+
+echo "==> BENCH_compile.json from the telemetry metrics dump"
+python3 - <<EOF > BENCH_compile.json
+import json
+metrics = {}
+for line in """$metrics""".splitlines():
+    parts = line.split()
+    if len(parts) == 2 and parts[0].startswith("lgen."):
+        try:
+            metrics[parts[0]] = float(parts[1])
+        except ValueError:
+            pass
+out = {
+    "compile_count": metrics.get("lgen.compile.count"),
+    "compile_wall_us": {
+        k: metrics.get(f"lgen.compile.wall_us.{k}")
+        for k in ("count", "sum", "mean", "p50", "p95", "max")
+    },
+    "tune_wall_us": {
+        k: metrics.get(f"lgen.tune.wall_us.{k}")
+        for k in ("count", "sum", "mean", "p50", "p95", "max")
+    },
+    "tune_candidates": metrics.get("lgen.tune.candidates"),
+}
+assert out["compile_wall_us"]["count"], "no compile wall-time histogram in dump"
+assert out["tune_wall_us"]["count"], "no tune wall-time histogram in dump"
+print(json.dumps(out, indent=2))
+EOF
+
 echo "==> no build artifacts tracked by git"
 tracked=$(git ls-files 'target/*' | wc -l)
 if [ "$tracked" -ne 0 ]; then

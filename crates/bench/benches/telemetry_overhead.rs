@@ -1,0 +1,99 @@
+//! Telemetry overhead benchmarks: the cost of a span on the disabled path
+//! (the default for every production compile) versus the recording path,
+//! and of the cached metric-handle macros. Results land in
+//! `target/criterion-lite/telemetry_overhead.json`.
+//!
+//! The disabled path is required to be a no-op — one relaxed atomic load
+//! and an inert guard. `assert_disabled_path_is_noop` enforces that with a
+//! hard bound before the comparative benchmarks run, so a regression fails
+//! `cargo bench` rather than silently shifting a chart.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lgen_core::{try_compile, CompileConfig};
+use lgen_isa::Microarch;
+use lgen_ll::paper;
+use lgen_telemetry::{metric_counter, Telemetry};
+use std::time::Instant;
+
+/// Hard gate: a disabled span must cost nanoseconds, not microseconds.
+/// The bound is deliberately generous (debug-friendly, CI-noise-proof);
+/// the real figure is in the criterion output.
+fn assert_disabled_path_is_noop(_c: &mut Criterion) {
+    let t = Telemetry::new(false);
+    const N: u32 = 1_000_000;
+    let start = Instant::now();
+    for i in 0..N {
+        let mut g = t.span(black_box("noop"));
+        if g.is_recording() {
+            g.attr("i", i);
+        }
+    }
+    let per_span_ns = start.elapsed().as_nanos() / u128::from(N);
+    assert!(t.snapshot().is_empty(), "disabled collector recorded spans");
+    assert!(
+        per_span_ns < 1_000,
+        "disabled span path costs {per_span_ns}ns — no longer a no-op"
+    );
+    eprintln!("disabled span path: {per_span_ns}ns/span (bound 1000ns)");
+}
+
+fn bench_span(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry-span");
+    let off = Telemetry::new(false);
+    g.bench_function("disabled/open-drop", |b| {
+        b.iter(|| black_box(off.span(black_box("work"))))
+    });
+    let on = Telemetry::new(true);
+    g.bench_function("enabled/open-drop", |b| {
+        b.iter(|| black_box(on.span(black_box("work"))))
+    });
+    g.bench_function("enabled/with-attrs", |b| {
+        b.iter(|| {
+            let mut s = on.span(black_box("work"));
+            s.attr("pass_ns", 1234u64);
+            s.attr("changed", true);
+            black_box(s)
+        })
+    });
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry-metrics");
+    g.bench_function("counter/cached-handle-inc", |b| {
+        b.iter(|| metric_counter!("lgen.bench.ticks").inc())
+    });
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let blac = paper::gemv(4, 8);
+    let cfg = CompileConfig::full(Microarch::Atom);
+    let mut g = c.benchmark_group("telemetry-compile");
+    g.sample_size(10);
+    lgen_telemetry::set_enabled(false);
+    g.bench_function("tracing-off/gemv-4x8", |b| {
+        b.iter(|| black_box(try_compile(&blac, "bench_off", &cfg)))
+    });
+    lgen_telemetry::set_enabled(true);
+    g.bench_function("tracing-on/gemv-4x8", |b| {
+        b.iter(|| black_box(try_compile(&blac, "bench_on", &cfg)))
+    });
+    lgen_telemetry::set_enabled(false);
+    lgen_telemetry::global().drain();
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(20)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = assert_disabled_path_is_noop, bench_span, bench_metrics, bench_compile
+);
+criterion_main!(benches);

@@ -453,10 +453,17 @@ fn run_steps(
         match step {
             PipelineStep::Pass(name) => {
                 let pass = pass_by_name(name).expect("pipeline steps hold registered names");
+                let mut span = lgen_telemetry::span(name);
                 let t = Instant::now();
                 let changed = pass.run(kernel, ctx);
+                let ns = t.elapsed().as_nanos() as u64;
+                if span.is_recording() {
+                    span.attr("pass_ns", ns);
+                    span.attr("changed", changed);
+                }
+                drop(span);
                 if let Some(stats) = ctx.stats {
-                    stats.record(name, t.elapsed().as_nanos() as u64);
+                    stats.record(name, ns);
                 }
                 *passes_run += 1;
                 changed_any |= changed;

@@ -494,6 +494,37 @@ impl Autotuner {
         candidate: &Candidate,
         deadline: Option<Instant>,
     ) -> Result<Eval, VerifyFailure> {
+        let mut span = lgen_telemetry::span("candidate");
+        if span.is_recording() {
+            span.attr("kernel", name);
+            span.attr("index", index);
+            span.attr("unroll", format!("{:?}", candidate.0));
+            if let Some(p) = &candidate.1 {
+                span.attr("pipeline", p.to_spec());
+            }
+        }
+        lgen_telemetry::metric_counter!("lgen.tune.candidates").inc();
+        // Outcome tagging: `ok`/`rejected` on return; a panicking or
+        // deadline-abandoned candidate unwinds through the guard, which
+        // marks the span `panicked=true` on drop.
+        let result = self.evaluate_body(blac, name, index, candidate, deadline, &mut span);
+        if span.is_recording() {
+            span.attr("outcome", if result.is_ok() { "ok" } else { "rejected" });
+        }
+        result
+    }
+
+    /// The compile → verify → validate → measure chain behind the
+    /// telemetry shell of [`evaluate`](Self::evaluate).
+    fn evaluate_body(
+        &self,
+        blac: &Blac,
+        name: &str,
+        index: usize,
+        candidate: &Candidate,
+        deadline: Option<Instant>,
+        span: &mut lgen_telemetry::SpanGuard<'_>,
+    ) -> Result<Eval, VerifyFailure> {
         let mut corrupt = false;
         match self.faults.kind(index) {
             Some(FaultKind::Panic) => panic!("injected fault: candidate {index} panicked"),
@@ -518,7 +549,13 @@ impl Autotuner {
             Arc::new(k)
         } else {
             match &self.cache {
-                Some(cache) => cache.try_get_or_compile(blac, name, &cfg)?,
+                Some(cache) => {
+                    let (kernel, hit) = cache.try_get_or_compile_tagged(blac, name, &cfg)?;
+                    if span.is_recording() {
+                        span.attr("cache", if hit { "hit" } else { "miss" });
+                    }
+                    kernel
+                }
                 None => Arc::new(try_compile(blac, name, &cfg)?),
             }
         };
@@ -590,12 +627,20 @@ impl Autotuner {
         candidate: &Candidate,
         reason: FailReason,
     ) {
-        if let Some(cache) = &self.cache {
-            match reason {
+        match &self.cache {
+            // The cache's counters mirror into the metrics registry.
+            Some(cache) => match reason {
                 FailReason::Panicked(_) => cache.record_tune_panic(),
                 FailReason::TimedOut => cache.record_tune_timeout(),
                 FailReason::Rejected(_) => {}
-            }
+            },
+            None => match reason {
+                FailReason::Panicked(_) => {
+                    lgen_telemetry::metric_counter!("lgen.tune.panics").inc()
+                }
+                FailReason::TimedOut => lgen_telemetry::metric_counter!("lgen.tune.timeouts").inc(),
+                FailReason::Rejected(_) => {}
+            },
         }
         failures.push(CandidateFailure {
             unroll: candidate.0,
@@ -670,13 +715,25 @@ impl Autotuner {
     /// [`TuneError::AllCandidatesFailed`] if every candidate panicked,
     /// timed out, or was verify-rejected.
     pub fn try_tune(&self, blac: &Blac, name: &str) -> Result<TunedKernel, TuneError> {
-        if self.strategy == SearchStrategy::Guided {
-            return self.tune_guided_over_pipelines(blac, name);
+        let t = Instant::now();
+        let mut span = lgen_telemetry::span("tune");
+        if span.is_recording() {
+            span.attr("kernel", name);
         }
-        let candidates = self.candidates();
-        let indexed = candidates.iter().cloned().enumerate().collect();
-        let outcomes = self.eval_outcomes(blac, name, indexed, Instant::now());
-        self.reduce(&candidates, outcomes)
+        let result = if self.strategy == SearchStrategy::Guided {
+            self.tune_guided_over_pipelines(blac, name)
+        } else {
+            let candidates = self.candidates();
+            let indexed = candidates.iter().cloned().enumerate().collect();
+            let outcomes = self.eval_outcomes(blac, name, indexed, Instant::now());
+            self.reduce(&candidates, outcomes)
+        };
+        lgen_telemetry::metric_histogram!("lgen.tune.wall_us")
+            .record(t.elapsed().as_micros() as u64);
+        if span.is_recording() {
+            span.attr("ok", result.is_ok());
+        }
+        result
     }
 
     /// [`try_tune`](Self::try_tune) that panics when every candidate
@@ -710,6 +767,10 @@ impl Autotuner {
                 .collect();
         }
         let start = Instant::now();
+        let mut span = lgen_telemetry::span("tune_many");
+        if span.is_recording() {
+            span.attr("jobs", jobs.len());
+        }
         let candidates = self.candidates();
         let per = candidates.len();
         let n = jobs.len() * per;
@@ -729,9 +790,14 @@ impl Autotuner {
             }),
         );
         let mut outcomes = outcomes.into_iter();
-        jobs.iter()
+        let results: Vec<Result<TunedKernel, TuneError>> = jobs
+            .iter()
             .map(|_| self.reduce(&candidates, outcomes.by_ref().take(per).collect()))
-            .collect()
+            .collect();
+        lgen_telemetry::metric_histogram!("lgen.tune.wall_us")
+            .record(start.elapsed().as_micros() as u64);
+        drop(span);
+        results
     }
 
     /// [`try_tune_many`](Self::try_tune_many) that panics if any entry

@@ -32,6 +32,7 @@ use crate::pipeline::try_compile_with_stats;
 use lgen_cir::passes::PassStats;
 use lgen_cir::{Kernel, VerifyFailure};
 use lgen_ll::Blac;
+use lgen_telemetry::metric_counter;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -128,6 +129,20 @@ impl Default for KernelCache {
 impl KernelCache {
     /// An empty cache.
     pub fn new() -> Self {
+        // Register the mirrored registry counters up front: a metrics dump
+        // always shows them (at zero if nothing happened), so consumers of
+        // `lgenc --metrics` can rely on the keys existing.
+        for name in [
+            "lgen.cache.hits",
+            "lgen.cache.misses",
+            "lgen.cache.inserts",
+            "lgen.cache.races",
+            "lgen.cache.verify_rejects",
+            "lgen.tune.panics",
+            "lgen.tune.timeouts",
+        ] {
+            lgen_telemetry::counter(name);
+        }
         KernelCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
@@ -157,10 +172,20 @@ impl KernelCache {
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Kernel>> {
         let found = self.shard(key).lock().get(key).cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.record_hit(),
+            None => self.record_miss(),
         };
         found
+    }
+
+    fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        metric_counter!("lgen.cache.hits").inc();
+    }
+
+    fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        metric_counter!("lgen.cache.misses").inc();
     }
 
     /// Returns the cached kernel for `(blac, name, cfg)`, compiling and
@@ -186,36 +211,55 @@ impl KernelCache {
         name: &str,
         cfg: &CompileConfig,
     ) -> Result<Arc<Kernel>, VerifyFailure> {
+        self.try_get_or_compile_tagged(blac, name, cfg)
+            .map(|(k, _)| k)
+    }
+
+    /// [`try_get_or_compile`](Self::try_get_or_compile) that also reports
+    /// whether the kernel was served from cache (`true` on a hit). The
+    /// autotuner uses this to tag each candidate span with `cache=hit` or
+    /// `cache=miss` without racing on counter deltas.
+    pub fn try_get_or_compile_tagged(
+        &self,
+        blac: &Blac,
+        name: &str,
+        cfg: &CompileConfig,
+    ) -> Result<(Arc<Kernel>, bool), VerifyFailure> {
         let key = CacheKey {
             blac: blac.clone(),
             name: name.to_string(),
             cfg: cfg.clone(),
         };
         if let Some(k) = self.shard(&key).lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(k.clone());
+            self.record_hit();
+            return Ok((k.clone(), true));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.record_miss();
         let kernel = match try_compile_with_stats(blac, name, cfg, Some(&self.stages)) {
             Ok(k) => Arc::new(k),
             Err(e) => {
-                self.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                self.record_verify_reject();
                 return Err(e);
             }
         };
         let mut shard = self.shard(&key).lock();
-        Ok(match shard.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                // Another thread compiled the same point concurrently;
-                // everyone shares its (identical) kernel.
-                self.races.fetch_add(1, Ordering::Relaxed);
-                e.get().clone()
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                self.inserts.fetch_add(1, Ordering::Relaxed);
-                e.insert(kernel).clone()
-            }
-        })
+        Ok((
+            match shard.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    // Another thread compiled the same point concurrently;
+                    // everyone shares its (identical) kernel.
+                    self.races.fetch_add(1, Ordering::Relaxed);
+                    metric_counter!("lgen.cache.races").inc();
+                    e.get().clone()
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    self.inserts.fetch_add(1, Ordering::Relaxed);
+                    metric_counter!("lgen.cache.inserts").inc();
+                    e.insert(kernel).clone()
+                }
+            },
+            false,
+        ))
     }
 
     /// Inserts a pre-built kernel under an explicit key, replacing any
@@ -224,6 +268,7 @@ impl KernelCache {
     /// the autotuner's verification gate).
     pub fn insert(&self, key: CacheKey, kernel: Arc<Kernel>) {
         self.inserts.fetch_add(1, Ordering::Relaxed);
+        metric_counter!("lgen.cache.inserts").inc();
         self.shard(&key).lock().insert(key, kernel);
     }
 
@@ -231,18 +276,21 @@ impl KernelCache {
     /// autotuner re-verifies even cache-served kernels before measuring).
     pub fn record_verify_reject(&self) {
         self.verify_rejects.fetch_add(1, Ordering::Relaxed);
+        metric_counter!("lgen.cache.verify_rejects").inc();
     }
 
     /// Counts a tuning candidate whose evaluation panicked (contained by
     /// the fault-tolerant pool).
     pub fn record_tune_panic(&self) {
         self.tune_panics.fetch_add(1, Ordering::Relaxed);
+        metric_counter!("lgen.tune.panics").inc();
     }
 
     /// Counts a tuning candidate abandoned at its deadline or skipped by
     /// an exhausted search budget.
     pub fn record_tune_timeout(&self) {
         self.tune_timeouts.fetch_add(1, Ordering::Relaxed);
+        metric_counter!("lgen.tune.timeouts").inc();
     }
 
     /// Number of resident kernels.
@@ -280,6 +328,55 @@ impl KernelCache {
     /// row per pass actually run (plus `codegen`), in first-run order.
     pub fn pass_stats(&self) -> &PassStats {
         &self.stages
+    }
+
+    /// One coherent snapshot of the behaviour counters *and* the per-pass
+    /// timing rows, read back-to-back so `--cache-stats` cannot show a
+    /// counter total and a pass table from different moments of a running
+    /// `tune_many`.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            stats: self.stats(),
+            passes: self.stages.rows(),
+            compiles: self.stages.compiles(),
+        }
+    }
+}
+
+/// A single-moment view of a [`KernelCache`]: behaviour counters plus the
+/// per-pass timing table, captured together by [`KernelCache::snapshot`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Behaviour counters.
+    pub stats: CacheStats,
+    /// `(pass name, cumulative nanoseconds, runs)` rows in first-run order.
+    pub passes: Vec<(String, u64, u64)>,
+    /// Full pipeline runs behind those rows.
+    pub compiles: u64,
+}
+
+impl fmt::Display for CacheSnapshot {
+    /// Renders through the telemetry summary formatter: the counter line,
+    /// then each pass row as a pseudo-span so the output shape matches
+    /// `--trace-out`'s tree summary.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cache: {}", self.stats)?;
+        writeln!(f, "compiles: {}", self.compiles)?;
+        let spans: Vec<lgen_telemetry::SpanRecord> = self
+            .passes
+            .iter()
+            .enumerate()
+            .map(|(i, (name, ns, runs))| lgen_telemetry::SpanRecord {
+                id: i as u64 + 1,
+                parent: None,
+                name: name.clone(),
+                start_us: 0,
+                dur_us: ns / 1_000,
+                tid: 0,
+                attrs: vec![("runs".to_string(), runs.to_string())],
+            })
+            .collect();
+        f.write_str(&lgen_telemetry::summary_tree(&spans))
     }
 }
 
@@ -363,6 +460,50 @@ mod tests {
         assert_eq!(s.entries, 1);
         assert_eq!(s.hits + s.misses, 4);
         assert_eq!(s.inserts, 1);
+    }
+
+    #[test]
+    fn tagged_lookup_reports_hit_and_miss() {
+        let cache = KernelCache::new();
+        let blac = paper::axpy(8);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let (cold, hit) = cache.try_get_or_compile_tagged(&blac, "k", &cfg).unwrap();
+        assert!(!hit);
+        let (warm, hit) = cache.try_get_or_compile_tagged(&blac, "k", &cfg).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&cold, &warm));
+    }
+
+    #[test]
+    fn snapshot_is_coherent_and_prints_pass_rows() {
+        let cache = KernelCache::new();
+        let blac = paper::gemv(4, 8);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        cache.get_or_compile(&blac, "k", &cfg);
+        cache.get_or_compile(&blac, "k", &cfg);
+        let snap = cache.snapshot();
+        assert_eq!((snap.stats.hits, snap.stats.misses), (1, 1));
+        assert_eq!(snap.compiles, 1);
+        let names: Vec<&str> = snap.passes.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            ["codegen", "unroll", "scalrep", "copyprop", "dce", "align"]
+        );
+        let text = snap.to_string();
+        assert!(text.contains("1 hits / 1 misses"), "{text}");
+        assert!(text.contains("codegen"), "{text}");
+        assert!(text.contains("runs=1"), "{text}");
+    }
+
+    #[test]
+    fn cache_counters_mirror_into_the_metrics_registry() {
+        let before = lgen_telemetry::counter("lgen.cache.hits").get();
+        let cache = KernelCache::new();
+        let blac = paper::axpy(12);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        cache.get_or_compile(&blac, "k", &cfg);
+        cache.get_or_compile(&blac, "k", &cfg);
+        assert!(lgen_telemetry::counter("lgen.cache.hits").get() > before);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub use autotune::{
     Autotuner, CandidateFailure, FailReason, Objective, SearchStrategy, TuneBudget, TuneError,
     TunedKernel,
 };
-pub use cache::{CacheKey, CacheStats, KernelCache};
+pub use cache::{CacheKey, CacheSnapshot, CacheStats, KernelCache};
 pub use config::{CompileConfig, Variant};
 pub use exec::{check_kernel, measure_blac, run_blac_kernel};
 pub use fault::{parse_duration, FaultKind, FaultPlan};

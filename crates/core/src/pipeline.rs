@@ -90,6 +90,31 @@ pub fn try_compile_traced(
     stats: Option<&PassStats>,
     trace: Option<&PassTrace>,
 ) -> Result<Kernel, VerifyFailure> {
+    let t = Instant::now();
+    let mut span = lgen_telemetry::span("compile");
+    if span.is_recording() {
+        span.attr("kernel", name);
+        span.attr("arch", format!("{:?}", cfg.arch));
+        span.attr("pipeline", cfg.pipeline.to_spec());
+    }
+    let result = compile_body(blac, name, cfg, stats, trace);
+    lgen_telemetry::counter("lgen.compile.count").inc();
+    lgen_telemetry::histogram("lgen.compile.wall_us").record(t.elapsed().as_micros() as u64);
+    if span.is_recording() {
+        span.attr("ok", result.is_ok());
+    }
+    result
+}
+
+/// The actual LL → Σ-LL → C-IR pipeline body behind the telemetry shell of
+/// [`try_compile_traced`].
+fn compile_body(
+    blac: &Blac,
+    name: &str,
+    cfg: &CompileConfig,
+    stats: Option<&PassStats>,
+    trace: Option<&PassTrace>,
+) -> Result<Kernel, VerifyFailure> {
     if let Some(s) = stats {
         s.record_compile();
     }
@@ -110,6 +135,7 @@ pub fn try_compile_traced(
     if cfg.alignment_versioning {
         // Alignment versioning with runtime dispatch (§3.2.4).
         let t = Instant::now();
+        let _span = lgen_telemetry::span("align-version");
         kernel = version_for_alignment(&kernel);
         if let Some(s) = stats {
             s.record("align-version", t.elapsed().as_nanos() as u64);
@@ -157,7 +183,10 @@ fn compile_one(
         peel_offset: peel,
     };
     let t = Instant::now();
-    let mut kernel = compile_blac(blac, name, &opts);
+    let mut kernel = {
+        let _span = lgen_telemetry::span("codegen");
+        compile_blac(blac, name, &opts)
+    };
     if let Some(s) = stats {
         s.record("codegen", t.elapsed().as_nanos() as u64);
     }

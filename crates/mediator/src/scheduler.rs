@@ -116,10 +116,14 @@ type ReplyRx = crossbeam::channel::Receiver<Verdict>;
 enum CoreMsg {
     Run {
         work: SharedWork,
+        device: String,
         arch: Microarch,
         core: usize,
         timeout: Option<Duration>,
         retries: usize,
+        /// When the experiment entered the core queue; the worker turns
+        /// this into the queue-wait histogram.
+        enqueued: Instant,
         reply: Sender<Verdict>,
     },
     Shutdown,
@@ -255,14 +259,48 @@ impl Mediator {
                             match msg {
                                 CoreMsg::Run {
                                     work,
+                                    device,
                                     arch,
                                     core,
                                     timeout,
                                     retries,
+                                    enqueued,
                                     reply,
                                 } => {
+                                    let queue_wait = enqueued.elapsed();
+                                    lgen_telemetry::metric_histogram!(
+                                        "lgen.mediator.queue_wait_us"
+                                    )
+                                    .record(queue_wait.as_micros() as u64);
+                                    let mut span = lgen_telemetry::span("experiment");
+                                    if span.is_recording() {
+                                        span.attr("device", &device);
+                                        span.attr("core", core);
+                                        span.attr("queue_wait_us", queue_wait.as_micros());
+                                    }
+                                    let run_start = Instant::now();
                                     let verdict =
                                         run_experiment(&work, arch, core, timeout, retries);
+                                    lgen_telemetry::metric_histogram!("lgen.mediator.run_us")
+                                        .record(run_start.elapsed().as_micros() as u64);
+                                    lgen_telemetry::metric_counter!("lgen.mediator.experiments")
+                                        .inc();
+                                    let (outcome, attempts) = &verdict;
+                                    if *attempts > 1 {
+                                        lgen_telemetry::metric_counter!("lgen.mediator.retries")
+                                            .add(*attempts as u64 - 1);
+                                    }
+                                    if span.is_recording() {
+                                        span.attr("attempts", attempts);
+                                        span.attr(
+                                            "outcome",
+                                            match outcome {
+                                                Ok(_) => "ok".to_string(),
+                                                Err(e) => format!("error{}", e.code),
+                                            },
+                                        );
+                                    }
+                                    drop(span);
                                     pending2.fetch_sub(1, Ordering::SeqCst);
                                     let _ = reply.send(verdict);
                                 }
@@ -353,10 +391,12 @@ impl Mediator {
                 .queue
                 .send(CoreMsg::Run {
                     work: Arc::from(e.work),
+                    device: e.device.clone(),
                     arch: dev.arch,
                     core,
                     timeout: e.timeout,
                     retries: e.retries,
+                    enqueued: Instant::now(),
                     reply: reply_tx,
                 })
                 .map_err(|_| ApiError::new(ErrorReason::InternalError, "worker gone"))?;
@@ -870,5 +910,30 @@ mod tests {
     fn unknown_job_is_not_found() {
         let m = mediator();
         assert_eq!(m.poll("nope").state, JobState::NotFound);
+    }
+
+    #[test]
+    fn experiments_record_queue_and_run_histograms() {
+        let run_before = lgen_telemetry::histogram("lgen.mediator.run_us").count();
+        let wait_before = lgen_telemetry::histogram("lgen.mediator.queue_wait_us").count();
+        let retries_before = lgen_telemetry::counter("lgen.mediator.retries").get();
+        let m = mediator();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = calls.clone();
+        m.submit_sync(vec![ExperimentSpec::new(
+            "zbox",
+            Box::new(move |_, _| {
+                if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Err("transient".into())
+                } else {
+                    Ok(vec!["ok".into()])
+                }
+            }),
+        )
+        .with_retries(2)])
+            .unwrap();
+        assert!(lgen_telemetry::histogram("lgen.mediator.run_us").count() > run_before);
+        assert!(lgen_telemetry::histogram("lgen.mediator.queue_wait_us").count() > wait_before);
+        assert!(lgen_telemetry::counter("lgen.mediator.retries").get() > retries_before);
     }
 }

@@ -203,9 +203,15 @@ pub fn compile_blac(blac: &Blac, name: &str, opts: &CodegenOptions) -> Kernel {
         splats: HashMap::new(),
         ntmp: 0,
     };
-    let node = cg.lower(&blac.expr);
+    let node = {
+        let _span = lgen_telemetry::span("ll_tiling");
+        cg.lower(&blac.expr)
+    };
     let out = LocInfo::plain(cg.operand_arrays[blac.output.0], blac.dims(blac.output));
-    cg.drive(&node, out);
+    {
+        let _span = lgen_telemetry::span("sigma_ll_rewrite");
+        cg.drive(&node, out);
+    }
     cg.b.finish(blac.flops())
 }
 

@@ -1,0 +1,372 @@
+//! The process-wide metrics registry.
+//!
+//! Counters, gauges, and fixed-bucket latency histograms, all plain
+//! atomics: the autotuner's worker pool and the Mediator's core workers
+//! record without taking any lock. The registry itself (name → handle)
+//! takes a short mutex only at *registration*; call sites cache the
+//! returned `&'static` handle (e.g. in a `OnceLock`) and every subsequent
+//! update is lock-free.
+//!
+//! Metric names are dot-separated lowercase (`lgen.cache.hits`,
+//! `lgen.mediator.queue_wait_us`); histogram names end in their unit.
+//! [`MetricsSnapshot`] reads every metric in one pass and renders to the
+//! stable `name value` line format `lgenc --metrics` dumps (and `ci.sh`
+//! greps).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Histogram bucket upper bounds: powers of two from 1 µs to ~1 s, plus
+/// an overflow bucket. Fixed so concurrent recording is a single
+/// `fetch_add` with no resizing.
+pub const BUCKET_BOUNDS: [u64; 20] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144, 1048576,
+    4194304, 16777216,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram (bucket bounds in
+/// [`BUCKET_BOUNDS`], values in the metric's unit — microseconds by
+/// convention).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS.len() + 1],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (`BUCKET_BOUNDS.len() + 1` entries; last is
+    /// overflow).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bucket bound at or above quantile `q` (0.0–1.0); 0 when
+    /// empty. Bucketed, so an approximation from above.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return BUCKET_BOUNDS.get(i).copied().unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Name → handle tables. Handles are leaked `Box`es: the metric set is
+/// small and fixed-per-process, and `&'static` is what makes the hot
+/// path lock-free.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        Self::intern(&self.counters, name)
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        Self::intern(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        Self::intern(&self.histograms, name)
+    }
+
+    fn intern<T: Default>(table: &Mutex<BTreeMap<String, &'static T>>, name: &str) -> &'static T {
+        let mut table = table.lock().expect("metrics registry");
+        if let Some(m) = table.get(name) {
+            return m;
+        }
+        let leaked: &'static T = Box::leak(Box::default());
+        table.insert(name.to_string(), leaked);
+        leaked
+    }
+
+    /// Reads every registered metric in one pass, names sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("metrics registry")
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("metrics registry")
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("metrics registry")
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// One coherent read of the whole registry (counters, gauges,
+/// histograms), names sorted; renders to the `lgenc --metrics` dump
+/// format via [`crate::summary::format_metrics`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::default)
+}
+
+/// The process-global counter named `name`.
+pub fn counter(name: &str) -> &'static Counter {
+    registry().counter(name)
+}
+
+/// The process-global gauge named `name`.
+pub fn gauge(name: &str) -> &'static Gauge {
+    registry().gauge(name)
+}
+
+/// The process-global histogram named `name`.
+pub fn histogram(name: &str) -> &'static Histogram {
+    registry().histogram(name)
+}
+
+/// A `&'static Counter` resolved once per call site: the registry lookup
+/// (and its mutex) runs only on the first hit; afterwards the expansion is
+/// one acquire load plus the atomic update — safe for worker-pool hot
+/// paths.
+#[macro_export]
+macro_rules! metric_counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// A `&'static Histogram` resolved once per call site (see
+/// [`metric_counter!`]).
+#[macro_export]
+macro_rules! metric_histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let r = MetricsRegistry::default();
+        r.counter("a.b").add(3);
+        r.counter("a.b").inc();
+        assert_eq!(r.counter("a.b").get(), 4);
+        assert_eq!(r.counter("a.c").get(), 0);
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let r = MetricsRegistry::default();
+        r.gauge("g").set(10);
+        r.gauge("g").add(-3);
+        assert_eq!(r.gauge("g").get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 2, 100, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 5105);
+        assert_eq!(s.max, 5000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 5);
+        assert!(s.quantile(0.5) <= 128, "median bound: {}", s.quantile(0.5));
+        assert!(s.quantile(1.0) >= 5000);
+        assert!((s.mean() - 1021.0).abs() < 1.0);
+        // Overflow bucket catches huge values.
+        h.record(u64::MAX);
+        assert_eq!(*h.snapshot().buckets.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = MetricsRegistry::default();
+        r.counter("z.last").inc();
+        r.counter("a.first").inc();
+        r.histogram("m.hist_us").record(7);
+        let s = r.snapshot();
+        let names: Vec<&str> = s.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.first", "z.last"]);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn static_handle_macros_hit_one_registry_entry() {
+        crate::metric_counter!("macro.test.counter").inc();
+        crate::metric_counter!("macro.test.counter").inc(); // distinct call site
+        assert_eq!(crate::counter("macro.test.counter").get(), 2);
+        crate::metric_histogram!("macro.test.us").record(5);
+        assert_eq!(crate::histogram("macro.test.us").count(), 1);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = MetricsRegistry::default();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        r.counter("hot").inc();
+                        r.histogram("hot_us").record(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("hot").get(), 8000);
+        assert_eq!(r.histogram("hot_us").count(), 8000);
+    }
+}

@@ -12,7 +12,13 @@
 //!       [--tune-deadline <dur>] [--tune-budget <dur>]
 //!       [--verify[=paranoid]] [--print-after-all]
 //!       [--threads N | -j N] [--cache-stats]
+//!       [--trace-out <file.json>] [--metrics]
 //! ```
+//!
+//! Telemetry: `--trace-out` records spans for the whole run and writes
+//! Chrome `trace_event` JSON (open in `chrome://tracing` or Perfetto);
+//! `--metrics` dumps the process metrics registry to stderr at exit;
+//! `LGEN_TRACE=1` records spans and prints the tree summary to stderr.
 
 use lgen::core::{parse_duration, KernelCache, PassTrace, SearchStrategy, VerifyLevel};
 use lgen::prelude::*;
@@ -27,6 +33,7 @@ fn usage() -> ! {
          \x20            [--tune-deadline <dur>] [--tune-budget <dur>]\n\
          \x20            [--verify[=paranoid]] [--print-after-all]\n\
          \x20            [--threads N | -j N] [--cache-stats]\n\
+         \x20            [--trace-out <file.json>] [--metrics]\n\
          \n\
          \x20 --passes <spec>     C-IR pass schedule, e.g. \"unroll,scalrep,copyprop,dce,align\"\n\
          \x20                     or \"unroll,scalrep,repeat(copyprop,dce)\" (fixpoint group)\n\
@@ -40,6 +47,9 @@ fn usage() -> ! {
          \x20 --verify=paranoid   verify between every optimization pass\n\
          \x20 --threads N, -j N   worker threads for tuning/compilation (0 = one per core)\n\
          \x20 --cache-stats       print kernel-cache and per-pass timing counters\n\
+         \x20 --trace-out <file>  write a Chrome trace_event JSON of the whole run\n\
+         \x20                     (open in chrome://tracing or Perfetto)\n\
+         \x20 --metrics           dump the metrics registry (name value lines) at exit\n\
          \n\
          example input file:\n\
          \x20 alpha = scalar\n\
@@ -67,6 +77,8 @@ fn main() {
     let mut verify = None;
     let mut tune_deadline: Option<Duration> = None;
     let mut tune_budget: Option<Duration> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -90,6 +102,13 @@ fn main() {
                 }
             }
             "--cache-stats" => cache_stats = true,
+            "--trace-out" => {
+                trace_out = match it.next() {
+                    Some(path) => Some(path.clone()),
+                    None => usage(),
+                }
+            }
+            "--metrics" => metrics = true,
             "--target" => {
                 target = match it.next().map(String::as_str) {
                     Some("atom") => Microarch::Atom,
@@ -134,6 +153,16 @@ fn main() {
         }
     }
     let Some(file) = file else { usage() };
+
+    if let Some(path) = &trace_out {
+        // Fail the unwritable-path case up front (strict flag-value
+        // convention), not after a whole compile/tune run.
+        if let Err(e) = std::fs::write(path, "") {
+            eprintln!("lgenc: cannot write --trace-out {path}: {e}");
+            usage();
+        }
+        lgen::telemetry::set_enabled(true);
+    }
 
     let src = std::fs::read_to_string(&file).unwrap_or_else(|e| {
         eprintln!("lgenc: cannot read {file}: {e}");
@@ -248,14 +277,10 @@ fn main() {
     };
 
     if cache_stats {
-        eprintln!("lgenc: cache: {}", cache.stats());
-        let stats = cache.pass_stats();
-        eprintln!("lgenc: pipeline: {} compile(s)", stats.compiles());
-        for (pass, ns, runs) in stats.rows() {
-            eprintln!(
-                "lgenc:   {pass:<16} {runs:>5} run(s) {:>9.3} ms",
-                ns as f64 / 1e6
-            );
+        // One coherent snapshot: counters and per-pass rows are read
+        // together, so they cannot disagree mid-run.
+        for line in cache.snapshot().to_string().lines() {
+            eprintln!("lgenc: {line}");
         }
     }
 
@@ -284,6 +309,29 @@ fn main() {
         "{}",
         lgen::cir::unparse::unparse(&kernel, target.vector_isa())
     );
+
+    // Telemetry exports last, so they cover the whole run.
+    if let Some(path) = &trace_out {
+        let spans = lgen::telemetry::global().snapshot();
+        let json = lgen::telemetry::chrome_trace(&spans);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("lgenc: cannot write --trace-out {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("lgenc: wrote {} span(s) to {path}", spans.len());
+    }
+    if std::env::var("LGEN_TRACE").is_ok_and(|v| !v.is_empty() && v != "0") {
+        eprint!(
+            "{}",
+            lgen::telemetry::summary_tree(&lgen::telemetry::global().snapshot())
+        );
+    }
+    if metrics {
+        eprint!(
+            "{}",
+            lgen::telemetry::format_metrics(&lgen::telemetry::registry().snapshot())
+        );
+    }
 }
 
 /// Prints every recorded IR snapshot (`--print-after-all`) to stderr.

@@ -55,6 +55,7 @@ pub use lgen_ll as ll;
 pub use lgen_machine as machine;
 pub use lgen_mediator as mediator;
 pub use lgen_sigma as sigma;
+pub use lgen_telemetry as telemetry;
 
 /// The most commonly used items, for `use lgen::prelude::*`.
 pub mod prelude {

@@ -64,6 +64,9 @@ fn missing_or_bad_flag_values_exit_with_usage() {
     assert_usage_error(&[file, "--variant", "turbo"]);
     // Unknown flags.
     assert_usage_error(&[file, "--frobnicate"]);
+    // --trace-out: missing value and unwritable path.
+    assert_usage_error(&[file, "--trace-out"]);
+    assert_usage_error(&[file, "--trace-out", "/nonexistent-dir/trace.json"]);
 }
 
 #[test]
@@ -84,6 +87,50 @@ fn compiles_and_prints_c() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("void kernel"), "no C emitted: {stdout}");
     assert!(stderr.contains("validated"), "{stderr}");
+}
+
+#[test]
+fn trace_out_writes_a_chrome_trace_and_metrics_dump() {
+    let file = blac_file("trace");
+    let trace = std::env::temp_dir().join(format!("lgenc_cli_{}_trace.json", std::process::id()));
+    let out = lgenc(&[
+        file.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    let json = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+    // One complete-event span per pipeline stage, at minimum.
+    for stage in ["compile", "codegen", "ll_tiling", "sigma_ll_rewrite", "dce"] {
+        assert!(json.contains(&format!("\"name\":\"{stage}\"")), "{json}");
+    }
+    assert!(
+        stderr.contains("wrote"),
+        "span-count note missing: {stderr}"
+    );
+    // The --metrics dump reaches stderr, cache counters included (they
+    // are pre-registered, so they appear even at zero).
+    for key in ["lgen.compile.count 1", "lgen.cache.hits 0"] {
+        assert!(stderr.contains(key), "metrics dump missing {key}: {stderr}");
+    }
+    let _ = std::fs::remove_file(trace);
+}
+
+#[test]
+fn lgen_trace_env_prints_the_span_tree() {
+    let file = blac_file("treeenv");
+    let out = Command::new(env!("CARGO_BIN_EXE_lgenc"))
+        .args([file.to_str().unwrap()])
+        .env("LGEN_TRACE", "1")
+        .output()
+        .expect("lgenc runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("[main]"), "no main track header: {stderr}");
+    assert!(stderr.contains("compile "), "no compile span: {stderr}");
 }
 
 #[test]
