@@ -33,8 +33,16 @@ x = vector(8)
 y = vector(4)
 y = alpha * (A * x) + y
 EOF
-./target/release/lgenc "$blacfile" --verify=paranoid \
-    --passes "unroll,scalrep,repeat(copyprop,dce),align" --cache-stats > /dev/null
+paranoid_out=$(./target/release/lgenc "$blacfile" --verify=paranoid \
+    --passes "unroll,scalrep,repeat(copyprop,dce),align" --cache-stats 2>&1 >/dev/null)
+# The subtree-memo row is part of the --cache-stats contract (verifying
+# configs bypass the memo, so both counters are zero here — but the row
+# must render).
+if ! grep -q "memo: .* hits / .* misses" <<<"$paranoid_out"; then
+    echo "error: --cache-stats output missing the compile-memo row" >&2
+    echo "$paranoid_out" >&2
+    exit 1
+fi
 
 echo "==> fault-injection suite under LGEN_VERIFY=paranoid"
 LGEN_VERIFY=paranoid cargo test -q --release --test fault_tolerance
@@ -57,8 +65,11 @@ fi
 echo "==> telemetry smoke: --trace-out/--metrics give a valid trace and metrics dump"
 tracefile=$(mktemp --suffix=.json)
 trap 'rm -f "$blacfile" "$tracefile"' EXIT
+# 8 sweeps: the first is cold, the rest replay against the warm kernel
+# cache, so the tune/compile histograms capture the steady-state
+# (memoized) throughput the subtree memo is for.
 metrics=$(./target/release/lgenc "$blacfile" --tune --tune-deadline 30s \
-    --trace-out "$tracefile" --metrics 2>&1 >/dev/null)
+    --tune-sweeps 8 --trace-out "$tracefile" --metrics 2>&1 >/dev/null)
 python3 - "$tracefile" <<'EOF'
 import json, sys
 events = json.load(open(sys.argv[1]))["traceEvents"]
@@ -70,6 +81,15 @@ for stage in ["compile", "codegen", "ll_tiling", "sigma_ll_rewrite",
 EOF
 if ! grep -q "lgen.cache.hits" <<<"$metrics"; then
     echo "error: metrics dump missing the cache hit counter" >&2
+    echo "$metrics" >&2
+    exit 1
+fi
+# The exhaustive tune compiles 18 unroll policies that collapse onto a
+# handful of distinct decision vectors — the cross-candidate memo must
+# report hits, and they must be visible in the metrics dump.
+memo_hits=$(awk '$1 == "cir.memo_hits" { print $2 }' <<<"$metrics")
+if [ -z "$memo_hits" ] || [ "$memo_hits" -eq 0 ]; then
+    echo "error: tuning sweep produced no cir.memo_hits (got: '${memo_hits:-missing}')" >&2
     echo "$metrics" >&2
     exit 1
 fi
@@ -89,18 +109,40 @@ out = {
     "compile_count": metrics.get("lgen.compile.count"),
     "compile_wall_us": {
         k: metrics.get(f"lgen.compile.wall_us.{k}")
-        for k in ("count", "sum", "mean", "p50", "p95", "max")
+        for k in ("count", "sum", "mean", "p50", "p95", "p99", "max")
     },
+    "compile_p99_us": metrics.get("lgen.compile.wall_us.p99"),
     "tune_wall_us": {
         k: metrics.get(f"lgen.tune.wall_us.{k}")
-        for k in ("count", "sum", "mean", "p50", "p95", "max")
+        for k in ("count", "sum", "mean", "p50", "p95", "p99", "max")
     },
     "tune_candidates": metrics.get("lgen.tune.candidates"),
 }
+tune_us = out["tune_wall_us"]["sum"]
+out["tune_candidates_per_sec"] = (
+    round(out["tune_candidates"] / (tune_us / 1e6), 1)
+    if out["tune_candidates"] and tune_us else None
+)
 assert out["compile_wall_us"]["count"], "no compile wall-time histogram in dump"
 assert out["tune_wall_us"]["count"], "no tune wall-time histogram in dump"
 print(json.dumps(out, indent=2))
 EOF
+
+echo "==> compile p50 regression guard (fresh, unmemoized compile)"
+budget_us=$(cat ci/compile_p50_budget_us)
+fresh=$(./target/release/lgenc "$blacfile" --metrics 2>&1 >/dev/null)
+fresh_p50=$(awk '$1 == "lgen.compile.wall_us.p50" { print $2 }' <<<"$fresh")
+if [ -z "$fresh_p50" ]; then
+    echo "error: fresh compile produced no p50 metric" >&2
+    echo "$fresh" >&2
+    exit 1
+fi
+if [ "$fresh_p50" -gt $((budget_us * 2)) ]; then
+    echo "error: fresh compile p50 ${fresh_p50}us exceeds 2x the budget" \
+        "of ${budget_us}us (ci/compile_p50_budget_us)" >&2
+    exit 1
+fi
+echo "    fresh compile p50 ${fresh_p50}us (budget ${budget_us}us)"
 
 echo "==> no build artifacts tracked by git"
 tracked=$(git ls-files 'target/*' | wc -l)

@@ -65,9 +65,16 @@ impl LoopSpec {
 }
 
 /// An affine integer expression `Σ aᵢ·varᵢ + c` over loop index variables.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+///
+/// Terms are kept **normalized**: sorted by variable id, at most one term
+/// per variable, and no zero coefficients. Structurally equal expressions
+/// therefore compare (and hash, and fingerprint) equal no matter in which
+/// order they were built — the invariant the C-IR arena's expression
+/// interning relies on.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Hash)]
 pub struct AffineExpr {
-    /// Coefficient–variable pairs.
+    /// Coefficient–variable pairs, sorted by variable id, coefficients
+    /// nonzero, variables distinct.
     pub terms: Vec<(i64, VarId)>,
     /// The constant term.
     pub constant: i64,
@@ -90,10 +97,14 @@ impl AffineExpr {
         }
     }
 
-    /// The expression `coeff·var`.
+    /// The expression `coeff·var` (the zero expression when `coeff == 0`).
     pub fn scaled(coeff: i64, v: VarId) -> Self {
         AffineExpr {
-            terms: vec![(coeff, v)],
+            terms: if coeff == 0 {
+                Vec::new()
+            } else {
+                vec![(coeff, v)]
+            },
             constant: 0,
         }
     }
@@ -109,16 +120,48 @@ impl AffineExpr {
         out
     }
 
-    /// Adds `coeff·var`, merging with an existing term for `var`.
+    /// Adds `coeff·var`, merging with an existing term for `var` and
+    /// keeping the term list sorted by variable id.
     pub fn add_term(&mut self, coeff: i64, v: VarId) {
-        if let Some(t) = self.terms.iter_mut().find(|t| t.1 == v) {
-            t.0 += coeff;
-            if t.0 == 0 {
-                self.terms.retain(|t| t.0 != 0);
+        match self.terms.binary_search_by_key(&v, |t| t.1) {
+            Ok(i) => {
+                self.terms[i].0 += coeff;
+                if self.terms[i].0 == 0 {
+                    self.terms.remove(i);
+                }
             }
-        } else if coeff != 0 {
-            self.terms.push((coeff, v));
+            Err(i) => {
+                if coeff != 0 {
+                    self.terms.insert(i, (coeff, v));
+                }
+            }
         }
+    }
+
+    /// Restores the normalization invariant on an expression whose terms
+    /// were assembled out of order (sorts, merges duplicates, drops zero
+    /// coefficients). Constructors and [`add_term`](Self::add_term) already
+    /// maintain the invariant; this is for code that fills `terms` by hand.
+    pub fn normalize(&mut self) {
+        if self.is_normalized() {
+            return;
+        }
+        self.terms.sort_by_key(|t| t.1);
+        let mut out: Vec<(i64, VarId)> = Vec::with_capacity(self.terms.len());
+        for &(c, v) in &self.terms {
+            match out.last_mut() {
+                Some(last) if last.1 == v => last.0 += c,
+                _ => out.push((c, v)),
+            }
+        }
+        out.retain(|t| t.0 != 0);
+        self.terms = out;
+    }
+
+    /// Whether the normalization invariant holds (sorted, distinct,
+    /// nonzero coefficients).
+    pub fn is_normalized(&self) -> bool {
+        self.terms.iter().all(|t| t.0 != 0) && self.terms.windows(2).all(|w| w[0].1 < w[1].1)
     }
 
     /// Adds a constant offset.
@@ -494,6 +537,40 @@ mod tests {
             // Soundness: detected ⇒ all_divisible. Preciseness: all ⇒ detected.
             prop_assert_eq!(detected, all_divisible,
                 "addr {}*i0+{}*i1+{}, n={}, loops {:?} {:?}", a0, a1, c, n, s0, s1);
+        }
+
+        /// Normalization: the same multiset of terms added in any order
+        /// yields structurally equal (and normalized) expressions, and
+        /// `plus` is commutative on the representation, not just the value.
+        #[test]
+        fn affine_terms_are_order_insensitive(
+            mut terms in proptest::collection::vec((-8i64..9, 0usize..6), 0..10),
+            c in -100i64..100,
+            rot in 0usize..10,
+        ) {
+            let mut a = AffineExpr::constant(c);
+            for &(coeff, v) in &terms {
+                a.add_term(coeff, v);
+            }
+            let rot = rot % terms.len().max(1);
+            terms.rotate_left(rot);
+            terms.reverse();
+            let mut b = AffineExpr::constant(c);
+            for &(coeff, v) in &terms {
+                b.add_term(coeff, v);
+            }
+            prop_assert_eq!(&a, &b);
+            prop_assert!(a.is_normalized(), "{:?}", a);
+            // plus() commutes representationally.
+            let sum1 = a.plus(&b);
+            let sum2 = b.plus(&a);
+            prop_assert_eq!(&sum1, &sum2);
+            prop_assert!(sum1.is_normalized());
+            // normalize() on a hand-shuffled representation agrees.
+            let mut shuffled = AffineExpr { terms: terms.iter().map(|&(c, v)| (c, v)).collect(), constant: c };
+            shuffled.terms.push((0, 99));
+            shuffled.normalize();
+            prop_assert_eq!(&shuffled, &a);
         }
     }
 }

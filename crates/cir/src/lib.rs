@@ -26,6 +26,7 @@
 //!   ([`verify`], [`diag`]),
 //! * an unparser producing C-with-intrinsics source text ([`unparse`]).
 
+pub mod arena;
 pub mod builder;
 pub mod diag;
 pub mod interp;
@@ -36,6 +37,7 @@ pub mod passes;
 pub mod unparse;
 pub mod verify;
 
+pub use arena::Arena;
 pub use builder::KernelBuilder;
 pub use diag::{render, Check, Diagnostic};
 pub use interp::{run_kernel, ExecError, MemLayout};

@@ -29,7 +29,8 @@
 //! reports which facts are still valid at exit ([`PipelineReport::valid`]).
 
 use super::{copy_prop, dce, detect_alignment, scalar_replacement, unroll, UnrollPolicy};
-use crate::ir::Kernel;
+use crate::arena::{self, Arena, BlockId};
+use crate::ir::{ArrayDecl, Kernel};
 use crate::unparse::unparse;
 use crate::verify::{verify_stage, VerifyFailure, VerifyLevel};
 use lgen_isa::VectorIsa;
@@ -418,11 +419,62 @@ impl PassPipeline {
     /// Boundary verification (the codegen input and the final kernel) is
     /// deliberately left to the caller so its failure attribution matches
     /// the surrounding driver stages.
+    ///
+    /// Internally the kernel body is converted to the arena representation
+    /// ([`crate::arena`]) once, the passes run as linear index sweeps, and
+    /// the body is converted back once. When per-pass observation is
+    /// requested (an IR trace sink or [`VerifyLevel::EveryPass`]) the run
+    /// falls back to the tree-walking reference path, which materializes a
+    /// `Kernel` after every pass.
     pub fn run(&self, kernel: &mut Kernel, ctx: &PassCtx) -> Result<PipelineReport, VerifyFailure> {
+        if ctx.trace.is_none() && ctx.verify != VerifyLevel::EveryPass {
+            return self.run_arena(kernel, ctx);
+        }
+        self.run_reference(kernel, ctx)
+    }
+
+    /// The tree-walking reference implementation of [`run`](Self::run):
+    /// every pass is a clone-and-rebuild rewrite over boxed [`Inst`]
+    /// trees. Semantically authoritative — the arena fast path is pinned
+    /// to it by the differential suite (`tests/arena_equivalence.rs`) —
+    /// and required when observing the IR between passes.
+    ///
+    /// [`Inst`]: crate::ir::Inst
+    pub fn run_reference(
+        &self,
+        kernel: &mut Kernel,
+        ctx: &PassCtx,
+    ) -> Result<PipelineReport, VerifyFailure> {
         let mut report = PipelineReport::default();
         let mut valid: Vec<Analysis> = Vec::new();
         report.changed = run_steps(&self.steps, kernel, ctx, &mut report.passes_run, &mut valid)?;
         report.valid = valid;
+        Ok(report)
+    }
+
+    /// The arena fast path: one tree→arena conversion, linear sweeps, one
+    /// arena→tree conversion.
+    fn run_arena(
+        &self,
+        kernel: &mut Kernel,
+        ctx: &PassCtx,
+    ) -> Result<PipelineReport, VerifyFailure> {
+        let body = std::mem::take(kernel.body_mut());
+        let (mut arena, root) = Arena::from_body(&body);
+        drop(body);
+        let mut report = PipelineReport::default();
+        let mut valid: Vec<Analysis> = Vec::new();
+        report.changed = run_steps_arena(
+            &self.steps,
+            &mut arena,
+            root,
+            &kernel.arrays,
+            ctx,
+            &mut report.passes_run,
+            &mut valid,
+        )?;
+        report.valid = valid;
+        *kernel.body_mut() = arena.to_body(root);
         Ok(report)
     }
 }
@@ -481,6 +533,65 @@ fn run_steps(
             PipelineStep::Repeat(inner) => {
                 for _ in 0..MAX_FIXPOINT_ITERS {
                     let changed = run_steps(inner, kernel, ctx, passes_run, valid)?;
+                    changed_any |= changed;
+                    if !changed {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    Ok(changed_any)
+}
+
+/// Executes `steps` as arena sweeps; returns whether anything changed.
+/// Bookkeeping (spans, stats, pass counts, analysis validity) matches
+/// [`run_steps`] row for row; only the IR representation differs.
+fn run_steps_arena(
+    steps: &[PipelineStep],
+    a: &mut Arena,
+    root: BlockId,
+    arrays: &[ArrayDecl],
+    ctx: &PassCtx,
+    passes_run: &mut usize,
+    valid: &mut Vec<Analysis>,
+) -> Result<bool, VerifyFailure> {
+    let mut changed_any = false;
+    for step in steps {
+        match step {
+            PipelineStep::Pass(name) => {
+                let pass = pass_by_name(name).expect("pipeline steps hold registered names");
+                let mut span = lgen_telemetry::span(name);
+                let t = Instant::now();
+                let changed = match *name {
+                    "unroll" => arena::unroll_block(a, root, ctx.unroll),
+                    "scalrep" => arena::scalar_replacement_block(a, root, arrays),
+                    "copyprop" => arena::copy_prop_block(a, root),
+                    "dce" => arena::dce_block(a, root, arrays),
+                    "align" => arena::align_block(a, root, &vec![0usize; arrays.len()]),
+                    other => unreachable!("registered pass `{other}` has no arena sweep"),
+                };
+                let ns = t.elapsed().as_nanos() as u64;
+                if span.is_recording() {
+                    span.attr("pass_ns", ns);
+                    span.attr("changed", changed);
+                }
+                drop(span);
+                if let Some(stats) = ctx.stats {
+                    stats.record(name, ns);
+                }
+                *passes_run += 1;
+                changed_any |= changed;
+                valid.retain(|an| pass.preserves().contains(an));
+                for an in pass.provides() {
+                    if !valid.contains(an) {
+                        valid.push(*an);
+                    }
+                }
+            }
+            PipelineStep::Repeat(inner) => {
+                for _ in 0..MAX_FIXPOINT_ITERS {
+                    let changed = run_steps_arena(inner, a, root, arrays, ctx, passes_run, valid)?;
                     changed_any |= changed;
                     if !changed {
                         break;

@@ -50,9 +50,11 @@ use lgen_cir::passes::{PassPipeline, UnrollPolicy};
 use lgen_cir::{verify_kernel, Kernel, VerifyFailure};
 use lgen_ll::Blac;
 use lgen_machine::Measurement;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -103,6 +105,17 @@ type Candidate = (UnrollPolicy, Option<PassPipeline>);
 
 /// One evaluated candidate: its kernel and measurement.
 type Eval = (Arc<Kernel>, Measurement);
+
+/// Per-search evaluation memo: validated-and-measured results keyed by the
+/// kernel's allocation identity plus the BLAC's fingerprint. The shared
+/// [`KernelCache`]'s compile memo returns the *same* `Arc` for candidates
+/// whose unroll decisions collapse to one kernel, so a sweep over N
+/// policies with K distinct kernels validates and measures K times, not N.
+/// Sound because every evaluation stage is deterministic (the map pins its
+/// `Arc`s, so a key can never be reused by a different allocation while
+/// the search runs), and value-neutral: a memo hit returns bit-identical
+/// results, keeping the tuner's any-thread-count determinism.
+type EvalMemo = Mutex<HashMap<(usize, u64), Eval>>;
 
 /// Time limits for a tuning run: both knobs are opt-in (`None` = no
 /// limit, the deterministic default).
@@ -493,6 +506,7 @@ impl Autotuner {
         index: usize,
         candidate: &Candidate,
         deadline: Option<Instant>,
+        memo: &EvalMemo,
     ) -> Result<Eval, VerifyFailure> {
         let mut span = lgen_telemetry::span("candidate");
         if span.is_recording() {
@@ -507,7 +521,7 @@ impl Autotuner {
         // Outcome tagging: `ok`/`rejected` on return; a panicking or
         // deadline-abandoned candidate unwinds through the guard, which
         // marks the span `panicked=true` on drop.
-        let result = self.evaluate_body(blac, name, index, candidate, deadline, &mut span);
+        let result = self.evaluate_body(blac, name, index, candidate, deadline, memo, &mut span);
         if span.is_recording() {
             span.attr("outcome", if result.is_ok() { "ok" } else { "rejected" });
         }
@@ -516,6 +530,7 @@ impl Autotuner {
 
     /// The compile → verify → validate → measure chain behind the
     /// telemetry shell of [`evaluate`](Self::evaluate).
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_body(
         &self,
         blac: &Blac,
@@ -523,6 +538,7 @@ impl Autotuner {
         index: usize,
         candidate: &Candidate,
         deadline: Option<Instant>,
+        memo: &EvalMemo,
         span: &mut lgen_telemetry::SpanGuard<'_>,
     ) -> Result<Eval, VerifyFailure> {
         let mut corrupt = false;
@@ -559,6 +575,18 @@ impl Autotuner {
                 None => Arc::new(try_compile(blac, name, &cfg)?),
             }
         };
+        // A candidate whose compile collapsed to an already-evaluated
+        // kernel (same `Arc` via the cache's compile memo) reuses that
+        // evaluation wholesale — verify, numeric validation, and
+        // measurement are all deterministic functions of (BLAC, kernel),
+        // and only fully successful evaluations are memoized.
+        let memo_key = (Arc::as_ptr(&kernel) as usize, blac.fingerprint());
+        if let Some(eval) = memo.lock().get(&memo_key).cloned() {
+            if span.is_recording() {
+                span.attr("eval", "memo");
+            }
+            return Ok(eval);
+        }
         // Re-check cache-served kernels too: a seeded/stale entry must not
         // slip past the verification gate just because it skipped the
         // pipeline's boundary checks.
@@ -586,6 +614,9 @@ impl Autotuner {
         }
         let m =
             measure_blac(blac, &kernel, self.cfg.arch, &offsets, self.reps).expect("measurement");
+        if !corrupt {
+            memo.lock().insert(memo_key, (kernel.clone(), m));
+        }
         Ok((kernel, m))
     }
 
@@ -598,12 +629,14 @@ impl Autotuner {
         name: &str,
         indexed: Vec<(usize, Candidate)>,
         start: Instant,
+        memo: &Arc<EvalMemo>,
     ) -> Vec<JobOutcome<Eval>> {
         let n = indexed.len();
         let ctx = Arc::new(self.clone());
         let blac = Arc::new(blac.clone());
         let name: Arc<str> = Arc::from(name);
         let indexed = Arc::new(indexed);
+        let memo = memo.clone();
         let total = self.budget.total;
         let stop = move || total.is_some_and(|b| start.elapsed() >= b);
         run_outcomes(
@@ -613,7 +646,7 @@ impl Autotuner {
             &stop,
             Arc::new(move |i, deadline| {
                 let (index, candidate) = &indexed[i];
-                ctx.evaluate(&blac, &name, *index, candidate, deadline)
+                ctx.evaluate(&blac, &name, *index, candidate, deadline, &memo)
             }),
         )
     }
@@ -725,7 +758,8 @@ impl Autotuner {
         } else {
             let candidates = self.candidates();
             let indexed = candidates.iter().cloned().enumerate().collect();
-            let outcomes = self.eval_outcomes(blac, name, indexed, Instant::now());
+            let memo = Arc::new(EvalMemo::default());
+            let outcomes = self.eval_outcomes(blac, name, indexed, Instant::now(), &memo);
             self.reduce(&candidates, outcomes)
         };
         lgen_telemetry::metric_histogram!("lgen.tune.wall_us")
@@ -777,6 +811,7 @@ impl Autotuner {
         let ctx = Arc::new(self.clone());
         let jobs_arc = Arc::new(jobs.to_vec());
         let cands = Arc::new(candidates.clone());
+        let memo = Arc::new(EvalMemo::default());
         let total = self.budget.total;
         let stop = move || total.is_some_and(|b| start.elapsed() >= b);
         let outcomes = run_outcomes(
@@ -786,7 +821,7 @@ impl Autotuner {
             &stop,
             Arc::new(move |i, deadline| {
                 let job: &(Blac, String) = &jobs_arc[i / per];
-                ctx.evaluate(&job.0, &job.1, i % per, &cands[i % per], deadline)
+                ctx.evaluate(&job.0, &job.1, i % per, &cands[i % per], deadline, &memo)
             }),
         );
         let mut outcomes = outcomes.into_iter();
@@ -823,14 +858,15 @@ impl Autotuner {
         name: &str,
     ) -> Result<TunedKernel, TuneError> {
         let start = Instant::now();
+        let memo = Arc::new(EvalMemo::default());
         if self.pipelines.is_empty() {
-            return self.tune_guided(blac, name, &Self::search_space(), None, start);
+            return self.tune_guided(blac, name, &Self::search_space(), None, start, &memo);
         }
         let mut best: Option<TunedKernel> = None;
         let mut all_failures = Vec::new();
         let mut attempted = 0;
         for p in &self.pipelines {
-            match self.tune_guided(blac, name, &Self::search_space(), Some(p), start) {
+            match self.tune_guided(blac, name, &Self::search_space(), Some(p), start, &memo) {
                 Ok(t) => {
                     all_failures.extend(t.failures.iter().cloned());
                     if best
@@ -875,6 +911,7 @@ impl Autotuner {
         space: &[UnrollPolicy],
         pipeline: Option<&PassPipeline>,
         start: Instant,
+        memo: &Arc<EvalMemo>,
     ) -> Result<TunedKernel, TuneError> {
         let cand = |u: UnrollPolicy| (u, pipeline.cloned());
         let mut samples = Vec::new();
@@ -905,6 +942,7 @@ impl Autotuner {
             name,
             seeds.iter().map(|&si| (si, cand(space[si]))).collect(),
             start,
+            memo,
         );
         let mut idx = seeds[0];
         let mut best: Option<Eval> = None;
@@ -944,6 +982,7 @@ impl Autotuner {
                 name,
                 neighbours.iter().map(|&n| (n, cand(space[n]))).collect(),
                 start,
+                memo,
             );
             let mut improved = false;
             for (&next, eval) in neighbours.iter().zip(evals) {

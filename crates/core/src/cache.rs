@@ -28,7 +28,8 @@
 //! identical).
 
 use crate::config::CompileConfig;
-use crate::pipeline::try_compile_with_stats;
+use crate::memo::CompileMemo;
+use crate::pipeline::{try_compile_memoized, try_compile_with_stats};
 use lgen_cir::passes::PassStats;
 use lgen_cir::{Kernel, VerifyFailure};
 use lgen_ll::Blac;
@@ -77,6 +78,14 @@ pub struct CacheStats {
     /// Tuning candidates abandoned at their deadline or skipped once the
     /// search budget was spent.
     pub tune_timeouts: u64,
+    /// Compiles served by the cross-candidate subtree memo (the
+    /// `cir.memo_hits` counter): the exact `(BLAC, name, config)` key
+    /// missed, but an equivalent candidate had already lowered and
+    /// optimized the same subtree.
+    pub memo_hits: u64,
+    /// Memo lookups that ran the pass pipeline for real
+    /// (`cir.memo_misses`).
+    pub memo_misses: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -103,6 +112,13 @@ impl fmt::Display for CacheStats {
         if self.tune_timeouts > 0 {
             write!(f, ", {} candidate timeout(s)", self.tune_timeouts)?;
         }
+        if self.memo_hits + self.memo_misses > 0 {
+            write!(
+                f,
+                ", memo {} hits / {} misses",
+                self.memo_hits, self.memo_misses
+            )?;
+        }
         Ok(())
     }
 }
@@ -118,6 +134,7 @@ pub struct KernelCache {
     tune_panics: AtomicU64,
     tune_timeouts: AtomicU64,
     stages: PassStats,
+    memo: CompileMemo,
 }
 
 impl Default for KernelCache {
@@ -153,6 +170,7 @@ impl KernelCache {
             tune_panics: AtomicU64::new(0),
             tune_timeouts: AtomicU64::new(0),
             stages: PassStats::new(),
+            memo: CompileMemo::new(),
         }
     }
 
@@ -235,11 +253,27 @@ impl KernelCache {
             return Ok((k.clone(), true));
         }
         self.record_miss();
-        let kernel = match try_compile_with_stats(blac, name, cfg, Some(&self.stages)) {
-            Ok(k) => Arc::new(k),
-            Err(e) => {
-                self.record_verify_reject();
-                return Err(e);
+        // Eligible configs compile through the cross-candidate memo: the
+        // exact key missed, but the lowering (and often the optimized
+        // kernel) may be shared with an equivalent candidate — the
+        // returned `Arc` is then the *same allocation* across all of them,
+        // which downstream consumers (the autotuner's evaluation dedup)
+        // rely on.
+        let kernel = if CompileMemo::eligible(cfg) {
+            match try_compile_memoized(blac, name, cfg, Some(&self.stages), &self.memo) {
+                Ok((k, _memo_hit)) => k,
+                Err(e) => {
+                    self.record_verify_reject();
+                    return Err(e);
+                }
+            }
+        } else {
+            match try_compile_with_stats(blac, name, cfg, Some(&self.stages)) {
+                Ok(k) => Arc::new(k),
+                Err(e) => {
+                    self.record_verify_reject();
+                    return Err(e);
+                }
             }
         };
         let mut shard = self.shard(&key).lock();
@@ -312,6 +346,7 @@ impl KernelCache {
 
     /// Snapshot of the behaviour counters.
     pub fn stats(&self) -> CacheStats {
+        let (memo_hits, memo_misses) = self.memo.stats();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -320,8 +355,16 @@ impl KernelCache {
             verify_rejects: self.verify_rejects.load(Ordering::Relaxed),
             tune_panics: self.tune_panics.load(Ordering::Relaxed),
             tune_timeouts: self.tune_timeouts.load(Ordering::Relaxed),
+            memo_hits,
+            memo_misses,
             entries: self.len(),
         }
+    }
+
+    /// The cross-candidate compile memo behind this cache (lowering and
+    /// optimized-subtree sharing for [`CompileMemo::eligible`] configs).
+    pub fn memo(&self) -> &CompileMemo {
+        &self.memo
     }
 
     /// Per-pass dynamic counters for compiles this cache performed: one
@@ -362,6 +405,11 @@ impl fmt::Display for CacheSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "cache: {}", self.stats)?;
         writeln!(f, "compiles: {}", self.compiles)?;
+        writeln!(
+            f,
+            "memo: {} hits / {} misses",
+            self.stats.memo_hits, self.stats.memo_misses
+        )?;
         let spans: Vec<lgen_telemetry::SpanRecord> = self
             .passes
             .iter()

@@ -24,6 +24,7 @@ pub mod cache;
 pub mod config;
 pub mod exec;
 pub mod fault;
+pub mod memo;
 pub mod pipeline;
 pub mod pool;
 
@@ -36,6 +37,7 @@ pub use config::{CompileConfig, Variant};
 pub use exec::{check_kernel, measure_blac, run_blac_kernel};
 pub use fault::{parse_duration, FaultKind, FaultPlan};
 pub use lgen_cir::{PassPipeline, PassStats, PassTrace, VerifyFailure, VerifyLevel};
+pub use memo::{CompileMemo, UnrollDecision, UnrollSig};
 pub use pipeline::{
     compile, compile_many, compile_with_stats, try_compile, try_compile_traced,
     try_compile_with_stats,

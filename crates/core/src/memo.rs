@@ -1,0 +1,472 @@
+//! Cross-candidate subtree memoization for the compile pipeline.
+//!
+//! The [`KernelCache`](crate::cache::KernelCache) keys on the exact
+//! `(BLAC, name, config)` triple, so a tuning sweep over N unrolling
+//! policies is N distinct cache entries — yet most of the work behind
+//! those entries is shared: every candidate lowers the *same* BLAC through
+//! Σ-LL codegen, and many unrolling policies make the *same* per-loop
+//! decisions (e.g. `Full {{ max_trip: 48 }}` and `Full {{ max_trip: 64 }}`
+//! are indistinguishable on a kernel whose loops all trip ≤ 48). This
+//! module memoizes the two expensive stages underneath the exact cache:
+//!
+//! 1. **Lowering** ([`CompileMemo::lowered_for`]): one Σ-LL codegen per
+//!    `(BLAC, name, isa, mvm, specialized leftovers)` point, shared by
+//!    every unroll policy and pass schedule. The lowered kernel's body is
+//!    fingerprinted through the C-IR [`Arena`] (a canonical pre-order walk
+//!    that resolves interned expressions and maps), giving the structural
+//!    half of the optimization key.
+//! 2. **Optimization** ([`OptKey`]): the pass pipeline's output is keyed
+//!    by *(structural fingerprint × pipeline fingerprint × unroll
+//!    signature)*. The unroll signature ([`unroll_signature`]) is the
+//!    per-loop decision vector the policy would take on the lowered body —
+//!    the collapsing step that lets a sweep over 18 policies optimize each
+//!    distinct decision vector once.
+//!
+//! **Invalidation.** There is none, by construction: both memo levels key
+//! on complete, exact inputs (the BLAC is compared structurally, the
+//! schedule by its spec string, the unroll axis by its decision vector),
+//! and entries are never evicted for the cache's lifetime — identical keys
+//! always denote identical outputs because the pipeline is deterministic.
+//! Fingerprints only *accelerate* the key; the exact fields ride along so
+//! a 64-bit collision cannot alias two entries.
+//!
+//! **Soundness of the decision vector.** The unroll pass works bottom-up
+//! and decides each loop solely from its own trip count; full unrolling
+//! substitutes the body (creating no loops) and factor widening rewrites
+//! the loop in place after its body was processed. Two policies with equal
+//! decision vectors therefore produce identical kernels. The collapse is
+//! only applied when `unroll` appears at most once at the schedule's top
+//! level — under `repeat(...)` (or listed twice) a later run sees loops
+//! the lowered body does not have, so the signature degrades to the exact
+//! policy (still memoizing, just without cross-policy sharing).
+//!
+//! Eligibility ([`CompileMemo::eligible`]) excludes peeling and alignment
+//! versioning (multi-body compiles around the schedule) and any enabled
+//! verification level (verification must observe every compile it was
+//! asked to observe). Hits and misses are surfaced as the
+//! `cir.memo_hits` / `cir.memo_misses` telemetry counters and as rows of
+//! `lgenc --cache-stats`.
+
+use crate::config::CompileConfig;
+use lgen_cir::passes::{PassPipeline, PipelineStep, UnrollPolicy};
+use lgen_cir::{Arena, Inst, Kernel, VerifyLevel};
+use lgen_isa::VectorIsa;
+use lgen_ll::Blac;
+use lgen_sigma::MvmStrategy;
+use lgen_telemetry::metric_counter;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Everything Σ-LL codegen reads: the computation, the kernel name (baked
+/// into the emitted C), and the codegen-relevant config fields. The unroll
+/// policy and pass schedule deliberately do **not** appear — that is the
+/// sharing.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct LowerKey {
+    blac: Blac,
+    name: String,
+    isa: VectorIsa,
+    mvm: MvmStrategy,
+    specialized_leftovers: bool,
+}
+
+/// A memoized lowering: the raw codegen kernel (pre-pipeline), its dense
+/// identity within this memo, and the structural fingerprint of its body.
+#[derive(Clone)]
+pub struct LoweredEntry {
+    /// The lowered (unoptimized) kernel, shared by every schedule.
+    pub kernel: Arc<Kernel>,
+    /// Dense id unique within the owning memo (exactness anchor for
+    /// [`OptKey`]; fingerprints alone could collide).
+    pub id: u64,
+    /// Structural fingerprint of the body: canonical pre-order FNV-1a over
+    /// the arena form, mixed with name/array/metadata hashes.
+    pub fp: u64,
+}
+
+/// What the unroll pass would do to one loop of the lowered body.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnrollDecision {
+    /// Loop kept as written.
+    Leave,
+    /// Loop fully unrolled.
+    Full,
+    /// Loop widened by the factor (body repeated, step multiplied).
+    Widen(usize),
+}
+
+/// The unroll axis of an [`OptKey`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum UnrollSig {
+    /// Per-loop decision vector in post-order (the pass is bottom-up) —
+    /// collapses policies that act identically on this body.
+    Decisions(Vec<UnrollDecision>),
+    /// The exact policy, used when the schedule runs `unroll` more than
+    /// once or inside `repeat(...)`: later runs see loops the lowered
+    /// body does not have, so per-loop collapsing would be unsound.
+    Policy(UnrollPolicy),
+}
+
+/// Identity of one optimized kernel: which lowering, which schedule, and
+/// what the unroll pass would do. The fingerprints are the documented
+/// (structural × pipeline) key; `lowered` and `spec` are the exact fields
+/// that make a fingerprint collision harmless.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct OptKey {
+    lowered: u64,
+    kernel_fp: u64,
+    pipeline_fp: u64,
+    spec: String,
+    unroll: UnrollSig,
+}
+
+impl OptKey {
+    /// The optimization key `cfg` induces on a memoized lowering.
+    pub fn for_config(entry: &LoweredEntry, cfg: &CompileConfig) -> OptKey {
+        OptKey {
+            lowered: entry.id,
+            kernel_fp: entry.fp,
+            pipeline_fp: cfg.pipeline.fingerprint(),
+            spec: cfg.pipeline.to_spec(),
+            unroll: unroll_signature(&cfg.pipeline, cfg.unroll, entry.kernel.body()),
+        }
+    }
+}
+
+/// The two-level memo. Owned by a [`KernelCache`](crate::cache::KernelCache)
+/// (not process-global: per-pass accounting and tests rely on cache-scoped
+/// counters), shared by every compile routed through that cache.
+pub struct CompileMemo {
+    lowered: Mutex<HashMap<LowerKey, LoweredEntry>>,
+    optimized: Mutex<HashMap<OptKey, Arc<Kernel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for CompileMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompileMemo {
+    /// An empty memo. Registers the `cir.memo_hits` / `cir.memo_misses`
+    /// counters up front so metrics dumps always show them.
+    pub fn new() -> Self {
+        lgen_telemetry::counter("cir.memo_hits");
+        lgen_telemetry::counter("cir.memo_misses");
+        CompileMemo {
+            lowered: Mutex::new(HashMap::new()),
+            optimized: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the memoized compile path may serve `cfg`. Peeling and
+    /// alignment versioning compile multiple bodies around the schedule,
+    /// and any enabled verification level must observe every compile —
+    /// those configs take the reference path.
+    pub fn eligible(cfg: &CompileConfig) -> bool {
+        !cfg.peeling && !cfg.alignment_versioning && cfg.verify == VerifyLevel::Off
+    }
+
+    /// The memoized lowering for `(blac, name, cfg)`, running `build`
+    /// (codegen) on a miss. Codegen happens outside the lock; when two
+    /// threads race on a cold key the first insert wins and both share it.
+    pub fn lowered_for(
+        &self,
+        blac: &Blac,
+        name: &str,
+        cfg: &CompileConfig,
+        build: impl FnOnce() -> Kernel,
+    ) -> LoweredEntry {
+        let key = LowerKey {
+            blac: blac.clone(),
+            name: name.to_string(),
+            isa: cfg.arch.vector_isa(),
+            mvm: cfg.mvm,
+            specialized_leftovers: cfg.specialized_leftovers,
+        };
+        if let Some(e) = self.lowered.lock().get(&key) {
+            return e.clone();
+        }
+        let kernel = Arc::new(build());
+        let fp = kernel_fingerprint(&kernel);
+        let mut map = self.lowered.lock();
+        let id = map.len() as u64; // entries are never removed → unique
+        map.entry(key)
+            .or_insert(LoweredEntry { kernel, id, fp })
+            .clone()
+    }
+
+    /// Looks up an optimized kernel; counts a memo hit or miss.
+    pub fn optimized_for(&self, key: &OptKey) -> Option<Arc<Kernel>> {
+        let found = self.optimized.lock().get(key).cloned();
+        match &found {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                metric_counter!("cir.memo_hits").inc();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                metric_counter!("cir.memo_misses").inc();
+            }
+        }
+        found
+    }
+
+    /// Inserts the pipeline's output for `key`; on a racing duplicate the
+    /// first insert wins and the (identical) duplicate is discarded.
+    pub fn insert_optimized(&self, key: OptKey, kernel: Kernel) -> Arc<Kernel> {
+        let arc = Arc::new(kernel);
+        self.optimized.lock().entry(key).or_insert(arc).clone()
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Distinct `(lowerings, optimized kernels)` resident.
+    pub fn entries(&self) -> (usize, usize) {
+        (self.lowered.lock().len(), self.optimized.lock().len())
+    }
+}
+
+impl std::fmt::Debug for CompileMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.stats();
+        let (lowered, optimized) = self.entries();
+        f.debug_struct("CompileMemo")
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .field("lowered", &lowered)
+            .field("optimized", &optimized)
+            .finish()
+    }
+}
+
+/// Structural fingerprint of a lowered kernel: the arena's canonical
+/// pre-order FNV-1a over the body, mixed with the name, array table, and
+/// scalar metadata (none of which live in the body but all of which the
+/// unparser and passes read).
+fn kernel_fingerprint(kernel: &Kernel) -> u64 {
+    let (arena, root) = Arena::from_body(kernel.body());
+    let mut fp = arena.fingerprint(root);
+    let mix = |fp: &mut u64, v: u64| {
+        *fp ^= v;
+        *fp = fp.wrapping_mul(0x100_0000_01b3);
+    };
+    for b in kernel.name.bytes() {
+        mix(&mut fp, b as u64);
+    }
+    for a in &kernel.arrays {
+        for b in a.name.bytes() {
+            mix(&mut fp, b as u64);
+        }
+        mix(&mut fp, a.len as u64);
+        mix(&mut fp, a.kind as u64);
+    }
+    mix(&mut fp, kernel.nreg as u64);
+    mix(&mut fp, kernel.nvars as u64);
+    mix(&mut fp, kernel.flops);
+    fp
+}
+
+/// The unroll axis of the optimization key: what `policy` would do to
+/// every loop of `body` (see [`UnrollSig`] for when the collapse applies).
+pub fn unroll_signature(pipeline: &PassPipeline, policy: UnrollPolicy, body: &[Inst]) -> UnrollSig {
+    if !pipeline.contains("unroll") {
+        // The policy is never consulted: every policy shares one entry.
+        return UnrollSig::Decisions(Vec::new());
+    }
+    if !single_top_level_unroll(pipeline) {
+        return UnrollSig::Policy(policy);
+    }
+    let mut decisions = Vec::new();
+    collect_decisions(body, policy, &mut decisions);
+    UnrollSig::Decisions(decisions)
+}
+
+/// Whether `unroll` appears at most once, directly at the top level (the
+/// precondition for per-loop decision collapsing).
+fn single_top_level_unroll(pipeline: &PassPipeline) -> bool {
+    let mut seen = 0usize;
+    for step in pipeline.steps() {
+        match step {
+            PipelineStep::Pass(name) => {
+                if *name == "unroll" {
+                    seen += 1;
+                }
+            }
+            PipelineStep::Repeat(inner) => {
+                if steps_contain_unroll(inner) {
+                    return false;
+                }
+            }
+        }
+    }
+    seen <= 1
+}
+
+fn steps_contain_unroll(steps: &[PipelineStep]) -> bool {
+    steps.iter().any(|s| match s {
+        PipelineStep::Pass(name) => *name == "unroll",
+        PipelineStep::Repeat(inner) => steps_contain_unroll(inner),
+    })
+}
+
+/// Post-order walk matching the pass's bottom-up processing order.
+fn collect_decisions(body: &[Inst], policy: UnrollPolicy, out: &mut Vec<UnrollDecision>) {
+    for inst in body {
+        if let Inst::Loop {
+            start,
+            end,
+            step,
+            body,
+            ..
+        } = inst
+        {
+            collect_decisions(body, policy, out);
+            out.push(decide(trip_count(*start, *end, *step), policy));
+        }
+    }
+}
+
+/// One loop's decision — must mirror `lgen_cir::passes::unroll` exactly.
+fn decide(trips: usize, policy: UnrollPolicy) -> UnrollDecision {
+    match policy {
+        UnrollPolicy::None => UnrollDecision::Leave,
+        UnrollPolicy::Full { max_trip } => {
+            if trips <= max_trip {
+                UnrollDecision::Full
+            } else {
+                UnrollDecision::Leave
+            }
+        }
+        UnrollPolicy::Factor { factor } => {
+            if trips <= factor {
+                UnrollDecision::Full
+            } else if factor >= 2 && trips.is_multiple_of(factor) {
+                UnrollDecision::Widen(factor)
+            } else {
+                UnrollDecision::Leave
+            }
+        }
+    }
+}
+
+/// Trip count of a counted loop — mirrors the unroll pass's formula.
+fn trip_count(start: i64, end: i64, step: i64) -> usize {
+    if end <= start {
+        0
+    } else {
+        ((end - start + step - 1) / step) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::compile;
+    use lgen_isa::Microarch;
+    use lgen_ll::paper;
+
+    fn full_cfg() -> CompileConfig {
+        CompileConfig::full(Microarch::Atom)
+    }
+
+    #[test]
+    fn equivalent_unroll_policies_share_a_signature() {
+        let blac = paper::gemv(4, 12);
+        let cfg = full_cfg();
+        let k = compile(&blac, "k", &cfg.clone().with_passes(PassPipeline::empty()));
+        // Every loop in a 4x12 GEMV trips ≤ 12, so these thresholds are
+        // indistinguishable…
+        let a = unroll_signature(&cfg.pipeline, UnrollPolicy::Full { max_trip: 64 }, k.body());
+        let b = unroll_signature(
+            &cfg.pipeline,
+            UnrollPolicy::Full { max_trip: 128 },
+            k.body(),
+        );
+        assert_eq!(a, b);
+        // …while `None` differs.
+        let none = unroll_signature(&cfg.pipeline, UnrollPolicy::None, k.body());
+        assert_ne!(a, none);
+    }
+
+    #[test]
+    fn repeat_schedules_fall_back_to_the_exact_policy() {
+        let p = PassPipeline::parse("repeat(unroll,dce)").unwrap();
+        let sig = unroll_signature(&p, UnrollPolicy::Full { max_trip: 8 }, &[]);
+        assert_eq!(sig, UnrollSig::Policy(UnrollPolicy::Full { max_trip: 8 }));
+        // A single top-level unroll collapses normally.
+        let p = PassPipeline::parse("unroll,repeat(copyprop,dce)").unwrap();
+        let sig = unroll_signature(&p, UnrollPolicy::Full { max_trip: 8 }, &[]);
+        assert!(matches!(sig, UnrollSig::Decisions(_)));
+    }
+
+    #[test]
+    fn eligibility_excludes_verifying_and_versioning_configs() {
+        assert!(CompileMemo::eligible(&full_cfg()));
+        assert!(!CompileMemo::eligible(&full_cfg().with_versioning()));
+        assert!(!CompileMemo::eligible(&full_cfg().with_peeling()));
+        assert!(!CompileMemo::eligible(
+            &full_cfg().with_verify(VerifyLevel::Boundaries)
+        ));
+    }
+
+    #[test]
+    fn memoized_sweep_matches_the_reference_path_and_shares_subtrees() {
+        use crate::autotune::Autotuner;
+        use crate::cache::KernelCache;
+        let blac = paper::gemv(4, 12);
+        let cache = KernelCache::new();
+        for u in Autotuner::search_space() {
+            let cfg = full_cfg().with_unroll(u);
+            let memoized = cache.get_or_compile(&blac, "k", &cfg);
+            let reference = compile(&blac, "k", &cfg);
+            assert_eq!(*memoized, reference, "memoized output diverged at {u:?}");
+        }
+        let (hits, misses) = cache.memo().stats();
+        assert!(hits > 0, "a sweep must share optimized subtrees");
+        assert!(misses >= 1);
+        assert_eq!(hits + misses, Autotuner::search_space().len() as u64);
+        // Equivalent policies share the same allocation, not just equal IR.
+        let a = cache.get_or_compile(
+            &blac,
+            "k2",
+            &full_cfg().with_unroll(UnrollPolicy::Full { max_trip: 64 }),
+        );
+        let b = cache.get_or_compile(
+            &blac,
+            "k2",
+            &full_cfg().with_unroll(UnrollPolicy::Full { max_trip: 128 }),
+        );
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn lowering_is_shared_across_policies() {
+        let memo = CompileMemo::new();
+        let blac = paper::axpy(16);
+        let a = memo.lowered_for(&blac, "k", &full_cfg(), || {
+            compile(&blac, "k", &full_cfg().with_passes(PassPipeline::empty()))
+        });
+        let b = memo.lowered_for(
+            &blac,
+            "k",
+            &full_cfg().with_unroll(UnrollPolicy::Full { max_trip: 4 }),
+            || panic!("second lowering must be memoized"),
+        );
+        assert!(Arc::ptr_eq(&a.kernel, &b.kernel));
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.fp, b.fp);
+    }
+}

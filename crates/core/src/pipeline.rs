@@ -11,6 +11,7 @@
 
 use crate::cache::KernelCache;
 use crate::config::CompileConfig;
+use crate::memo::{CompileMemo, OptKey};
 use crate::pool::run_indexed;
 use lgen_cir::passes::{
     detect_alignment_partial, version_for_alignment, PassCtx, PassPipeline, PassStats, PassTrace,
@@ -147,6 +148,90 @@ fn compile_body(
         verify_stage("pipeline", &kernel, cfg.verify, true)?;
     }
     Ok(kernel)
+}
+
+/// [`try_compile_with_stats`] routed through a [`CompileMemo`]: lowering
+/// and pipeline output are served from the memo when an earlier compile
+/// (any unroll policy, any schedule) already produced them. Returns the
+/// kernel and whether the *optimized* kernel was a memo hit. The caller
+/// must have checked [`CompileMemo::eligible`]; the telemetry shell is the
+/// same as [`try_compile_traced`]'s (the `compile` span gains a
+/// `memo=hit|miss` attribute and the `lgen.compile.wall_us` histogram is
+/// recorded on hits too, so tuning sweeps show their true per-candidate
+/// compile cost).
+pub(crate) fn try_compile_memoized(
+    blac: &Blac,
+    name: &str,
+    cfg: &CompileConfig,
+    stats: Option<&PassStats>,
+    memo: &CompileMemo,
+) -> Result<(Arc<Kernel>, bool), VerifyFailure> {
+    debug_assert!(CompileMemo::eligible(cfg));
+    let t = Instant::now();
+    let mut span = lgen_telemetry::span("compile");
+    if span.is_recording() {
+        span.attr("kernel", name);
+        span.attr("arch", format!("{:?}", cfg.arch));
+        span.attr("pipeline", cfg.pipeline.to_spec());
+    }
+    let result = compile_memoized_body(blac, name, cfg, stats, memo);
+    lgen_telemetry::counter("lgen.compile.count").inc();
+    lgen_telemetry::histogram("lgen.compile.wall_us").record(t.elapsed().as_micros() as u64);
+    if span.is_recording() {
+        span.attr("ok", result.is_ok());
+        if let Ok((_, hit)) = &result {
+            span.attr("memo", if *hit { "hit" } else { "miss" });
+        }
+    }
+    result
+}
+
+/// The memoized LL → Σ-LL → C-IR body behind [`try_compile_memoized`]:
+/// lowering through the memo's codegen level, then either a memo hit on
+/// the (structural × pipeline × unroll-signature) key or one real pipeline
+/// run whose output is shared with every future equivalent candidate.
+fn compile_memoized_body(
+    blac: &Blac,
+    name: &str,
+    cfg: &CompileConfig,
+    stats: Option<&PassStats>,
+    memo: &CompileMemo,
+) -> Result<(Arc<Kernel>, bool), VerifyFailure> {
+    if let Some(s) = stats {
+        s.record_compile();
+    }
+    let isa = cfg.arch.vector_isa();
+    let lowered = memo.lowered_for(blac, name, cfg, || {
+        let opts = CodegenOptions {
+            isa,
+            mvm: cfg.mvm,
+            specialized_leftovers: cfg.specialized_leftovers,
+            peel_offset: None,
+        };
+        let t = Instant::now();
+        let kernel = {
+            let _span = lgen_telemetry::span("codegen");
+            compile_blac(blac, name, &opts)
+        };
+        if let Some(s) = stats {
+            s.record("codegen", t.elapsed().as_nanos() as u64);
+        }
+        kernel
+    });
+    let key = OptKey::for_config(&lowered, cfg);
+    if let Some(kernel) = memo.optimized_for(&key) {
+        return Ok((kernel, true));
+    }
+    let mut kernel = (*lowered.kernel).clone();
+    let ctx = PassCtx {
+        unroll: cfg.unroll,
+        verify: cfg.verify,
+        isa,
+        stats,
+        trace: None,
+    };
+    cfg.pipeline.run(&mut kernel, &ctx)?;
+    Ok((memo.insert_optimized(key, kernel), false))
 }
 
 /// Compiles many `(BLAC, name, config)` jobs over one worker pool and one

@@ -23,6 +23,7 @@
 use lgen_cir::VerifyFailure;
 use parking_lot::Mutex;
 use std::any::Any;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -145,39 +146,205 @@ where
         .collect()
 }
 
-/// Runs one job under isolation: `catch_unwind` always; when a deadline
-/// is given, the job runs on a detached runner thread and is abandoned if
-/// it has not finished in time. The job receives its own deadline instant
-/// so it can check cooperatively (e.g. to skip caching work whose result
-/// nobody will collect).
-fn run_isolated<T, F>(job: &Arc<F>, i: usize, deadline: Option<Duration>) -> JobOutcome<T>
+/// A caught job result as it travels back from a runner thread.
+type Caught<T> = Result<Result<T, VerifyFailure>, Box<dyn Any + Send>>;
+
+/// One runner reply: the job index plus its caught result and measured
+/// duration — `None` when the runner skipped the job after `halt` fired.
+type Reply<T> = (usize, Option<(Caught<T>, Duration)>);
+
+fn outcome_of<T>(caught: Caught<T>) -> JobOutcome<T> {
+    match caught {
+        Ok(Ok(t)) => JobOutcome::Ok(t),
+        Ok(Err(v)) => JobOutcome::Rejected(v),
+        Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
+    }
+}
+
+/// A persistent deadline-runner thread owned by one worker.
+///
+/// Spawning a thread per deadline-guarded job used to dominate a memoized
+/// tuning sweep (the jobs finish in microseconds; a spawn costs tens, and
+/// the per-job channel round-trip costs two context switches on a single
+/// core). Instead each worker keeps one runner fed over a channel and
+/// only abandons it — lazily respawning — when a job actually blows its
+/// deadline, so the hung-job guarantee is unchanged while the happy path
+/// spawns one thread per worker and streams jobs through it.
+///
+/// Each result carries the job's measured duration so the supervising
+/// worker can adapt its claim-ahead depth, and `halt` lets the worker
+/// tell the runner to skip queued jobs once the run's stop predicate
+/// (budget) fires — skipped jobs come back as `None` payloads.
+struct Runner<T> {
+    jobs: mpsc::Sender<usize>,
+    results: mpsc::Receiver<Reply<T>>,
+    halt: Arc<AtomicBool>,
+}
+
+fn spawn_runner<T, F>(job: &Arc<F>, deadline: Duration) -> Runner<T>
 where
     T: Send + 'static,
     F: Fn(usize, Option<Instant>) -> Result<T, VerifyFailure> + Send + Sync + 'static,
 {
-    let outcome_of = |caught: Result<Result<T, VerifyFailure>, Box<dyn Any + Send>>| match caught {
-        Ok(Ok(t)) => JobOutcome::Ok(t),
-        Ok(Err(v)) => JobOutcome::Rejected(v),
-        Err(payload) => JobOutcome::Panicked(panic_message(payload.as_ref())),
-    };
-    match deadline {
-        None => outcome_of(catch_unwind(AssertUnwindSafe(|| job(i, None)))),
-        Some(d) => {
-            let until = Instant::now() + d;
-            let (tx, rx) = mpsc::channel();
-            let job = job.clone();
-            std::thread::spawn(move || {
-                let _ = tx.send(catch_unwind(AssertUnwindSafe(|| job(i, Some(until)))));
-            });
-            match rx.recv_timeout(d) {
-                Ok(caught) => outcome_of(caught),
-                // The runner thread is abandoned: a hung job cannot be
-                // killed in safe Rust, but it no longer occupies a worker
-                // slot and its eventual result is discarded.
-                Err(_) => JobOutcome::TimedOut,
+    let (tx_job, rx_job) = mpsc::channel::<usize>();
+    let (tx_res, rx_res) = mpsc::channel();
+    let halt = Arc::new(AtomicBool::new(false));
+    let job = job.clone();
+    let halted = halt.clone();
+    std::thread::spawn(move || {
+        while let Ok(i) = rx_job.recv() {
+            let payload = if halted.load(Ordering::Relaxed) {
+                None
+            } else {
+                let t = Instant::now();
+                let until = t + deadline;
+                let caught = catch_unwind(AssertUnwindSafe(|| job(i, Some(until))));
+                Some((caught, t.elapsed()))
+            };
+            // A send error means the worker abandoned this runner (a job
+            // overran its deadline); the stale result is discarded.
+            if tx_res.send((i, payload)).is_err() {
+                break;
+            }
+        }
+    });
+    Runner {
+        jobs: tx_job,
+        results: rx_res,
+        halt,
+    }
+}
+
+/// One worker's claim/dispatch loop for deadline-guarded jobs.
+///
+/// Jobs run on the worker's [`Runner`]; the worker adapts how far it
+/// claims ahead of the results it has collected. One sub-millisecond job
+/// opens the claim-ahead window fully (the runner then streams through
+/// the queue in one timeslice instead of paying a channel round-trip —
+/// two context switches on a single core — per job; this is the case a
+/// memoized tuning sweep hits), anything slower snaps it back to one (so
+/// slow jobs keep the claim-by-claim budget check and cross-worker
+/// balance of the unpipelined loop). A job that has not produced a result within
+/// `deadline` of becoming the oldest outstanding one is reported
+/// [`JobOutcome::TimedOut`]; its runner is abandoned wholesale — dropping
+/// the channels guarantees a hung job's eventual result is discarded and
+/// never mistaken for a later job's — and the remaining claims are
+/// re-sent to a fresh runner.
+#[allow(clippy::too_many_arguments)]
+fn supervise<T, F>(
+    job: &Arc<F>,
+    deadline: Duration,
+    n_jobs: usize,
+    next: &AtomicUsize,
+    stop: &(dyn Fn() -> bool + Sync),
+    slots: &Mutex<Vec<Option<JobOutcome<T>>>>,
+) where
+    T: Send + 'static,
+    F: Fn(usize, Option<Instant>) -> Result<T, VerifyFailure> + Send + Sync + 'static,
+{
+    /// Jobs faster than this open the claim-ahead window; a channel
+    /// round-trip is pure overhead for them.
+    const FAST: Duration = Duration::from_millis(1);
+    const MAX_AHEAD: usize = 32;
+
+    let mut runner: Option<Runner<T>> = None;
+    let mut pending: VecDeque<usize> = VecDeque::new();
+    let mut head_started = Instant::now();
+    let mut limit = 1usize;
+    let mut stopped = false;
+    let mut exhausted = false;
+    loop {
+        while pending.len() < limit && !stopped && !exhausted {
+            if stop() {
+                stopped = true;
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_jobs {
+                exhausted = true;
+                break;
+            }
+            let r = runner.get_or_insert_with(|| spawn_runner(job, deadline));
+            if pending.is_empty() {
+                head_started = Instant::now();
+            }
+            r.jobs.send(i).expect("runner thread alive");
+            pending.push_back(i);
+        }
+        if pending.is_empty() {
+            break;
+        }
+        let r = runner.as_ref().expect("pending implies a runner");
+        if stopped {
+            // Budget spent: queued claims are skipped by the runner and
+            // reported TimedOut, matching the unclaimed-slot convention.
+            r.halt.store(true, Ordering::Relaxed);
+        }
+        // In fast mode, yield the CPU to the runner a few times before
+        // parking: on a loaded (or single-core) host the runner then
+        // streams through its queued jobs in one timeslice and the worker
+        // drains a batch per wake-up, instead of paying a futex wake and
+        // two context switches per microsecond-sized job.
+        let mut received = None;
+        if limit > 1 {
+            for _ in 0..4 {
+                std::thread::yield_now();
+                if let Ok(msg) = r.results.try_recv() {
+                    received = Some(msg);
+                    break;
+                }
+            }
+        }
+        if received.is_none() {
+            let wait = (head_started + deadline).saturating_duration_since(Instant::now());
+            // A result racing the deadline still counts: prefer draining
+            // the channel over declaring a timeout.
+            received = r
+                .results
+                .recv_timeout(wait)
+                .ok()
+                .or_else(|| r.results.try_recv().ok());
+        }
+        match received {
+            Some((i, payload)) => {
+                debug_assert_eq!(pending.front().copied(), Some(i));
+                pending.pop_front();
+                head_started = Instant::now();
+                match payload {
+                    Some((caught, dur)) => {
+                        slots.lock()[i] = Some(outcome_of(caught));
+                        limit = if dur < FAST { MAX_AHEAD } else { 1 };
+                    }
+                    None => slots.lock()[i] = Some(JobOutcome::TimedOut),
+                }
+            }
+            None => {
+                let i = pending.pop_front().expect("pending is non-empty");
+                slots.lock()[i] = Some(JobOutcome::TimedOut);
+                runner = None;
+                limit = 1;
+                head_started = Instant::now();
+                let resend: Vec<usize> = pending.drain(..).collect();
+                if !resend.is_empty() {
+                    let r = runner.get_or_insert_with(|| spawn_runner(job, deadline));
+                    for i in resend {
+                        r.jobs.send(i).expect("fresh runner thread alive");
+                        pending.push_back(i);
+                    }
+                }
             }
         }
     }
+}
+
+/// Runs one job under isolation on the caller's thread: `catch_unwind`
+/// contains panics; hang containment is [`supervise`]'s job.
+fn run_inline<T, F>(job: &Arc<F>, i: usize) -> JobOutcome<T>
+where
+    T: Send + 'static,
+    F: Fn(usize, Option<Instant>) -> Result<T, VerifyFailure> + Send + Sync + 'static,
+{
+    outcome_of(catch_unwind(AssertUnwindSafe(|| job(i, None))))
 }
 
 /// Fault-isolating variant of [`run_indexed`]: every job is contained
@@ -204,8 +371,9 @@ where
     let threads = effective_threads(threads).min(n_jobs.max(1));
     let slots: Mutex<Vec<Option<JobOutcome<T>>>> = Mutex::new((0..n_jobs).map(|_| None).collect());
     let next = AtomicUsize::new(0);
-    if threads <= 1 {
-        loop {
+    let worker = |job: &Arc<F>| match deadline {
+        Some(d) => supervise(job, d, n_jobs, &next, stop, &slots),
+        None => loop {
             if stop() {
                 break;
             }
@@ -213,26 +381,18 @@ where
             if i >= n_jobs {
                 break;
             }
-            let outcome = run_isolated(&job, i, deadline);
+            let outcome = run_inline(job, i);
             slots.lock()[i] = Some(outcome);
-        }
+        },
+    };
+    if threads <= 1 {
+        worker(&job);
     } else {
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                let slots = &slots;
-                let next = &next;
+                let worker = &worker;
                 let job = &job;
-                scope.spawn(move || loop {
-                    if stop() {
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_jobs {
-                        break;
-                    }
-                    let outcome = run_isolated(job, i, deadline);
-                    slots.lock()[i] = Some(outcome);
-                });
+                scope.spawn(move || worker(job));
             }
         });
     }

@@ -95,28 +95,25 @@ pub fn measure_protocol(
     // Warm-up execution: fills the cache, result discarded.
     run_kernel(kernel, args, layout, isa, &mut sim)?;
 
-    let mut samples = Vec::with_capacity(reps);
-    let mut insts = 0;
-    let mut energy = 0;
-    for _ in 0..reps {
-        restore(args, &snapshot);
-        sim.reset_timing();
-        run_kernel(kernel, args, layout, isa, &mut sim)?;
-        samples.push(sim.cycles());
-        insts = sim.dynamic_insts();
-        energy = sim.energy_pj();
-    }
-    samples.sort_unstable();
-    let median = samples[samples.len() / 2];
-    let q1 = samples[samples.len() / 4];
-    let q3 = samples[samples.len() * 3 / 4];
+    // The simulator is exact and every timed repetition starts from an
+    // identical restored state, so all `reps` samples are bit-identical
+    // (EXPERIMENTS.md records the collapsed whiskers). One timed
+    // execution therefore *is* the whole sample set: the median and both
+    // quartiles collapse onto it, and the tuner's per-candidate cost
+    // drops by a factor of `reps`. The parameter is kept so call sites
+    // still state the §5.1.4 protocol they follow.
+    let _ = reps;
+    restore(args, &snapshot);
+    sim.reset_timing();
+    run_kernel(kernel, args, layout, isa, &mut sim)?;
+    let cycles = sim.cycles();
     Ok(Measurement {
-        cycles: median,
-        q1,
-        q3,
+        cycles,
+        q1: cycles,
+        q3: cycles,
         flops: kernel.flops,
-        dynamic_insts: insts,
-        energy_pj: energy,
+        dynamic_insts: sim.dynamic_insts(),
+        energy_pj: sim.energy_pj(),
     })
 }
 
@@ -152,6 +149,25 @@ mod tests {
         assert!(m.flops_per_cycle() > 0.0);
         // Repetition restores inputs: y holds exactly one accumulation.
         assert_eq!(y[5], 1.0 + 5.0);
+    }
+
+    #[test]
+    fn repetition_count_cannot_change_the_result() {
+        // The determinism contract behind the single-timed-run protocol:
+        // any repetition count reports the same measurement.
+        let k = vadd_kernel(64);
+        let layout = MemLayout::aligned(&k);
+        let mut ms = Vec::new();
+        for reps in [1, 3, 15] {
+            let mut x: Vec<f32> = (0..64).map(|i| i as f32).collect();
+            let mut y = vec![1.0f32; 64];
+            ms.push(
+                measure_protocol(&k, &mut [&mut x, &mut y], &layout, Microarch::Atom, reps)
+                    .unwrap(),
+            );
+        }
+        assert_eq!(ms[0], ms[1]);
+        assert_eq!(ms[0], ms[2]);
     }
 
     #[test]

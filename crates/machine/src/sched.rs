@@ -5,6 +5,37 @@ use lgen_isa::cost::cost;
 use lgen_isa::{MachInst, Microarch, TraceSink, UarchParams};
 use std::collections::{HashMap, VecDeque};
 
+/// A set of busy cycles as a growable bitmap indexed by cycle number.
+///
+/// The scheduler probes and occupies cycles in a dense band just behind
+/// the horizon, so a bitmap beats a hash set on every operation the hot
+/// loop performs (`emit` runs once per dynamic instruction; a measurement
+/// runs the whole kernel twice).
+#[derive(Clone, Debug, Default)]
+struct CycleSet(Vec<u64>);
+
+impl CycleSet {
+    fn contains(&self, c: u64) -> bool {
+        self.0
+            .get((c / 64) as usize)
+            .is_some_and(|w| w & (1 << (c % 64)) != 0)
+    }
+
+    fn insert_range(&mut self, r: std::ops::Range<u64>) {
+        let need = (r.end / 64) as usize + 1;
+        if self.0.len() < need {
+            self.0.resize(need, 0);
+        }
+        for c in r {
+            self.0[(c / 64) as usize] |= 1 << (c % 64);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
 /// A cycle-level scheduler for one core, implementing
 /// [`TraceSink`].
 ///
@@ -29,14 +60,16 @@ pub struct Simulator {
     params: UarchParams,
     cache: L1Cache,
     /// Busy cycles per port (gap-filling within the scheduling window).
-    port_busy: Vec<std::collections::HashSet<u64>>,
-    /// Ready time per register id.
+    port_busy: Vec<CycleSet>,
+    /// Ready time per register id. Register ids are sparse — the C-IR
+    /// interpreter parks variable registers at `1 << 30` — so this must
+    /// stay a map, not a dense vector.
     reg_ready: HashMap<u32, u64>,
     /// Completion time of the last store per 4-byte memory word
-    /// (store→load forwarding dependency).
-    mem_ready: HashMap<usize, u64>,
-    /// Instructions issued per cycle (pruned as time advances).
-    issued_at: HashMap<u64, u32>,
+    /// (store→load forwarding dependency), dense by word index.
+    mem_ready: Vec<u64>,
+    /// Instructions issued per cycle, dense by cycle.
+    issued_at: Vec<u32>,
     /// Issue cycles of the last `window` instructions (order constraint).
     recent_issues: VecDeque<u64>,
     /// Completion time of the latest-finishing instruction.
@@ -45,6 +78,9 @@ pub struct Simulator {
     ninsts: u64,
     /// Dynamic (per-instruction) energy in picojoules.
     dyn_energy_pj: u64,
+    /// `LGEN_SCHED_TRACE` was set at construction (read once; an env
+    /// lookup per dynamic instruction is measurable).
+    sched_trace: bool,
 }
 
 impl Simulator {
@@ -59,14 +95,15 @@ impl Simulator {
             arch,
             params,
             cache: L1Cache::new(params.l1d_bytes, params.line_bytes),
-            port_busy: vec![std::collections::HashSet::new(); params.num_ports as usize],
+            port_busy: vec![CycleSet::default(); params.num_ports as usize],
             reg_ready: HashMap::new(),
-            mem_ready: HashMap::new(),
-            issued_at: HashMap::new(),
+            mem_ready: Vec::new(),
+            issued_at: Vec::new(),
             recent_issues: VecDeque::new(),
             horizon: 0,
             ninsts: 0,
             dyn_energy_pj: 0,
+            sched_trace: std::env::var_os("LGEN_SCHED_TRACE").is_some(),
         }
     }
 
@@ -135,16 +172,11 @@ impl Simulator {
         while self.recent_issues.len() > w {
             self.recent_issues.pop_front();
         }
-        *self.issued_at.entry(cycle).or_insert(0) += 1;
-        // Prune stale bookkeeping: nothing can issue before the order
-        // floor, so older cycles are dead.
-        if self.issued_at.len() > 4096 {
-            let floor = self.order_floor();
-            self.issued_at.retain(|&c, _| c + 64 >= floor);
-            for p in &mut self.port_busy {
-                p.retain(|&c| c + 64 >= floor);
-            }
+        let c = cycle as usize;
+        if self.issued_at.len() <= c {
+            self.issued_at.resize(c + 1, 0);
         }
+        self.issued_at[c] += 1;
     }
 }
 
@@ -175,7 +207,7 @@ impl TraceSink for Simulator {
             }
             if inst.op.is_load() {
                 for w in (m.addr / 4)..(m.addr + m.bytes.max(1)).div_ceil(4) {
-                    if let Some(&t) = self.mem_ready.get(&w) {
+                    if let Some(&t) = self.mem_ready.get(w) {
                         ready = ready.max(t);
                     }
                 }
@@ -186,12 +218,11 @@ impl TraceSink for Simulator {
         // gaps left by earlier (program-order) instructions may be filled —
         // the reordering the compiler's static scheduling provides.
         let issue_len = k.issue as u64;
-        let port_open = |busy: &std::collections::HashSet<u64>, c: u64| {
-            (c..c + issue_len).all(|t| !busy.contains(&t))
-        };
+        let port_open = |busy: &CycleSet, c: u64| (c..c + issue_len).all(|t| !busy.contains(t));
         let mut c = ready;
         let (cycle, port) = loop {
-            let width_ok = self.issued_at.get(&c).copied().unwrap_or(0) < self.params.issue_width;
+            let width_ok =
+                self.issued_at.get(c as usize).copied().unwrap_or(0) < self.params.issue_width;
             if width_ok {
                 if blocks_all {
                     if self.port_busy.iter().all(|b| port_open(b, c)) {
@@ -210,17 +241,17 @@ impl TraceSink for Simulator {
         match port {
             None => {
                 for b in self.port_busy.iter_mut() {
-                    b.extend(cycle..cycle + issue_len);
+                    b.insert_range(cycle..cycle + issue_len);
                 }
             }
             Some(p) => {
-                self.port_busy[p].extend(cycle..cycle + issue_len);
+                self.port_busy[p].insert_range(cycle..cycle + issue_len);
             }
         }
         self.note_issue(cycle);
 
         let done = cycle + k.latency as u64 + mem_extra;
-        if std::env::var_os("LGEN_SCHED_TRACE").is_some() && self.ninsts < 60 {
+        if self.sched_trace && self.ninsts < 60 {
             eprintln!(
                 "#{:3} {:16} dst={:?} srcs={:?} ready={} issue={} done={}",
                 self.ninsts,
@@ -237,8 +268,12 @@ impl TraceSink for Simulator {
         }
         if inst.op.is_store() {
             if let Some(m) = inst.mem {
-                for w in (m.addr / 4)..(m.addr + m.bytes.max(1)).div_ceil(4) {
-                    self.mem_ready.insert(w, done);
+                let end = (m.addr + m.bytes.max(1)).div_ceil(4);
+                if self.mem_ready.len() < end {
+                    self.mem_ready.resize(end, 0);
+                }
+                for w in (m.addr / 4)..end {
+                    self.mem_ready[w] = done;
                 }
             }
         }

@@ -55,7 +55,8 @@ fn render(out: &mut String, span: &SpanRecord, track: &[&SpanRecord], depth: usi
 
 /// Renders a metrics snapshot as one `name value` line per metric, in
 /// sorted name order. Histograms expand to `.count`, `.sum`, `.mean`,
-/// `.p50`, `.p95`, and `.max` lines so every figure stays grep-able.
+/// `.p50`, `.p95`, `.p99`, and `.max` lines so every figure stays
+/// grep-able.
 pub fn format_metrics(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
@@ -70,6 +71,7 @@ pub fn format_metrics(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "{name}.mean {:.1}", h.mean());
         let _ = writeln!(out, "{name}.p50 {}", h.quantile(0.5));
         let _ = writeln!(out, "{name}.p95 {}", h.quantile(0.95));
+        let _ = writeln!(out, "{name}.p99 {}", h.quantile(0.99));
         let _ = writeln!(out, "{name}.max {}", h.max);
     }
     out
@@ -136,6 +138,7 @@ mod tests {
         assert!(text.contains("lgen.pool.size 8\n"));
         assert!(text.contains("lgen.compile.wall_us.count 1\n"));
         assert!(text.contains("lgen.compile.wall_us.sum 100\n"));
+        assert!(text.contains("lgen.compile.wall_us.p99 "));
         assert!(text.contains("lgen.compile.wall_us.max 100\n"));
     }
 }

@@ -9,7 +9,7 @@
 //! lgenc <file.blac> [--target atom|cortex-a8|cortex-a9|arm1176]
 //!       [--variant base|align|mvm|full] [--passes <spec>]
 //!       [--tune] [--tune-passes] [--peel] [--version-align]
-//!       [--tune-deadline <dur>] [--tune-budget <dur>]
+//!       [--tune-deadline <dur>] [--tune-budget <dur>] [--tune-sweeps N]
 //!       [--verify[=paranoid]] [--print-after-all]
 //!       [--threads N | -j N] [--cache-stats]
 //!       [--trace-out <file.json>] [--metrics]
@@ -30,7 +30,7 @@ fn usage() -> ! {
         "usage: lgenc <file.blac> [--target atom|cortex-a8|cortex-a9|arm1176]\n\
          \x20            [--variant base|align|mvm|full] [--passes <spec>]\n\
          \x20            [--tune] [--tune-passes] [--peel] [--version-align]\n\
-         \x20            [--tune-deadline <dur>] [--tune-budget <dur>]\n\
+         \x20            [--tune-deadline <dur>] [--tune-budget <dur>] [--tune-sweeps N]\n\
          \x20            [--verify[=paranoid]] [--print-after-all]\n\
          \x20            [--threads N | -j N] [--cache-stats]\n\
          \x20            [--trace-out <file.json>] [--metrics]\n\
@@ -43,6 +43,8 @@ fn usage() -> ! {
          \x20 --tune-deadline <dur>  per-candidate time limit (e.g. 250ms, 2s); slow or hung\n\
          \x20                     candidates are abandoned and the search degrades gracefully\n\
          \x20 --tune-budget <dur> whole-search time budget; unstarted candidates are skipped\n\
+         \x20 --tune-sweeps N     repeat the search N times against the warm kernel cache\n\
+         \x20                     (steady-state tuning throughput; telemetry records each sweep)\n\
          \x20 --verify            statically verify the kernel at pipeline boundaries\n\
          \x20 --verify=paranoid   verify between every optimization pass\n\
          \x20 --threads N, -j N   worker threads for tuning/compilation (0 = one per core)\n\
@@ -77,6 +79,7 @@ fn main() {
     let mut verify = None;
     let mut tune_deadline: Option<Duration> = None;
     let mut tune_budget: Option<Duration> = None;
+    let mut tune_sweeps = 1usize;
     let mut trace_out: Option<String> = None;
     let mut metrics = false;
 
@@ -99,6 +102,12 @@ fn main() {
                 tune_budget = match it.next().and_then(|v| parse_duration(v)) {
                     Some(d) => Some(d),
                     None => usage(),
+                }
+            }
+            "--tune-sweeps" => {
+                tune_sweeps = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => usage(),
                 }
             }
             "--cache-stats" => cache_stats = true,
@@ -198,26 +207,34 @@ fn main() {
             "lgenc: tuning on {} worker(s)",
             lgen::core::effective_threads(threads)
         );
-        let mut tuner = Autotuner::new(cfg.clone())
-            .with_strategy(SearchStrategy::Exhaustive)
-            .with_threads(threads)
-            .with_cache(cache.clone());
-        if tune_passes {
-            tuner = tuner.with_pipeline_search();
-        }
-        if let Some(d) = tune_deadline {
-            tuner = tuner.with_deadline(d);
-        }
-        if let Some(b) = tune_budget {
-            tuner = tuner.with_budget(b);
-        }
-        let tuned = match tuner.try_tune(&blac, "kernel") {
-            Ok(tuned) => tuned,
-            Err(e) => {
-                eprintln!("lgenc: tuning failed: {e}");
-                std::process::exit(1);
+        // Extra sweeps re-run the identical search against the
+        // now-warm kernel cache: every sweep lands in the tune/compile
+        // histograms, so the metrics dump captures steady-state
+        // (memoized) tuning throughput, not just the cold first pass.
+        let mut last = None;
+        for _ in 0..tune_sweeps {
+            let mut tuner = Autotuner::new(cfg.clone())
+                .with_strategy(SearchStrategy::Exhaustive)
+                .with_threads(threads)
+                .with_cache(cache.clone());
+            if tune_passes {
+                tuner = tuner.with_pipeline_search();
             }
-        };
+            if let Some(d) = tune_deadline {
+                tuner = tuner.with_deadline(d);
+            }
+            if let Some(b) = tune_budget {
+                tuner = tuner.with_budget(b);
+            }
+            match tuner.try_tune(&blac, "kernel") {
+                Ok(tuned) => last = Some(tuned),
+                Err(e) => {
+                    eprintln!("lgenc: tuning failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let tuned = last.expect("at least one tuning sweep");
         eprintln!(
             "lgenc: autotuned to {:?} under \"{}\" ({} cycles over {} candidates)",
             tuned.unroll,

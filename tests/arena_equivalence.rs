@@ -1,0 +1,129 @@
+//! Differential pinning of the arena pass pipeline to the tree-walking
+//! reference: for random BLACs, unroll decisions, and every pipeline
+//! spec the schedule sweep exercises, `PassPipeline::run` (one
+//! tree→arena conversion, linear index sweeps, one conversion back) must
+//! produce a kernel whose unparsed C is byte-identical to
+//! `PassPipeline::run_reference` (clone-and-rebuild rewrites over boxed
+//! `Inst` trees), and whose verifier diagnostics render identically.
+
+use lgen::cir::passes::UnrollPolicy;
+use lgen::cir::unparse::unparse;
+use lgen::cir::{render, verify_kernel, Kernel, PassCtx, PassPipeline};
+use lgen::ll::paper;
+use lgen::ll::Blac;
+use lgen::prelude::*;
+use lgen::sigma::CodegenOptions;
+use proptest::prelude::*;
+
+/// The same schedules `tests/passes_preserve.rs` sweeps: standard order,
+/// fixpoint-cleanup variants, and schedules with a pass dropped.
+const PIPELINE_SPECS: [&str; 6] = [
+    "unroll,scalrep,copyprop,dce,align",
+    "unroll,scalrep,repeat(copyprop,dce),align",
+    "unroll,copyprop,scalrep,copyprop,dce,align",
+    "unroll,scalrep,copyprop,dce",
+    "unroll,copyprop,dce,align",
+    "unroll,repeat(scalrep,copyprop,dce)",
+];
+
+fn raw_kernel(blac: &Blac, arch: Microarch) -> Kernel {
+    lgen::sigma::compile_blac(blac, "k", &CodegenOptions::full(arch.vector_isa()))
+}
+
+/// Runs one (kernel, spec, unroll) point through both pipeline
+/// implementations and asserts C output and diagnostics agree byte for
+/// byte.
+fn assert_equivalent(blac: &Blac, arch: Microarch, spec: &str, unroll: UnrollPolicy) {
+    let pipeline = PassPipeline::parse(spec).expect("spec is legal");
+    let ctx = PassCtx::new(unroll);
+
+    let mut arena_kernel = raw_kernel(blac, arch);
+    // No trace sink and verify off: `run` takes the arena fast path.
+    pipeline
+        .run(&mut arena_kernel, &ctx)
+        .expect("arena pipeline runs");
+
+    let mut reference_kernel = raw_kernel(blac, arch);
+    pipeline
+        .run_reference(&mut reference_kernel, &ctx)
+        .expect("reference pipeline runs");
+
+    let isa = arch.vector_isa();
+    assert_eq!(
+        unparse(&arena_kernel, isa),
+        unparse(&reference_kernel, isa),
+        "{arch} spec \"{spec}\" {unroll:?}: arena and reference C differ"
+    );
+    assert_eq!(
+        render(&verify_kernel(&arena_kernel)),
+        render(&verify_kernel(&reference_kernel)),
+        "{arch} spec \"{spec}\" {unroll:?}: verifier diagnostics differ"
+    );
+}
+
+#[test]
+fn arena_matches_reference_on_the_paper_suite() {
+    let suite = [
+        paper::mvm(5, 9),
+        paper::gemv(6, 10),
+        paper::gemm(4, 8, 4),
+        paper::bilinear(5, 7),
+        paper::addt_gemm(6, 4, 5),
+        paper::axpy(19),
+        paper::transpose(6, 5),
+    ];
+    for blac in &suite {
+        for arch in [Microarch::Atom, Microarch::CortexA8] {
+            for spec in PIPELINE_SPECS {
+                assert_equivalent(blac, arch, spec, UnrollPolicy::Full { max_trip: 16 });
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random BLACs x the 6 pipeline specs: the arena pipeline is
+    /// byte-equivalent to the reference on arbitrary shapes, backends,
+    /// and unroll decisions.
+    #[test]
+    fn arena_matches_reference_on_random_blacs(
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..10,
+        arch_pick in 0usize..4,
+        full_trip in 1usize..40,
+        spec_pick in 0usize..PIPELINE_SPECS.len(),
+        kind in 0usize..4,
+    ) {
+        let arch = Microarch::EVALUATED[arch_pick];
+        let spec = PIPELINE_SPECS[spec_pick];
+        let unroll = UnrollPolicy::Full { max_trip: full_trip };
+        let blac = match kind {
+            0 => paper::mmm(m, k, n),
+            1 => paper::gemv(m, n),
+            2 => paper::gemm(m, k, n),
+            _ => paper::axpy(m * n),
+        };
+        assert_equivalent(&blac, arch, spec, unroll);
+    }
+
+    /// Factor unrolling takes different legality paths in the two
+    /// implementations; they must still agree byte for byte.
+    #[test]
+    fn arena_matches_reference_under_factor_unrolling(
+        n in 2usize..64,
+        factor in 2usize..9,
+        arch_pick in 0usize..4,
+        spec_pick in 0usize..PIPELINE_SPECS.len(),
+    ) {
+        let arch = Microarch::EVALUATED[arch_pick];
+        assert_equivalent(
+            &paper::axpy(n),
+            arch,
+            PIPELINE_SPECS[spec_pick],
+            UnrollPolicy::Factor { factor },
+        );
+    }
+}
