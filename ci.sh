@@ -16,6 +16,9 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> examples under LGEN_VERIFY=paranoid (verify between every pass)"
 cargo build --release --examples
 for ex in quickstart autotuning_tour graphics_transform kalman_update mediator_farm; do
@@ -127,6 +130,70 @@ assert out["compile_wall_us"]["count"], "no compile wall-time histogram in dump"
 assert out["tune_wall_us"]["count"], "no tune wall-time histogram in dump"
 print(json.dumps(out, indent=2))
 EOF
+
+echo "==> pruned vs full tuning: winner parity and model audit"
+# A larger GEMV, so candidates measure *distinct* cycle counts and the
+# predicted-vs-measured rank correlation is well-defined.
+prunefile=$(mktemp --suffix=.blac)
+trap 'rm -f "$blacfile" "$tracefile" "$prunefile"' EXIT
+cat > "$prunefile" <<'EOF'
+alpha = scalar
+A = matrix(4, 256)
+x = vector(256)
+y = vector(4)
+y = alpha * (A * x) + y
+EOF
+full_out=$(./target/release/lgenc "$prunefile" --tune --prune=off 2>&1 >/dev/null)
+# topk:4 of the 18-candidate space simulates ~22% of the candidates.
+pruned_out=$(./target/release/lgenc "$prunefile" --tune --prune=topk:4 \
+    --metrics 2>&1 >/dev/null)
+cycles_of() { sed -n 's/.*autotuned to .*(\([0-9][0-9]*\) cycles.*/\1/p' <<<"$1"; }
+full_cycles=$(cycles_of "$full_out")
+pruned_cycles=$(cycles_of "$pruned_out")
+if [ -z "$full_cycles" ] || [ -z "$pruned_cycles" ] \
+    || [ "$full_cycles" -ne "$pruned_cycles" ]; then
+    echo "error: pruned winner (${pruned_cycles:-?} cycles) does not match" \
+        "the full search (${full_cycles:-?} cycles)" >&2
+    echo "$pruned_out" >&2
+    exit 1
+fi
+rank_milli=$(awk '$1 == "lgen.tune.rank_correlation_milli" { print $2 }' <<<"$pruned_out")
+candidates_pruned=$(awk '$1 == "lgen.tune.candidates_pruned" { print $2 }' <<<"$pruned_out")
+if [ -z "$rank_milli" ] || [ "$rank_milli" -lt 700 ]; then
+    echo "error: predicted-vs-measured rank correlation" \
+        "${rank_milli:-missing} (milli) below the 0.7 audit floor" >&2
+    echo "$pruned_out" >&2
+    exit 1
+fi
+if [ -z "$candidates_pruned" ] || [ "$candidates_pruned" -eq 0 ]; then
+    echo "error: topk:4 tune pruned no candidates" >&2
+    echo "$pruned_out" >&2
+    exit 1
+fi
+echo "    winner parity at ${pruned_cycles} cycles," \
+    "${candidates_pruned} candidate(s) pruned, rank correlation ${rank_milli}m"
+python3 - "$rank_milli" "$candidates_pruned" <<EOF > BENCH_compile.json.tmp
+import json, sys
+metrics = {}
+for line in """$pruned_out""".splitlines():
+    parts = line.split()
+    if len(parts) == 2 and parts[0].startswith("lgen."):
+        try:
+            metrics[parts[0]] = float(parts[1])
+        except ValueError:
+            pass
+out = json.load(open("BENCH_compile.json"))
+out["rank_correlation"] = float(sys.argv[1]) / 1000.0
+out["candidates_pruned"] = int(sys.argv[2])
+tune_us = metrics.get("lgen.tune.wall_us.sum")
+measured = metrics.get("lgen.tune.candidates")
+out["pruned_tune_candidates_per_sec"] = (
+    round(measured / (tune_us / 1e6), 1) if measured and tune_us else None
+)
+assert out["pruned_tune_candidates_per_sec"], "no pruned tuning throughput"
+print(json.dumps(out, indent=2))
+EOF
+mv BENCH_compile.json.tmp BENCH_compile.json
 
 echo "==> compile p50 regression guard (fresh, unmemoized compile)"
 budget_us=$(cat ci/compile_p50_budget_us)

@@ -291,7 +291,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Inclusive length bounds for [`vec`].
+    /// Inclusive length bounds for [`vec`](fn@vec).
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,

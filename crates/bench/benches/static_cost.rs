@@ -1,0 +1,77 @@
+//! Static prediction vs. full simulation: the economics of pruning.
+//!
+//! Model-guided pruning only pays if ranking a candidate statically is
+//! far cheaper than fully evaluating it. This bench times both paths on
+//! the same compiled kernel — `lgen_analysis::analyze_kernel` (one C-IR
+//! walk, no execution) against the tuner's per-candidate evaluation
+//! (numeric validation via `check_kernel` plus the §5.1.4 warm-up and
+//! timed simulator passes of `measure_blac`) — and *asserts* the ≥50x
+//! advantage the pruned autotuner's throughput claim rests on. The gap is
+//! asymptotic, not constant-factor: analysis walks each loop *body* once
+//! (cost ∝ code size), while validation and simulation execute every
+//! iteration (cost ∝ dynamic instructions), so it widens with trip count.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lgen_analysis::analyze_kernel;
+use lgen_core::{check_kernel, compile, measure_blac, CompileConfig};
+use lgen_isa::Microarch;
+use lgen_ll::paper;
+use std::time::Instant;
+
+fn bench_static_cost(c: &mut Criterion) {
+    let arch = Microarch::Atom;
+    let isa = arch.vector_isa();
+    let blac = paper::gemv(4, 512);
+    let cfg = CompileConfig::full(arch);
+    let kernel = compile(&blac, "k", &cfg);
+    let offsets = vec![0usize; blac.operands.len()];
+    // The tuner's full evaluation of one already-compiled candidate:
+    // validate against the naive reference, then measure.
+    let evaluate = || {
+        let diff = check_kernel(&blac, &kernel, isa, 11).unwrap();
+        assert!(diff < 1.0);
+        measure_blac(&blac, &kernel, arch, &offsets, 1).unwrap()
+    };
+
+    let mut group = c.benchmark_group("static_cost");
+    group.sample_size(30);
+    group.bench_function("analyze_kernel/gemv_4x512", |b| {
+        b.iter(|| black_box(analyze_kernel(black_box(&kernel), arch)))
+    });
+    group.bench_function("validate_and_measure/gemv_4x512", |b| {
+        b.iter(|| black_box(evaluate()))
+    });
+    group.finish();
+
+    // The acceptance gate: compare best-of-N round times, not totals —
+    // scheduler noise only ever *inflates* a round, and a single stall
+    // on the microsecond-scale analysis side would otherwise swamp the
+    // ratio. The minimum is the honest cost of each path.
+    let rounds = 100;
+    let best = |f: &mut dyn FnMut()| {
+        (0..rounds)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let analyze = best(&mut || {
+        black_box(analyze_kernel(black_box(&kernel), arch));
+    });
+    let measure = best(&mut || {
+        black_box(evaluate());
+    });
+    let speedup = measure.as_secs_f64() / analyze.as_secs_f64().max(f64::EPSILON);
+    assert!(
+        speedup >= 50.0,
+        "static prediction must be >=50x cheaper than full evaluation, got {speedup:.1}x \
+         (best analyze round {analyze:?} vs best validate+measure round {measure:?} of {rounds})"
+    );
+    eprintln!("static_cost: analysis is {speedup:.0}x cheaper than one candidate evaluation");
+}
+
+criterion_group!(benches, bench_static_cost);
+criterion_main!(benches);

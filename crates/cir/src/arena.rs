@@ -72,7 +72,7 @@ pub struct BlockId(pub u32);
 /// nests are 2–3 deep, so 4 inline slots cover everything in practice.
 const INLINE_TERMS: usize = 4;
 
-/// Small-vector term storage: up to [`INLINE_TERMS`] `(coeff, var)`
+/// Small-vector term storage: up to `INLINE_TERMS` `(coeff, var)`
 /// pairs inline, heap spill beyond that.
 #[derive(Clone, Debug)]
 pub struct TermVec {
@@ -347,6 +347,18 @@ impl Arena {
         let mut arena = Arena::default();
         let root = arena.import_block(body);
         (arena, root)
+    }
+
+    /// The instruction ids of a block, in program order. Read-only view
+    /// for analyses (`lgen-analysis`) walking the arena without mutating
+    /// it.
+    pub fn block(&self, b: BlockId) -> &[InstId] {
+        &self.blocks[b.0 as usize]
+    }
+
+    /// Resolves one instruction id.
+    pub fn inst(&self, id: InstId) -> &AInst {
+        &self.insts[id.0 as usize]
     }
 
     fn import_block(&mut self, body: &[Inst]) -> BlockId {
@@ -649,7 +661,11 @@ fn fp_hash_debug<T: std::fmt::Debug>(v: &T) -> u64 {
 // change is tracked explicitly instead of by clone-and-compare.
 // ---------------------------------------------------------------------------
 
-fn trip_count(start: i64, end: i64, step: i64) -> usize {
+/// Number of iterations of a counted loop `for (v = start; v < end;
+/// v += step)`. Every C-IR loop is fixed-size, so trip counts are a
+/// *static* property — the basis of `lgen-analysis`'s loop-nest and
+/// cost extraction as well as of the unrolling pass below.
+pub fn trip_count(start: i64, end: i64, step: i64) -> usize {
     if end <= start {
         0
     } else {
@@ -658,7 +674,7 @@ fn trip_count(start: i64, end: i64, step: i64) -> usize {
 }
 
 /// Loop unrolling under `policy`, bottom-up (twin of
-/// [`crate::passes::unroll`]). Returns whether the block changed.
+/// [`crate::passes::unroll`](fn@crate::passes::unroll)). Returns whether the block changed.
 pub fn unroll_block(a: &mut Arena, block: BlockId, policy: UnrollPolicy) -> bool {
     let ids = std::mem::take(&mut a.blocks[block.0 as usize]);
     let mut out = Vec::with_capacity(ids.len());
@@ -872,7 +888,7 @@ fn shift_block_into(a: &mut Arena, block: BlockId, var: VarId, delta: i64, out: 
 }
 
 /// Copy propagation within straight-line regions, loops as barriers
-/// (twin of [`crate::passes::copy_prop`]). In-place; returns whether any
+/// (twin of [`crate::passes::copy_prop`](fn@crate::passes::copy_prop)). In-place; returns whether any
 /// operand changed.
 pub fn copy_prop_block(a: &mut Arena, block: BlockId) -> bool {
     let mut changed = false;
@@ -989,7 +1005,7 @@ fn prop_block(arena: &mut Arena, block: BlockId, changed: &mut bool) {
     }
 }
 
-/// Dead-code elimination (twin of [`crate::passes::dce`]): fixpoint over
+/// Dead-code elimination (twin of [`crate::passes::dce`](fn@crate::passes::dce)): fixpoint over
 /// a flat liveness bitmap indexed by [`InstId`]. Returns whether any
 /// instruction was removed.
 pub fn dce_block(a: &mut Arena, root: BlockId, arrays: &[ArrayDecl]) -> bool {
@@ -1140,7 +1156,7 @@ fn defined_reg(inst: &AInst) -> Option<VReg> {
 }
 
 /// Scalar replacement over generic load/store footprints (twin of
-/// [`crate::passes::scalar_replacement`]). Returns whether any load was
+/// [`crate::passes::scalar_replacement`](fn@crate::passes::scalar_replacement)). Returns whether any load was
 /// forwarded.
 pub fn scalar_replacement_block(a: &mut Arena, block: BlockId, arrays: &[ArrayDecl]) -> bool {
     let mut changed = false;

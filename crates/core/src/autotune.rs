@@ -39,6 +39,18 @@
 //! search remains byte-deterministic for every thread count. The
 //! env-gated [`FaultPlan`] harness (`LGEN_FAULTS`) injects failures
 //! deterministically to keep this degradation path tested end to end.
+//!
+//! **Model-guided pruning.** With a [`PrunePolicy`] other than `Off`, the
+//! tuner first *ranks* every candidate with the static cost predictor
+//! (`lgen-analysis` — compile is cheap and memoized; no execution, no
+//! trace scheduling) and only simulates the statically best few
+//! (successive halving, §6's "heuristics to prune the search space").
+//! The model is continuously *audited*: the Spearman rank correlation
+//! between predicted and measured scores over the measured set is
+//! recorded ([`TunedKernel::rank_correlation`], telemetry), and when it
+//! drops below the audit threshold the search widens back toward full
+//! measurement — a bad model degrades tuning throughput, never answer
+//! quality.
 
 use crate::cache::KernelCache;
 use crate::config::CompileConfig;
@@ -46,6 +58,7 @@ use crate::exec::{check_kernel, measure_blac, tolerance};
 use crate::fault::{corrupt_kernel, FaultKind, FaultPlan};
 use crate::pipeline::try_compile;
 use crate::pool::{run_outcomes, JobOutcome};
+use lgen_analysis::{analyze_kernel, StaticCost};
 use lgen_cir::passes::{PassPipeline, UnrollPolicy};
 use lgen_cir::{verify_kernel, Kernel, VerifyFailure};
 use lgen_ll::Blac;
@@ -56,6 +69,8 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::str::FromStr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -129,6 +144,82 @@ pub struct TuneBudget {
     /// *surviving* kernel wins. (For [`Autotuner::tune_many`] the budget
     /// spans the whole batch.)
     pub total: Option<Duration>,
+}
+
+/// How many candidates survive static ranking into full simulation.
+///
+/// Parsed from the `--prune=` CLI syntax: `off`, `topk:N` (`topk:inf`
+/// keeps everything, useful for parity testing), or `frac:F` with
+/// `0 < F <= 1`. At least one candidate always survives.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PrunePolicy {
+    /// Measure every candidate (the default; the paper's exhaustive or
+    /// random search, unchanged).
+    Off,
+    /// Measure the statically best `N` candidates.
+    TopK(usize),
+    /// Measure the statically best `ceil(F * n)` of `n` candidates.
+    Frac(f64),
+}
+
+impl PrunePolicy {
+    /// Is this policy a no-op?
+    pub fn is_off(self) -> bool {
+        matches!(self, PrunePolicy::Off)
+    }
+
+    /// How many of `n` candidates survive into measurement.
+    pub fn survivors(self, n: usize) -> usize {
+        match self {
+            PrunePolicy::Off => n,
+            PrunePolicy::TopK(k) => k.clamp(1, n.max(1)).min(n),
+            PrunePolicy::Frac(f) => {
+                let k = (f * n as f64).ceil() as usize;
+                k.clamp(1, n.max(1)).min(n)
+            }
+        }
+    }
+}
+
+impl FromStr for PrunePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "off" {
+            return Ok(PrunePolicy::Off);
+        }
+        if let Some(k) = s.strip_prefix("topk:") {
+            if k == "inf" || k == "∞" {
+                return Ok(PrunePolicy::TopK(usize::MAX));
+            }
+            return match k.parse::<usize>() {
+                Ok(k) if k >= 1 => Ok(PrunePolicy::TopK(k)),
+                _ => Err(format!(
+                    "invalid top-k count '{k}' (want an integer >= 1 or 'inf')"
+                )),
+            };
+        }
+        if let Some(fr) = s.strip_prefix("frac:") {
+            return match fr.parse::<f64>() {
+                Ok(f) if f > 0.0 && f <= 1.0 => Ok(PrunePolicy::Frac(f)),
+                _ => Err(format!("invalid fraction '{fr}' (want 0 < F <= 1)")),
+            };
+        }
+        Err(format!(
+            "unknown prune policy '{s}' (want off, topk:N, or frac:F)"
+        ))
+    }
+}
+
+impl fmt::Display for PrunePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrunePolicy::Off => write!(f, "off"),
+            PrunePolicy::TopK(k) if *k == usize::MAX => write!(f, "topk:inf"),
+            PrunePolicy::TopK(k) => write!(f, "topk:{k}"),
+            PrunePolicy::Frac(fr) => write!(f, "frac:{fr}"),
+        }
+    }
 }
 
 /// Why one candidate dropped out of the search.
@@ -248,6 +339,15 @@ pub struct TunedKernel {
     /// graceful-degradation record ([`rejected`](Self::rejected) counts
     /// the `Rejected` subset).
     pub failures: Vec<CandidateFailure>,
+    /// Candidates the static cost model pruned away (ranked too low to be
+    /// worth simulating). Zero unless a [`PrunePolicy`] was set.
+    pub pruned: usize,
+    /// Spearman rank correlation between the static model's scores and
+    /// the measured objective over the candidates that *were* measured.
+    /// `None` when fewer than two candidates were measured or either
+    /// ranking is constant — the model-audit signal behind
+    /// graceful widening.
+    pub rank_correlation: Option<f64>,
 }
 
 impl TunedKernel {
@@ -290,6 +390,10 @@ pub struct Autotuner {
     pipelines: Vec<PassPipeline>,
     budget: TuneBudget,
     faults: FaultPlan,
+    prune: PrunePolicy,
+    /// Minimum predicted-vs-measured Spearman correlation before the
+    /// pruned search widens toward full measurement.
+    audit_threshold: f64,
 }
 
 impl Autotuner {
@@ -309,7 +413,28 @@ impl Autotuner {
             pipelines: Vec::new(),
             budget: TuneBudget::default(),
             faults: FaultPlan::from_env(),
+            prune: PrunePolicy::Off,
+            audit_threshold: 0.5,
         }
+    }
+
+    /// Sets the model-guided pruning policy: rank all candidates with the
+    /// static cost predictor, simulate only the best
+    /// [`survivors`](PrunePolicy::survivors), and widen toward full
+    /// measurement whenever the predicted-vs-measured rank correlation
+    /// drops below the audit threshold.
+    #[must_use]
+    pub fn with_prune(mut self, prune: PrunePolicy) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Sets the Spearman-correlation floor below which a pruned search
+    /// stops trusting the static model and widens (default `0.5`).
+    #[must_use]
+    pub fn with_audit_threshold(mut self, threshold: f64) -> Self {
+        self.audit_threshold = threshold;
+        self
     }
 
     /// Sets the worker-pool width for candidate evaluation (`0` = one per
@@ -695,9 +820,28 @@ impl Autotuner {
         candidates: &[Candidate],
         outcomes: Vec<JobOutcome<Eval>>,
     ) -> Result<TunedKernel, TuneError> {
+        self.reduce_slots(candidates, outcomes.into_iter().map(Some).collect(), None)
+    }
+
+    /// [`reduce`](Self::reduce) over a sparse outcome list: a `None` slot
+    /// is a candidate the static model pruned away — never measured, not
+    /// a failure, and never eligible to win.
+    fn reduce_slots(
+        &self,
+        candidates: &[Candidate],
+        slots: Vec<Option<JobOutcome<Eval>>>,
+        rank_correlation: Option<f64>,
+    ) -> Result<TunedKernel, TuneError> {
         let mut evaluated: Vec<(&Candidate, Arc<Kernel>, Measurement)> = Vec::new();
         let mut failures = Vec::new();
-        for (c, outcome) in candidates.iter().zip(outcomes) {
+        let mut pruned = 0usize;
+        let mut attempted = 0usize;
+        for (c, slot) in candidates.iter().zip(slots) {
+            let Some(outcome) = slot else {
+                pruned += 1;
+                continue;
+            };
+            attempted += 1;
             match outcome {
                 JobOutcome::Ok((k, m)) => evaluated.push((c, k, m)),
                 JobOutcome::Rejected(v) => {
@@ -711,7 +855,7 @@ impl Autotuner {
         }
         if evaluated.is_empty() {
             return Err(TuneError::AllCandidatesFailed {
-                attempted: candidates.len(),
+                attempted,
                 failures,
             });
         }
@@ -735,7 +879,126 @@ impl Autotuner {
             samples,
             rejected: count_reasons(&failures).0,
             failures,
+            pruned,
+            rank_correlation,
         })
+    }
+
+    /// The static analogue of [`Objective::score`]: ranks candidates by
+    /// the model's [`StaticCost`] without executing anything.
+    fn static_score(&self, cost: &StaticCost) -> u128 {
+        match self.objective {
+            Objective::Cycles => cost.predicted_cycles() as u128,
+            Objective::Energy => cost.energy_pj as u128,
+            Objective::EnergyDelay => cost.energy_delay(),
+        }
+    }
+
+    /// Statically scores every candidate: compile (through the shared
+    /// cache when one is attached — the measurement pass then rides the
+    /// same memoized kernels) and run the `lgen-analysis` predictor.
+    /// A candidate whose compile fails or whose analysis panics scores
+    /// `0` — the *best* score — so it is always measured and its real
+    /// failure recorded by the normal evaluation path, keeping parity
+    /// with the unpruned search.
+    fn static_scores(&self, blac: &Blac, name: &str, candidates: &[Candidate]) -> Vec<u128> {
+        candidates
+            .iter()
+            .map(|candidate| {
+                let cfg = self.candidate_cfg(candidate);
+                catch_unwind(AssertUnwindSafe(|| {
+                    let kernel = match &self.cache {
+                        Some(cache) => cache.try_get_or_compile_tagged(blac, name, &cfg).ok()?.0,
+                        None => Arc::new(try_compile(blac, name, &cfg).ok()?),
+                    };
+                    Some(self.static_score(&analyze_kernel(&kernel, self.cfg.arch)))
+                }))
+                .ok()
+                .flatten()
+                .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Model-guided search (§6: "heuristics to prune the search space"):
+    /// rank every candidate with the static predictor, simulate only the
+    /// top [`PrunePolicy::survivors`], and audit the model by Spearman-
+    /// correlating predictions against measurements. While the audit is
+    /// unhealthy (correlation below the threshold) and budget remains,
+    /// the measured set widens — doubling — toward full measurement, so a
+    /// bad model costs tuning throughput, never the winner's quality.
+    ///
+    /// Deterministic for any thread count: the ranking is a pure function
+    /// of the candidates, each tranche is evaluated in ascending candidate
+    /// order, and the reduction scans in candidate order. `topk:inf` puts
+    /// everything in the first tranche, making the result byte-identical
+    /// to the unpruned search.
+    fn tune_pruned(
+        &self,
+        blac: &Blac,
+        name: &str,
+        candidates: &[Candidate],
+        start: Instant,
+        memo: &Arc<EvalMemo>,
+    ) -> Result<TunedKernel, TuneError> {
+        let n = candidates.len();
+        let scores = self.static_scores(blac, name, candidates);
+        // Stable static ranking: model score first, candidate index as the
+        // deterministic tie-break.
+        let mut ranked: Vec<usize> = (0..n).collect();
+        ranked.sort_by_key(|&i| (scores[i], i));
+        let mut slots: Vec<Option<JobOutcome<Eval>>> = (0..n).map(|_| None).collect();
+        let mut taken = 0usize;
+        let mut tranche = self.prune.survivors(n);
+        let budget_spent = || self.budget.total.is_some_and(|b| start.elapsed() >= b);
+        let correlation = loop {
+            let mut batch: Vec<usize> = ranked[taken..(taken + tranche).min(n)].to_vec();
+            taken += batch.len();
+            batch.sort_unstable();
+            let outcomes = self.eval_outcomes(
+                blac,
+                name,
+                batch.iter().map(|&i| (i, candidates[i].clone())).collect(),
+                start,
+                memo,
+            );
+            for (&i, outcome) in batch.iter().zip(outcomes) {
+                slots[i] = Some(outcome);
+            }
+            let measured: Vec<(u128, u128)> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Some(JobOutcome::Ok((_, m))) => Some((scores[i], self.objective.score(m))),
+                    _ => None,
+                })
+                .collect();
+            let rho = spearman(
+                &measured.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+                &measured.iter().map(|&(_, m)| m).collect::<Vec<_>>(),
+            );
+            // A degenerate audit (one survivor, constant ranks) cannot
+            // contradict the model, so it counts as healthy; an empty
+            // measured set (every survivor failed) cannot pick a winner,
+            // so it widens.
+            let healthy = !measured.is_empty() && rho.is_none_or(|r| r >= self.audit_threshold);
+            if taken >= n || healthy || budget_spent() {
+                break rho;
+            }
+            tranche = tranche.saturating_mul(2);
+        };
+        let pruned = slots.iter().filter(|s| s.is_none()).count();
+        match &self.cache {
+            Some(cache) => cache.record_tune_pruned(pruned as u64),
+            None => {
+                lgen_telemetry::metric_counter!("lgen.tune.candidates_pruned").add(pruned as u64)
+            }
+        }
+        if let Some(rho) = correlation {
+            // Gauges are integral; store the audit in milli-units (ρ·1000).
+            lgen_telemetry::gauge("lgen.tune.rank_correlation_milli").set((rho * 1000.0) as i64);
+        }
+        self.reduce_slots(candidates, slots, correlation)
     }
 
     /// Tunes `blac` per the configured strategy and objective, returning
@@ -757,10 +1020,14 @@ impl Autotuner {
             self.tune_guided_over_pipelines(blac, name)
         } else {
             let candidates = self.candidates();
-            let indexed = candidates.iter().cloned().enumerate().collect();
             let memo = Arc::new(EvalMemo::default());
-            let outcomes = self.eval_outcomes(blac, name, indexed, Instant::now(), &memo);
-            self.reduce(&candidates, outcomes)
+            if self.prune.is_off() {
+                let indexed = candidates.iter().cloned().enumerate().collect();
+                let outcomes = self.eval_outcomes(blac, name, indexed, Instant::now(), &memo);
+                self.reduce(&candidates, outcomes)
+            } else {
+                self.tune_pruned(blac, name, &candidates, Instant::now(), &memo)
+            }
         };
         lgen_telemetry::metric_histogram!("lgen.tune.wall_us")
             .record(t.elapsed().as_micros() as u64);
@@ -794,7 +1061,9 @@ impl Autotuner {
     /// One [`TuneError`] per entry whose candidates all failed; surviving
     /// entries still tune.
     pub fn try_tune_many(&self, jobs: &[(Blac, String)]) -> Vec<Result<TunedKernel, TuneError>> {
-        if self.strategy == SearchStrategy::Guided {
+        // Guided search is inherently sequential per BLAC; pruned search
+        // ranks and widens per BLAC — both fall back to per-entry tuning.
+        if self.strategy == SearchStrategy::Guided || !self.prune.is_off() {
             return jobs
                 .iter()
                 .map(|(blac, name)| self.try_tune(blac, name))
@@ -1020,6 +1289,8 @@ impl Autotuner {
             samples,
             rejected: count_reasons(&failures).0,
             failures,
+            pruned: 0,
+            rank_correlation: None,
         })
     }
 }
@@ -1032,6 +1303,52 @@ fn outcome_to_result(outcome: JobOutcome<Eval>) -> Result<Eval, FailReason> {
         JobOutcome::Panicked(msg) => Err(FailReason::Panicked(msg)),
         JobOutcome::TimedOut => Err(FailReason::TimedOut),
     }
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank — the
+/// fractional-rank convention Spearman's ρ is defined over.
+fn ranks(values: &[u128]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| values[i]);
+    let mut out = vec![0.0; n];
+    let mut lo = 0;
+    while lo < n {
+        let mut hi = lo;
+        while hi + 1 < n && values[order[hi + 1]] == values[order[lo]] {
+            hi += 1;
+        }
+        let mean = (lo + hi) as f64 / 2.0 + 1.0;
+        for &i in &order[lo..=hi] {
+            out[i] = mean;
+        }
+        lo = hi + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation between two paired score lists: Pearson
+/// correlation over their fractional ranks. `None` when fewer than two
+/// pairs exist or either side is constant (correlation is undefined —
+/// there is no ranking to agree or disagree with).
+pub fn spearman(xs: &[u128], ys: &[u128]) -> Option<f64> {
+    let n = xs.len();
+    if n < 2 || n != ys.len() {
+        return None;
+    }
+    let (rx, ry) = (ranks(xs), ranks(ys));
+    let mean = (n + 1) as f64 / 2.0;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for i in 0..n {
+        let (dx, dy) = (rx[i] - mean, ry[i] - mean);
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
 }
 
 #[cfg(test)]
@@ -1326,5 +1643,131 @@ mod tests {
         assert_eq!(*attempted, Autotuner::search_space().len());
         assert_eq!(failures.len(), *attempted);
         assert!(err.to_string().contains("panicked"), "{err}");
+    }
+
+    #[test]
+    fn prune_policy_parses_and_round_trips() {
+        assert_eq!("off".parse::<PrunePolicy>().unwrap(), PrunePolicy::Off);
+        assert_eq!(
+            "topk:4".parse::<PrunePolicy>().unwrap(),
+            PrunePolicy::TopK(4)
+        );
+        assert_eq!(
+            "topk:inf".parse::<PrunePolicy>().unwrap(),
+            PrunePolicy::TopK(usize::MAX)
+        );
+        assert_eq!(
+            "frac:0.25".parse::<PrunePolicy>().unwrap(),
+            PrunePolicy::Frac(0.25)
+        );
+        for bad in [
+            "", "on", "topk:", "topk:0", "topk:-1", "frac:0", "frac:1.5", "frac:x",
+        ] {
+            assert!(bad.parse::<PrunePolicy>().is_err(), "accepted {bad:?}");
+        }
+        for p in [
+            PrunePolicy::Off,
+            PrunePolicy::TopK(7),
+            PrunePolicy::TopK(usize::MAX),
+        ] {
+            assert_eq!(p.to_string().parse::<PrunePolicy>().unwrap(), p);
+        }
+        // At least one candidate always survives; never more than exist.
+        assert_eq!(PrunePolicy::TopK(4).survivors(18), 4);
+        assert_eq!(PrunePolicy::TopK(99).survivors(18), 18);
+        assert_eq!(PrunePolicy::Frac(0.25).survivors(18), 5);
+        assert_eq!(PrunePolicy::Frac(0.001).survivors(18), 1);
+        assert_eq!(PrunePolicy::Off.survivors(18), 18);
+    }
+
+    #[test]
+    fn spearman_matches_hand_computed_cases() {
+        // Perfect agreement, perfect inversion, and the tie convention.
+        assert_eq!(spearman(&[1, 2, 3, 4], &[10, 20, 30, 40]), Some(1.0));
+        assert_eq!(spearman(&[1, 2, 3, 4], &[40, 30, 20, 10]), Some(-1.0));
+        assert_eq!(spearman(&[5, 5, 5], &[1, 2, 3]), None); // constant side
+        assert_eq!(spearman(&[1], &[1]), None); // too short
+        let rho = spearman(&[1, 2, 2, 4], &[1, 2, 3, 4]).unwrap();
+        assert!(rho > 0.9 && rho < 1.0, "ties average: {rho}");
+    }
+
+    #[test]
+    fn topk_inf_is_byte_identical_to_off() {
+        // Everything survives the first tranche, so the pruned path must
+        // reproduce the unpruned search exactly — winner, samples, counts.
+        let blac = paper::gemv(4, 48);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let base = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Exhaustive)
+            .with_threads(4);
+        let off = base.clone().tune(&blac, "k");
+        let inf = base
+            .with_prune(PrunePolicy::TopK(usize::MAX))
+            .tune(&blac, "k");
+        assert_eq!(off.unroll, inf.unroll);
+        assert_eq!(off.samples, inf.samples);
+        assert_eq!(off.measurement, inf.measurement);
+        assert_eq!(off.kernel, inf.kernel);
+        assert_eq!(inf.pruned, 0);
+        assert!(inf.rank_correlation.is_some());
+    }
+
+    #[test]
+    fn pruned_search_reproduces_the_exhaustive_winner() {
+        // topk:4 of 18 candidates (~22%) must still find the same winner
+        // the full simulation sweep finds, and report what it skipped.
+        let suite = [paper::axpy(32), paper::gemv(4, 32), paper::mvm(4, 48)];
+        let cfg = CompileConfig::full(Microarch::Atom);
+        for blac in &suite {
+            let base = Autotuner::new(cfg.clone()).with_strategy(SearchStrategy::Exhaustive);
+            let full = base.clone().tune(blac, "k");
+            let pruned = base.with_prune(PrunePolicy::TopK(4)).tune(blac, "k");
+            assert_eq!(pruned.unroll, full.unroll);
+            assert_eq!(pruned.measurement, full.measurement);
+            assert!(
+                pruned.pruned > 0,
+                "a healthy model should have skipped candidates"
+            );
+            assert!(pruned.samples.len() < full.samples.len());
+        }
+    }
+
+    #[test]
+    fn pruned_search_is_thread_count_invariant() {
+        let blac = paper::gemv(4, 32);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let base = Autotuner::new(cfg)
+            .with_strategy(SearchStrategy::Exhaustive)
+            .with_prune(PrunePolicy::TopK(4));
+        let seq = base.clone().with_threads(1).tune(&blac, "k");
+        let par = base.with_threads(8).tune(&blac, "k");
+        assert_eq!(seq.unroll, par.unroll);
+        assert_eq!(seq.samples, par.samples);
+        assert_eq!(seq.pruned, par.pruned);
+        assert_eq!(seq.rank_correlation, par.rank_correlation);
+    }
+
+    #[test]
+    fn hostile_audit_threshold_widens_to_full_measurement() {
+        // An unattainable audit threshold (> 1) keeps the search widening
+        // until every candidate is measured — the graceful-degradation
+        // path: a distrusted model can cost throughput, never the winner.
+        // (GEMV with ten survivors: the statically best candidates are
+        // the full-unroll family — eight policies collapsing to one
+        // kernel and one cycle count — so a smaller tranche measures an
+        // all-tie set whose undefined ρ cannot contradict the model and
+        // legitimately stops early. Ten survivors mix in distinct
+        // kernels, define ρ, and fail the impossible threshold.)
+        let blac = paper::gemv(4, 48);
+        let cfg = CompileConfig::full(Microarch::Atom);
+        let base = Autotuner::new(cfg).with_strategy(SearchStrategy::Exhaustive);
+        let full = base.clone().tune(&blac, "k");
+        let widened = base
+            .with_prune(PrunePolicy::TopK(10))
+            .with_audit_threshold(2.0)
+            .tune(&blac, "k");
+        assert_eq!(widened.pruned, 0);
+        assert_eq!(widened.samples, full.samples);
+        assert_eq!(widened.unroll, full.unroll);
     }
 }

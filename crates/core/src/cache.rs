@@ -78,6 +78,10 @@ pub struct CacheStats {
     /// Tuning candidates abandoned at their deadline or skipped once the
     /// search budget was spent.
     pub tune_timeouts: u64,
+    /// Tuning candidates never measured because the static cost model
+    /// ranked them out of the survivor set (`--prune`); they were still
+    /// compiled (cheap, memoized) for the ranking itself.
+    pub tune_pruned: u64,
     /// Compiles served by the cross-candidate subtree memo (the
     /// `cir.memo_hits` counter): the exact `(BLAC, name, config)` key
     /// missed, but an equivalent candidate had already lowered and
@@ -112,6 +116,9 @@ impl fmt::Display for CacheStats {
         if self.tune_timeouts > 0 {
             write!(f, ", {} candidate timeout(s)", self.tune_timeouts)?;
         }
+        if self.tune_pruned > 0 {
+            write!(f, ", {} candidate(s) pruned", self.tune_pruned)?;
+        }
         if self.memo_hits + self.memo_misses > 0 {
             write!(
                 f,
@@ -133,6 +140,7 @@ pub struct KernelCache {
     verify_rejects: AtomicU64,
     tune_panics: AtomicU64,
     tune_timeouts: AtomicU64,
+    tune_pruned: AtomicU64,
     stages: PassStats,
     memo: CompileMemo,
 }
@@ -157,6 +165,7 @@ impl KernelCache {
             "lgen.cache.verify_rejects",
             "lgen.tune.panics",
             "lgen.tune.timeouts",
+            "lgen.tune.candidates_pruned",
         ] {
             lgen_telemetry::counter(name);
         }
@@ -169,6 +178,7 @@ impl KernelCache {
             verify_rejects: AtomicU64::new(0),
             tune_panics: AtomicU64::new(0),
             tune_timeouts: AtomicU64::new(0),
+            tune_pruned: AtomicU64::new(0),
             stages: PassStats::new(),
             memo: CompileMemo::new(),
         }
@@ -327,6 +337,14 @@ impl KernelCache {
         metric_counter!("lgen.tune.timeouts").inc();
     }
 
+    /// Counts `n` tuning candidates the static cost model pruned from the
+    /// measured set (`--prune`); they never reached validation or the
+    /// simulator.
+    pub fn record_tune_pruned(&self, n: u64) {
+        self.tune_pruned.fetch_add(n, Ordering::Relaxed);
+        metric_counter!("lgen.tune.candidates_pruned").add(n);
+    }
+
     /// Number of resident kernels.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
@@ -355,6 +373,7 @@ impl KernelCache {
             verify_rejects: self.verify_rejects.load(Ordering::Relaxed),
             tune_panics: self.tune_panics.load(Ordering::Relaxed),
             tune_timeouts: self.tune_timeouts.load(Ordering::Relaxed),
+            tune_pruned: self.tune_pruned.load(Ordering::Relaxed),
             memo_hits,
             memo_misses,
             entries: self.len(),

@@ -32,8 +32,9 @@ pub enum FaultKind {
     /// Compilation succeeds but the kernel's C-IR is corrupted (an
     /// out-of-bounds load), so static verification rejects it — and the
     /// numeric check traps it when verification is off. Corrupt
-    /// candidates compile outside the shared [`KernelCache`]
-    /// (crate::cache::KernelCache), so they can never poison it.
+    /// candidates compile outside the shared
+    /// [`KernelCache`](crate::cache::KernelCache), so they can never
+    /// poison it.
     CorruptIr,
 }
 

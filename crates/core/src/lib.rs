@@ -29,8 +29,8 @@ pub mod pipeline;
 pub mod pool;
 
 pub use autotune::{
-    Autotuner, CandidateFailure, FailReason, Objective, SearchStrategy, TuneBudget, TuneError,
-    TunedKernel,
+    spearman, Autotuner, CandidateFailure, FailReason, Objective, PrunePolicy, SearchStrategy,
+    TuneBudget, TuneError, TunedKernel,
 };
 pub use cache::{CacheKey, CacheSnapshot, CacheStats, KernelCache};
 pub use config::{CompileConfig, Variant};

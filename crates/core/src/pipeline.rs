@@ -495,7 +495,6 @@ mod tests {
 
     #[test]
     fn peeled_kernels_correct_at_every_shared_offset() {
-        use crate::exec::run_blac_kernel;
         use lgen_ll::reference::{eval_reference, max_abs_diff, test_data};
         for blac in [paper::axpy(23), paper::madd(5, 7), paper::mvm(6, 10)] {
             let cfg = CompileConfig::full(Microarch::Atom).with_peeling();
@@ -532,7 +531,6 @@ mod tests {
                     bufs[blac.output.0].clone(),
                 );
                 assert!(max_abs_diff(&got, &expected) < 1e-3, "off {off}");
-                let _ = run_blac_kernel; // silence unused import in some cfgs
             }
         }
     }

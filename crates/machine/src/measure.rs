@@ -23,8 +23,14 @@ pub struct Measurement {
     pub flops: u64,
     /// Dynamic instructions per invocation.
     pub dynamic_insts: u64,
-    /// Modelled energy per invocation in picojoules (§6 future work).
+    /// Modelled energy per invocation in picojoules (§6 future work):
+    /// dynamic per-instruction energy plus static leakage over the cycles.
     pub energy_pj: u64,
+    /// The dynamic (per-instruction) share of [`energy_pj`](Self::energy_pj)
+    /// from the simulator's instruction stream — the quantity a static
+    /// instruction-mix predictor estimates, reported separately so
+    /// predicted-vs-simulated energy can be compared, not just cycles.
+    pub dyn_energy_pj: u64,
 }
 
 impl Measurement {
@@ -114,6 +120,7 @@ pub fn measure_protocol(
         flops: kernel.flops,
         dynamic_insts: sim.dynamic_insts(),
         energy_pj: sim.energy_pj(),
+        dyn_energy_pj: sim.dyn_energy_pj(),
     })
 }
 
@@ -147,6 +154,10 @@ mod tests {
         assert_eq!(m.q3, m.cycles);
         assert!(m.cycles > 0);
         assert!(m.flops_per_cycle() > 0.0);
+        // The energy split: dynamic share is positive and strictly below
+        // the total (which adds static leakage over the cycles).
+        assert!(m.dyn_energy_pj > 0);
+        assert!(m.dyn_energy_pj < m.energy_pj);
         // Repetition restores inputs: y holds exactly one accumulation.
         assert_eq!(y[5], 1.0 + 5.0);
     }

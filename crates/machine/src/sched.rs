@@ -134,6 +134,15 @@ impl Simulator {
         self.dyn_energy_pj + self.horizon * lgen_isa::energy::static_energy_pj_per_cycle(self.arch)
     }
 
+    /// The dynamic (per-instruction) share of [`energy_pj`](Self::energy_pj)
+    /// alone, excluding static leakage over the elapsed cycles. This is the
+    /// number a static instruction-mix model (`lgen-analysis`) predicts
+    /// directly, so it is reported separately for predicted-vs-simulated
+    /// comparisons.
+    pub fn dyn_energy_pj(&self) -> u64 {
+        self.dyn_energy_pj
+    }
+
     /// Resets timing state but keeps the cache contents — the warm-cache
     /// measurement condition of §5.1.4 ("the generated kernel is executed a
     /// few times before starting measuring").

@@ -4,7 +4,7 @@
 //! needs to know where its own time goes. This crate provides the three
 //! pieces every layer shares:
 //!
-//! * **hierarchical spans** ([`span`], [`Telemetry`]) — monotonic
+//! * **hierarchical spans** ([`span`](fn@span), [`Telemetry`]) — monotonic
 //!   start/duration in microseconds since the process telemetry epoch,
 //!   parent links via a per-thread span stack, and `key=value` attributes.
 //!   Span collection is gated by an atomic flag: when disabled (the

@@ -10,6 +10,7 @@
 //!       [--variant base|align|mvm|full] [--passes <spec>]
 //!       [--tune] [--tune-passes] [--peel] [--version-align]
 //!       [--tune-deadline <dur>] [--tune-budget <dur>] [--tune-sweeps N]
+//!       [--prune off|topk:N|frac:F]
 //!       [--verify[=paranoid]] [--print-after-all]
 //!       [--threads N | -j N] [--cache-stats]
 //!       [--trace-out <file.json>] [--metrics]
@@ -20,7 +21,9 @@
 //! `--metrics` dumps the process metrics registry to stderr at exit;
 //! `LGEN_TRACE=1` records spans and prints the tree summary to stderr.
 
-use lgen::core::{parse_duration, KernelCache, PassTrace, SearchStrategy, VerifyLevel};
+use lgen::core::{
+    parse_duration, KernelCache, PassTrace, PrunePolicy, SearchStrategy, VerifyLevel,
+};
 use lgen::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
@@ -31,6 +34,7 @@ fn usage() -> ! {
          \x20            [--variant base|align|mvm|full] [--passes <spec>]\n\
          \x20            [--tune] [--tune-passes] [--peel] [--version-align]\n\
          \x20            [--tune-deadline <dur>] [--tune-budget <dur>] [--tune-sweeps N]\n\
+         \x20            [--prune off|topk:N|frac:F]\n\
          \x20            [--verify[=paranoid]] [--print-after-all]\n\
          \x20            [--threads N | -j N] [--cache-stats]\n\
          \x20            [--trace-out <file.json>] [--metrics]\n\
@@ -45,6 +49,9 @@ fn usage() -> ! {
          \x20 --tune-budget <dur> whole-search time budget; unstarted candidates are skipped\n\
          \x20 --tune-sweeps N     repeat the search N times against the warm kernel cache\n\
          \x20                     (steady-state tuning throughput; telemetry records each sweep)\n\
+         \x20 --prune <policy>    model-guided pruning: rank candidates with the static cost\n\
+         \x20                     predictor and simulate only the best (topk:N or frac:F,\n\
+         \x20                     default off); widens when the model's rank correlation drops\n\
          \x20 --verify            statically verify the kernel at pipeline boundaries\n\
          \x20 --verify=paranoid   verify between every optimization pass\n\
          \x20 --threads N, -j N   worker threads for tuning/compilation (0 = one per core)\n\
@@ -80,8 +87,22 @@ fn main() {
     let mut tune_deadline: Option<Duration> = None;
     let mut tune_budget: Option<Duration> = None;
     let mut tune_sweeps = 1usize;
+    let mut prune = PrunePolicy::Off;
     let mut trace_out: Option<String> = None;
     let mut metrics = false;
+
+    // Strict flag-value convention: a bad policy is a usage error (exit
+    // 2), not a silent fall-back to `off`.
+    let parse_prune = |v: Option<&str>| -> PrunePolicy {
+        match v.map(str::parse) {
+            Some(Ok(p)) => p,
+            Some(Err(e)) => {
+                eprintln!("lgenc: bad --prune value: {e}");
+                usage();
+            }
+            None => usage(),
+        }
+    };
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -145,6 +166,10 @@ fn main() {
                         std::process::exit(2);
                     }
                 }
+            }
+            "--prune" => prune = parse_prune(it.next().map(String::as_str)),
+            other if other.starts_with("--prune=") => {
+                prune = parse_prune(other.strip_prefix("--prune="));
             }
             "--tune" => tune = true,
             "--tune-passes" => {
@@ -226,6 +251,9 @@ fn main() {
             if let Some(b) = tune_budget {
                 tuner = tuner.with_budget(b);
             }
+            if !prune.is_off() {
+                tuner = tuner.with_prune(prune);
+            }
             match tuner.try_tune(&blac, "kernel") {
                 Ok(tuned) => last = Some(tuned),
                 Err(e) => {
@@ -244,6 +272,15 @@ fn main() {
         );
         if let Some(summary) = tuned.failure_summary() {
             eprintln!("lgenc: {summary}");
+        }
+        if !prune.is_off() {
+            eprintln!(
+                "lgenc: pruning ({prune}): {} candidate(s) skipped, rank correlation {}",
+                tuned.pruned,
+                tuned
+                    .rank_correlation
+                    .map_or_else(|| "n/a".to_string(), |r| format!("{r:.3}")),
+            );
         }
         if print_after_all {
             // Replay the winning compile with tracing on (served from the

@@ -14,6 +14,7 @@
 //! | [`absint`] | `lgen-absint` | abstract interpretation: Interval × Congruence reduced product |
 //! | [`isa`] | `lgen-isa` | vector ISAs, machine opcodes, per-core cost tables |
 //! | [`cir`] | `lgen-cir` | C-IR, generic loads/stores, passes, interpreter, C unparser |
+//! | [`analysis`] | `lgen-analysis` | static instruction-mix and cost prediction over the arena C-IR |
 //! | [`sigma`] | `lgen-sigma` | Σ-LL, the 18 ν-BLACs, the code generator |
 //! | [`machine`] | `lgen-machine` | the microarchitecture simulator and measurement protocol |
 //! | [`core`] | `lgen-core` | compile pipeline, variants, autotuner |
@@ -47,6 +48,7 @@
 //! ```
 
 pub use lgen_absint as absint;
+pub use lgen_analysis as analysis;
 pub use lgen_baselines as baselines;
 pub use lgen_cir as cir;
 pub use lgen_core as core;
@@ -59,10 +61,11 @@ pub use lgen_telemetry as telemetry;
 
 /// The most commonly used items, for `use lgen::prelude::*`.
 pub mod prelude {
+    pub use lgen_analysis::{analyze_kernel, StaticCost};
     pub use lgen_baselines::{compile_baseline, Competitor};
     pub use lgen_core::{
         check_kernel, compile, measure_blac, try_compile, Autotuner, CompileConfig, FaultPlan,
-        PassPipeline, TuneBudget, TuneError, Variant, VerifyLevel,
+        PassPipeline, PrunePolicy, TuneBudget, TuneError, Variant, VerifyLevel,
     };
     pub use lgen_isa::{Microarch, VectorIsa};
     pub use lgen_ll::{Blac, BlacBuilder};
