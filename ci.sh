@@ -211,6 +211,93 @@ if [ "$fresh_p50" -gt $((budget_us * 2)) ]; then
 fi
 echo "    fresh compile p50 ${fresh_p50}us (budget ${budget_us}us)"
 
+echo "==> program suite: Kalman predict + triangular apply (BENCH_programs.json)"
+# The example prints machine-readable BENCH lines: per-arch fused vs
+# unfused (statement-by-statement) cycles plus a joint-tune record.
+prog_out=$(./target/release/examples/kalman_update)
+if ! grep -q "BENCH program=kalman_predict" <<<"$prog_out"; then
+    echo "error: kalman_update example printed no BENCH lines" >&2
+    echo "$prog_out" >&2
+    exit 1
+fi
+# Triangular apply as a two-statement program (y = LᵀLx, L lower
+# triangular): exercises structured operands, cross-statement fusion, and
+# the joint program tuner through the lgenc front end.
+trifile=$(mktemp --suffix=.blac)
+trap 'rm -f "$blacfile" "$tracefile" "$prunefile" "$trifile"' EXIT
+cat > "$trifile" <<'EOF'
+L = matrix(8, 8) triangular(lower)
+x = vector(8)
+y = vector(8)
+t = L * x;
+y = L' * t;
+EOF
+tri_out=$(./target/release/lgenc "$trifile" --target atom --tune --metrics 2>&1 >/dev/null)
+if ! grep -q "cross-statement fusion" <<<"$tri_out"; then
+    echo "error: triangular-apply program did not report fusion" >&2
+    echo "$tri_out" >&2
+    exit 1
+fi
+python3 - <<EOF > BENCH_programs.json
+import json, re, sys
+
+per_arch, tuned = {}, None
+for line in """$prog_out""".splitlines():
+    if not line.startswith("BENCH "):
+        continue
+    kv = dict(p.split("=", 1) for p in line.split()[1:])
+    if "fused_cycles" in kv:
+        per_arch[kv["arch"]] = {
+            "statements": int(kv["statements"]),
+            "fusions": int(kv["fusions"]),
+            "fused_cycles": int(kv["fused_cycles"]),
+            "unfused_cycles": int(kv["unfused_cycles"]),
+        }
+    elif "tuned_cycles" in kv:
+        tuned = {
+            "arch": kv["arch"],
+            "cycles": int(kv["tuned_cycles"]),
+            "candidates": int(kv["candidates"]),
+            "tune_ms": int(kv["tune_ms"]),
+        }
+assert per_arch, "no per-arch BENCH lines from kalman_update"
+assert any(a["fused_cycles"] < a["unfused_cycles"] for a in per_arch.values()), \
+    "fused kernel not faster than statement-by-statement on any core"
+
+metrics = {}
+for line in """$tri_out""".splitlines():
+    parts = line.split()
+    if len(parts) == 2:
+        try:
+            metrics[parts[0]] = float(parts[1])
+        except ValueError:
+            pass
+m = re.search(r"autotuned to .*\((\d+) cycles over (\d+) candidates\)", """$tri_out""")
+assert m, "no autotuned line from the triangular-apply tune"
+tune_us = metrics.get("lgen.tune.program.wall_us.sum")
+candidates = metrics.get("lgen.tune.program.candidates")
+tri = {
+    "tuned_cycles": int(m.group(1)),
+    "measured_candidates": int(m.group(2)),
+    "genome_candidates": candidates,
+    "tune_wall_us": tune_us,
+    "tune_candidates_per_sec":
+        round(candidates / (tune_us / 1e6), 1) if candidates and tune_us else None,
+}
+assert tri["tune_candidates_per_sec"], "no program tune throughput"
+print(json.dumps({
+    "kalman_predict": {"per_arch": per_arch, "joint_tune": tuned},
+    "triangular_apply": tri,
+}, indent=2))
+EOF
+echo "    $(python3 -c "
+import json
+d = json.load(open('BENCH_programs.json'))
+pa = d['kalman_predict']['per_arch']
+wins = sum(a['fused_cycles'] < a['unfused_cycles'] for a in pa.values())
+print(f'fused beats unfused on {wins}/{len(pa)} cores,',
+      f'{d[\"triangular_apply\"][\"tune_candidates_per_sec\"]} program candidates/s')")"
+
 echo "==> no build artifacts tracked by git"
 tracked=$(git ls-files 'target/*' | wc -l)
 if [ "$tracked" -ne 0 ]; then

@@ -84,6 +84,23 @@ impl KernelBuilder {
         self.decl(name, len, ArrayKind::Local)
     }
 
+    /// Number of instructions emitted so far at the top level of the
+    /// kernel body (loops count as one instruction). Callers composing a
+    /// kernel from several driver passes — e.g. the program lowering in
+    /// `lgen-sigma` — use this to delimit per-statement instruction
+    /// ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loop is still open.
+    pub fn top_level_len(&self) -> usize {
+        assert!(
+            self.open_loops.is_empty(),
+            "top_level_len with an open loop"
+        );
+        self.frames[0].len()
+    }
+
     /// Allocates a fresh virtual register.
     pub fn fresh_reg(&mut self) -> VReg {
         self.nreg += 1;

@@ -30,9 +30,10 @@
 use crate::config::CompileConfig;
 use crate::memo::CompileMemo;
 use crate::pipeline::{try_compile_memoized, try_compile_with_stats};
-use lgen_cir::passes::PassStats;
+use crate::program::{try_compile_program_memoized, try_compile_program_with};
+use lgen_cir::passes::{PassStats, UnrollPolicy};
 use lgen_cir::{Kernel, VerifyFailure};
-use lgen_ll::Blac;
+use lgen_ll::{Blac, Program};
 use lgen_telemetry::metric_counter;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -53,6 +54,23 @@ pub struct CacheKey {
     pub name: String,
     /// The full compile configuration, unrolling decision included.
     pub cfg: CompileConfig,
+}
+
+/// The exact identity of a compiled *program* kernel: the [`CacheKey`]
+/// analogue for multi-statement inputs, extended with the optional joint
+/// per-statement unroll genome (one policy per fused statement; `None`
+/// = `cfg.unroll` applied kernel-wide).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ProgramCacheKey {
+    /// The program, compared structurally (operand table, structure
+    /// annotations, and statement list included).
+    pub program: Program,
+    /// Kernel (C function) name.
+    pub name: String,
+    /// The full compile configuration.
+    pub cfg: CompileConfig,
+    /// Joint per-statement unroll genome, if the caller tunes one.
+    pub policies: Option<Vec<UnrollPolicy>>,
 }
 
 /// Monotonic counters describing cache behaviour; cheap to read at any
@@ -133,6 +151,7 @@ impl fmt::Display for CacheStats {
 /// A concurrent map from [`CacheKey`] to the compiled kernel.
 pub struct KernelCache {
     shards: Vec<Mutex<HashMap<CacheKey, Arc<Kernel>>>>,
+    programs: Mutex<HashMap<ProgramCacheKey, Arc<Kernel>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
@@ -171,6 +190,7 @@ impl KernelCache {
         }
         KernelCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            programs: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -306,6 +326,88 @@ impl KernelCache {
         ))
     }
 
+    /// Returns the cached kernel for a whole program, compiling and
+    /// inserting it on a miss — the [`get_or_compile`](Self::get_or_compile)
+    /// analogue for multi-statement inputs (`policies` is the optional
+    /// joint per-statement unroll genome).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not validate or compilation fails
+    /// verification.
+    pub fn get_or_compile_program(
+        &self,
+        program: &Program,
+        name: &str,
+        cfg: &CompileConfig,
+        policies: Option<&[UnrollPolicy]>,
+    ) -> Arc<Kernel> {
+        self.try_get_or_compile_program(program, name, cfg, policies)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`get_or_compile_program`](Self::get_or_compile_program) that
+    /// reports verification failures instead of panicking. Eligible
+    /// configs route through the cross-candidate program memo, so a joint
+    /// tuning sweep fuses and lowers the program once and shares the
+    /// pass-pipeline output across genomes with equal effect.
+    pub fn try_get_or_compile_program(
+        &self,
+        program: &Program,
+        name: &str,
+        cfg: &CompileConfig,
+        policies: Option<&[UnrollPolicy]>,
+    ) -> Result<Arc<Kernel>, VerifyFailure> {
+        let key = ProgramCacheKey {
+            program: program.clone(),
+            name: name.to_string(),
+            cfg: cfg.clone(),
+            policies: policies.map(|p| p.to_vec()),
+        };
+        if let Some(k) = self.programs.lock().get(&key) {
+            self.record_hit();
+            return Ok(k.clone());
+        }
+        self.record_miss();
+        let kernel = if CompileMemo::eligible(cfg) {
+            match try_compile_program_memoized(
+                program,
+                name,
+                cfg,
+                policies,
+                Some(&self.stages),
+                &self.memo,
+            ) {
+                Ok(k) => k,
+                Err(e) => {
+                    self.record_verify_reject();
+                    return Err(e);
+                }
+            }
+        } else {
+            match try_compile_program_with(program, name, cfg, policies, Some(&self.stages)) {
+                Ok(c) => Arc::new(c.kernel),
+                Err(e) => {
+                    self.record_verify_reject();
+                    return Err(e);
+                }
+            }
+        };
+        let mut map = self.programs.lock();
+        Ok(match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.races.fetch_add(1, Ordering::Relaxed);
+                metric_counter!("lgen.cache.races").inc();
+                e.get().clone()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+                metric_counter!("lgen.cache.inserts").inc();
+                e.insert(kernel).clone()
+            }
+        })
+    }
+
     /// Inserts a pre-built kernel under an explicit key, replacing any
     /// resident entry. Used to seed a cache with externally produced
     /// kernels (and, in tests, to plant corrupt candidates that exercise
@@ -345,9 +447,9 @@ impl KernelCache {
         metric_counter!("lgen.tune.candidates_pruned").add(n);
     }
 
-    /// Number of resident kernels.
+    /// Number of resident kernels (single-BLAC and program entries).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().len()).sum::<usize>() + self.programs.lock().len()
     }
 
     /// Whether the cache is empty.
@@ -360,6 +462,7 @@ impl KernelCache {
         for s in &self.shards {
             s.lock().clear();
         }
+        self.programs.lock().clear();
     }
 
     /// Snapshot of the behaviour counters.

@@ -4,7 +4,7 @@
 use lgen_cir::{run_kernel, ExecError, Kernel, MemLayout};
 use lgen_isa::inst::NullSink;
 use lgen_isa::Microarch;
-use lgen_ll::reference::{eval_reference, max_abs_diff, test_data, MatrixValue};
+use lgen_ll::reference::{eval_reference, max_abs_diff, test_data_for, MatrixValue};
 use lgen_ll::Blac;
 use lgen_machine::{measure_protocol, Measurement};
 
@@ -54,7 +54,7 @@ pub fn check_kernel(
         .operands
         .iter()
         .enumerate()
-        .map(|(i, op)| test_data(op.dims, seed + i as u64))
+        .map(|(i, op)| test_data_for(op, seed + i as u64))
         .collect();
     let expected = eval_reference(blac, &values);
     let got = run_blac_kernel(blac, kernel, isa, &values)?;
@@ -89,7 +89,7 @@ pub fn measure_blac(
         .operands
         .iter()
         .enumerate()
-        .map(|(i, op)| test_data(op.dims, 77 + i as u64).data)
+        .map(|(i, op)| test_data_for(op, 77 + i as u64).data)
         .collect();
     let layout = MemLayout::with_float_offsets(kernel, offsets);
     let mut refs: Vec<&mut [f32]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();

@@ -27,12 +27,13 @@ pub mod fault;
 pub mod memo;
 pub mod pipeline;
 pub mod pool;
+pub mod program;
 
 pub use autotune::{
     spearman, Autotuner, CandidateFailure, FailReason, Objective, PrunePolicy, SearchStrategy,
     TuneBudget, TuneError, TunedKernel,
 };
-pub use cache::{CacheKey, CacheSnapshot, CacheStats, KernelCache};
+pub use cache::{CacheKey, CacheSnapshot, CacheStats, KernelCache, ProgramCacheKey};
 pub use config::{CompileConfig, Variant};
 pub use exec::{check_kernel, measure_blac, run_blac_kernel};
 pub use fault::{parse_duration, FaultKind, FaultPlan};
@@ -43,3 +44,7 @@ pub use pipeline::{
     try_compile_with_stats,
 };
 pub use pool::{effective_threads, JobOutcome};
+pub use program::{
+    check_program, compile_program, measure_program, program_test_values, run_program_kernel,
+    try_compile_program, try_compile_program_with, CompiledProgram, ProgramTuner, TunedProgram,
+};

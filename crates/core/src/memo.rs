@@ -51,8 +51,8 @@ use crate::config::CompileConfig;
 use lgen_cir::passes::{PassPipeline, PipelineStep, UnrollPolicy};
 use lgen_cir::{Arena, Inst, Kernel, VerifyLevel};
 use lgen_isa::VectorIsa;
-use lgen_ll::Blac;
-use lgen_sigma::MvmStrategy;
+use lgen_ll::{Blac, Program};
+use lgen_sigma::{MvmStrategy, ProgramKernel};
 use lgen_telemetry::metric_counter;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -70,6 +70,33 @@ struct LowerKey {
     isa: VectorIsa,
     mvm: MvmStrategy,
     specialized_leftovers: bool,
+}
+
+/// Everything whole-program codegen reads: the [`LowerKey`] analogue for
+/// [`Program`]s. Per-statement unroll genomes and the pass schedule do not
+/// appear — fusion and tiling are shared across the joint tuning sweep.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct ProgramLowerKey {
+    program: Program,
+    name: String,
+    isa: VectorIsa,
+    mvm: MvmStrategy,
+    specialized_leftovers: bool,
+}
+
+/// A memoized program lowering: the fused, unoptimized [`ProgramKernel`]
+/// plus the same identity/fingerprint pair as [`LoweredEntry`]. Ids are
+/// drawn from the memo's shared counter, so an [`OptKey`] never aliases a
+/// BLAC lowering with a program lowering.
+#[derive(Clone)]
+pub struct ProgramLoweredEntry {
+    /// The lowered (unoptimized) program kernel, shared by every genome
+    /// and schedule.
+    pub pk: Arc<ProgramKernel>,
+    /// Dense id unique within the owning memo.
+    pub id: u64,
+    /// Structural fingerprint of the kernel body.
+    pub fp: u64,
 }
 
 /// A memoized lowering: the raw codegen kernel (pre-pipeline), its dense
@@ -107,6 +134,9 @@ pub enum UnrollSig {
     /// once or inside `repeat(...)`: later runs see loops the lowered
     /// body does not have, so per-loop collapsing would be unsound.
     Policy(UnrollPolicy),
+    /// A joint per-statement unroll genome (whole-program tuning): the
+    /// exact policy vector, one entry per fused statement.
+    Genome(Vec<UnrollPolicy>),
 }
 
 /// Identity of one optimized kernel: which lowering, which schedule, and
@@ -133,6 +163,28 @@ impl OptKey {
             unroll: unroll_signature(&cfg.pipeline, cfg.unroll, entry.kernel.body()),
         }
     }
+
+    /// The optimization key for a memoized *program* lowering: with a
+    /// joint per-statement genome the unroll axis is the exact policy
+    /// vector ([`UnrollSig::Genome`] — the statement-range split makes
+    /// per-loop collapsing across genomes unsound to infer here); without
+    /// one the whole-kernel signature applies as for BLACs.
+    pub fn for_program(
+        entry: &ProgramLoweredEntry,
+        cfg: &CompileConfig,
+        policies: Option<&[UnrollPolicy]>,
+    ) -> OptKey {
+        OptKey {
+            lowered: entry.id,
+            kernel_fp: entry.fp,
+            pipeline_fp: cfg.pipeline.fingerprint(),
+            spec: cfg.pipeline.to_spec(),
+            unroll: match policies {
+                Some(p) => UnrollSig::Genome(p.to_vec()),
+                None => unroll_signature(&cfg.pipeline, cfg.unroll, entry.pk.kernel.body()),
+            },
+        }
+    }
 }
 
 /// The two-level memo. Owned by a [`KernelCache`](crate::cache::KernelCache)
@@ -140,7 +192,11 @@ impl OptKey {
 /// counters), shared by every compile routed through that cache.
 pub struct CompileMemo {
     lowered: Mutex<HashMap<LowerKey, LoweredEntry>>,
+    program_lowered: Mutex<HashMap<ProgramLowerKey, ProgramLoweredEntry>>,
     optimized: Mutex<HashMap<OptKey, Arc<Kernel>>>,
+    /// Shared id source for both lowering maps: [`OptKey::lowered`] must
+    /// be unique across BLAC and program entries.
+    next_id: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -159,7 +215,9 @@ impl CompileMemo {
         lgen_telemetry::counter("cir.memo_misses");
         CompileMemo {
             lowered: Mutex::new(HashMap::new()),
+            program_lowered: Mutex::new(HashMap::new()),
             optimized: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -195,10 +253,42 @@ impl CompileMemo {
         }
         let kernel = Arc::new(build());
         let fp = kernel_fingerprint(&kernel);
-        let mut map = self.lowered.lock();
-        let id = map.len() as u64; // entries are never removed → unique
-        map.entry(key)
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.lowered
+            .lock()
+            .entry(key)
             .or_insert(LoweredEntry { kernel, id, fp })
+            .clone()
+    }
+
+    /// The memoized program lowering for `(program, name, cfg)`, running
+    /// `build` (fusion + Σ-LL codegen) on a miss — the program analogue of
+    /// [`lowered_for`](Self::lowered_for), shared by every per-statement
+    /// unroll genome of a joint tuning sweep.
+    pub fn program_lowered_for(
+        &self,
+        program: &Program,
+        name: &str,
+        cfg: &CompileConfig,
+        build: impl FnOnce() -> ProgramKernel,
+    ) -> ProgramLoweredEntry {
+        let key = ProgramLowerKey {
+            program: program.clone(),
+            name: name.to_string(),
+            isa: cfg.arch.vector_isa(),
+            mvm: cfg.mvm,
+            specialized_leftovers: cfg.specialized_leftovers,
+        };
+        if let Some(e) = self.program_lowered.lock().get(&key) {
+            return e.clone();
+        }
+        let pk = Arc::new(build());
+        let fp = kernel_fingerprint(&pk.kernel);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.program_lowered
+            .lock()
+            .entry(key)
+            .or_insert(ProgramLoweredEntry { pk, id, fp })
             .clone()
     }
 
@@ -233,9 +323,13 @@ impl CompileMemo {
         )
     }
 
-    /// Distinct `(lowerings, optimized kernels)` resident.
+    /// Distinct `(lowerings, optimized kernels)` resident (BLAC and
+    /// program lowerings counted together).
     pub fn entries(&self) -> (usize, usize) {
-        (self.lowered.lock().len(), self.optimized.lock().len())
+        (
+            self.lowered.lock().len() + self.program_lowered.lock().len(),
+            self.optimized.lock().len(),
+        )
     }
 }
 

@@ -65,6 +65,83 @@ impl fmt::Display for Dims {
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct OperandId(pub usize);
 
+/// Structure annotation of a matrix operand (SLinGen-style): a promise
+/// about where the stored data is zero (or mirrored), which the code
+/// generator may exploit by skipping structurally-zero regions.
+///
+/// Storage stays dense row-major in every case; the annotation constrains
+/// the *values*: a `LowerTriangular` operand stores zeros above the
+/// diagonal, a `Diagonal` one everywhere off the diagonal, and a
+/// `Symmetric` one mirrors its strict triangles. Annotated operands must
+/// be square.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+pub enum Structure {
+    /// No structural promise (the only annotation valid on non-square
+    /// operands, vectors, and scalars).
+    #[default]
+    General,
+    /// Zero above the diagonal.
+    LowerTriangular,
+    /// Zero below the diagonal.
+    UpperTriangular,
+    /// `A[i][j] == A[j][i]`; no zero region, but the annotation is kept
+    /// through transposition and cache keys.
+    Symmetric,
+    /// Zero off the diagonal.
+    Diagonal,
+}
+
+impl Structure {
+    /// The structure of the transposed matrix.
+    pub fn transposed(self) -> Structure {
+        match self {
+            Structure::LowerTriangular => Structure::UpperTriangular,
+            Structure::UpperTriangular => Structure::LowerTriangular,
+            s => s,
+        }
+    }
+
+    /// Whether element `(r, c)` is structurally zero.
+    pub fn is_zero_at(self, r: usize, c: usize) -> bool {
+        match self {
+            Structure::LowerTriangular => c > r,
+            Structure::UpperTriangular => c < r,
+            Structure::Diagonal => r != c,
+            Structure::General | Structure::Symmetric => false,
+        }
+    }
+
+    /// Whether the annotation requires a square operand.
+    pub fn requires_square(self) -> bool {
+        self != Structure::General
+    }
+
+    /// The half-open column range that may hold non-zeros in rows
+    /// `row_lo..row_hi` of an `·×n` matrix — the contraction support a
+    /// structured left operand contributes to a product. `General` and
+    /// `Symmetric` matrices support every column.
+    pub fn col_support(self, row_lo: usize, row_hi: usize, n: usize) -> (usize, usize) {
+        match self {
+            Structure::LowerTriangular => (0, row_hi.min(n)),
+            Structure::UpperTriangular => (row_lo.min(n), n),
+            Structure::Diagonal => (row_lo.min(n), row_hi.min(n)),
+            Structure::General | Structure::Symmetric => (0, n),
+        }
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Structure::General => write!(f, "general"),
+            Structure::LowerTriangular => write!(f, "triangular(lower)"),
+            Structure::UpperTriangular => write!(f, "triangular(upper)"),
+            Structure::Symmetric => write!(f, "symmetric"),
+            Structure::Diagonal => write!(f, "diagonal"),
+        }
+    }
+}
+
 /// An operand declaration.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Operand {
@@ -72,6 +149,9 @@ pub struct Operand {
     pub name: String,
     /// Size.
     pub dims: Dims,
+    /// Structure annotation (part of the structural identity the kernel
+    /// cache and compile memo key on).
+    pub structure: Structure,
 }
 
 /// An LL expression.
@@ -316,6 +396,7 @@ impl Blac {
             h.write(op.name.as_bytes());
             h.write_usize(op.dims.rows);
             h.write_usize(op.dims.cols);
+            h.write(&[op.structure as u8]);
         }
         h.write_usize(self.output.0);
         walk(&self.expr, &mut h);
@@ -432,6 +513,7 @@ impl BlacBuilder {
         self.operands.push(Operand {
             name: name.to_string(),
             dims,
+            structure: Structure::General,
         });
         OperandId(self.operands.len() - 1)
     }
@@ -439,6 +521,13 @@ impl BlacBuilder {
     /// Declares a matrix operand.
     pub fn matrix(&mut self, name: &str, rows: usize, cols: usize) -> OperandId {
         self.push(name, Dims::new(rows, cols))
+    }
+
+    /// Declares a square matrix operand with a structure annotation.
+    pub fn structured_matrix(&mut self, name: &str, n: usize, structure: Structure) -> OperandId {
+        let id = self.push(name, Dims::new(n, n));
+        self.operands[id.0].structure = structure;
+        id
     }
 
     /// Declares a column vector of length `n` and returns its id.

@@ -16,10 +16,12 @@
 pub mod blac;
 pub mod paper;
 pub mod parse;
+pub mod program;
 pub mod reference;
 pub mod tile;
 
-pub use blac::{Blac, BlacBuilder, Dims, Expr, ExprHandle, OperandId, SizeError};
-pub use parse::parse_blac;
-pub use reference::eval_reference;
+pub use blac::{Blac, BlacBuilder, Dims, Expr, ExprHandle, OperandId, SizeError, Structure};
+pub use parse::{parse_blac, parse_program};
+pub use program::{eval_program_reference, Program, ProgramBuilder, ProgramError, Statement};
+pub use reference::{eval_reference, test_data_for};
 pub use tile::TileGrid;

@@ -4,7 +4,7 @@
 //! calculated results with the corresponding results of equivalent naive
 //! implementations" (§5.1.4); this module is that naive implementation.
 
-use crate::blac::{Blac, Dims, Expr};
+use crate::blac::{Blac, Dims, Expr, Operand, Structure};
 
 /// A dense row-major matrix value.
 #[derive(Clone, Debug, PartialEq)]
@@ -155,6 +155,37 @@ pub fn test_data(dims: Dims, seed: u64) -> MatrixValue {
         })
         .collect();
     MatrixValue { dims, data }
+}
+
+/// [`test_data`] that honors the operand's [`Structure`] contract: the
+/// structurally-zero region is zeroed (triangular, diagonal) and the
+/// strict upper triangle is mirrored from the lower one (symmetric).
+/// Structure-aware codegen skips the dead regions, so test inputs must
+/// satisfy the promise the annotation makes.
+pub fn test_data_for(op: &Operand, seed: u64) -> MatrixValue {
+    let mut v = test_data(op.dims, seed);
+    let n = op.dims.cols;
+    match op.structure {
+        Structure::General => {}
+        Structure::Symmetric => {
+            for r in 0..op.dims.rows {
+                for c in r + 1..n {
+                    let lo = v.at(c, r);
+                    v.set(r, c, lo);
+                }
+            }
+        }
+        s => {
+            for r in 0..op.dims.rows {
+                for c in 0..n {
+                    if s.is_zero_at(r, c) {
+                        v.set(r, c, 0.0);
+                    }
+                }
+            }
+        }
+    }
+    v
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 use lgen_absint::AffineExpr;
 use lgen_cir::{ArrayId, Inst, Kernel, KernelBuilder, MemMap, VArith, VMove, VReg, VWidth};
 use lgen_isa::VectorIsa;
-use lgen_ll::blac::{Blac, Dims, Expr, OperandId};
+use lgen_ll::blac::{Blac, Dims, Expr, OperandId, Structure};
 use lgen_ll::TileGrid;
 use std::collections::HashMap;
 
@@ -89,6 +89,9 @@ struct LocInfo {
     cols: usize,
     /// The array stores the transpose of the logical matrix.
     transposed: bool,
+    /// Structure of the *logical* matrix (zero-region promise). Locals
+    /// and computed values are always [`Structure::General`].
+    structure: Structure,
 }
 
 impl LocInfo {
@@ -98,6 +101,17 @@ impl LocInfo {
             rows: d.rows,
             cols: d.cols,
             transposed: false,
+            structure: Structure::General,
+        }
+    }
+
+    fn structured(arr: ArrayId, d: Dims, structure: Structure) -> Self {
+        LocInfo {
+            arr,
+            rows: d.rows,
+            cols: d.cols,
+            transposed: false,
+            structure,
         }
     }
 
@@ -107,6 +121,7 @@ impl LocInfo {
             rows: self.cols,
             cols: self.rows,
             transposed: !self.transposed,
+            structure: self.structure.transposed(),
         }
     }
 
@@ -194,6 +209,23 @@ pub fn compile_blac(blac: &Blac, name: &str, opts: &CodegenOptions) -> Kernel {
         };
         operand_arrays.push(arr);
     }
+    let (b, _) = lower_statement(blac, opts, b, operand_arrays, 0);
+    b.finish(blac.flops())
+}
+
+/// Tiles and drives one statement (a [`Blac`] over a shared operand
+/// table) into an existing builder — the building block of the program
+/// lowering in [`crate::program`]. `operand_arrays` maps every operand id
+/// to its array; `ntmp` is the running local-temporary counter (threaded
+/// across statements so names stay unique). Returns the builder and the
+/// updated counter.
+pub(crate) fn lower_statement(
+    blac: &Blac,
+    opts: &CodegenOptions,
+    b: KernelBuilder,
+    operand_arrays: Vec<ArrayId>,
+    ntmp: usize,
+) -> (KernelBuilder, usize) {
     let mut cg = Cg {
         blac,
         opts: *opts,
@@ -201,7 +233,7 @@ pub fn compile_blac(blac: &Blac, name: &str, opts: &CodegenOptions) -> Kernel {
         b,
         operand_arrays,
         splats: HashMap::new(),
-        ntmp: 0,
+        ntmp,
     };
     let node = {
         let _span = lgen_telemetry::span("ll_tiling");
@@ -212,7 +244,7 @@ pub fn compile_blac(blac: &Blac, name: &str, opts: &CodegenOptions) -> Kernel {
         let _span = lgen_telemetry::span("sigma_ll_rewrite");
         cg.drive(&node, out);
     }
-    cg.b.finish(blac.flops())
+    (cg.b, cg.ntmp)
 }
 
 impl Cg<'_> {
@@ -224,9 +256,10 @@ impl Cg<'_> {
 
     fn lower(&mut self, e: &Expr) -> Node {
         match e {
-            Expr::Ref(id) => Node::Loc(LocInfo::plain(
+            Expr::Ref(id) => Node::Loc(LocInfo::structured(
                 self.operand_arrays[id.0],
                 self.blac.dims(*id),
+                self.blac.operands[id.0].structure,
             )),
             Expr::Trans(inner) => {
                 let di = self.dims(inner);
@@ -281,7 +314,11 @@ impl Cg<'_> {
     /// references, otherwise materialized into a local temporary.
     fn loc_of(&mut self, e: &Expr) -> LocInfo {
         match e {
-            Expr::Ref(id) => LocInfo::plain(self.operand_arrays[id.0], self.blac.dims(*id)),
+            Expr::Ref(id) => LocInfo::structured(
+                self.operand_arrays[id.0],
+                self.blac.dims(*id),
+                self.blac.operands[id.0].structure,
+            ),
             Expr::Trans(inner) => self.loc_of(inner).flip(),
             _ => {
                 let d = self.dims(e);
@@ -380,6 +417,20 @@ impl Cg<'_> {
         });
     }
 
+    /// The contraction support `(klo, khi)` a structured left operand
+    /// contributes for output rows `row0..row0+rows` — the structurally
+    /// non-zero columns of those rows. Only applies when `row0` is a
+    /// compile-time constant (the structured drivers unroll their row
+    /// loops to make it one); otherwise the full `(0, n)` range.
+    fn contraction_range(&self, a: LocInfo, row0: &AffineExpr, rows: usize) -> (usize, usize) {
+        let n = a.cols;
+        if !row0.terms.is_empty() || row0.constant < 0 {
+            return (0, n);
+        }
+        let lo = row0.constant as usize;
+        a.structure.col_support(lo, lo + rows, n)
+    }
+
     // ----- per-node tile generation -----
 
     fn gen(&mut self, node: &Node, ctx: &TileCtx) -> Vec<VReg> {
@@ -453,13 +504,13 @@ impl Cg<'_> {
     /// result vector, starting at `ctx.row0`.
     fn gen_mvm(&mut self, a: LocInfo, x: LocInfo, ctx: &TileCtx) -> Vec<VReg> {
         debug_assert!(ctx.linear);
-        let n = a.cols;
         let w = ctx.width;
         let nu = self.nu;
+        let (klo, khi) = self.contraction_range(a, &ctx.row0, w);
         if nu == 1 {
             // Scalar: one dot product per element.
             let acc = self.b.zero();
-            let kvar = self.b.begin_loop("k", 0, n as i64, 1);
+            let kvar = self.b.begin_loop("k", klo as i64, khi as i64, 1);
             let ae = self.load_row(a, &ctx.row0, &AffineExpr::var(kvar), 1);
             let xe = self.load_lin(x, &AffineExpr::var(kvar), 1);
             self.b.arith_acc(VArith::Fma(VWidth::S), acc, ae, xe);
@@ -467,18 +518,23 @@ impl Cg<'_> {
             return vec![acc];
         }
 
-        let full = n / nu * nu;
-        let kw0 = nu.min(n);
+        // Vector blocks cover `k0..khi` (the support rounded down to a ν
+        // boundary — head lanes outside the support hold structural zeros
+        // and contribute nothing). With no structure this is `0..n`.
+        let k0 = klo / nu * nu;
+        let span = khi - k0;
+        let full = k0 + span / nu * nu;
+        let kw0 = nu.min(span);
         match self.opts.mvm {
             MvmStrategy::MvhRr => {
                 // Equation (3.8): per-row FMA accumulators, reduced once.
                 // First block peeled into plain multiplies (Table 3.2's
                 // MN/4 multiplies and M(N/4 − 1) additions).
-                let x0 = self.load_lin(x, &AffineExpr::constant(0), kw0);
+                let x0 = self.load_lin(x, &AffineExpr::constant(k0 as i64), kw0);
                 let mut accs = Vec::with_capacity(w);
                 for r in 0..w {
                     let row = ctx.row0.offset(r as i64);
-                    let ar = self.load_row(a, &row, &AffineExpr::constant(0), kw0);
+                    let ar = self.load_row(a, &row, &AffineExpr::constant(k0 as i64), kw0);
                     accs.push(self.b.arith(VArith::Mul(VWidth::Q), ar, x0));
                 }
                 let block = |cg: &mut Self, kb: AffineExpr, kw: usize| {
@@ -489,13 +545,15 @@ impl Cg<'_> {
                         cg.b.arith_acc(VArith::Fma(VWidth::Q), *acc, ar, xk);
                     }
                 };
-                if full > nu {
-                    let kv = self.b.begin_loop("kb", nu as i64, full as i64, nu as i64);
+                if full > k0 + nu {
+                    let kv = self
+                        .b
+                        .begin_loop("kb", (k0 + nu) as i64, full as i64, nu as i64);
                     block(self, AffineExpr::var(kv), nu);
                     self.b.end_loop();
                 }
-                if !n.is_multiple_of(nu) && n > nu {
-                    block(self, AffineExpr::constant(full as i64), n % nu);
+                if !span.is_multiple_of(nu) && span > nu {
+                    block(self, AffineExpr::constant(full as i64), span % nu);
                 }
                 vec![self.hadd_tree(&accs)]
             }
@@ -517,14 +575,16 @@ impl Cg<'_> {
                         Some(accr) => cg.add_acc(accr, t, VWidth::Q),
                     }
                 };
-                block(self, AffineExpr::constant(0), kw0);
-                if full > nu {
-                    let kv = self.b.begin_loop("kb", nu as i64, full as i64, nu as i64);
+                block(self, AffineExpr::constant(k0 as i64), kw0);
+                if full > k0 + nu {
+                    let kv = self
+                        .b
+                        .begin_loop("kb", (k0 + nu) as i64, full as i64, nu as i64);
                     block(self, AffineExpr::var(kv), nu);
                     self.b.end_loop();
                 }
-                if !n.is_multiple_of(nu) && n > nu {
-                    block(self, AffineExpr::constant(full as i64), n % nu);
+                if !span.is_multiple_of(nu) && span > nu {
+                    block(self, AffineExpr::constant(full as i64), span % nu);
                 }
                 vec![acc.expect("at least one block")]
             }
@@ -534,14 +594,14 @@ impl Cg<'_> {
     /// Matrix-matrix product tile: `ctx.rows × ctx.width` of `A·B`.
     fn gen_mmm(&mut self, a: LocInfo, bm: LocInfo, ctx: &TileCtx) -> Vec<VReg> {
         debug_assert!(!ctx.linear);
-        let kdim = a.cols;
         let rows = ctx.rows;
         let width = ctx.width;
         let nu = self.nu;
+        let (klo, khi) = self.contraction_range(a, &ctx.row0, rows);
 
         if nu == 1 {
             let acc = self.b.zero();
-            let kv = self.b.begin_loop("k", 0, kdim as i64, 1);
+            let kv = self.b.begin_loop("k", klo as i64, khi as i64, 1);
             let ae = self.load_row(a, &ctx.row0, &AffineExpr::var(kv), 1);
             let be = self.load_row(bm, &AffineExpr::var(kv), &ctx.col0, 1);
             self.b.arith_acc(VArith::Fma(VWidth::S), acc, ae, be);
@@ -554,7 +614,7 @@ impl Cg<'_> {
 
         if self.opts.isa == VectorIsa::Ssse3 {
             // Broadcast-element form: acc_r += B[k][·] * A[r][k].
-            let kv = self.b.begin_loop("k", 0, kdim as i64, 1);
+            let kv = self.b.begin_loop("k", klo as i64, khi as i64, 1);
             let ke = AffineExpr::var(kv);
             let bk = self.load_row(bm, &ke, &ctx.col0, width);
             for (r, acc) in accs.iter().enumerate() {
@@ -567,15 +627,19 @@ impl Cg<'_> {
         }
 
         // NEON lane form: load 4 A elements per row at once, then FMA by
-        // lane — no shuffles (§2.2.2).
+        // lane — no shuffles (§2.2.2). Blocks cover `k0..khi`, the
+        // structured support rounded down to a ν boundary (`0..kdim` when
+        // unstructured).
         let specialized = self.opts.specialized_leftovers;
-        let kfull = kdim / nu * nu;
+        let k0 = klo / nu * nu;
+        let span = khi - k0;
+        let kfull = k0 + span / nu * nu;
         // The old padded ν-BLACs embed leftover tiles into full ν-sized
         // registers before computing: explicit zeros and register moves
         // that survive compilation (Listing 3.9's vmov.i32/vorr), and all
         // ν lanes processed. Specialized ν-BLACs (Listing 3.10) touch only
         // the live lanes with doubleword operations.
-        let pad_zero = if !specialized && (width < nu || !kdim.is_multiple_of(nu)) {
+        let pad_zero = if !specialized && (width < nu || !span.is_multiple_of(nu)) {
             Some(self.b.zero())
         } else {
             None
@@ -608,13 +672,13 @@ impl Cg<'_> {
                 }
             }
         };
-        if kfull > 0 {
-            let kv = self.b.begin_loop("kb", 0, kfull as i64, nu as i64);
+        if kfull > k0 {
+            let kv = self.b.begin_loop("kb", k0 as i64, kfull as i64, nu as i64);
             block(self, AffineExpr::var(kv), nu);
             self.b.end_loop();
         }
-        if !kdim.is_multiple_of(nu) {
-            block(self, AffineExpr::constant(kfull as i64), kdim % nu);
+        if !span.is_multiple_of(nu) {
+            block(self, AffineExpr::constant(kfull as i64), span % nu);
         }
         accs
     }
@@ -652,23 +716,25 @@ impl Cg<'_> {
     /// Row reduction ⊘A for `ctx.width` consecutive rows.
     fn gen_rr(&mut self, a: LocInfo, ctx: &TileCtx) -> Vec<VReg> {
         debug_assert!(ctx.linear);
-        let n = a.cols;
         let w = ctx.width;
         let nu = self.nu;
+        let (klo, khi) = self.contraction_range(a, &ctx.row0, w);
         if nu == 1 {
             let acc = self.b.zero();
-            let kv = self.b.begin_loop("k", 0, n as i64, 1);
+            let kv = self.b.begin_loop("k", klo as i64, khi as i64, 1);
             let ae = self.load_row(a, &ctx.row0, &AffineExpr::var(kv), 1);
             self.add_acc(acc, ae, VWidth::S);
             self.b.end_loop();
             return vec![acc];
         }
-        let full = n / nu * nu;
-        let kw0 = nu.min(n);
+        let k0 = klo / nu * nu;
+        let span = khi - k0;
+        let full = k0 + span / nu * nu;
+        let kw0 = nu.min(span);
         let mut accs = Vec::with_capacity(w);
         for r in 0..w {
             let row = ctx.row0.offset(r as i64);
-            accs.push(self.load_row(a, &row, &AffineExpr::constant(0), kw0));
+            accs.push(self.load_row(a, &row, &AffineExpr::constant(k0 as i64), kw0));
         }
         let block = |cg: &mut Self, kb: AffineExpr, kw: usize| {
             for (r, acc) in accs.iter().enumerate() {
@@ -677,13 +743,15 @@ impl Cg<'_> {
                 cg.add_acc(*acc, ar, VWidth::Q);
             }
         };
-        if full > nu {
-            let kv = self.b.begin_loop("kb", nu as i64, full as i64, nu as i64);
+        if full > k0 + nu {
+            let kv = self
+                .b
+                .begin_loop("kb", (k0 + nu) as i64, full as i64, nu as i64);
             block(self, AffineExpr::var(kv), nu);
             self.b.end_loop();
         }
-        if !n.is_multiple_of(nu) && n > nu {
-            block(self, AffineExpr::constant(full as i64), n % nu);
+        if !span.is_multiple_of(nu) && span > nu {
+            block(self, AffineExpr::constant(full as i64), span % nu);
         }
         vec![self.hadd_tree(&accs)]
     }
@@ -699,6 +767,28 @@ impl Cg<'_> {
             Node::Add(a, b) => Self::is_elementwise(a) && Self::is_elementwise(b),
             Node::ScalarMul(_, inner) => Self::is_elementwise(inner),
             _ => false,
+        }
+    }
+
+    /// Whether a node contains a contraction whose left operand has a
+    /// zero region ([`Structure::col_support`] is a real restriction). The
+    /// drivers then unroll their output row loops so every tile sees a
+    /// constant row index and [`Cg::contraction_range`] can shrink the
+    /// contraction.
+    fn structure_restricts(node: &Node) -> bool {
+        let skippable = |s: Structure| {
+            matches!(
+                s,
+                Structure::LowerTriangular | Structure::UpperTriangular | Structure::Diagonal
+            )
+        };
+        match node {
+            Node::Loc(_) => false,
+            Node::Add(a, b) => Self::structure_restricts(a) || Self::structure_restricts(b),
+            Node::ScalarMul(_, inner) => Self::structure_restricts(inner),
+            Node::Mvh(a, _) => Self::structure_restricts(a),
+            Node::Mvm { a, .. } | Node::Mmm { a, .. } | Node::Rr(a) => skippable(a.structure),
+            Node::Dot { .. } => false,
         }
     }
 
@@ -733,18 +823,40 @@ impl Cg<'_> {
             let main_len = len - peel;
             let full = peel + main_len / nu * nu;
             if full - peel >= nu {
-                let pv = self.b.begin_loop("p", peel as i64, full as i64, nu as i64);
-                let ctx = TileCtx {
-                    linear: true,
-                    row0: AffineExpr::var(pv),
-                    col0: AffineExpr::constant(0),
-                    rows: 1,
-                    width: nu,
-                };
-                let regs = self.gen(node, &ctx);
-                self.b
-                    .store(regs[0], dest.arr, AffineExpr::var(pv), self.chunk_map(nu));
-                self.b.end_loop();
+                if Self::structure_restricts(node) {
+                    // Unrolled chunks: each tile gets a constant position,
+                    // letting the contraction generators skip the
+                    // structurally-zero region per chunk.
+                    for p in (peel..full).step_by(nu) {
+                        let ctx = TileCtx {
+                            linear: true,
+                            row0: AffineExpr::constant(p as i64),
+                            col0: AffineExpr::constant(0),
+                            rows: 1,
+                            width: nu,
+                        };
+                        let regs = self.gen(node, &ctx);
+                        self.b.store(
+                            regs[0],
+                            dest.arr,
+                            AffineExpr::constant(p as i64),
+                            self.chunk_map(nu),
+                        );
+                    }
+                } else {
+                    let pv = self.b.begin_loop("p", peel as i64, full as i64, nu as i64);
+                    let ctx = TileCtx {
+                        linear: true,
+                        row0: AffineExpr::var(pv),
+                        col0: AffineExpr::constant(0),
+                        rows: 1,
+                        width: nu,
+                    };
+                    let regs = self.gen(node, &ctx);
+                    self.b
+                        .store(regs[0], dest.arr, AffineExpr::var(pv), self.chunk_map(nu));
+                    self.b.end_loop();
+                }
             }
             if len % nu != peel % nu || (len - full) > 0 {
                 let tail = len - full;
@@ -771,11 +883,20 @@ impl Cg<'_> {
             let (m, n) = (d.rows, d.cols);
             let rows = TileGrid::new(m, nu);
             if rows.full >= 1 {
-                let rv = self
-                    .b
-                    .begin_loop("rb", 0, rows.leftover_start() as i64, nu as i64);
-                self.drive_rows(node, dest, AffineExpr::var(rv), nu, n);
-                self.b.end_loop();
+                if Self::structure_restricts(node) {
+                    // Unrolled row blocks: constant row indices let the
+                    // contraction generators skip structurally-zero
+                    // columns of annotated operands per block.
+                    for rb in (0..rows.leftover_start()).step_by(nu) {
+                        self.drive_rows(node, dest, AffineExpr::constant(rb as i64), nu, n);
+                    }
+                } else {
+                    let rv = self
+                        .b
+                        .begin_loop("rb", 0, rows.leftover_start() as i64, nu as i64);
+                    self.drive_rows(node, dest, AffineExpr::var(rv), nu, n);
+                    self.b.end_loop();
+                }
             }
             if rows.leftover > 0 {
                 self.drive_rows(

@@ -21,9 +21,11 @@
 
 pub mod codegen;
 pub mod nu_blacs;
+pub mod program;
 pub mod sigma_ll;
 
 pub use codegen::{compile_blac, CodegenOptions, MvmStrategy};
+pub use program::{compile_program, fuse_program, ProgramKernel};
 
 #[cfg(test)]
 mod tests {

@@ -1,118 +1,137 @@
-//! Control workload: the predict step of a small Kalman filter.
+//! Control workload: the predict step of a small Kalman filter, compiled
+//! as **one program**.
 //!
 //! Control is another domain the paper's introduction motivates: fixed,
 //! small state dimensions, kernels called at kilohertz rates on embedded
-//! cores. This example builds the two BLACs of the predict step for a
-//! 6-state / 3-input system,
+//! cores. This example writes the whole predict step of a 6-state /
+//! 3-input system as a single LL program,
 //!
 //! ```text
 //! x' = F x + B u                (state extrapolation)
-//! P' = F (P Fᵀ) + Q             (covariance extrapolation, staged)
+//! S  = P Fᵀ                     (let-bound temporary)
+//! P' = F S + Q                  (covariance extrapolation)
 //! ```
 //!
-//! compiles them per core, validates them, and reports the cycle budget of
-//! a whole predict step per processor.
+//! with `P` and `Q` declared `symmetric`. The compiler fuses the
+//! single-use temporary `S` into its consumer and emits **one kernel** for
+//! the whole step; the example validates it against the
+//! statement-by-statement reference composition, measures it per core
+//! against three independently compiled statement kernels, and finishes
+//! with a joint autotune (one unroll policy per fused statement).
+//!
+//! Machine-readable `BENCH` lines feed `ci.sh`'s program suite
+//! (`BENCH_programs.json`).
 //!
 //! ```text
 //! cargo run --release --example kalman_update
 //! ```
 
-use lgen::ll::blac::Blac;
-use lgen::ll::reference::{eval_reference, max_abs_diff, test_data};
 use lgen::prelude::*;
+use std::time::Instant;
 
 const NSTATE: usize = 6;
 const NIN: usize = 3;
 
-/// x' = F x + B u — two matrix-vector products, fused by LGen into one
-/// kernel (a BLAC that needs *two* BLAS calls, §5.1.1 category 3).
-fn state_extrapolation() -> Blac {
-    let mut b = BlacBuilder::new();
-    let f = b.matrix("F", NSTATE, NSTATE);
-    let x = b.col_vector("x", NSTATE);
-    let bm = b.matrix("B", NSTATE, NIN);
-    let u = b.col_vector("u", NIN);
-    let out = b.col_vector("x_next", NSTATE);
-    let expr = b.handle(f) * b.handle(x) + b.handle(bm) * b.handle(u);
-    b.define(out, expr).expect("consistent shapes")
-}
-
-/// S = P Fᵀ — the inner stage of the covariance extrapolation.
-fn covariance_stage() -> Blac {
-    let mut b = BlacBuilder::new();
-    let p = b.matrix("P", NSTATE, NSTATE);
-    let f = b.matrix("F", NSTATE, NSTATE);
-    let s = b.matrix("S", NSTATE, NSTATE);
-    let expr = b.handle(p) * b.handle(f).t();
-    b.define(s, expr).expect("consistent shapes")
-}
-
-/// P' = F S + Q — the outer stage.
-fn covariance_finish() -> Blac {
-    let mut b = BlacBuilder::new();
-    let f = b.matrix("F", NSTATE, NSTATE);
-    let s = b.matrix("S", NSTATE, NSTATE);
-    let q = b.matrix("Q", NSTATE, NSTATE);
-    let p = b.matrix("P_next", NSTATE, NSTATE);
-    let expr = b.handle(f) * b.handle(s) + b.handle(q);
-    b.define(p, expr).expect("consistent shapes")
+/// The predict step as one LL program: declarations (with structure
+/// annotations), then ordered statements; `S` is `let`-bound by use.
+fn predict_program() -> Program {
+    let src = format!(
+        "F = matrix({n}, {n})\n\
+         B = matrix({n}, {m})\n\
+         u = vector({m})\n\
+         x = vector({n})\n\
+         x_next = vector({n})\n\
+         P = matrix({n}, {n}) symmetric\n\
+         Q = matrix({n}, {n}) symmetric\n\
+         P_next = matrix({n}, {n})\n\
+         x_next = F * x + B * u;\n\
+         S = P * F';\n\
+         P_next = F * S + Q;",
+        n = NSTATE,
+        m = NIN,
+    );
+    parse_program(&src).expect("valid program")
 }
 
 fn main() {
-    let stages = [
-        ("x' = Fx + Bu", state_extrapolation()),
-        ("S  = P Fᵀ", covariance_stage()),
-        ("P' = FS + Q", covariance_finish()),
-    ];
+    let program = predict_program();
+    println!(
+        "Kalman predict step, {NSTATE}-state / {NIN}-input system — one program, {} statements, {} flops\n",
+        program.statements.len(),
+        program.flops()
+    );
 
-    println!("Kalman predict step, {NSTATE}-state / {NIN}-input system\n");
+    let mut fused_wins_somewhere = false;
     for arch in Microarch::EVALUATED {
-        let mut total_cycles = 0u64;
-        let mut total_flops = 0u64;
-        for (_, blac) in &stages {
-            let kernel = compile(blac, "stage", &CompileConfig::full(arch));
-            // Validate numerics.
-            let values: Vec<_> = blac
-                .operands
-                .iter()
-                .enumerate()
-                .map(|(i, op)| test_data(op.dims, 13 + i as u64))
-                .collect();
-            let expected = eval_reference(blac, &values);
-            let got = lgen::core::run_blac_kernel(blac, &kernel, arch.vector_isa(), &values)
-                .expect("kernel runs");
-            assert!(max_abs_diff(&got, &expected) < 1e-3);
-            // Measure.
-            let m = measure_blac(blac, &kernel, arch, &vec![0; blac.operands.len()], 3)
+        let cfg = CompileConfig::full(arch);
+
+        // One fused kernel for the whole step.
+        let compiled = compile_program(&program, "kalman_predict", &cfg);
+        assert_eq!(compiled.fusions, 1, "S should fuse into P' = F S + Q");
+        let diff =
+            check_program(&program, &compiled.kernel, arch.vector_isa(), 13).expect("kernel runs");
+        assert!(diff < 1e-3, "{arch:?}: max|err| = {diff}");
+        let fused = measure_program(&program, &compiled.kernel, arch, 3).expect("measurement");
+
+        // The pre-program workflow: each statement compiled and run as its
+        // own kernel, temporaries round-tripping through memory.
+        let mut unfused_cycles = 0u64;
+        for i in 0..program.statements.len() {
+            let blac = program.statement_blac(i);
+            let kernel = compile(&blac, "stage", &cfg);
+            let m = measure_blac(&blac, &kernel, arch, &vec![0; blac.operands.len()], 3)
                 .expect("measurement");
-            total_cycles += m.cycles;
-            total_flops += m.flops;
+            unfused_cycles += m.cycles;
         }
+
         let params = arch.params();
-        let us = total_cycles as f64 / params.clock_mhz as f64;
+        let us = fused.cycles as f64 / params.clock_mhz as f64;
         println!(
-            "{:<14} predict step: {:>5} cycles ({:>6.2} µs @ {} MHz), {:.2} f/c overall",
+            "{:<14} fused {:>5} cycles ({:>6.2} µs @ {} MHz) vs {:>5} unfused ({:+.0}%), {:.2} f/c",
             arch.name(),
-            total_cycles,
+            fused.cycles,
             us,
             params.clock_mhz,
-            total_flops as f64 / total_cycles as f64,
+            unfused_cycles,
+            100.0 * (fused.cycles as f64 - unfused_cycles as f64) / unfused_cycles as f64,
+            fused.flops as f64 / fused.cycles as f64,
         );
-    }
-
-    println!("\nper-stage detail on Cortex-A8 (LGen-Full vs base LGen):");
-    for (name, blac) in &stages {
-        let full = compile(blac, "s", &CompileConfig::full(Microarch::CortexA8));
-        let base = compile(blac, "s", &CompileConfig::base(Microarch::CortexA8));
-        let nargs = blac.operands.len();
-        let mf = measure_blac(blac, &full, Microarch::CortexA8, &vec![0; nargs], 3).unwrap();
-        let mb = measure_blac(blac, &base, Microarch::CortexA8, &vec![0; nargs], 3).unwrap();
         println!(
-            "  {:<12} full {:>4} cycles vs base {:>4} cycles ({:+.0}%)",
-            name,
-            mf.cycles,
-            mb.cycles,
-            100.0 * (mb.cycles as f64 - mf.cycles as f64) / mb.cycles as f64
+            "BENCH program=kalman_predict arch={arch:?} statements={} fusions={} \
+             fused_cycles={} unfused_cycles={}",
+            program.statements.len(),
+            compiled.fusions,
+            fused.cycles,
+            unfused_cycles,
         );
+        if fused.cycles < unfused_cycles {
+            fused_wins_somewhere = true;
+        }
     }
+    assert!(
+        fused_wins_somewhere,
+        "cross-statement fusion should beat statement-by-statement compilation on some core"
+    );
+
+    // Joint autotuning: one unroll policy per fused statement, searched as
+    // a single genome.
+    println!("\njoint tuning on Intel Atom (per-statement unroll genome):");
+    let t = Instant::now();
+    let tuned = ProgramTuner::new(CompileConfig::full(Microarch::Atom))
+        .with_mixed_samples(8)
+        .tune(&program, "kalman_predict");
+    let tune_ms = t.elapsed().as_millis();
+    println!(
+        "  best genome {:?}: {} cycles over {} candidates in {} ms",
+        tuned.policies,
+        tuned.measurement.cycles,
+        tuned.samples.len(),
+        tune_ms,
+    );
+    println!(
+        "BENCH program=kalman_predict arch=Atom tuned_cycles={} candidates={} tune_ms={}",
+        tuned.measurement.cycles,
+        tuned.samples.len(),
+        tune_ms,
+    );
 }

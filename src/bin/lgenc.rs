@@ -1,9 +1,12 @@
 //! `lgenc` — the LGen command-line compiler.
 //!
-//! Reads a BLAC source file (declarations + equation, see
-//! `lgen::ll::parse`), compiles it for a target processor, validates it
-//! against the naive reference, prints the generated C and the simulated
-//! performance.
+//! Reads an LL source file — a single BLAC (declarations + equation, see
+//! `lgen::ll::parse`) or a multi-statement program with structure
+//! annotations and `let`-bound temporaries — compiles it for a target
+//! processor, validates it against the naive reference, prints the
+//! generated C and the simulated performance. A program compiles to **one
+//! fused kernel**: single-use temporaries are substituted into their
+//! consumers before code generation.
 //!
 //! ```text
 //! lgenc <file.blac> [--target atom|cortex-a8|cortex-a9|arm1176]
@@ -42,7 +45,8 @@ fn usage() -> ! {
          \x20 --passes <spec>     C-IR pass schedule, e.g. \"unroll,scalrep,copyprop,dce,align\"\n\
          \x20                     or \"unroll,scalrep,repeat(copyprop,dce)\" (fixpoint group)\n\
          \x20 --print-after-all   dump the IR after codegen and after every pass (stderr)\n\
-         \x20 --tune              autotune the unrolling decision\n\
+         \x20 --tune              autotune the unrolling decision (for programs: jointly\n\
+         \x20                     search one unroll policy per statement)\n\
          \x20 --tune-passes       also search over pass schedules (implies --tune)\n\
          \x20 --tune-deadline <dur>  per-candidate time limit (e.g. 250ms, 2s); slow or hung\n\
          \x20                     candidates are abandoned and the search degrades gracefully\n\
@@ -60,14 +64,38 @@ fn usage() -> ! {
          \x20                     (open in chrome://tracing or Perfetto)\n\
          \x20 --metrics           dump the metrics registry (name value lines) at exit\n\
          \n\
-         example input file:\n\
+         example input file (single BLAC):\n\
          \x20 alpha = scalar\n\
          \x20 A = matrix(4, 8)\n\
          \x20 x = vector(8)\n\
          \x20 y = vector(4)\n\
-         \x20 y = alpha * (A * x) + y"
+         \x20 y = alpha * (A * x) + y\n\
+         \n\
+         example input file (program; `S` is a let-bound temporary):\n\
+         \x20 F = matrix(4, 4)\n\
+         \x20 P = matrix(4, 4) symmetric\n\
+         \x20 Q = matrix(4, 4) symmetric\n\
+         \x20 P_next = matrix(4, 4)\n\
+         \x20 S = P * F';\n\
+         \x20 P_next = F * S + Q;"
     );
     std::process::exit(2);
+}
+
+/// Parsed command-line options shared by the BLAC and program paths.
+struct Opts {
+    target: Microarch,
+    tune: bool,
+    tune_passes: bool,
+    peel: bool,
+    version_align: bool,
+    print_after_all: bool,
+    threads: usize,
+    cache_stats: bool,
+    tune_deadline: Option<Duration>,
+    tune_budget: Option<Duration>,
+    tune_sweeps: usize,
+    prune: PrunePolicy,
 }
 
 fn main() {
@@ -202,10 +230,15 @@ fn main() {
         eprintln!("lgenc: cannot read {file}: {e}");
         std::process::exit(1);
     });
-    let blac = lgen::ll::parse_blac(&src).unwrap_or_else(|e| {
+    // The program grammar is a strict superset of the single-BLAC one, so
+    // every input parses as a program; a one-statement file without
+    // temporaries then takes the original single-kernel path (where
+    // peeling, alignment versioning, and pass-schedule search apply).
+    let program = lgen::ll::parse_program(&src).unwrap_or_else(|e| {
         eprintln!("lgenc: {e}");
         std::process::exit(1);
     });
+    let single = program.statements.len() == 1 && !program.temps.iter().any(|&t| t);
 
     let mut cfg = CompileConfig::variant(target, variant);
     if let Some(p) = passes {
@@ -221,142 +254,26 @@ fn main() {
     if let Some(level) = verify {
         cfg = cfg.with_verify(level);
     }
-    eprintln!(
-        "lgenc: {blac}   ({} flops) for {target}, passes \"{}\"",
-        blac.flops(),
-        cfg.pipeline
-    );
-    let cache = Arc::new(KernelCache::new());
-    let kernel = if tune {
-        eprintln!(
-            "lgenc: tuning on {} worker(s)",
-            lgen::core::effective_threads(threads)
-        );
-        // Extra sweeps re-run the identical search against the
-        // now-warm kernel cache: every sweep lands in the tune/compile
-        // histograms, so the metrics dump captures steady-state
-        // (memoized) tuning throughput, not just the cold first pass.
-        let mut last = None;
-        for _ in 0..tune_sweeps {
-            let mut tuner = Autotuner::new(cfg.clone())
-                .with_strategy(SearchStrategy::Exhaustive)
-                .with_threads(threads)
-                .with_cache(cache.clone());
-            if tune_passes {
-                tuner = tuner.with_pipeline_search();
-            }
-            if let Some(d) = tune_deadline {
-                tuner = tuner.with_deadline(d);
-            }
-            if let Some(b) = tune_budget {
-                tuner = tuner.with_budget(b);
-            }
-            if !prune.is_off() {
-                tuner = tuner.with_prune(prune);
-            }
-            match tuner.try_tune(&blac, "kernel") {
-                Ok(tuned) => last = Some(tuned),
-                Err(e) => {
-                    eprintln!("lgenc: tuning failed: {e}");
-                    std::process::exit(1);
-                }
-            }
-        }
-        let tuned = last.expect("at least one tuning sweep");
-        eprintln!(
-            "lgenc: autotuned to {:?} under \"{}\" ({} cycles over {} candidates)",
-            tuned.unroll,
-            tuned.pipeline,
-            tuned.measurement.cycles,
-            tuned.samples.len()
-        );
-        if let Some(summary) = tuned.failure_summary() {
-            eprintln!("lgenc: {summary}");
-        }
-        if !prune.is_off() {
-            eprintln!(
-                "lgenc: pruning ({prune}): {} candidate(s) skipped, rank correlation {}",
-                tuned.pruned,
-                tuned
-                    .rank_correlation
-                    .map_or_else(|| "n/a".to_string(), |r| format!("{r:.3}")),
-            );
-        }
-        if print_after_all {
-            // Replay the winning compile with tracing on (served from the
-            // cache-independent path so snapshots reflect every pass).
-            let winner_cfg = cfg
-                .clone()
-                .with_unroll(tuned.unroll)
-                .with_passes(tuned.pipeline.clone());
-            let trace = PassTrace::new();
-            if let Err(failure) =
-                lgen::core::try_compile_traced(&blac, "kernel", &winner_cfg, None, Some(&trace))
-            {
-                eprintln!("lgenc: verification failed after pass `{}`:", failure.pass);
-                eprint!("{}", lgen::cir::render(&failure.diagnostics));
-                std::process::exit(1);
-            }
-            dump_trace(&trace);
-        }
-        tuned.kernel
-    } else if print_after_all {
-        let trace = PassTrace::new();
-        match lgen::core::try_compile_traced(
-            &blac,
-            "kernel",
-            &cfg,
-            Some(cache.pass_stats()),
-            Some(&trace),
-        ) {
-            Ok(kernel) => {
-                dump_trace(&trace);
-                kernel
-            }
-            Err(failure) => {
-                eprintln!("lgenc: verification failed after pass `{}`:", failure.pass);
-                eprint!("{}", lgen::cir::render(&failure.diagnostics));
-                std::process::exit(1);
-            }
-        }
-    } else {
-        match cache.try_get_or_compile(&blac, "kernel", &cfg) {
-            Ok(kernel) => (*kernel).clone(),
-            Err(failure) => {
-                eprintln!("lgenc: verification failed after pass `{}`:", failure.pass);
-                eprint!("{}", lgen::cir::render(&failure.diagnostics));
-                std::process::exit(1);
-            }
-        }
+    let opts = Opts {
+        target,
+        tune,
+        tune_passes,
+        peel,
+        version_align,
+        print_after_all,
+        threads,
+        cache_stats,
+        tune_deadline,
+        tune_budget,
+        tune_sweeps,
+        prune,
     };
 
-    if cache_stats {
-        // One coherent snapshot: counters and per-pass rows are read
-        // together, so they cannot disagree mid-run.
-        for line in cache.snapshot().to_string().lines() {
-            eprintln!("lgenc: {line}");
-        }
-    }
-
-    // Validate and measure.
-    match check_kernel(&blac, &kernel, target.vector_isa(), 1) {
-        Ok(diff) => eprintln!("lgenc: validated, max|err| = {diff:.2e}"),
-        Err(e) => {
-            eprintln!("lgenc: kernel failed to execute: {e}");
-            std::process::exit(1);
-        }
-    }
-    let offsets = vec![0usize; blac.operands.len()];
-    match measure_blac(&blac, &kernel, target, &offsets, 3) {
-        Ok(m) => eprintln!(
-            "lgenc: {} cycles, {:.3} flops/cycle (peak {:.1}), {:.2} nJ",
-            m.cycles,
-            m.flops_per_cycle(),
-            target.peak_flops_per_cycle(),
-            m.energy_pj as f64 / 1000.0
-        ),
-        Err(e) => eprintln!("lgenc: measurement failed: {e}"),
-    }
+    let kernel = if single {
+        run_blac(&program.view(0), &cfg, &opts)
+    } else {
+        run_program(&program, cfg, &opts)
+    };
 
     // The product: C on stdout.
     print!(
@@ -386,6 +303,250 @@ fn main() {
             lgen::telemetry::format_metrics(&lgen::telemetry::registry().snapshot())
         );
     }
+}
+
+/// The original single-BLAC path: compile or autotune one kernel,
+/// validate it, measure it, return it.
+fn run_blac(blac: &Blac, cfg: &CompileConfig, o: &Opts) -> lgen::cir::Kernel {
+    let target = o.target;
+    eprintln!(
+        "lgenc: {blac}   ({} flops) for {target}, passes \"{}\"",
+        blac.flops(),
+        cfg.pipeline
+    );
+    let cache = Arc::new(KernelCache::new());
+    let kernel = if o.tune {
+        eprintln!(
+            "lgenc: tuning on {} worker(s)",
+            lgen::core::effective_threads(o.threads)
+        );
+        // Extra sweeps re-run the identical search against the
+        // now-warm kernel cache: every sweep lands in the tune/compile
+        // histograms, so the metrics dump captures steady-state
+        // (memoized) tuning throughput, not just the cold first pass.
+        let mut last = None;
+        for _ in 0..o.tune_sweeps {
+            let mut tuner = Autotuner::new(cfg.clone())
+                .with_strategy(SearchStrategy::Exhaustive)
+                .with_threads(o.threads)
+                .with_cache(cache.clone());
+            if o.tune_passes {
+                tuner = tuner.with_pipeline_search();
+            }
+            if let Some(d) = o.tune_deadline {
+                tuner = tuner.with_deadline(d);
+            }
+            if let Some(b) = o.tune_budget {
+                tuner = tuner.with_budget(b);
+            }
+            if !o.prune.is_off() {
+                tuner = tuner.with_prune(o.prune);
+            }
+            match tuner.try_tune(blac, "kernel") {
+                Ok(tuned) => last = Some(tuned),
+                Err(e) => {
+                    eprintln!("lgenc: tuning failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let tuned = last.expect("at least one tuning sweep");
+        eprintln!(
+            "lgenc: autotuned to {:?} under \"{}\" ({} cycles over {} candidates)",
+            tuned.unroll,
+            tuned.pipeline,
+            tuned.measurement.cycles,
+            tuned.samples.len()
+        );
+        if let Some(summary) = tuned.failure_summary() {
+            eprintln!("lgenc: {summary}");
+        }
+        if !o.prune.is_off() {
+            eprintln!(
+                "lgenc: pruning ({}): {} candidate(s) skipped, rank correlation {}",
+                o.prune,
+                tuned.pruned,
+                tuned
+                    .rank_correlation
+                    .map_or_else(|| "n/a".to_string(), |r| format!("{r:.3}")),
+            );
+        }
+        if o.print_after_all {
+            // Replay the winning compile with tracing on (served from the
+            // cache-independent path so snapshots reflect every pass).
+            let winner_cfg = cfg
+                .clone()
+                .with_unroll(tuned.unroll)
+                .with_passes(tuned.pipeline.clone());
+            let trace = PassTrace::new();
+            if let Err(failure) =
+                lgen::core::try_compile_traced(blac, "kernel", &winner_cfg, None, Some(&trace))
+            {
+                eprintln!("lgenc: verification failed after pass `{}`:", failure.pass);
+                eprint!("{}", lgen::cir::render(&failure.diagnostics));
+                std::process::exit(1);
+            }
+            dump_trace(&trace);
+        }
+        tuned.kernel
+    } else if o.print_after_all {
+        let trace = PassTrace::new();
+        match lgen::core::try_compile_traced(
+            blac,
+            "kernel",
+            cfg,
+            Some(cache.pass_stats()),
+            Some(&trace),
+        ) {
+            Ok(kernel) => {
+                dump_trace(&trace);
+                kernel
+            }
+            Err(failure) => {
+                eprintln!("lgenc: verification failed after pass `{}`:", failure.pass);
+                eprint!("{}", lgen::cir::render(&failure.diagnostics));
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match cache.try_get_or_compile(blac, "kernel", cfg) {
+            Ok(kernel) => (*kernel).clone(),
+            Err(failure) => {
+                eprintln!("lgenc: verification failed after pass `{}`:", failure.pass);
+                eprint!("{}", lgen::cir::render(&failure.diagnostics));
+                std::process::exit(1);
+            }
+        }
+    };
+
+    if o.cache_stats {
+        // One coherent snapshot: counters and per-pass rows are read
+        // together, so they cannot disagree mid-run.
+        for line in cache.snapshot().to_string().lines() {
+            eprintln!("lgenc: {line}");
+        }
+    }
+
+    // Validate and measure.
+    match check_kernel(blac, &kernel, target.vector_isa(), 1) {
+        Ok(diff) => eprintln!("lgenc: validated, max|err| = {diff:.2e}"),
+        Err(e) => {
+            eprintln!("lgenc: kernel failed to execute: {e}");
+            std::process::exit(1);
+        }
+    }
+    let offsets = vec![0usize; blac.operands.len()];
+    match measure_blac(blac, &kernel, target, &offsets, 3) {
+        Ok(m) => eprintln!(
+            "lgenc: {} cycles, {:.3} flops/cycle (peak {:.1}), {:.2} nJ",
+            m.cycles,
+            m.flops_per_cycle(),
+            target.peak_flops_per_cycle(),
+            m.energy_pj as f64 / 1000.0
+        ),
+        Err(e) => eprintln!("lgenc: measurement failed: {e}"),
+    }
+    kernel
+}
+
+/// The program path: fuse, compile (or jointly tune) one kernel for the
+/// whole statement sequence, validate it against the statement-by-statement
+/// reference, measure it, return it.
+fn run_program(program: &Program, mut cfg: CompileConfig, o: &Opts) -> lgen::cir::Kernel {
+    let target = o.target;
+    if o.peel || o.version_align {
+        // Peeling and alignment versioning version a kernel on one BLAC's
+        // parameter alignment classes; they have no program analogue yet.
+        eprintln!(
+            "lgenc: --peel/--version-align are single-kernel transforms; ignored for programs"
+        );
+        cfg.peeling = false;
+        cfg.alignment_versioning = false;
+    }
+    if o.tune_passes {
+        eprintln!("lgenc: --tune-passes is not supported for programs; tuning unroll genomes only");
+    }
+    if o.print_after_all {
+        eprintln!("lgenc: --print-after-all is not supported for programs; ignored");
+    }
+    eprintln!(
+        "lgenc: program of {} statement(s) ({} flops) for {target}, passes \"{}\"",
+        program.statements.len(),
+        program.flops(),
+        cfg.pipeline
+    );
+    let cache = Arc::new(KernelCache::new());
+    let (kernel, fusions) = if o.tune {
+        // Sweeps re-run the identical joint search against the warm
+        // program cache, mirroring the single-BLAC path.
+        let mut last = None;
+        for _ in 0..o.tune_sweeps {
+            let mut tuner = ProgramTuner::new(cfg.clone()).with_cache(cache.clone());
+            if !o.prune.is_off() {
+                tuner = tuner.with_prune(o.prune);
+            }
+            last = Some(tuner.tune(program, "kernel"));
+        }
+        let tuned = last.expect("at least one tuning sweep");
+        eprintln!(
+            "lgenc: autotuned to {:?} ({} cycles over {} candidates)",
+            tuned.policies,
+            tuned.measurement.cycles,
+            tuned.samples.len()
+        );
+        if !o.prune.is_off() {
+            eprintln!(
+                "lgenc: pruning ({}): {} candidate(s) skipped, rank correlation {}",
+                o.prune,
+                tuned.pruned,
+                tuned
+                    .rank_correlation
+                    .map_or_else(|| "n/a".to_string(), |r| format!("{r:.3}")),
+            );
+        }
+        (tuned.kernel, tuned.fusions)
+    } else {
+        let kernel = match cache.try_get_or_compile_program(program, "kernel", &cfg, None) {
+            Ok(kernel) => (*kernel).clone(),
+            Err(failure) => {
+                eprintln!("lgenc: verification failed after pass `{}`:", failure.pass);
+                eprint!("{}", lgen::cir::render(&failure.diagnostics));
+                std::process::exit(1);
+            }
+        };
+        let (_, fusions) = lgen::sigma::fuse_program(program);
+        (kernel, fusions)
+    };
+    eprintln!(
+        "lgenc: {fusions} cross-statement fusion(s), kernel covers {} statement(s)",
+        program.statements.len() - fusions
+    );
+
+    if o.cache_stats {
+        for line in cache.snapshot().to_string().lines() {
+            eprintln!("lgenc: {line}");
+        }
+    }
+
+    // Validate against the statement-by-statement reference and measure.
+    match check_program(program, &kernel, target.vector_isa(), 1) {
+        Ok(diff) => eprintln!("lgenc: validated, max|err| = {diff:.2e}"),
+        Err(e) => {
+            eprintln!("lgenc: kernel failed to execute: {e}");
+            std::process::exit(1);
+        }
+    }
+    match measure_program(program, &kernel, target, 3) {
+        Ok(m) => eprintln!(
+            "lgenc: {} cycles, {:.3} flops/cycle (peak {:.1}), {:.2} nJ",
+            m.cycles,
+            m.flops_per_cycle(),
+            target.peak_flops_per_cycle(),
+            m.energy_pj as f64 / 1000.0
+        ),
+        Err(e) => eprintln!("lgenc: measurement failed: {e}"),
+    }
+    kernel
 }
 
 /// Prints every recorded IR snapshot (`--print-after-all`) to stderr.

@@ -64,10 +64,12 @@ pub mod prelude {
     pub use lgen_analysis::{analyze_kernel, StaticCost};
     pub use lgen_baselines::{compile_baseline, Competitor};
     pub use lgen_core::{
-        check_kernel, compile, measure_blac, try_compile, Autotuner, CompileConfig, FaultPlan,
-        PassPipeline, PrunePolicy, TuneBudget, TuneError, Variant, VerifyLevel,
+        check_kernel, check_program, compile, compile_program, measure_blac, measure_program,
+        run_program_kernel, try_compile, try_compile_program, Autotuner, CompileConfig,
+        CompiledProgram, FaultPlan, PassPipeline, ProgramTuner, PrunePolicy, TuneBudget, TuneError,
+        TunedProgram, Variant, VerifyLevel,
     };
     pub use lgen_isa::{Microarch, VectorIsa};
-    pub use lgen_ll::{Blac, BlacBuilder};
+    pub use lgen_ll::{parse_program, Blac, BlacBuilder, Program, ProgramBuilder, Structure};
     pub use lgen_machine::Simulator;
 }

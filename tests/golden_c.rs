@@ -42,6 +42,29 @@ fn golden_scalar_gemv() {
     golden("gemv_4x8_arm1176", &kernel_c(Microarch::Arm1176));
 }
 
+/// The Kalman predict step compiled as one fused program: the emitted C
+/// (one function, the temporary `S` eliminated, `P`/`Q` symmetric inputs)
+/// is part of the program-compilation contract.
+#[test]
+fn golden_program_kalman_predict() {
+    let program = parse_program(
+        "F = matrix(4, 4)\nB = matrix(4, 2)\nu = vector(2)\nx = vector(4)\n\
+         x_next = vector(4)\nP = matrix(4, 4) symmetric\nQ = matrix(4, 4) symmetric\n\
+         P_next = matrix(4, 4)\n\
+         x_next = F * x + B * u;\nS = P * F';\nP_next = F * S + Q;",
+    )
+    .unwrap();
+    let compiled = compile_program(
+        &program,
+        "kalman_predict_4",
+        &CompileConfig::full(Microarch::Atom),
+    );
+    golden(
+        "kalman_predict_4_ssse3",
+        &lgen::cir::unparse::unparse(&compiled.kernel, VectorIsa::Ssse3),
+    );
+}
+
 #[test]
 fn golden_versioned_axpy_dispatch() {
     let blac = lgen::ll::paper::axpy(8);

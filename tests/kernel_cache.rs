@@ -21,6 +21,7 @@ fn gen_blac(rows: usize, cols: usize, depth: usize, seed: u64) -> Blac {
             self.operands.push(lgen::ll::blac::Operand {
                 name: format!("op{}", id.0),
                 dims: d,
+                structure: lgen::ll::Structure::General,
             });
             Expr::Ref(id)
         }
@@ -64,6 +65,7 @@ fn gen_blac(rows: usize, cols: usize, depth: usize, seed: u64) -> Blac {
     pool.operands.push(lgen::ll::blac::Operand {
         name: "out".into(),
         dims: Dims::new(rows, cols),
+        structure: lgen::ll::Structure::General,
     });
     let blac = Blac {
         operands: pool.operands,

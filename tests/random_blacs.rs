@@ -29,6 +29,7 @@ impl Pool {
         self.operands.push(lgen::ll::blac::Operand {
             name: format!("op{}", self.operands.len()),
             dims: d,
+            structure: lgen::ll::Structure::General,
         });
         Expr::Ref(id)
     }
@@ -77,6 +78,7 @@ fn gen_blac(rows: usize, cols: usize, depth: usize, seed: u64) -> Blac {
     pool.operands.push(lgen::ll::blac::Operand {
         name: "out".into(),
         dims: Dims::new(rows, cols),
+        structure: lgen::ll::Structure::General,
     });
     let blac = Blac {
         operands: pool.operands,
