@@ -241,6 +241,27 @@ fi
 python3 - <<EOF > BENCH_programs.json
 import json, re, sys
 
+# One serializer for every program record: the two suites used to emit
+# different shapes (kalman had {arch, cycles, candidates, tune_ms},
+# triangular had {tuned_cycles, measured_candidates, tune_wall_us, ...});
+# everything now goes through tune_record/program_record so downstream
+# tooling can treat BENCH_programs.json entries uniformly.
+def tune_record(arch, tuned_cycles, measured_candidates, tune_wall_us):
+    return {
+        "arch": arch,
+        "tuned_cycles": int(tuned_cycles),
+        "measured_candidates": int(measured_candidates),
+        "tune_wall_us": float(tune_wall_us) if tune_wall_us else None,
+        "tune_candidates_per_sec":
+            round(measured_candidates / (tune_wall_us / 1e6), 1)
+            if measured_candidates and tune_wall_us else None,
+    }
+
+def program_record(name, tune, **extras):
+    rec = {"program": name, "tune": tune}
+    rec.update(extras)
+    return rec
+
 per_arch, tuned = {}, None
 for line in """$prog_out""".splitlines():
     if not line.startswith("BENCH "):
@@ -254,13 +275,11 @@ for line in """$prog_out""".splitlines():
             "unfused_cycles": int(kv["unfused_cycles"]),
         }
     elif "tuned_cycles" in kv:
-        tuned = {
-            "arch": kv["arch"],
-            "cycles": int(kv["tuned_cycles"]),
-            "candidates": int(kv["candidates"]),
-            "tune_ms": int(kv["tune_ms"]),
-        }
+        tuned = tune_record(
+            kv["arch"], kv["tuned_cycles"], int(kv["candidates"]),
+            int(kv["tune_ms"]) * 1000.0)
 assert per_arch, "no per-arch BENCH lines from kalman_update"
+assert tuned, "no joint-tune BENCH line from kalman_update"
 assert any(a["fused_cycles"] < a["unfused_cycles"] for a in per_arch.values()), \
     "fused kernel not faster than statement-by-statement on any core"
 
@@ -274,20 +293,15 @@ for line in """$tri_out""".splitlines():
             pass
 m = re.search(r"autotuned to .*\((\d+) cycles over (\d+) candidates\)", """$tri_out""")
 assert m, "no autotuned line from the triangular-apply tune"
-tune_us = metrics.get("lgen.tune.program.wall_us.sum")
-candidates = metrics.get("lgen.tune.program.candidates")
-tri = {
-    "tuned_cycles": int(m.group(1)),
-    "measured_candidates": int(m.group(2)),
-    "genome_candidates": candidates,
-    "tune_wall_us": tune_us,
-    "tune_candidates_per_sec":
-        round(candidates / (tune_us / 1e6), 1) if candidates and tune_us else None,
-}
+tri = tune_record(
+    "atom", m.group(1), int(m.group(2)),
+    metrics.get("lgen.tune.program.wall_us.sum"))
 assert tri["tune_candidates_per_sec"], "no program tune throughput"
 print(json.dumps({
-    "kalman_predict": {"per_arch": per_arch, "joint_tune": tuned},
-    "triangular_apply": tri,
+    "kalman_predict": program_record("kalman_predict", tuned, per_arch=per_arch),
+    "triangular_apply": program_record(
+        "triangular_apply", tri,
+        genome_candidates=metrics.get("lgen.tune.program.candidates")),
 }, indent=2))
 EOF
 echo "    $(python3 -c "
@@ -296,7 +310,90 @@ d = json.load(open('BENCH_programs.json'))
 pa = d['kalman_predict']['per_arch']
 wins = sum(a['fused_cycles'] < a['unfused_cycles'] for a in pa.values())
 print(f'fused beats unfused on {wins}/{len(pa)} cores,',
-      f'{d[\"triangular_apply\"][\"tune_candidates_per_sec\"]} program candidates/s')")"
+      f'{d[\"triangular_apply\"][\"tune\"][\"tune_candidates_per_sec\"]} program candidates/s')")"
+
+echo "==> compile service: lgend + 1000-request replay (BENCH_serve.json)"
+servedir=$(mktemp -d)
+trap 'rm -f "$blacfile" "$tracefile" "$prunefile" "$trifile"; rm -rf "$servedir"' EXIT
+serve_sock="$servedir/lgend.sock"
+serve_cache="$servedir/cache"
+
+# Cold leg: fresh daemon, empty cache. Mixed tenants, >=20% duplicate
+# fingerprints, a sliver of malformed traffic on throwaway connections.
+./target/release/lgend --socket "$serve_sock" --cache-dir "$serve_cache" \
+    --workers 4 2> "$servedir/lgend.log" &
+lgend_pid=$!
+./target/release/lgen-cli replay --socket "$serve_sock" \
+    --requests 1000 --connections 4 --tenants 3 \
+    --duplicate-pct 30 --malformed-pct 2 --seed 7 \
+    --json "$servedir/cold.json" > /dev/null 2> "$servedir/replay-cold.log"
+serve_stats=$(./target/release/lgen-cli stats --socket "$serve_sock")
+./target/release/lgen-cli shutdown --socket "$serve_sock" > /dev/null
+if ! wait "$lgend_pid"; then
+    echo "error: lgend did not exit cleanly after the cold leg" >&2
+    cat "$servedir/lgend.log" >&2
+    exit 1
+fi
+
+# The new service metrics must show up in the daemon's own stats report.
+for row in lgen.serve.requests lgen.serve.compiled lgen.serve.coalesced \
+    lgen.serve.hits lgen.serve.queue_depth lgen.serve.request_wall_us.p99 \
+    lgen.disk.persisted; do
+    if ! grep -q "^$row " <<<"$serve_stats"; then
+        echo "error: daemon stats missing the $row metric row" >&2
+        echo "$serve_stats" >&2
+        exit 1
+    fi
+done
+
+# Warm leg: restart on the same cache directory; the same seed replays
+# the same schedule, so first arrivals now hit the persistent tier.
+./target/release/lgend --socket "$serve_sock" --cache-dir "$serve_cache" \
+    --workers 4 2>> "$servedir/lgend.log" &
+lgend_pid=$!
+./target/release/lgen-cli replay --socket "$serve_sock" \
+    --requests 300 --connections 4 --tenants 3 \
+    --duplicate-pct 30 --malformed-pct 0 --seed 7 \
+    --json "$servedir/warm.json" > /dev/null 2> "$servedir/replay-warm.log"
+./target/release/lgen-cli shutdown --socket "$serve_sock" > /dev/null
+if ! wait "$lgend_pid"; then
+    echo "error: lgend did not exit cleanly after the warm leg" >&2
+    cat "$servedir/lgend.log" >&2
+    exit 1
+fi
+
+python3 - "$servedir/cold.json" "$servedir/warm.json" <<'EOF' > BENCH_serve.json
+import json, sys
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+assert cold["requests"] >= 1000, f"cold leg replayed only {cold['requests']}"
+assert cold["ok"] == cold["requests"], \
+    f"{cold['requests'] - cold['ok']} well-formed requests failed"
+assert cold["compiled"] < cold["requests"], \
+    "every request compiled — coalescing/caching never engaged"
+assert cold["hit_rate"] > 0, "cold leg saw no cache or coalescing hits"
+assert 0 < cold["p99_us"] < 10_000_000, f"implausible p99 {cold['p99_us']}us"
+assert cold["p50_us"] <= cold["p99_us"], "quantiles out of order"
+assert warm["disk_hits"] > 0, "restarted daemon never hit the disk tier"
+assert warm["errors"] == 0, f"warm leg had {warm['errors']} errors"
+print(json.dumps({
+    "requests": cold["requests"] + warm["requests"],
+    "p50_us": cold["p50_us"],
+    "p99_us": cold["p99_us"],
+    "hit_rate": cold["hit_rate"],
+    "coalesce_rate": cold["coalesce_rate"],
+    "warm_restart_hit_rate": warm["hit_rate"],
+    "cold": cold,
+    "warm": warm,
+}, indent=2))
+EOF
+echo "    $(python3 -c "
+import json
+d = json.load(open('BENCH_serve.json'))
+print(f'{d[\"requests\"]} requests: p50 {d[\"p50_us\"]}us, p99 {d[\"p99_us\"]}us,',
+      f'hit rate {d[\"hit_rate\"]:.0%}, warm-restart hit rate',
+      f'{d[\"warm_restart_hit_rate\"]:.0%},',
+      f'{d[\"cold\"][\"coalesced\"]} coalesced')")"
 
 echo "==> no build artifacts tracked by git"
 tracked=$(git ls-files 'target/*' | wc -l)

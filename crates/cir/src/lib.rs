@@ -24,10 +24,13 @@
 //! * a static verifier that re-proves the pass invariants (bounds,
 //!   def-before-use, lane consistency) by abstract interpretation
 //!   ([`verify`], [`diag`]),
-//! * an unparser producing C-with-intrinsics source text ([`unparse`]).
+//! * an unparser producing C-with-intrinsics source text ([`unparse`]),
+//! * a versioned binary codec for persisting compiled kernels on disk
+//!   ([`codec`]), used by the compile service's warm-start cache.
 
 pub mod arena;
 pub mod builder;
+pub mod codec;
 pub mod diag;
 pub mod interp;
 pub mod ir;
@@ -39,6 +42,7 @@ pub mod verify;
 
 pub use arena::Arena;
 pub use builder::KernelBuilder;
+pub use codec::{decode_kernel, encode_kernel, CodecError, CODEC_VERSION};
 pub use diag::{render, Check, Diagnostic};
 pub use interp::{run_kernel, ExecError, MemLayout};
 pub use ir::{

@@ -737,8 +737,16 @@ impl PassStats {
     }
 
     /// Adds one run of `name` taking `ns` nanoseconds.
+    ///
+    /// Stats/trace locks swallow poisoning: a panicking candidate sharing
+    /// this `PassStats` with a long-running service must cost at most its
+    /// own request, never wedge later compiles on a poisoned lock (the
+    /// guarded state is append-only rows, safe to read after any panic).
     pub fn record(&self, name: &str, ns: u64) {
-        let mut rows = self.rows.lock().expect("PassStats lock");
+        let mut rows = self
+            .rows
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match rows.iter_mut().find(|r| r.name == name) {
             Some(row) => {
                 row.ns += ns;
@@ -767,7 +775,7 @@ impl PassStats {
     pub fn rows(&self) -> Vec<(String, u64, u64)> {
         self.rows
             .lock()
-            .expect("PassStats lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|r| (r.name.clone(), r.ns, r.runs))
             .collect()
@@ -777,7 +785,7 @@ impl PassStats {
     pub fn total_ns(&self) -> u64 {
         self.rows
             .lock()
-            .expect("PassStats lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|r| r.ns)
             .sum()
@@ -801,13 +809,16 @@ impl PassTrace {
     pub fn record(&self, stage: &str, kernel: &Kernel, isa: VectorIsa) {
         self.snaps
             .lock()
-            .expect("PassTrace lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push((stage.to_string(), unparse(kernel, isa)));
     }
 
     /// `(stage, rendered IR)` snapshots in execution order.
     pub fn snapshots(&self) -> Vec<(String, String)> {
-        self.snaps.lock().expect("PassTrace lock").clone()
+        self.snaps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 }
 

@@ -29,6 +29,7 @@
 
 use crate::config::CompileConfig;
 use crate::memo::CompileMemo;
+use crate::persist::{stable_fingerprint, DiskCache, DiskStats};
 use crate::pipeline::{try_compile_memoized, try_compile_with_stats};
 use crate::program::{try_compile_program_memoized, try_compile_program_with};
 use lgen_cir::passes::{PassStats, UnrollPolicy};
@@ -148,10 +149,36 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Which tier served a compile request; returned by the `_outcome`
+/// lookup variants so callers (the compile service's per-request spans and
+/// hit-rate accounting) can distinguish the three costs without racing on
+/// counter deltas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompileOutcome {
+    /// Served from the in-memory map (O(hash)).
+    Memory,
+    /// Missed memory, loaded and verified from the persistent
+    /// [`DiskCache`] (O(read + decode)); now resident in memory too.
+    Disk,
+    /// Missed everywhere; the pipeline ran (and the result was spilled to
+    /// disk when a [`DiskCache`] is attached).
+    Compiled,
+}
+
+impl CompileOutcome {
+    /// Whether the request was served without running the pipeline.
+    pub fn is_cache_hit(self) -> bool {
+        !matches!(self, CompileOutcome::Compiled)
+    }
+}
+
 /// A concurrent map from [`CacheKey`] to the compiled kernel.
 pub struct KernelCache {
     shards: Vec<Mutex<HashMap<CacheKey, Arc<Kernel>>>>,
     programs: Mutex<HashMap<ProgramCacheKey, Arc<Kernel>>>,
+    /// Optional persistent tier consulted on memory misses and filled on
+    /// fresh compiles (see [`KernelCache::with_disk`]).
+    disk: Option<Arc<DiskCache>>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
@@ -191,6 +218,7 @@ impl KernelCache {
         KernelCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             programs: Mutex::new(HashMap::new()),
+            disk: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -202,6 +230,26 @@ impl KernelCache {
             stages: PassStats::new(),
             memo: CompileMemo::new(),
         }
+    }
+
+    /// Attaches a persistent on-disk tier: memory misses consult `disk`
+    /// before compiling, and fresh compiles are spilled to it, so a
+    /// restarted process warm-starts from the directory. The disk tier is
+    /// strictly behind the memory map — a disk hit is promoted into
+    /// memory and later lookups never touch the file again.
+    pub fn with_disk(mut self, disk: Arc<DiskCache>) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// The attached persistent tier, if any.
+    pub fn disk(&self) -> Option<&Arc<DiskCache>> {
+        self.disk.as_ref()
+    }
+
+    /// Behaviour counters of the attached persistent tier, if any.
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.disk.as_ref().map(|d| d.stats())
     }
 
     fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Arc<Kernel>>> {
@@ -273,6 +321,19 @@ impl KernelCache {
         name: &str,
         cfg: &CompileConfig,
     ) -> Result<(Arc<Kernel>, bool), VerifyFailure> {
+        self.try_get_or_compile_outcome(blac, name, cfg)
+            .map(|(k, o)| (k, o.is_cache_hit()))
+    }
+
+    /// [`try_get_or_compile`](Self::try_get_or_compile) that reports which
+    /// tier served the kernel ([`CompileOutcome`]); the compile service's
+    /// hit-rate accounting is built on this.
+    pub fn try_get_or_compile_outcome(
+        &self,
+        blac: &Blac,
+        name: &str,
+        cfg: &CompileConfig,
+    ) -> Result<(Arc<Kernel>, CompileOutcome), VerifyFailure> {
         let key = CacheKey {
             blac: blac.clone(),
             name: name.to_string(),
@@ -280,9 +341,21 @@ impl KernelCache {
         };
         if let Some(k) = self.shard(&key).lock().get(&key) {
             self.record_hit();
-            return Ok((k.clone(), true));
+            return Ok((k.clone(), CompileOutcome::Memory));
         }
         self.record_miss();
+        // Consult the persistent tier before paying for the pipeline; a
+        // verified disk entry is promoted into the memory map.
+        let disk_id = self
+            .disk
+            .as_ref()
+            .map(|d| (d.clone(), stable_fingerprint(&key), format!("{key:?}")));
+        if let Some((disk, fp, desc)) = &disk_id {
+            if let Some(kernel) = disk.load(*fp, desc) {
+                let k = self.promote(key, Arc::new(kernel));
+                return Ok((k, CompileOutcome::Disk));
+            }
+        }
         // Eligible configs compile through the cross-candidate memo: the
         // exact key missed, but the lowering (and often the optimized
         // kernel) may be shared with an equivalent candidate — the
@@ -306,24 +379,30 @@ impl KernelCache {
                 }
             }
         };
+        if let Some((disk, fp, desc)) = &disk_id {
+            disk.store(*fp, desc, &kernel);
+        }
+        Ok((self.promote(key, kernel), CompileOutcome::Compiled))
+    }
+
+    /// Installs a kernel for `key`, deferring to a racing insert (both
+    /// kernels are identical; everyone shares the incumbent `Arc`).
+    fn promote(&self, key: CacheKey, kernel: Arc<Kernel>) -> Arc<Kernel> {
         let mut shard = self.shard(&key).lock();
-        Ok((
-            match shard.entry(key) {
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    // Another thread compiled the same point concurrently;
-                    // everyone shares its (identical) kernel.
-                    self.races.fetch_add(1, Ordering::Relaxed);
-                    metric_counter!("lgen.cache.races").inc();
-                    e.get().clone()
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    self.inserts.fetch_add(1, Ordering::Relaxed);
-                    metric_counter!("lgen.cache.inserts").inc();
-                    e.insert(kernel).clone()
-                }
-            },
-            false,
-        ))
+        match shard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                // Another thread compiled the same point concurrently;
+                // everyone shares its (identical) kernel.
+                self.races.fetch_add(1, Ordering::Relaxed);
+                metric_counter!("lgen.cache.races").inc();
+                e.get().clone()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+                metric_counter!("lgen.cache.inserts").inc();
+                e.insert(kernel).clone()
+            }
+        }
     }
 
     /// Returns the cached kernel for a whole program, compiling and
@@ -358,6 +437,21 @@ impl KernelCache {
         cfg: &CompileConfig,
         policies: Option<&[UnrollPolicy]>,
     ) -> Result<Arc<Kernel>, VerifyFailure> {
+        self.try_get_or_compile_program_outcome(program, name, cfg, policies)
+            .map(|(k, _)| k)
+    }
+
+    /// [`try_get_or_compile_program`](Self::try_get_or_compile_program)
+    /// that reports which tier served the kernel — the program analogue of
+    /// [`try_get_or_compile_outcome`](Self::try_get_or_compile_outcome),
+    /// including the persistent-tier consult/spill.
+    pub fn try_get_or_compile_program_outcome(
+        &self,
+        program: &Program,
+        name: &str,
+        cfg: &CompileConfig,
+        policies: Option<&[UnrollPolicy]>,
+    ) -> Result<(Arc<Kernel>, CompileOutcome), VerifyFailure> {
         let key = ProgramCacheKey {
             program: program.clone(),
             name: name.to_string(),
@@ -366,9 +460,19 @@ impl KernelCache {
         };
         if let Some(k) = self.programs.lock().get(&key) {
             self.record_hit();
-            return Ok(k.clone());
+            return Ok((k.clone(), CompileOutcome::Memory));
         }
         self.record_miss();
+        let disk_id = self
+            .disk
+            .as_ref()
+            .map(|d| (d.clone(), stable_fingerprint(&key), format!("{key:?}")));
+        if let Some((disk, fp, desc)) = &disk_id {
+            if let Some(kernel) = disk.load(*fp, desc) {
+                let k = self.promote_program(key, Arc::new(kernel));
+                return Ok((k, CompileOutcome::Disk));
+            }
+        }
         let kernel = if CompileMemo::eligible(cfg) {
             match try_compile_program_memoized(
                 program,
@@ -393,8 +497,16 @@ impl KernelCache {
                 }
             }
         };
+        if let Some((disk, fp, desc)) = &disk_id {
+            disk.store(*fp, desc, &kernel);
+        }
+        Ok((self.promote_program(key, kernel), CompileOutcome::Compiled))
+    }
+
+    /// [`promote`](Self::promote) for the program map.
+    fn promote_program(&self, key: ProgramCacheKey, kernel: Arc<Kernel>) -> Arc<Kernel> {
         let mut map = self.programs.lock();
-        Ok(match map.entry(key) {
+        match map.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 self.races.fetch_add(1, Ordering::Relaxed);
                 metric_counter!("lgen.cache.races").inc();
@@ -405,7 +517,7 @@ impl KernelCache {
                 metric_counter!("lgen.cache.inserts").inc();
                 e.insert(kernel).clone()
             }
-        })
+        }
     }
 
     /// Inserts a pre-built kernel under an explicit key, replacing any
@@ -674,6 +786,52 @@ mod tests {
         cache.get_or_compile(&blac, "k", &cfg);
         cache.get_or_compile(&blac, "k", &cfg);
         assert!(lgen_telemetry::counter("lgen.cache.hits").get() > before);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_cache_restart() {
+        let dir = std::env::temp_dir().join(format!("lgen-cache-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let blac = paper::gemv(4, 8);
+        let program =
+            lgen_ll::parse_program("A = matrix(4, 8)\nx = vector(8)\ny = vector(4)\ny = A * x;")
+                .unwrap();
+        let cfg = CompileConfig::full(Microarch::Atom);
+
+        let disk = Arc::new(DiskCache::open(&dir).unwrap());
+        let cache = KernelCache::new().with_disk(disk.clone());
+        let (cold, o) = cache.try_get_or_compile_outcome(&blac, "k", &cfg).unwrap();
+        assert_eq!(o, CompileOutcome::Compiled);
+        assert!(!o.is_cache_hit());
+        let (_, o) = cache
+            .try_get_or_compile_program_outcome(&program, "p", &cfg, None)
+            .unwrap();
+        assert_eq!(o, CompileOutcome::Compiled);
+        assert_eq!(disk.stats().persisted, 2);
+        let (_, o) = cache.try_get_or_compile_outcome(&blac, "k", &cfg).unwrap();
+        assert_eq!(o, CompileOutcome::Memory, "second lookup stays in memory");
+
+        // "Restart": a fresh in-memory cache over the same directory must
+        // warm-start from disk, then keep the promoted entry in memory.
+        let disk2 = Arc::new(DiskCache::open(&dir).unwrap());
+        let cache2 = KernelCache::new().with_disk(disk2.clone());
+        let (warm, o) = cache2.try_get_or_compile_outcome(&blac, "k", &cfg).unwrap();
+        assert_eq!(o, CompileOutcome::Disk);
+        assert!(o.is_cache_hit());
+        assert_eq!(*cold, *warm, "disk round-trip must preserve the kernel");
+        let (_, o) = cache2
+            .try_get_or_compile_program_outcome(&program, "p", &cfg, None)
+            .unwrap();
+        assert_eq!(o, CompileOutcome::Disk);
+        let (_, o) = cache2.try_get_or_compile_outcome(&blac, "k", &cfg).unwrap();
+        assert_eq!(o, CompileOutcome::Memory);
+        assert_eq!(cache2.disk_stats().unwrap().hits, 2);
+        assert_eq!(
+            cache2.pass_stats().compiles(),
+            0,
+            "warm start compiles nothing"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! In-flight request coalescing ("singleflight").
+//!
+//! Under concurrent traffic the same compile request arrives many times
+//! *while the first one is still compiling* — the in-memory cache only
+//! dedupes after the kernel lands, so N racing requests would burn N
+//! pipelines to produce N identical kernels (the cache's `races` counter
+//! measures exactly this). A [`Coalescer`] closes that window: callers
+//! agree on a 64-bit fingerprint, the first caller in becomes the
+//! **leader** and runs the work, everyone else arriving before it finishes
+//! becomes a **follower** and blocks on the flight's condvar; the leader's
+//! result is cloned to all of them (for `Arc<Kernel>` results, a pointer
+//! bump).
+//!
+//! **Failure.** If the leader panics, the flight is marked abandoned, the
+//! panic propagates to the leader's caller, and each follower wakes and
+//! *retries from the top* — typically electing a new leader among
+//! themselves. A panicking request therefore fails exactly the requests
+//! that would have failed without coalescing, never its innocent
+//! co-waiters, and — because this module uses std `Mutex`/`Condvar` with
+//! poisoning explicitly swallowed — never wedges subsequent traffic on a
+//! poisoned lock.
+//!
+//! **Lifecycle.** A flight lives in the map only while running: the leader
+//! publishes its result *through the flight*, then unlinks it before
+//! waking followers. A caller arriving after the unlink simply starts a
+//! new flight — and immediately hits the now-warm kernel cache inside its
+//! closure, so the extra flight costs a map lookup, not a compile.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// State a follower can observe for one flight.
+enum FlightState<T> {
+    /// The leader is still working.
+    Running,
+    /// The leader finished; followers clone this.
+    Done(T),
+    /// The leader panicked; followers retry.
+    Abandoned,
+}
+
+struct Flight<T> {
+    state: Mutex<FlightState<T>>,
+    cv: Condvar,
+}
+
+/// Dedup map for identical in-flight work items (see module docs).
+///
+/// `T` is the (cheaply cloneable) result type; the compile service uses
+/// `Result<Arc<Kernel>, String>` so failures are shared with waiters too.
+pub struct Coalescer<T> {
+    flights: Mutex<HashMap<u64, Arc<Flight<T>>>>,
+    coalesced: AtomicU64,
+    led: AtomicU64,
+}
+
+impl<T: Clone> Default for Coalescer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> Coalescer<T> {
+    /// An empty coalescer.
+    pub fn new() -> Self {
+        Coalescer {
+            flights: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
+            led: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `work` for fingerprint `fp`, or waits for an identical
+    /// in-flight run and shares its result. Returns `(result, coalesced)`
+    /// where `coalesced` is `true` iff this call piggybacked on another
+    /// caller's work.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from `work` in the leader only; followers of a
+    /// panicked leader retry (and may run `work` themselves).
+    pub fn run(&self, fp: u64, work: impl FnOnce() -> T) -> (T, bool) {
+        let mut work = Some(work);
+        loop {
+            let (flight, leader) = {
+                let mut map = lock(&self.flights);
+                match map.entry(fp) {
+                    std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let f = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Running),
+                            cv: Condvar::new(),
+                        });
+                        e.insert(f.clone());
+                        (f, true)
+                    }
+                }
+            };
+            if leader {
+                self.led.fetch_add(1, Ordering::Relaxed);
+                let f = work.take().expect("leader runs once");
+                let outcome = panic::catch_unwind(AssertUnwindSafe(f));
+                // Publish, unlink, then wake: a follower that observes the
+                // state is guaranteed the map no longer routes new arrivals
+                // to this flight.
+                {
+                    let mut st = lock(&flight.state);
+                    *st = match &outcome {
+                        Ok(v) => FlightState::Done(v.clone()),
+                        Err(_) => FlightState::Abandoned,
+                    };
+                }
+                lock(&self.flights).remove(&fp);
+                flight.cv.notify_all();
+                match outcome {
+                    Ok(v) => return (v, false),
+                    Err(cause) => panic::resume_unwind(cause),
+                }
+            }
+            // Follower: wait out the flight.
+            let mut st = lock(&flight.state);
+            loop {
+                match &*st {
+                    FlightState::Running => {
+                        st = flight.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    }
+                    FlightState::Done(v) => {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return (v.clone(), true);
+                    }
+                    FlightState::Abandoned => break,
+                }
+            }
+            // Leader panicked; retry from the top (we may lead now).
+        }
+    }
+
+    /// Number of calls served by piggybacking on another caller's work.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Number of calls that actually ran their closure as leader.
+    pub fn led(&self) -> u64 {
+        self.led.load(Ordering::Relaxed)
+    }
+
+    /// Number of flights currently in the air.
+    pub fn in_flight(&self) -> usize {
+        lock(&self.flights).len()
+    }
+}
+
+/// `lock()` that swallows poisoning: a panicked leader must not wedge the
+/// daemon (satellite bugfix — see DESIGN.md "The compile service").
+fn lock<M>(m: &Mutex<M>) -> std::sync::MutexGuard<'_, M> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> std::fmt::Debug for Coalescer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coalescer")
+            .field("in_flight", &lock(&self.flights).len())
+            .field("coalesced", &self.coalesced.load(Ordering::Relaxed))
+            .field("led", &self.led.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    #[test]
+    fn concurrent_identical_work_runs_once() {
+        let co = Coalescer::<usize>::new();
+        let runs = AtomicUsize::new(0);
+        let gate = Barrier::new(8);
+        let results: Vec<(usize, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        gate.wait();
+                        co.run(1, || {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open so late arrivals coalesce.
+                            std::thread::sleep(Duration::from_millis(50));
+                            7
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|&(v, _)| v == 7));
+        let led = results.iter().filter(|&&(_, c)| !c).count();
+        // Every thread either led or coalesced; at least one coalesced
+        // (the barrier makes an 8-way no-overlap interleaving impossible
+        // given the 50ms hold), and runs == leaders.
+        assert_eq!(runs.load(Ordering::SeqCst), led);
+        assert!(led < 8, "some calls must coalesce");
+        assert_eq!(co.coalesced() as usize, 8 - led);
+        assert_eq!(co.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_fingerprints_do_not_coalesce() {
+        let co = Coalescer::<u64>::new();
+        let (a, ca) = co.run(1, || 10);
+        let (b, cb) = co.run(2, || 20);
+        assert_eq!((a, b), (10, 20));
+        assert!(!ca && !cb);
+        assert_eq!(co.coalesced(), 0);
+    }
+
+    #[test]
+    fn panicking_leader_does_not_poison_followers() {
+        let co = Arc::new(Coalescer::<u64>::new());
+        let gate = Arc::new(Barrier::new(2));
+        let co2 = co.clone();
+        let gate2 = gate.clone();
+        let follower = std::thread::spawn(move || {
+            gate2.wait();
+            // Arrive while the doomed leader holds the flight; on abandon
+            // we retry and run the work ourselves.
+            co2.run(5, || 99)
+        });
+        let leader = std::thread::spawn(move || {
+            let co = co;
+            let gate = gate;
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                co.run(5, || {
+                    gate.wait();
+                    std::thread::sleep(Duration::from_millis(30));
+                    panic!("injected");
+                })
+            }))
+        });
+        assert!(leader.join().unwrap().is_err(), "leader sees its panic");
+        let (v, _) = follower.join().unwrap();
+        assert_eq!(v, 99, "follower recovers after abandoned flight");
+    }
+
+    #[test]
+    fn sequential_calls_after_completion_start_fresh_flights() {
+        let co = Coalescer::<u64>::new();
+        let (a, ca) = co.run(3, || 1);
+        let (b, cb) = co.run(3, || 2);
+        assert_eq!((a, b), (1, 2), "completed flights are unlinked");
+        assert!(!ca && !cb);
+        assert_eq!(co.led(), 2);
+    }
+}

@@ -21,10 +21,12 @@
 
 pub mod autotune;
 pub mod cache;
+pub mod coalesce;
 pub mod config;
 pub mod exec;
 pub mod fault;
 pub mod memo;
+pub mod persist;
 pub mod pipeline;
 pub mod pool;
 pub mod program;
@@ -33,12 +35,16 @@ pub use autotune::{
     spearman, Autotuner, CandidateFailure, FailReason, Objective, PrunePolicy, SearchStrategy,
     TuneBudget, TuneError, TunedKernel,
 };
-pub use cache::{CacheKey, CacheSnapshot, CacheStats, KernelCache, ProgramCacheKey};
+pub use cache::{
+    CacheKey, CacheSnapshot, CacheStats, CompileOutcome, KernelCache, ProgramCacheKey,
+};
+pub use coalesce::Coalescer;
 pub use config::{CompileConfig, Variant};
 pub use exec::{check_kernel, measure_blac, run_blac_kernel};
 pub use fault::{parse_duration, FaultKind, FaultPlan};
 pub use lgen_cir::{PassPipeline, PassStats, PassTrace, VerifyFailure, VerifyLevel};
 pub use memo::{CompileMemo, UnrollDecision, UnrollSig};
+pub use persist::{stable_fingerprint, DiskCache, DiskStats, StableHasher};
 pub use pipeline::{
     compile, compile_many, compile_with_stats, try_compile, try_compile_traced,
     try_compile_with_stats,

@@ -16,10 +16,12 @@
 //! balancing, sync/async processing, expiry) are implemented and tested
 //! for real, with actual worker threads.
 
+pub mod admission;
 pub mod api;
 pub mod measure;
 pub mod scheduler;
 
+pub use admission::{AdmissionError, FairQueue};
 pub use api::{ApiError, ErrorReason, JobResults, JobState, JobStatus};
 pub use measure::MeasurementModule;
 pub use scheduler::{DeviceSpec, ExperimentSpec, Mediator, WorkFn};

@@ -1,0 +1,89 @@
+//! A blocking client for the `lgend` protocol.
+
+use crate::proto::{read_frame, write_frame, ProtoError, Request, Response, Verb};
+use std::io::{self, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One connection to a daemon; requests run in lockstep.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon at `socket`.
+    pub fn connect(socket: impl AsRef<Path>) -> io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(socket)?,
+        })
+    }
+
+    /// [`connect`](Self::connect) that retries until the daemon has bound
+    /// the socket (it starts asynchronously) or `timeout` elapses.
+    pub fn connect_within(socket: impl AsRef<Path>, timeout: Duration) -> io::Result<Client> {
+        let socket = socket.as_ref();
+        let deadline = Instant::now() + timeout;
+        loop {
+            match UnixStream::connect(socket) {
+                Ok(stream) => return Ok(Client { stream }),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        Response::decode(&read_frame(&mut self.stream)?)
+    }
+
+    /// Convenience: compile `source` as tenant `tenant` under kernel name
+    /// `name` (default target/variant unless the request is customized
+    /// via [`request`](Self::request)).
+    pub fn compile(
+        &mut self,
+        tenant: &str,
+        name: &str,
+        source: &str,
+    ) -> Result<Response, ProtoError> {
+        self.request(
+            &Request::new(Verb::Compile)
+                .with("tenant", tenant)
+                .with("name", name)
+                .with_body(source),
+        )
+    }
+
+    /// Asks the daemon for its metrics/cache report.
+    pub fn stats(&mut self) -> Result<Response, ProtoError> {
+        self.request(&Request::new(Verb::Stats))
+    }
+
+    /// Asks the daemon to drain and stop. The daemon answers, then closes.
+    pub fn shutdown(&mut self) -> Result<Response, ProtoError> {
+        self.request(&Request::new(Verb::Shutdown))
+    }
+
+    /// Bounds how long reads may block. Protocol-abuse probes need this:
+    /// for some malformed streams (e.g. a frame header whose announced
+    /// length never arrives) the daemon rightly keeps waiting for the
+    /// rest, so an unbounded read on our side would deadlock with it.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Writes raw bytes (no framing) — for protocol-abuse tests and the
+    /// replay harness's malformed-traffic legs. The daemon is expected to
+    /// answer with `error bad-request` and/or drop the connection.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads one raw response frame (after [`send_raw`](Self::send_raw)).
+    pub fn read_response(&mut self) -> Result<Response, ProtoError> {
+        Response::decode(&read_frame(&mut self.stream)?)
+    }
+}

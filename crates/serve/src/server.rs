@@ -1,0 +1,543 @@
+//! `lgend`: the long-running compile daemon.
+//!
+//! The daemon stacks the pieces the engine already has into a service
+//! (ROADMAP item 1):
+//!
+//! ```text
+//! UnixListener ── per-connection reader threads
+//!        │  parse frame → Request          (proto.rs)
+//!        ▼
+//! FairQueue (bounded, per-tenant round-robin)      (lgen-mediator)
+//!        │  Full → "busy" response, no queueing
+//!        ▼
+//! worker pool ── Coalescer (identical fingerprints compile once)
+//!        │            │
+//!        ▼            ▼
+//! KernelCache (memory) → DiskCache (persistent, content-addressed)
+//! ```
+//!
+//! Every compile answer reports which tier served it (`outcome:` header);
+//! the traffic-replay harness aggregates those instead of scraping global
+//! counters, so several daemons can share one process in tests.
+//!
+//! **Failure containment.** Each request runs under `catch_unwind`: a
+//! panicking candidate produces an `error internal` response for exactly
+//! that request and nothing else — the shard maps, memo, metrics registry,
+//! span buffer, and coalescing map all swallow lock poisoning (see
+//! DESIGN.md "The compile service"), and followers of a panicked
+//! coalescing leader retry on their own. `LGEN_FAULTS=panic@i,...`
+//! injects such panics by *request sequence number* for the regression
+//! tests and the CI replay run.
+//!
+//! **Shutdown.** A `shutdown` request (there is no signal handling — the
+//! accept loop polls a flag) answers `ok`, closes admission, drains the
+//! queue, joins the workers, and removes the socket file. In-flight
+//! requests finish; later requests get `error shutting-down`.
+
+use crate::proto::{read_frame, write_frame, ErrorKind, ProtoError, Request, Response, Verb};
+use lgen_core::{
+    stable_fingerprint, Coalescer, CompileConfig, CompileOutcome, DiskCache, FaultPlan,
+    KernelCache, ProgramTuner, PrunePolicy, Variant,
+};
+use lgen_mediator::{AdmissionError, FairQueue};
+use lgen_telemetry::{metric_counter, metric_histogram};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the daemon is wired; see the field docs for defaults.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Unix socket path to bind (stale files are replaced).
+    pub socket: PathBuf,
+    /// Directory for the persistent kernel cache; `None` disables the
+    /// disk tier (memory-only service).
+    pub cache_dir: Option<PathBuf>,
+    /// Compile worker threads.
+    pub workers: usize,
+    /// Total admission-queue capacity across tenants.
+    pub queue_capacity: usize,
+}
+
+impl ServeConfig {
+    /// A config with `workers = 2` and `queue_capacity = 64`.
+    pub fn new(socket: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            socket: socket.into(),
+            cache_dir: None,
+            workers: 2,
+            queue_capacity: 64,
+        }
+    }
+
+    /// Enables the persistent disk tier under `dir`.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> ServeConfig {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the worker count (min 1).
+    #[must_use]
+    pub fn with_workers(mut self, n: usize) -> ServeConfig {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Overrides the admission-queue capacity (min 1).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, n: usize) -> ServeConfig {
+        self.queue_capacity = n.max(1);
+        self
+    }
+}
+
+/// Shared state behind every connection and worker.
+struct Engine {
+    cache: Arc<KernelCache>,
+    disk: Option<Arc<DiskCache>>,
+    coalescer: Coalescer<Result<CompileReply, String>>,
+    queue: FairQueue<Job>,
+    faults: FaultPlan,
+    /// Request sequence numbers for fault injection and spans.
+    seq: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// What a worker hands back for a compile/tune request.
+#[derive(Clone)]
+struct CompileReply {
+    c_source: String,
+    fingerprint: u64,
+    outcome: CompileOutcome,
+    flops: u64,
+}
+
+/// One admitted request: the parsed message plus the reply channel of the
+/// connection thread that accepted it.
+struct Job {
+    req: Request,
+    seq: u64,
+    reply: mpsc::Sender<Response>,
+}
+
+/// A running daemon (in-process handle). Binds on
+/// [`start`](Lgend::start); serves until a `shutdown` request arrives;
+/// [`join`](Lgend::join) waits for that and tears everything down.
+pub struct Lgend {
+    engine: Arc<Engine>,
+    socket: PathBuf,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Lgend {
+    /// Binds the socket, spawns the accept loop and the worker pool, and
+    /// returns immediately.
+    pub fn start(config: ServeConfig) -> io::Result<Lgend> {
+        for name in [
+            "lgen.serve.requests",
+            "lgen.serve.hits",
+            "lgen.serve.coalesced",
+            "lgen.serve.compiled",
+            "lgen.serve.rejected",
+            "lgen.serve.errors",
+        ] {
+            lgen_telemetry::counter(name);
+        }
+        let disk = match &config.cache_dir {
+            Some(dir) => Some(Arc::new(DiskCache::open(dir)?)),
+            None => None,
+        };
+        let mut cache = KernelCache::new();
+        if let Some(d) = &disk {
+            cache = cache.with_disk(d.clone());
+        }
+        let engine = Arc::new(Engine {
+            cache: Arc::new(cache),
+            disk,
+            coalescer: Coalescer::new(),
+            queue: FairQueue::new(config.queue_capacity),
+            faults: FaultPlan::from_env(),
+            seq: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+
+        // Replace a stale socket file from a previous (crashed) daemon;
+        // a *live* daemon would still fail to... no: bind after unlink
+        // always succeeds, so ownership of a path is by convention the
+        // caller's problem (matching every other Unix-socket daemon).
+        let _ = std::fs::remove_file(&config.socket);
+        let listener = UnixListener::bind(&config.socket)?;
+        listener.set_nonblocking(true)?;
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let engine = engine.clone();
+                std::thread::Builder::new()
+                    .name(format!("lgend-worker-{i}"))
+                    .spawn(move || worker_loop(&engine))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let acceptor = {
+            let engine = engine.clone();
+            std::thread::Builder::new()
+                .name("lgend-accept".to_string())
+                .spawn(move || accept_loop(listener, &engine))
+                .expect("spawn acceptor")
+        };
+        Ok(Lgend {
+            engine,
+            socket: config.socket,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The socket path the daemon is serving on.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// The kernel cache (memory tier) behind the daemon.
+    pub fn cache(&self) -> &Arc<KernelCache> {
+        &self.engine.cache
+    }
+
+    /// The persistent tier, when configured.
+    pub fn disk(&self) -> Option<&Arc<DiskCache>> {
+        self.engine.disk.as_ref()
+    }
+
+    /// Requests shutdown as if a `shutdown` frame had arrived.
+    pub fn request_shutdown(&self) {
+        self.engine.begin_shutdown();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.engine.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the daemon has shut down (acceptor and workers
+    /// joined), then removes the socket file.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+impl Drop for Lgend {
+    fn drop(&mut self) {
+        // An abandoned handle still tears the daemon down cleanly.
+        self.engine.begin_shutdown();
+        self.join_inner();
+    }
+}
+
+impl Engine {
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.queue.close();
+        }
+    }
+}
+
+fn accept_loop(listener: UnixListener, engine: &Arc<Engine>) {
+    // Nonblocking accept + 20ms poll: the daemon notices a shutdown flag
+    // set by any connection (or the in-process handle) without signals.
+    while !engine.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let engine = engine.clone();
+                let _ = std::thread::Builder::new()
+                    .name("lgend-conn".to_string())
+                    .spawn(move || connection_loop(stream, &engine));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+    engine.begin_shutdown();
+}
+
+/// Serves one client connection: frames in lockstep until EOF, a protocol
+/// violation (connection dropped — malformed traffic must not tie up a
+/// reader thread), or daemon shutdown.
+fn connection_loop(stream: UnixStream, engine: &Arc<Engine>) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(ProtoError::Io(_)) => return, // EOF or peer gone
+            Err(_) => {
+                // Oversized or unreadable frame: answer once, then close —
+                // resynchronizing a byte stream after a bad prefix is
+                // guesswork.
+                metric_counter!("lgen.serve.errors").inc();
+                let resp = Response::error(ErrorKind::BadRequest, "unreadable frame");
+                let _ = write_frame(&mut writer, &resp.encode());
+                return;
+            }
+        };
+        let req = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                metric_counter!("lgen.serve.errors").inc();
+                let resp = Response::error(ErrorKind::BadRequest, e.to_string());
+                if write_frame(&mut writer, &resp.encode()).is_err() {
+                    return;
+                }
+                continue; // framing is intact; the connection can go on
+            }
+        };
+        let resp = dispatch(engine, req);
+        let stop = resp.headers.get("closing").is_some_and(|v| v == "true");
+        if write_frame(&mut writer, &resp.encode()).is_err() {
+            return;
+        }
+        if stop {
+            return;
+        }
+    }
+}
+
+/// Routes one request: control verbs answer inline on the connection
+/// thread; compile verbs go through admission and a worker.
+fn dispatch(engine: &Arc<Engine>, req: Request) -> Response {
+    metric_counter!("lgen.serve.requests").inc();
+    let t = Instant::now();
+    let mut span = lgen_telemetry::span("serve.request");
+    if span.is_recording() {
+        span.attr("verb", format!("{:?}", req.verb));
+        span.attr("tenant", req.tenant());
+    }
+    let resp = match req.verb {
+        Verb::Ping => Response::ok("pong"),
+        Verb::Stats => stats_response(engine),
+        Verb::Shutdown => {
+            engine.begin_shutdown();
+            Response::ok("draining").with("closing", "true")
+        }
+        Verb::Compile | Verb::Tune => {
+            let seq = engine.seq.fetch_add(1, Ordering::Relaxed);
+            let (tx, rx) = mpsc::channel();
+            let tenant = req.tenant().to_string();
+            match engine.queue.push(
+                &tenant,
+                Job {
+                    req,
+                    seq,
+                    reply: tx,
+                },
+            ) {
+                Ok(()) => rx.recv().unwrap_or_else(|_| {
+                    // The worker dropped the sender without replying:
+                    // only possible on teardown races.
+                    Response::error(ErrorKind::ShuttingDown, "daemon stopped")
+                }),
+                Err(AdmissionError::Full) => {
+                    metric_counter!("lgen.serve.rejected").inc();
+                    Response::error(ErrorKind::Busy, "admission queue full, retry")
+                }
+                Err(AdmissionError::Closed) => {
+                    Response::error(ErrorKind::ShuttingDown, "daemon draining")
+                }
+            }
+        }
+    };
+    let wall_us = t.elapsed().as_micros() as u64;
+    metric_histogram!("lgen.serve.request_wall_us").record(wall_us);
+    if span.is_recording() {
+        span.attr("ok", resp.is_ok());
+        if let Some(outcome) = resp.headers.get("outcome") {
+            span.attr("outcome", outcome);
+        }
+    }
+    if resp.error.is_some() {
+        metric_counter!("lgen.serve.errors").inc();
+    }
+    resp.with("wall_us", wall_us)
+}
+
+fn worker_loop(engine: &Arc<Engine>) {
+    while let Some((_tenant, job)) = engine.queue.pop() {
+        // Contain per-request panics (injected or real): the requester
+        // gets `error internal`; the daemon keeps serving. Poison-safe
+        // locks everywhere below make this sound.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            handle_compile(engine, &job.req, job.seq)
+        }));
+        let resp = match outcome {
+            Ok(resp) => resp,
+            Err(cause) => {
+                metric_counter!("lgen.serve.panics_contained").inc();
+                let what = cause
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| cause.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic".to_string());
+                Response::error(ErrorKind::Internal, format!("request panicked: {what}"))
+            }
+        };
+        // A dropped receiver (client gone) is fine; the work is cached.
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// Compiles (or tunes) the LL program in `req`, coalescing with identical
+/// in-flight requests and answering from the cache tiers.
+fn handle_compile(engine: &Arc<Engine>, req: &Request, seq: u64) -> Response {
+    use lgen_core::FaultKind;
+    match engine.faults.kind(seq as usize) {
+        Some(FaultKind::Panic) => panic!("injected fault: panic at request {seq}"),
+        Some(FaultKind::Hang(d)) => std::thread::sleep(d),
+        _ => {}
+    }
+
+    let arch = match req.target() {
+        Ok(a) => a,
+        Err(e) => return Response::error(ErrorKind::BadRequest, e.to_string()),
+    };
+    let variant = match req.headers.get("variant").map(String::as_str) {
+        None | Some("full") => Variant::Full,
+        Some("base") => Variant::Base,
+        Some("align") => Variant::Align,
+        Some("mvm") => Variant::Mvm,
+        Some(other) => {
+            return Response::error(ErrorKind::BadRequest, format!("unknown variant {other:?}"))
+        }
+    };
+    let mut cfg = CompileConfig::variant(arch, variant);
+    if let Some(spec) = req.headers.get("passes") {
+        match spec.parse() {
+            Ok(p) => cfg = cfg.with_passes(p),
+            Err(e) => {
+                return Response::error(ErrorKind::BadRequest, format!("bad passes spec: {e}"))
+            }
+        }
+    }
+    let program = match lgen_ll::parse_program(&req.body) {
+        Ok(p) => p,
+        Err(e) => return Response::error(ErrorKind::CompileFailed, e.to_string()),
+    };
+    let name = req.kernel_name().to_string();
+    let tune = req.verb == Verb::Tune;
+
+    // The coalescing identity is the *request*, not the parsed structures:
+    // stable across processes (it also keys the replay harness's
+    // duplicate accounting).
+    let fp = stable_fingerprint(&(
+        tune,
+        &name,
+        format!("{arch:?}"),
+        req.headers.get("variant"),
+        req.headers.get("passes"),
+        &req.body,
+    ));
+
+    let cache = engine.cache.clone();
+    let cfg2 = cfg.clone();
+    let program2 = program.clone();
+    let name2 = name.clone();
+    let (result, coalesced) = engine.coalescer.run(fp, move || {
+        if tune {
+            // Bounded joint genome tune (deterministic seed); the winner's
+            // kernel is cached under its genome so the follow-up compile
+            // below is a memory hit.
+            let tuned = ProgramTuner::new(cfg2.clone())
+                .with_cache(cache.clone())
+                .with_mixed_samples(4)
+                .with_prune(PrunePolicy::TopK(4))
+                .tune(&program2, &name2);
+            cache
+                .try_get_or_compile_program_outcome(&program2, &name2, &cfg2, Some(&tuned.policies))
+                .map_err(|e| e.to_string())
+                .map(|(k, outcome)| CompileReply {
+                    c_source: lgen_cir::unparse::unparse(&k, cfg2.arch.vector_isa()),
+                    fingerprint: fp,
+                    outcome,
+                    flops: k.flops,
+                })
+        } else {
+            cache
+                .try_get_or_compile_program_outcome(&program2, &name2, &cfg2, None)
+                .map_err(|e| e.to_string())
+                .map(|(k, outcome)| CompileReply {
+                    c_source: lgen_cir::unparse::unparse(&k, cfg2.arch.vector_isa()),
+                    fingerprint: fp,
+                    outcome,
+                    flops: k.flops,
+                })
+        }
+    });
+
+    match result {
+        Ok(reply) => {
+            let outcome = if coalesced {
+                metric_counter!("lgen.serve.coalesced").inc();
+                "coalesced"
+            } else {
+                match reply.outcome {
+                    CompileOutcome::Memory => {
+                        metric_counter!("lgen.serve.hits").inc();
+                        "memory"
+                    }
+                    CompileOutcome::Disk => {
+                        metric_counter!("lgen.serve.hits").inc();
+                        "disk"
+                    }
+                    CompileOutcome::Compiled => {
+                        metric_counter!("lgen.serve.compiled").inc();
+                        "compiled"
+                    }
+                }
+            };
+            Response::ok(reply.c_source)
+                .with("outcome", outcome)
+                .with("fingerprint", format!("{:016x}", reply.fingerprint))
+                .with("flops", reply.flops)
+        }
+        Err(msg) => Response::error(ErrorKind::CompileFailed, msg),
+    }
+}
+
+fn stats_response(engine: &Arc<Engine>) -> Response {
+    let mut body = String::new();
+    body.push_str(&lgen_telemetry::format_metrics(
+        &lgen_telemetry::registry().snapshot(),
+    ));
+    body.push_str(&format!("cache: {}\n", engine.cache.stats()));
+    if let Some(disk) = &engine.disk {
+        body.push_str(&format!("disk: {}\n", disk.stats()));
+    }
+    body.push_str(&format!(
+        "coalesced: {} led: {} in_flight: {}\n",
+        engine.coalescer.coalesced(),
+        engine.coalescer.led(),
+        engine.coalescer.in_flight()
+    ));
+    body.push_str(&format!("queue_depth: {}\n", engine.queue.depth()));
+    Response::ok(body)
+}

@@ -1,0 +1,88 @@
+//! The lock-poisoning / panic-containment regression test.
+//!
+//! `LGEN_FAULTS=panic@N` makes the daemon's Nth admitted compile panic
+//! mid-flight (the same fault hook the tuner uses). A panicking worker
+//! must not take the service down with it: the panic is contained by
+//! the worker's `catch_unwind`, every shared lock the panic unwinds
+//! through must stay usable (the telemetry registry, span buffers, pass
+//! stats, the coalescing map — all swallow `PoisonError` by design),
+//! and every other request, concurrent or subsequent, must still be
+//! answered.
+//!
+//! This lives in its own integration-test binary because `LGEN_FAULTS`
+//! is read from the process environment at daemon startup; a separate
+//! process keeps the fault plan from leaking into other tests.
+
+use lgen_serve::{Client, ErrorKind, Lgend, ServeConfig};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+#[test]
+fn injected_panic_poisons_nothing_and_the_service_keeps_answering() {
+    // Seq numbers are assigned in admission order starting at 0; fault
+    // one early request while its siblings are in flight.
+    std::env::set_var("LGEN_FAULTS", "panic@1");
+    let sock = std::env::temp_dir().join(format!("lgen-serve-faults-{}.sock", std::process::id()));
+    let daemon = Lgend::start(ServeConfig::new(&sock).with_workers(4)).unwrap();
+    // The plan is captured at startup; clear it so nothing else in this
+    // process inherits it.
+    std::env::remove_var("LGEN_FAULTS");
+
+    const N: usize = 6;
+    let barrier = Arc::new(Barrier::new(N));
+    // Distinct kernel names → distinct fingerprints, so the panic cannot
+    // hide behind coalescing and every request exercises the pipeline.
+    let results: Vec<(bool, Option<ErrorKind>, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                let sock = sock.clone();
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    let mut c = Client::connect_within(&sock, Duration::from_secs(5)).unwrap();
+                    barrier.wait();
+                    let src = "A = matrix(4, 4)\nx = vector(4)\ny = vector(4)\ny = A * x;\n";
+                    let resp = c
+                        .compile(&format!("t{}", i % 2), &format!("faulted_{i}"), src)
+                        .expect("connection died — panic escaped containment");
+                    (resp.is_ok(), resp.error, resp.body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let failed: Vec<_> = results.iter().filter(|(ok, _, _)| !ok).collect();
+    assert_eq!(
+        failed.len(),
+        1,
+        "exactly the faulted request should fail, got {results:?}"
+    );
+    let (_, kind, body) = failed[0];
+    assert_eq!(*kind, Some(ErrorKind::Internal));
+    assert!(
+        body.contains("injected fault"),
+        "panic message should reach the client, got {body:?}"
+    );
+
+    // The service is still healthy: new requests on new connections
+    // compile fine — including a retry of a name from the faulted round.
+    let mut c = Client::connect_within(&sock, Duration::from_secs(5)).unwrap();
+    for name in ["after_the_fire", "faulted_1"] {
+        let resp = c
+            .compile(
+                "t",
+                name,
+                "A = matrix(4, 4)\nx = vector(4)\ny = vector(4)\ny = A * x;\n",
+            )
+            .unwrap();
+        assert!(
+            resp.is_ok(),
+            "daemon wedged after contained panic: {:?} {}",
+            resp.error,
+            resp.body
+        );
+    }
+
+    daemon.request_shutdown();
+    daemon.join();
+}

@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Histogram bucket upper bounds: powers of two from 1 µs to ~1 s, plus
 /// an overflow bucket. Fixed so concurrent recording is a single
@@ -196,7 +196,10 @@ impl MetricsRegistry {
     }
 
     fn intern<T: Default>(table: &Mutex<BTreeMap<String, &'static T>>, name: &str) -> &'static T {
-        let mut table = table.lock().expect("metrics registry");
+        // Swallow poisoning: the table holds only leaked pointers, which a
+        // panicked registrant cannot leave half-written, and a poisoned
+        // registry must not wedge every later metric user in the daemon.
+        let mut table = table.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(m) = table.get(name) {
             return m;
         }
@@ -211,21 +214,21 @@ impl MetricsRegistry {
             counters: self
                 .counters
                 .lock()
-                .expect("metrics registry")
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(n, c)| (n.clone(), c.get()))
                 .collect(),
             gauges: self
                 .gauges
                 .lock()
-                .expect("metrics registry")
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(n, g)| (n.clone(), g.get()))
                 .collect(),
             histograms: self
                 .histograms
                 .lock()
-                .expect("metrics registry")
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(n, h)| (n.clone(), h.snapshot()))
                 .collect(),
@@ -288,6 +291,16 @@ macro_rules! metric_histogram {
         static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
             ::std::sync::OnceLock::new();
         *HANDLE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+/// A `&'static Gauge` resolved once per call site (see
+/// [`metric_counter!`]).
+#[macro_export]
+macro_rules! metric_gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::gauge($name))
     }};
 }
 

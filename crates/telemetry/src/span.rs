@@ -93,7 +93,14 @@ impl fmt::Debug for Telemetry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Telemetry")
             .field("enabled", &self.enabled())
-            .field("spans", &self.spans.lock().expect("span buffer").len())
+            .field(
+                "spans",
+                &self
+                    .spans
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len(),
+            )
             .finish()
     }
 }
@@ -157,12 +164,20 @@ impl Telemetry {
 
     /// A copy of every recorded span, in completion order.
     pub fn snapshot(&self) -> Vec<SpanRecord> {
-        self.spans.lock().expect("span buffer").clone()
+        self.spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Takes every recorded span, leaving the buffer empty.
     pub fn drain(&self) -> Vec<SpanRecord> {
-        std::mem::take(&mut *self.spans.lock().expect("span buffer"))
+        std::mem::take(
+            &mut *self
+                .spans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 
     /// Spans discarded because the buffer hit [`MAX_SPANS`].
@@ -170,8 +185,15 @@ impl Telemetry {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    // Span-buffer locks swallow poisoning throughout: the critical
+    // sections only push/clone/take a Vec (no half-written state to
+    // observe), and a candidate panicking with the buffer locked must not
+    // wedge every later span in a long-running service.
     fn record(&self, rec: SpanRecord) {
-        let mut spans = self.spans.lock().expect("span buffer");
+        let mut spans = self
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if spans.len() >= MAX_SPANS {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;

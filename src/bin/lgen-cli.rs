@@ -1,0 +1,217 @@
+//! `lgen-cli` — client for the `lgend` compile daemon.
+//!
+//! ```text
+//! lgen-cli compile <file.blac> --socket <path> [--name <kernel>]
+//!          [--tenant <id>] [--target atom|cortex-a8|cortex-a9|arm1176]
+//!          [--variant base|align|mvm|full] [--passes <spec>] [--tune]
+//! lgen-cli stats    --socket <path>
+//! lgen-cli ping     --socket <path>
+//! lgen-cli shutdown --socket <path>
+//! lgen-cli replay   --socket <path> [--requests N] [--connections N]
+//!          [--tenants N] [--duplicate-pct P] [--malformed-pct P]
+//!          [--seed S] [--json <file>]
+//! ```
+//!
+//! `replay` drives the deterministic load harness (`lgen::serve::replay`)
+//! against a running daemon and prints — or writes with `--json`, for
+//! `BENCH_serve.json` — the client-side outcome counts plus the
+//! daemon-side p50/p99 request latency from its metrics registry.
+
+use lgen::serve::{replay, Client, ReplayConfig, Request, Verb};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lgen-cli <compile|stats|ping|shutdown|replay> --socket <path> [options]\n\
+         \n\
+         compile <file.blac> [--name <kernel>] [--tenant <id>]\n\
+         \x20       [--target atom|cortex-a8|cortex-a9|arm1176]\n\
+         \x20       [--variant base|align|mvm|full] [--passes <spec>] [--tune]\n\
+         stats      print the daemon's metrics/cache report\n\
+         ping       liveness check\n\
+         shutdown   ask the daemon to drain and exit\n\
+         replay     [--requests N] [--connections N] [--tenants N]\n\
+         \x20       [--duplicate-pct P] [--malformed-pct P] [--seed S] [--json <file>]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("lgen-cli: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args.remove(0);
+
+    // Pull out `--flag value` pairs; whatever is left is positional.
+    let mut take = |flag: &str| -> Option<String> {
+        let i = args.iter().position(|a| a == flag)?;
+        if i + 1 >= args.len() {
+            usage();
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Some(v)
+    };
+
+    let socket = take("--socket").map(PathBuf::from);
+    let name = take("--name");
+    let tenant = take("--tenant");
+    let target = take("--target");
+    let variant = take("--variant");
+    let passes = take("--passes");
+    let requests = take("--requests");
+    let connections = take("--connections");
+    let tenants = take("--tenants");
+    let duplicate_pct = take("--duplicate-pct");
+    let malformed_pct = take("--malformed-pct");
+    let seed = take("--seed");
+    let json_out = take("--json");
+    let tune = if let Some(i) = args.iter().position(|a| a == "--tune") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    if matches!(cmd.as_str(), "-h" | "--help" | "help") {
+        usage();
+    }
+    let Some(socket) = socket else {
+        eprintln!("lgen-cli: --socket is required");
+        usage();
+    };
+
+    let connect = || {
+        Client::connect_within(&socket, Duration::from_secs(5))
+            .unwrap_or_else(|e| fail(format!("connect {}: {e}", socket.display())))
+    };
+
+    match cmd.as_str() {
+        "compile" => {
+            if args.len() != 1 {
+                usage();
+            }
+            let file = &args[0];
+            let source =
+                std::fs::read_to_string(file).unwrap_or_else(|e| fail(format!("read {file}: {e}")));
+            let stem = std::path::Path::new(file)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "kernel".into());
+            let verb = if tune { Verb::Tune } else { Verb::Compile };
+            let mut req = Request::new(verb)
+                .with("name", name.as_deref().unwrap_or(&stem))
+                .with_body(&source);
+            if let Some(t) = &tenant {
+                req = req.with("tenant", t);
+            }
+            if let Some(t) = &target {
+                req = req.with("target", t);
+            }
+            if let Some(v) = &variant {
+                req = req.with("variant", v);
+            }
+            if let Some(p) = &passes {
+                req = req.with("passes", p);
+            }
+            let resp = connect()
+                .request(&req)
+                .unwrap_or_else(|e| fail(format!("request: {e}")));
+            if resp.is_ok() {
+                for key in ["outcome", "fingerprint", "flops", "wall_us"] {
+                    if let Some(v) = resp.headers.get(key) {
+                        eprintln!("{key}: {v}");
+                    }
+                }
+                print!("{}", resp.body);
+            } else {
+                fail(format!(
+                    "{}: {}",
+                    resp.error.map(|e| e.as_str()).unwrap_or("error"),
+                    resp.body.trim()
+                ));
+            }
+        }
+        "stats" => {
+            if !args.is_empty() {
+                usage();
+            }
+            let resp = connect()
+                .stats()
+                .unwrap_or_else(|e| fail(format!("request: {e}")));
+            print!("{}", resp.body);
+        }
+        "ping" => {
+            if !args.is_empty() {
+                usage();
+            }
+            let resp = connect()
+                .request(&Request::new(Verb::Ping))
+                .unwrap_or_else(|e| fail(format!("request: {e}")));
+            println!("{}", resp.body.trim());
+        }
+        "shutdown" => {
+            if !args.is_empty() {
+                usage();
+            }
+            let resp = connect()
+                .shutdown()
+                .unwrap_or_else(|e| fail(format!("request: {e}")));
+            println!("{}", resp.body.trim());
+        }
+        "replay" => {
+            if !args.is_empty() {
+                usage();
+            }
+            let parse = |v: Option<String>, d: usize| -> usize {
+                v.map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(d)
+            };
+            let mut cfg = ReplayConfig::new(&socket);
+            cfg.requests = parse(requests, cfg.requests);
+            cfg.connections = parse(connections, cfg.connections);
+            cfg.tenants = parse(tenants, cfg.tenants);
+            cfg.duplicate_pct = parse(duplicate_pct, cfg.duplicate_pct);
+            cfg.malformed_pct = parse(malformed_pct, cfg.malformed_pct);
+            cfg.seed = seed
+                .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(cfg.seed);
+            let report = replay(&cfg).unwrap_or_else(|e| fail(format!("replay: {e}")));
+            let json = report.to_json();
+            if let Some(path) = &json_out {
+                std::fs::write(path, format!("{json}\n"))
+                    .unwrap_or_else(|e| fail(format!("write {path}: {e}")));
+                eprintln!("lgen-cli: wrote {path}");
+            }
+            eprintln!(
+                "replayed {} requests: {} ok, {} busy retries, {} errors",
+                report.requests, report.ok, report.busy, report.errors
+            );
+            eprintln!(
+                "outcomes: {} compiled, {} coalesced, {} memory, {} disk \
+                 (hit rate {:.1}%, coalesce rate {:.1}%)",
+                report.compiled,
+                report.coalesced,
+                report.memory_hits,
+                report.disk_hits,
+                report.hit_rate() * 100.0,
+                report.coalesce_rate() * 100.0
+            );
+            eprintln!(
+                "daemon latency: p50 {}us, p99 {}us; malformed: {} sent, {} answered",
+                report.p50_us, report.p99_us, report.malformed_sent, report.malformed_answered
+            );
+            println!("{json}");
+        }
+        other => {
+            eprintln!("lgen-cli: unknown command `{other}`");
+            usage();
+        }
+    }
+}

@@ -47,7 +47,15 @@ fn usage() -> ! {
          \x20 --print-after-all   dump the IR after codegen and after every pass (stderr)\n\
          \x20 --tune              autotune the unrolling decision (for programs: jointly\n\
          \x20                     search one unroll policy per statement)\n\
-         \x20 --tune-passes       also search over pass schedules (implies --tune)\n\
+         \x20 --tune-passes       also search over pass schedules (implies --tune;\n\
+         \x20                     single-kernel only — ignored with a warning for\n\
+         \x20                     multi-statement programs)\n\
+         \x20 --peel              peel to an aligned loop body with scalar head/tail\n\
+         \x20                     (single-kernel transform; warned about and ignored\n\
+         \x20                     when the input is a multi-statement program)\n\
+         \x20 --version-align     emit per-alignment kernel versions behind a runtime\n\
+         \x20                     dispatch (likewise warned about and ignored for\n\
+         \x20                     multi-statement programs)\n\
          \x20 --tune-deadline <dur>  per-candidate time limit (e.g. 250ms, 2s); slow or hung\n\
          \x20                     candidates are abandoned and the search degrades gracefully\n\
          \x20 --tune-budget <dur> whole-search time budget; unstarted candidates are skipped\n\

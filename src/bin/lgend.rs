@@ -1,0 +1,101 @@
+//! `lgend` — the LGen compile daemon.
+//!
+//! Serves `compile`/`tune`/`stats`/`shutdown` requests over a Unix-domain
+//! socket (see `lgen::serve::proto` for the wire format and `lgen-cli`
+//! for the matching client). Identical in-flight requests coalesce onto
+//! one compile; results persist to a content-addressed on-disk cache so
+//! a restarted daemon starts warm.
+//!
+//! ```text
+//! lgend --socket <path> [--cache-dir <dir>] [--workers N]
+//!       [--queue-capacity N]
+//! ```
+//!
+//! The daemon runs until it receives a `shutdown` request (or the
+//! process is killed; the on-disk cache tolerates that — entries are
+//! written temp-then-rename, and anything unreadable is quarantined on
+//! the next load).
+
+use lgen::serve::{Lgend, ServeConfig};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lgend --socket <path> [--cache-dir <dir>] [--workers N]\n\
+         \x20            [--queue-capacity N]\n\
+         \n\
+         \x20 --socket <path>      Unix socket to listen on (required)\n\
+         \x20 --cache-dir <dir>    persistent kernel cache directory; omit for\n\
+         \x20                      a memory-only daemon\n\
+         \x20 --workers N          compile worker threads (default 2)\n\
+         \x20 --queue-capacity N   admission queue bound; excess requests are\n\
+         \x20                      answered `error busy` (default 64)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut socket: Option<PathBuf> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut workers: Option<usize> = None;
+    let mut queue_capacity: Option<usize> = None;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+            }
+            "--workers" => {
+                workers = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--queue-capacity" => {
+                queue_capacity = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("lgend: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let Some(socket) = socket else { usage() };
+    let mut cfg = ServeConfig::new(&socket);
+    if let Some(dir) = &cache_dir {
+        cfg = cfg.with_cache_dir(dir);
+    }
+    if let Some(n) = workers {
+        cfg = cfg.with_workers(n);
+    }
+    if let Some(n) = queue_capacity {
+        cfg = cfg.with_queue_capacity(n);
+    }
+
+    let daemon = match Lgend::start(cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lgend: failed to start on {}: {e}", socket.display());
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "lgend: serving on {}{}",
+        socket.display(),
+        cache_dir
+            .as_deref()
+            .map(|d| format!(" (cache: {})", d.display()))
+            .unwrap_or_default()
+    );
+    daemon.join();
+    eprintln!("lgend: drained, exiting");
+}

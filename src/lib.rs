@@ -20,6 +20,7 @@
 //! | [`core`] | `lgen-core` | compile pipeline, variants, autotuner |
 //! | [`baselines`] | `lgen-baselines` | competitor models (MKL/IPP/Eigen/ATLAS/compilers) |
 //! | [`mediator`] | `lgen-mediator` | the experiment-farm middleware |
+//! | [`serve`] | `lgen-serve` | the `lgend` compile daemon, client, and replay harness |
 //!
 //! # Quickstart
 //!
@@ -56,6 +57,7 @@ pub use lgen_isa as isa;
 pub use lgen_ll as ll;
 pub use lgen_machine as machine;
 pub use lgen_mediator as mediator;
+pub use lgen_serve as serve;
 pub use lgen_sigma as sigma;
 pub use lgen_telemetry as telemetry;
 
