@@ -327,7 +327,7 @@ lgend_pid=$!
     --requests 1000 --connections 4 --tenants 3 \
     --duplicate-pct 30 --malformed-pct 2 --seed 7 \
     --json "$servedir/cold.json" > /dev/null 2> "$servedir/replay-cold.log"
-serve_stats=$(./target/release/lgen-cli stats --socket "$serve_sock")
+./target/release/lgen-cli stats --json --socket "$serve_sock" > "$servedir/stats.json"
 ./target/release/lgen-cli shutdown --socket "$serve_sock" > /dev/null
 if ! wait "$lgend_pid"; then
     echo "error: lgend did not exit cleanly after the cold leg" >&2
@@ -335,16 +335,31 @@ if ! wait "$lgend_pid"; then
     exit 1
 fi
 
-# The new service metrics must show up in the daemon's own stats report.
-for row in lgen.serve.requests lgen.serve.compiled lgen.serve.coalesced \
-    lgen.serve.hits lgen.serve.queue_depth lgen.serve.request_wall_us.p99 \
-    lgen.disk.persisted; do
-    if ! grep -q "^$row " <<<"$serve_stats"; then
-        echo "error: daemon stats missing the $row metric row" >&2
-        echo "$serve_stats" >&2
-        exit 1
-    fi
-done
+# The daemon's own view, via the structured stats document (the replay
+# harness has already audited that per-tenant counts sum to the total):
+# per-tenant latency quantiles present, the admission gauge back to
+# zero, and — satellite invariant — not a single span dropped from the
+# trace ring during the whole leg.
+python3 - "$servedir/stats.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+svc = d["service"]
+assert svc["requests_total"] >= 1000, f"daemon saw only {svc['requests_total']}"
+assert svc["queue_depth"] == 0, "admission gauge did not return to zero"
+tenants = svc["by_tenant"]
+assert sum(t["requests"] for t in tenants.values()) == svc["requests_total"], \
+    "per-tenant requests do not sum to the total"
+for t in ("tenant-0", "tenant-1", "tenant-2"):
+    assert t in tenants, f"{t} missing from by_tenant"
+    assert tenants[t]["service_us"]["p99"] > 0, f"{t} has no service p99"
+    assert tenants[t]["queue_wait_us"]["count"] > 0, f"{t} has no queue-wait data"
+assert svc["by_outcome"].get("compiled", 0) > 0, "no compiled outcomes recorded"
+assert d["telemetry"]["spans_dropped"] == 0, \
+    f"span ring dropped {d['telemetry']['spans_dropped']} spans"
+assert d["telemetry"]["registry_size"] > 0
+assert d["recorder"]["recorded"] > 0, "flight recorder saw no requests"
+assert d["metrics"]["histograms"]["lgen.serve.request_wall_us"]["p99"] > 0
+EOF
 
 # Warm leg: restart on the same cache directory; the same seed replays
 # the same schedule, so first arrivals now hit the persistent tier.
@@ -362,6 +377,41 @@ if ! wait "$lgend_pid"; then
     exit 1
 fi
 
+# Fault leg: one injected mid-request hang, slow tracing armed below it.
+# Exactly that request must cross the threshold — one chrome-trace chunk
+# in the slow-trace log, one slow_trace count in stats, and the request
+# visible in the flight recorder via `lgen-cli tail`.
+fault_sock="$servedir/fault.sock"
+LGEN_FAULTS="hang@5:900ms" ./target/release/lgend --socket "$fault_sock" \
+    --workers 2 --slow-ms 400 --recorder-cap 32 2>> "$servedir/lgend.log" &
+lgend_pid=$!
+for i in $(seq 0 7); do
+    ./target/release/lgen-cli compile "$blacfile" --socket "$fault_sock" \
+        --name "fault_k$i" --tenant t0 > /dev/null 2>&1
+done
+fault_tail=$(./target/release/lgen-cli tail --json --socket "$fault_sock")
+fault_stats=$(./target/release/lgen-cli stats --json --socket "$fault_sock")
+./target/release/lgen-cli shutdown --socket "$fault_sock" > /dev/null
+wait "$lgend_pid" || true
+slow_log="$fault_sock.slow-trace.jsonl"
+chunks=$(wc -l < "$slow_log" 2>/dev/null || echo 0)
+if [ "$chunks" -ne 1 ]; then
+    echo "error: expected exactly 1 slow-trace chunk, got $chunks" >&2
+    cat "$slow_log" 2>/dev/null >&2
+    exit 1
+fi
+if ! grep -q '"slow_trace":{"enabled":true,"threshold_ms":400,"chunks":1}' <<<"$fault_stats"; then
+    echo "error: stats --json does not count the one slow trace" >&2
+    echo "$fault_stats" >&2
+    exit 1
+fi
+if ! grep -q '"seq":5,' <<<"$fault_tail"; then
+    echo "error: flight recorder dump is missing the hung request (seq 5)" >&2
+    echo "$fault_tail" >&2
+    exit 1
+fi
+echo "    fault leg: 1 slow-trace chunk, hung request in the flight recorder"
+
 python3 - "$servedir/cold.json" "$servedir/warm.json" <<'EOF' > BENCH_serve.json
 import json, sys
 cold = json.load(open(sys.argv[1]))
@@ -376,12 +426,19 @@ assert 0 < cold["p99_us"] < 10_000_000, f"implausible p99 {cold['p99_us']}us"
 assert cold["p50_us"] <= cold["p99_us"], "quantiles out of order"
 assert warm["disk_hits"] > 0, "restarted daemon never hit the disk tier"
 assert warm["errors"] == 0, f"warm leg had {warm['errors']} errors"
+per_tenant_p99 = {
+    t: v["service_p99_us"] for t, v in cold["tenants"].items()
+    if t.startswith("tenant-")
+}
+assert per_tenant_p99 and all(per_tenant_p99.values()), \
+    f"missing per-tenant service p99: {cold.get('tenants')}"
 print(json.dumps({
     "requests": cold["requests"] + warm["requests"],
     "p50_us": cold["p50_us"],
     "p99_us": cold["p99_us"],
     "hit_rate": cold["hit_rate"],
     "coalesce_rate": cold["coalesce_rate"],
+    "per_tenant_service_p99_us": per_tenant_p99,
     "warm_restart_hit_rate": warm["hit_rate"],
     "cold": cold,
     "warm": warm,

@@ -27,16 +27,18 @@
 //! admission for every future request (see the lock-poisoning sweep in
 //! DESIGN.md "The compile service").
 
-use lgen_telemetry::metric_gauge;
+use lgen_telemetry::{metric_gauge, metric_histogram_family};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Queue state under one lock: per-tenant FIFOs plus the round-robin
 /// cursor over tenant arrival order.
 struct State<T> {
-    /// FIFO per tenant; entries stay (empty) once a tenant has been seen
-    /// so the rotation order is stable.
-    lanes: HashMap<String, VecDeque<T>>,
+    /// FIFO per tenant (with each item's enqueue time, so `pop_timed` can
+    /// bill queue wait to the tenant); entries stay (empty) once a tenant
+    /// has been seen so the rotation order is stable.
+    lanes: HashMap<String, VecDeque<(Instant, T)>>,
     /// Tenants in first-arrival order; rotation index advances over this.
     order: Vec<String>,
     /// Next index in `order` to serve.
@@ -118,7 +120,7 @@ impl<T> FairQueue<T> {
         st.lanes
             .get_mut(tenant)
             .expect("lane just ensured")
-            .push_back(item);
+            .push_back((Instant::now(), item));
         st.depth += 1;
         metric_gauge!("lgen.serve.queue_depth").set(st.depth as i64);
         drop(st);
@@ -130,6 +132,14 @@ impl<T> FairQueue<T> {
     /// serving tenants round-robin; returns `None` once the queue is
     /// closed *and* drained.
     pub fn pop(&self) -> Option<(String, T)> {
+        self.pop_timed().map(|(tenant, item, _)| (tenant, item))
+    }
+
+    /// [`pop`](Self::pop) that also reports how long the item sat queued,
+    /// and bills that wait to the tenant via the
+    /// `lgen.serve.queue_wait_us{tenant}` histogram family — the
+    /// per-tenant backlog signal `stats --json` surfaces.
+    pub fn pop_timed(&self) -> Option<(String, T, Duration)> {
         let mut st = lock(&self.state);
         loop {
             if st.depth > 0 {
@@ -138,11 +148,16 @@ impl<T> FairQueue<T> {
                     let idx = (st.cursor + step) % n;
                     let tenant = st.order[idx].clone();
                     let lane = st.lanes.get_mut(&tenant).expect("lane for ordered tenant");
-                    if let Some(item) = lane.pop_front() {
+                    if let Some((queued_at, item)) = lane.pop_front() {
                         st.cursor = (idx + 1) % n;
                         st.depth -= 1;
                         metric_gauge!("lgen.serve.queue_depth").set(st.depth as i64);
-                        return Some((tenant, item));
+                        drop(st);
+                        let wait = queued_at.elapsed();
+                        metric_histogram_family!("lgen.serve.queue_wait_us", "tenant")
+                            .with(&[&tenant])
+                            .record(wait.as_micros() as u64);
+                        return Some((tenant, item, wait));
                     }
                 }
                 unreachable!("depth > 0 with all lanes empty");
@@ -255,6 +270,30 @@ mod tests {
         let got = waiter.join().unwrap();
         assert_eq!(got, [1, 2], "backlog drains before workers exit");
         assert!(q.pop().is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn pop_timed_reports_queue_wait() {
+        let q = FairQueue::new(4);
+        q.push("slow-tenant", 1).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        let (tenant, item, wait) = q.pop_timed().unwrap();
+        assert_eq!((tenant.as_str(), item), ("slow-tenant", 1));
+        assert!(
+            wait >= std::time::Duration::from_millis(10),
+            "wait {wait:?} should cover the sleep"
+        );
+        // The wait landed in the per-tenant histogram family.
+        let snap = lgen_telemetry::registry().snapshot();
+        let fam = snap
+            .histogram_families
+            .iter()
+            .find(|(n, _)| n == "lgen.serve.queue_wait_us")
+            .map(|(_, f)| f)
+            .expect("queue-wait family registered");
+        let h = fam.get(&["slow-tenant"]).expect("tenant series");
+        assert!(h.count >= 1);
+        assert!(h.max >= 10_000, "recorded {}us", h.max);
     }
 
     #[test]

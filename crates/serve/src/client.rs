@@ -61,6 +61,16 @@ impl Client {
         self.request(&Request::new(Verb::Stats))
     }
 
+    /// Asks the daemon for the stable-order JSON stats document.
+    pub fn stats_json(&mut self) -> Result<Response, ProtoError> {
+        self.request(&Request::new(Verb::Stats).with("format", "json"))
+    }
+
+    /// Asks the daemon for its flight-recorder dump (JSON body).
+    pub fn dump(&mut self) -> Result<Response, ProtoError> {
+        self.request(&Request::new(Verb::Dump))
+    }
+
     /// Asks the daemon to drain and stop. The daemon answers, then closes.
     pub fn shutdown(&mut self) -> Result<Response, ProtoError> {
         self.request(&Request::new(Verb::Shutdown))

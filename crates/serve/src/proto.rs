@@ -22,11 +22,15 @@
 //! <body: LL program source (requests) / C source or report (responses)>
 //! ```
 //!
-//! Request verbs are `compile`, `tune`, `stats`, `ping`, and `shutdown`;
-//! response verb lines are `ok` or `error <kind>` where `kind` ∈
-//! {`busy`, `bad-request`, `compile-failed`, `shutting-down`, `internal`}.
-//! Unknown header keys are ignored on both sides so the format can grow
-//! without breaking older peers.
+//! Request verbs are `compile`, `tune`, `stats`, `dump`, `ping`, and
+//! `shutdown`; response verb lines are `ok` or `error <kind>` where
+//! `kind` ∈ {`busy`, `bad-request`, `compile-failed`, `shutting-down`,
+//! `internal`}. Unknown header keys are ignored on both sides so the
+//! format can grow without breaking older peers.
+//!
+//! `stats` with a `format: json` header answers with the stable-order
+//! JSON stats document instead of the text report; `dump` answers with
+//! the flight recorder's JSON (`lgen-cli tail` renders it).
 //!
 //! Header semantics (requests): `tenant` names the fairness lane
 //! (default `anon`), `name` the kernel symbol, `target` the ISA
@@ -55,7 +59,11 @@ pub enum Verb {
     /// Compile with a bounded joint unroll-genome autotune first.
     Tune,
     /// Respond with a metrics/cache report (no body in the request).
+    /// A `format: json` header selects the stable-order JSON document.
     Stats,
+    /// Respond with the flight recorder's retained request records
+    /// (JSON body; see `lgen_serve::recorder`).
+    Dump,
     /// Liveness probe; echoes back.
     Ping,
     /// Drain and stop the daemon.
@@ -68,17 +76,20 @@ impl Verb {
             "compile" => Verb::Compile,
             "tune" => Verb::Tune,
             "stats" => Verb::Stats,
+            "dump" => Verb::Dump,
             "ping" => Verb::Ping,
             "shutdown" => Verb::Shutdown,
             _ => return None,
         })
     }
 
-    fn as_str(self) -> &'static str {
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
         match self {
             Verb::Compile => "compile",
             Verb::Tune => "tune",
             Verb::Stats => "stats",
+            Verb::Dump => "dump",
             Verb::Ping => "ping",
             Verb::Shutdown => "shutdown",
         }

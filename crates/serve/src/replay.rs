@@ -8,11 +8,13 @@
 //! seed replays the same byte streams, so CI failures reproduce locally.
 //!
 //! The harness accounts per-request results from *response headers*
-//! (`outcome: memory|disk|compiled|coalesced`), then fetches one `stats`
-//! report at the end for the daemon-side latency quantiles
-//! (`lgen.serve.request_wall_us.p50/.p99` from the metrics registry). The
-//! [`ReplayReport`] renders to the JSON consumed by `ci.sh` as
-//! `BENCH_serve.json`.
+//! (`outcome: memory|disk|compiled|coalesced`), then fetches one
+//! `stats --json` document at the end for the daemon-side view: request
+//! latency quantiles, per-tenant request counts and service-time p99.
+//! It also *audits* the daemon: the per-tenant counts must sum exactly
+//! to the daemon's request total (labeled families and the unlabeled
+//! counter move together), or replay fails. The [`ReplayReport`] renders
+//! to the JSON consumed by `ci.sh` as `BENCH_serve.json`.
 
 use crate::client::Client;
 use crate::proto::{Request, Verb};
@@ -87,6 +89,12 @@ pub struct ReplayReport {
     pub p50_us: u64,
     /// Daemon-side p99 of `lgen.serve.request_wall_us`.
     pub p99_us: u64,
+    /// Daemon-side total request count (includes this harness's own
+    /// final `stats` request).
+    pub daemon_requests_total: u64,
+    /// Daemon-side per-tenant `(tenant, requests, service-time p99 µs)`,
+    /// sorted by tenant name.
+    pub tenants: Vec<(String, u64, u64)>,
 }
 
 impl ReplayReport {
@@ -126,13 +134,27 @@ impl ReplayReport {
         );
         let _ = write!(
             s,
-            "\"hit_rate\": {:.4}, \"coalesce_rate\": {:.4}, \"p50_us\": {}, \"p99_us\": {}",
+            "\"hit_rate\": {:.4}, \"coalesce_rate\": {:.4}, \"p50_us\": {}, \"p99_us\": {}, ",
             self.hit_rate(),
             self.coalesce_rate(),
             self.p50_us,
             self.p99_us
         );
-        s.push('}');
+        let _ = write!(
+            s,
+            "\"daemon_requests_total\": {}, \"tenants\": {{",
+            self.daemon_requests_total
+        );
+        for (i, (tenant, requests, p99)) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "\"{tenant}\": {{\"requests\": {requests}, \"service_p99_us\": {p99}}}"
+            );
+        }
+        s.push_str("}}");
         s
     }
 }
@@ -290,19 +312,107 @@ pub fn replay(config: &ReplayConfig) -> io::Result<ReplayReport> {
         // Dropped connections are the expected outcome for the rest.
     }
 
-    // Daemon-side latency quantiles from the metrics registry.
+    // Daemon-side view from one `stats --json` document: latency
+    // quantiles, per-tenant counts and service p99 — and the audit that
+    // the per-tenant labeled counters sum exactly to the daemon's
+    // unlabeled request total (the stats request itself bumps both
+    // before snapshotting, so a quiesced daemon must balance).
     let mut c = Client::connect_within(&config.socket, Duration::from_secs(5))?;
-    if let Ok(stats) = c.stats() {
-        for line in stats.body.lines() {
-            if let Some(v) = line.strip_prefix("lgen.serve.request_wall_us.p50 ") {
-                report.p50_us = v.trim().parse().unwrap_or(0);
+    let stats = c
+        .stats_json()
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    audit_stats_json(&stats.body, &mut report)?;
+    Ok(report)
+}
+
+/// Parses the daemon's `stats --json` body into `report` and performs
+/// the per-tenant accounting audit. Field order in the document is a
+/// stable contract (see `server::stats_json_response`), which is what
+/// lets this scan by key without a JSON parser.
+fn audit_stats_json(body: &str, report: &mut ReplayReport) -> io::Result<()> {
+    let wall = json_section(body, "\"lgen.serve.request_wall_us\":{")
+        .ok_or_else(|| io::Error::other("stats json: missing request_wall_us histogram"))?;
+    report.p50_us = json_u64(wall, "\"p50\":").unwrap_or(0);
+    report.p99_us = json_u64(wall, "\"p99\":").unwrap_or(0);
+    report.daemon_requests_total = json_u64(body, "\"requests_total\":")
+        .ok_or_else(|| io::Error::other("stats json: missing requests_total"))?;
+
+    let by_tenant = json_section(body, "\"by_tenant\":{")
+        .ok_or_else(|| io::Error::other("stats json: missing by_tenant"))?;
+    let mut rest = by_tenant;
+    let mut tenant_sum = 0u64;
+    while let Some(open) = rest.find('"') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('"') else { break };
+        let tenant = after[..close].to_string();
+        let obj_start = match after.find(":{") {
+            Some(p) => p + 2,
+            None => break,
+        };
+        let Some(section) = json_section(after, ":{") else {
+            break;
+        };
+        let requests = json_u64(section, "\"requests\":").unwrap_or(0);
+        let p99 = json_section(section, "\"service_us\":{")
+            .and_then(|h| json_u64(h, "\"p99\":"))
+            .unwrap_or(0);
+        tenant_sum += requests;
+        report.tenants.push((tenant, requests, p99));
+        // Hop past this tenant's whole object (including its closing
+        // brace) before scanning for the next tenant name.
+        rest = &after[obj_start + section.len() + 1..];
+    }
+    report.tenants.sort();
+
+    if tenant_sum != report.daemon_requests_total {
+        return Err(io::Error::other(format!(
+            "stats json audit: per-tenant requests sum to {tenant_sum} \
+             but requests_total is {} — labeled and unlabeled counters diverged",
+            report.daemon_requests_total
+        )));
+    }
+    Ok(())
+}
+
+/// Finds `marker` (which must end in `{`) and returns the text of the
+/// balanced `{...}` object that starts there, braces excluded.
+fn json_section<'a>(s: &'a str, marker: &str) -> Option<&'a str> {
+    debug_assert!(marker.ends_with('{'));
+    let start = s.find(marker)? + marker.len();
+    let mut depth = 1usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, b) in s[start..].bytes().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => escaped = true,
+            b'"' => in_str = !in_str,
+            b'{' if !in_str => depth += 1,
+            b'}' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&s[start..start + i]);
+                }
             }
-            if let Some(v) = line.strip_prefix("lgen.serve.request_wall_us.p99 ") {
-                report.p99_us = v.trim().parse().unwrap_or(0);
-            }
+            _ => {}
         }
     }
-    Ok(report)
+    None
+}
+
+/// Parses the unsigned integer immediately following the first
+/// occurrence of `key` (e.g. `"\"p99\":"`).
+fn json_u64(s: &str, key: &str) -> Option<u64> {
+    let at = s.find(key)? + key.len();
+    let digits: String = s[at..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
 }
 
 /// Replays one connection's shots in order, retrying `busy` once after a
@@ -405,5 +515,58 @@ mod tests {
             assert!(json.contains(key), "{json}");
         }
         assert!((r.hit_rate() - 5.0 / 9.0).abs() < 1e-9);
+        for key in ["\"daemon_requests_total\"", "\"tenants\""] {
+            assert!(json.contains(key), "{json}");
+        }
+    }
+
+    /// A miniature but shape-faithful `stats --json` document.
+    fn fake_stats(total: u64, a: u64, b: u64) -> String {
+        format!(
+            "{{\"service\":{{\"requests_total\":{total},\"queue_depth\":0,\
+             \"by_tenant\":{{\
+             \"tenant-a\":{{\"requests\":{a},\
+             \"queue_wait_us\":{{\"p50\":1,\"p99\":2}},\
+             \"service_us\":{{\"p50\":10,\"p99\":450}}}},\
+             \"tenant-b\":{{\"requests\":{b},\
+             \"queue_wait_us\":{{\"p50\":1,\"p99\":2}},\
+             \"service_us\":{{\"p50\":11,\"p99\":900}}}}\
+             }},\"by_verb\":{{}}}},\
+             \"metrics\":{{\"histograms\":{{\
+             \"lgen.serve.request_wall_us\":{{\"count\":{total},\"p50\":32,\"p99\":2048}}\
+             }}}}}}"
+        )
+    }
+
+    #[test]
+    fn stats_json_audit_extracts_tenants_and_quantiles() {
+        let mut report = ReplayReport::default();
+        audit_stats_json(&fake_stats(10, 6, 4), &mut report).unwrap();
+        assert_eq!(report.daemon_requests_total, 10);
+        assert_eq!(report.p50_us, 32);
+        assert_eq!(report.p99_us, 2048);
+        assert_eq!(
+            report.tenants,
+            vec![
+                ("tenant-a".to_string(), 6, 450),
+                ("tenant-b".to_string(), 4, 900)
+            ]
+        );
+    }
+
+    #[test]
+    fn stats_json_audit_rejects_diverged_tenant_counts() {
+        let mut report = ReplayReport::default();
+        let err = audit_stats_json(&fake_stats(11, 6, 4), &mut report).unwrap_err();
+        assert!(err.to_string().contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn json_section_balances_nested_braces_and_strings() {
+        let s = r#"{"outer":{"inner":{"x":1},"s":"a}b{c","y":2},"tail":3}"#;
+        let sec = json_section(s, "\"outer\":{").unwrap();
+        assert!(sec.contains("\"y\":2"));
+        assert!(!sec.contains("tail"));
+        assert_eq!(json_u64(sec, "\"y\":"), Some(2));
     }
 }

@@ -64,6 +64,26 @@ fn injected_panic_poisons_nothing_and_the_service_keeps_answering() {
         "panic message should reach the client, got {body:?}"
     );
 
+    // The contained panic auto-snapshotted the flight recorder to disk,
+    // preserving the offending request (seq 1, answered `internal`)
+    // even if nobody ever issues a `dump`.
+    let dump_path = {
+        let mut s = sock.clone().into_os_string();
+        s.push(".flight-dump.json");
+        std::path::PathBuf::from(s)
+    };
+    let dump = std::fs::read_to_string(&dump_path)
+        .expect("contained panic should snapshot the flight recorder");
+    assert!(
+        dump.contains("\"seq\":1,"),
+        "flight dump missing the offending request: {dump}"
+    );
+    assert!(
+        dump.contains("\"outcome\":\"internal\""),
+        "offending request should be recorded as `internal`: {dump}"
+    );
+    let _ = std::fs::remove_file(&dump_path);
+
     // The service is still healthy: new requests on new connections
     // compile fine — including a retry of a name from the faulted round.
     let mut c = Client::connect_within(&sock, Duration::from_secs(5)).unwrap();

@@ -1,0 +1,63 @@
+//! The replay harness's daemon-side audit, and the queue-depth gauge
+//! regression test.
+//!
+//! `replay()` finishes by fetching one `stats --json` document and
+//! asserting that the per-tenant labeled request counters sum exactly
+//! to the daemon's unlabeled total — the invariant that keeps the
+//! labeled families trustworthy. That audit reads *global* metrics, so
+//! this test runs alone in its own binary: any concurrent daemon in the
+//! same process could bump the counters between the two adjacent
+//! increments and make the sums transiently diverge.
+//!
+//! The same replay doubles as the `lgen.serve.queue_depth` regression
+//! test: after a run that includes malformed frames and connections
+//! aborted mid-request, the admission gauge (and the live queue) must
+//! be back to exactly zero — every error path unwinds its decrement.
+
+use lgen_serve::{replay, Lgend, ReplayConfig, ServeConfig};
+
+#[test]
+fn replay_audit_passes_and_queue_depth_returns_to_zero() {
+    let sock = std::env::temp_dir().join(format!("lgen-replay-audit-{}.sock", std::process::id()));
+    let daemon = Lgend::start(ServeConfig::new(&sock).with_workers(3)).unwrap();
+
+    let mut cfg = ReplayConfig::new(&sock);
+    cfg.requests = 120;
+    cfg.connections = 3;
+    cfg.tenants = 3;
+    cfg.malformed_pct = 10; // includes truncated frames: aborted mid-request
+    let report = replay(&cfg).expect("replay failed (audit or transport)");
+
+    assert_eq!(report.requests, 120);
+    assert_eq!(report.ok + report.errors, 120, "{report:?}");
+    assert!(report.malformed_sent >= 10, "{report:?}");
+
+    // The audit already ran inside replay(); check its artifacts too.
+    // The harness's own final `stats` request rides under tenant "anon",
+    // so the replayed tenants appear alongside it.
+    assert!(report.daemon_requests_total >= 120, "{report:?}");
+    let replayed: Vec<_> = report
+        .tenants
+        .iter()
+        .filter(|(t, _, _)| t.starts_with("tenant-"))
+        .collect();
+    assert_eq!(replayed.len(), 3, "{report:?}");
+    let client_side: u64 = replayed.iter().map(|(_, n, _)| n).sum();
+    assert_eq!(client_side, 120, "every sent request is accounted once");
+
+    // Queue-depth regression: both the live queue and the global gauge
+    // must read zero once the traffic (well-formed and malformed alike)
+    // has fully drained.
+    assert_eq!(daemon.queue_depth(), 0, "admission queue leaked depth");
+    let snap = lgen_telemetry::registry().snapshot();
+    let gauge = snap
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "lgen.serve.queue_depth")
+        .map(|(_, v)| *v)
+        .expect("queue_depth gauge registered");
+    assert_eq!(gauge, 0, "queue_depth gauge leaked");
+
+    daemon.request_shutdown();
+    daemon.join();
+}

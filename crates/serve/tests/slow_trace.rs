@@ -1,0 +1,95 @@
+//! Tail-sampled slow-request tracing, end to end.
+//!
+//! `LGEN_FAULTS=hang@N:Xms` stalls the daemon's Nth request mid-flight —
+//! the same injection hook the tuner's fault tests use. With slow
+//! tracing armed below the hang duration, exactly that one request must
+//! cross the threshold: one chrome-trace chunk lands in the slow-trace
+//! log, the `stats --json` document counts one chunk, and the flight
+//! recorder (the `dump` verb) holds the offending request with its
+//! outsized service time.
+//!
+//! This lives in its own integration-test binary because `LGEN_FAULTS`
+//! is read from the process environment at daemon startup; a separate
+//! process keeps the fault plan from leaking into other tests.
+
+use lgen_serve::{Client, Lgend, ServeConfig};
+use std::time::Duration;
+
+const MVM: &str = "A = matrix(4, 4)\nx = vector(4)\ny = vector(4)\ny = A * x;\n";
+
+/// The unsigned integer right after `"key":` in `s`, starting the scan
+/// at byte `from`.
+fn u64_after(s: &str, key: &str, from: usize) -> Option<u64> {
+    let at = s[from..].find(key)? + from + key.len();
+    let digits: String = s[at..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn injected_hang_yields_exactly_one_slow_trace_chunk_and_a_flight_record() {
+    // Seq numbers are assigned in admission order starting at 0; stall
+    // the third request for much longer than the tracing threshold.
+    std::env::set_var("LGEN_FAULTS", "hang@2:800ms");
+    let base = std::env::temp_dir().join(format!("lgen-slow-trace-{}", std::process::id()));
+    let sock = base.with_extension("sock");
+    let trace = base.with_extension("trace.jsonl");
+    let _ = std::fs::remove_file(&trace);
+
+    let daemon = Lgend::start(
+        ServeConfig::new(&sock)
+            .with_workers(2)
+            .with_slow_threshold(Duration::from_millis(300))
+            .with_slow_trace_path(&trace),
+    )
+    .unwrap();
+    // The plan is captured at startup; clear it so nothing else in this
+    // process inherits it.
+    std::env::remove_var("LGEN_FAULTS");
+
+    // Sequential requests on one connection: seqs 0..=3, seq 2 hangs.
+    // Distinct names keep coalescing out of the picture.
+    let mut c = Client::connect_within(&sock, Duration::from_secs(5)).unwrap();
+    for i in 0..4 {
+        let resp = c
+            .compile("tenant-slow", &format!("slow_k{i}"), MVM)
+            .unwrap();
+        assert!(resp.is_ok(), "request {i}: {:?} {}", resp.error, resp.body);
+    }
+
+    // Exactly one chunk in the log — the hung request, nobody else.
+    let log = std::fs::read_to_string(&trace).expect("slow-trace log was never written");
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(
+        lines.len(),
+        1,
+        "exactly one slow-trace chunk expected, got {}:\n{log}",
+        lines.len()
+    );
+    assert!(
+        lines[0].contains("\"traceEvents\"") && lines[0].contains("serve.handle"),
+        "chunk is not a chrome-trace span tree: {}",
+        lines[0]
+    );
+
+    // The stats document agrees.
+    let stats = c.stats_json().unwrap().body;
+    assert!(
+        stats.contains("\"slow_trace\":{\"enabled\":true,\"threshold_ms\":300,\"chunks\":1}"),
+        "stats json slow_trace section wrong: {stats}"
+    );
+
+    // The flight recorder holds the offending request, and its service
+    // time shows the injected stall.
+    let dump = c.dump().unwrap().body;
+    let at = dump
+        .find("\"seq\":2,")
+        .unwrap_or_else(|| panic!("offending seq 2 missing from flight dump: {dump}"));
+    let service_ns = u64_after(&dump, "\"service_ns\":", at).unwrap();
+    assert!(
+        service_ns >= 700_000_000,
+        "offending record should show the ~800ms stall, got {service_ns}ns"
+    );
+
+    daemon.request_shutdown();
+    daemon.join();
+}

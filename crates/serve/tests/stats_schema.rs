@@ -1,0 +1,76 @@
+//! Golden-file schema test for `stats --json`.
+//!
+//! The JSON stats document is an operational contract: `ci.sh` and the
+//! replay harness scan it by key, relying on its stable field order.
+//! This test pins the full document shape — every key, every nesting
+//! level, in order — against a golden file, with digit runs normalized
+//! to `0` so only *structure* is compared, never timings or counts.
+//!
+//! Re-bless after an intentional schema change:
+//! `LGEN_BLESS=1 cargo test -p lgen-serve --test stats_schema`
+//!
+//! Runs alone in its own binary: the metrics registry is process-global
+//! and the golden covers the whole export, so any other daemon in the
+//! process would add series to the document.
+
+use lgen_serve::{Client, Lgend, ServeConfig};
+use std::time::Duration;
+
+const MVM: &str = "A = matrix(4, 4)\nx = vector(4)\ny = vector(4)\ny = A * x;\n";
+
+/// Collapses every run of ASCII digits to a single `0`, so numeric
+/// values (counts, µs, byte sizes — and digits inside tenant names)
+/// never make the comparison flaky.
+fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_digits = false;
+    for c in s.chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('0');
+            }
+            in_digits = true;
+        } else {
+            in_digits = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[test]
+fn stats_json_schema_matches_golden() {
+    let sock = std::env::temp_dir().join(format!("lgen-stats-schema-{}.sock", std::process::id()));
+    let daemon = Lgend::start(ServeConfig::new(&sock).with_workers(1)).unwrap();
+
+    // A deterministic little workload so every document section has
+    // content: two tenants, a fresh compile each, one memory hit.
+    let mut c = Client::connect_within(&sock, Duration::from_secs(5)).unwrap();
+    for (tenant, name) in [("tenant-a", "g0"), ("tenant-b", "g1"), ("tenant-a", "g0")] {
+        let resp = c.compile(tenant, name, MVM).unwrap();
+        assert!(resp.is_ok(), "{:?} {}", resp.error, resp.body);
+    }
+
+    let got = normalize(&c.stats_json().unwrap().body);
+    daemon.request_shutdown();
+    daemon.join();
+
+    let path = format!(
+        "{}/tests/golden/stats_schema.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var("LGEN_BLESS").is_ok() {
+        std::fs::create_dir_all(format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR"))).unwrap();
+        std::fs::write(&path, format!("{got}\n")).unwrap();
+        eprintln!("blessed {path}");
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!("golden file missing — bless it with LGEN_BLESS=1 (path: {path})")
+    });
+    assert_eq!(
+        got.trim(),
+        want.trim(),
+        "stats --json schema drifted from the golden; if the change is \
+         intentional, re-bless with LGEN_BLESS=1"
+    );
+}

@@ -73,7 +73,7 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
 }
 
 /// Escapes `s` as a JSON string literal (quotes included).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

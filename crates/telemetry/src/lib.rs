@@ -26,14 +26,21 @@
 //! surface the result.
 
 pub mod chrome;
+pub mod json;
+pub mod labels;
 pub mod metrics;
 pub mod span;
 pub mod summary;
 
 pub use chrome::chrome_trace;
+pub use json::metrics_json;
+pub use labels::{Family, FamilySnapshot};
 pub use metrics::{
-    counter, gauge, histogram, registry, Counter, Gauge, Histogram, HistogramSnapshot,
-    MetricsRegistry, MetricsSnapshot,
+    counter, counter_family, gauge, gauge_family, histogram, histogram_family, registry, Counter,
+    Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, Percentiles,
 };
-pub use span::{enabled, global, set_enabled, span, SpanGuard, SpanRecord, Telemetry};
-pub use summary::{format_metrics, summary_tree};
+pub use span::{
+    enabled, global, scoped_collector, set_enabled, span, CollectorScope, SpanGuard, SpanRecord,
+    Telemetry,
+};
+pub use summary::{format_metrics, summary_tree, summary_tree_with_drops};

@@ -13,6 +13,7 @@
 //! stable `name value` line format `lgenc --metrics` dumps (and `ci.sh`
 //! greps).
 
+use crate::labels::{Family, FamilySnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
@@ -167,6 +168,32 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The standard reporting quantiles in one pass (all 0 when empty).
+    /// Each is an upper bucket bound — an approximation from above — and
+    /// observations past the last bound report [`Self::max`].
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+}
+
+/// The p50/p90/p99/p999 upper bounds of a [`HistogramSnapshot`], in the
+/// histogram's unit (microseconds by convention).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median upper bound.
+    pub p50: u64,
+    /// 90th-percentile upper bound.
+    pub p90: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+    /// 99.9th-percentile upper bound.
+    pub p999: u64,
 }
 
 /// Name → handle tables. Handles are leaked `Box`es: the metric set is
@@ -177,6 +204,9 @@ pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, &'static Counter>>,
     gauges: Mutex<BTreeMap<String, &'static Gauge>>,
     histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+    counter_families: Mutex<BTreeMap<String, &'static Family<Counter>>>,
+    gauge_families: Mutex<BTreeMap<String, &'static Family<Gauge>>>,
+    histogram_families: Mutex<BTreeMap<String, &'static Family<Histogram>>>,
 }
 
 impl MetricsRegistry {
@@ -195,6 +225,59 @@ impl MetricsRegistry {
         Self::intern(&self.histograms, name)
     }
 
+    /// The labeled counter family named `name`, registering it on first
+    /// use. `keys` are fixed at registration; passing different keys for
+    /// an existing family returns the original registration.
+    pub fn counter_family(&self, name: &str, keys: &[&str]) -> &'static Family<Counter> {
+        Self::intern_family(&self.counter_families, name, keys)
+    }
+
+    /// The labeled gauge family named `name` (see
+    /// [`Self::counter_family`]).
+    pub fn gauge_family(&self, name: &str, keys: &[&str]) -> &'static Family<Gauge> {
+        Self::intern_family(&self.gauge_families, name, keys)
+    }
+
+    /// The labeled histogram family named `name` (see
+    /// [`Self::counter_family`]).
+    pub fn histogram_family(&self, name: &str, keys: &[&str]) -> &'static Family<Histogram> {
+        Self::intern_family(&self.histogram_families, name, keys)
+    }
+
+    /// Registered metric names across every table (plain and labeled) —
+    /// the registry-size figure surfaced in `format_metrics` so operators
+    /// can watch for unbounded growth.
+    pub fn len(&self) -> usize {
+        fn n<T>(t: &Mutex<BTreeMap<String, T>>) -> usize {
+            t.lock().unwrap_or_else(PoisonError::into_inner).len()
+        }
+        n(&self.counters)
+            + n(&self.gauges)
+            + n(&self.histograms)
+            + n(&self.counter_families)
+            + n(&self.gauge_families)
+            + n(&self.histogram_families)
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn intern_family<T: Default>(
+        table: &Mutex<BTreeMap<String, &'static Family<T>>>,
+        name: &str,
+        keys: &[&str],
+    ) -> &'static Family<T> {
+        let mut table = table.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(f) = table.get(name) {
+            return f;
+        }
+        let leaked: &'static Family<T> = Box::leak(Box::new(Family::new(name, keys)));
+        table.insert(name.to_string(), leaked);
+        leaked
+    }
+
     fn intern<T: Default>(table: &Mutex<BTreeMap<String, &'static T>>, name: &str) -> &'static T {
         // Swallow poisoning: the table holds only leaked pointers, which a
         // panicked registrant cannot leave half-written, and a poisoned
@@ -210,6 +293,11 @@ impl MetricsRegistry {
 
     /// Reads every registered metric in one pass, names sorted.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        // Taken before the per-table reads below: their lock guards are
+        // temporaries that live to the end of the whole struct expression,
+        // so calling `self.len()` (which re-locks every table) from a
+        // field initializer would self-deadlock.
+        let registry_size = self.len();
         MetricsSnapshot {
             counters: self
                 .counters
@@ -232,6 +320,28 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(n, h)| (n.clone(), h.snapshot()))
                 .collect(),
+            counter_families: self
+                .counter_families
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(n, f)| (n.clone(), f.snapshot()))
+                .collect(),
+            gauge_families: self
+                .gauge_families
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(n, f)| (n.clone(), f.snapshot()))
+                .collect(),
+            histogram_families: self
+                .histogram_families
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(n, f)| (n.clone(), f.snapshot()))
+                .collect(),
+            registry_size,
         }
     }
 }
@@ -247,6 +357,14 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, i64)>,
     /// `(name, snapshot)` for every histogram.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(name, snapshot)` for every labeled counter family.
+    pub counter_families: Vec<(String, FamilySnapshot<u64>)>,
+    /// `(name, snapshot)` for every labeled gauge family.
+    pub gauge_families: Vec<(String, FamilySnapshot<i64>)>,
+    /// `(name, snapshot)` for every labeled histogram family.
+    pub histogram_families: Vec<(String, FamilySnapshot<HistogramSnapshot>)>,
+    /// Registered metric names across every table at snapshot time.
+    pub registry_size: usize,
 }
 
 /// The process-global registry.
@@ -268,6 +386,21 @@ pub fn gauge(name: &str) -> &'static Gauge {
 /// The process-global histogram named `name`.
 pub fn histogram(name: &str) -> &'static Histogram {
     registry().histogram(name)
+}
+
+/// The process-global labeled counter family named `name`.
+pub fn counter_family(name: &str, keys: &[&str]) -> &'static Family<Counter> {
+    registry().counter_family(name, keys)
+}
+
+/// The process-global labeled gauge family named `name`.
+pub fn gauge_family(name: &str, keys: &[&str]) -> &'static Family<Gauge> {
+    registry().gauge_family(name, keys)
+}
+
+/// The process-global labeled histogram family named `name`.
+pub fn histogram_family(name: &str, keys: &[&str]) -> &'static Family<Histogram> {
+    registry().histogram_family(name, keys)
 }
 
 /// A `&'static Counter` resolved once per call site: the registry lookup
@@ -364,6 +497,98 @@ mod tests {
         assert_eq!(crate::counter("macro.test.counter").get(), 2);
         crate::metric_histogram!("macro.test.us").record(5);
         assert_eq!(crate::histogram("macro.test.us").count(), 1);
+    }
+
+    #[test]
+    fn percentiles_of_empty_histogram_are_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(
+            s.percentiles(),
+            Percentiles {
+                p50: 0,
+                p90: 0,
+                p99: 0,
+                p999: 0
+            }
+        );
+    }
+
+    #[test]
+    fn percentiles_of_single_bucket_fill_pin_that_bound() {
+        // 1000 observations of value 3 land in the `<= 4` bucket, so every
+        // quantile reports that bucket's upper bound exactly.
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(3);
+        }
+        let p = h.snapshot().percentiles();
+        assert_eq!(
+            p,
+            Percentiles {
+                p50: 4,
+                p90: 4,
+                p99: 4,
+                p999: 4
+            }
+        );
+    }
+
+    #[test]
+    fn percentiles_of_saturating_last_bucket_report_max() {
+        // Everything overflows the final bound, so all quantiles fall back
+        // to the recorded max rather than a bucket bound.
+        let h = Histogram::default();
+        let big = BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1] + 1;
+        for i in 0..10u64 {
+            h.record(big + i);
+        }
+        let p = h.snapshot().percentiles();
+        assert_eq!(p.p50, big + 9);
+        assert_eq!(p.p99, big + 9);
+        assert_eq!(p.p999, big + 9);
+    }
+
+    #[test]
+    fn percentiles_split_across_two_buckets() {
+        // 90 observations <= 4 and 10 observations <= 1024: p50/p90 bound
+        // at 4, p99/p999 at 1024.
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(3);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let p = h.snapshot().percentiles();
+        assert_eq!(
+            p,
+            Percentiles {
+                p50: 4,
+                p90: 4,
+                p99: 1024,
+                p999: 1024
+            }
+        );
+    }
+
+    #[test]
+    fn families_register_once_and_snapshot() {
+        let r = MetricsRegistry::default();
+        let f = r.counter_family("fam.requests", &["tenant"]);
+        f.with(&["a"]).inc();
+        // Same name returns the same family (keys from first registration).
+        r.counter_family("fam.requests", &["ignored"])
+            .with(&["a"])
+            .inc();
+        r.histogram_family("fam.wait_us", &["tenant"])
+            .with(&["a"])
+            .record(9);
+        let s = r.snapshot();
+        assert_eq!(s.counter_families.len(), 1);
+        assert_eq!(s.counter_families[0].1.get(&["a"]), Some(&2));
+        assert_eq!(s.histogram_families[0].1.get(&["a"]).unwrap().count, 1);
+        assert_eq!(s.registry_size, 2);
+        assert_eq!(r.len(), 2);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! inert guard are no-ops (callers can skip building expensive attribute
 //! values via [`SpanGuard::is_recording`]).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -76,6 +76,11 @@ thread_local! {
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     /// Live spans on this thread: `(collector instance, span id)`.
     static STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread collector override: while set, the free [`span`]
+    /// function records here instead of [`global`]. This is how `lgend`
+    /// captures a single request's span tree for tail-sampled slow-request
+    /// tracing without enabling process-wide collection.
+    static OVERRIDE: Cell<Option<&'static Telemetry>> = const { Cell::new(None) };
 }
 
 /// A span collector. Most code uses the process-global one ([`global`]);
@@ -271,9 +276,33 @@ pub fn global() -> &'static Telemetry {
     })
 }
 
-/// Opens a span on the process-global collector.
+/// Opens a span on this thread's current collector: the scoped override
+/// installed by [`scoped_collector`] when one is live, the process-global
+/// collector otherwise.
 pub fn span(name: &str) -> SpanGuard<'static> {
-    global().span(name)
+    OVERRIDE.with(|o| o.get()).unwrap_or_else(global).span(name)
+}
+
+/// Routes this thread's free [`span`] calls to `collector` until the
+/// returned guard drops (RAII — restores the previous override even on
+/// panic unwind, which matters because `lgend` installs one inside its
+/// worker `catch_unwind` closure). Nesting is supported: the guard
+/// remembers and restores whatever override was live before it.
+pub fn scoped_collector(collector: &'static Telemetry) -> CollectorScope {
+    let prev = OVERRIDE.with(|o| o.replace(Some(collector)));
+    CollectorScope { prev }
+}
+
+/// RAII guard from [`scoped_collector`]: restores the previous per-thread
+/// collector override on drop.
+pub struct CollectorScope {
+    prev: Option<&'static Telemetry>,
+}
+
+impl Drop for CollectorScope {
+    fn drop(&mut self) {
+        OVERRIDE.with(|o| o.set(self.prev));
+    }
 }
 
 /// Enables or disables the process-global collector.
@@ -395,6 +424,59 @@ mod tests {
         t.span("one");
         assert_eq!(t.drain().len(), 1);
         assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn scoped_collector_redirects_free_span_and_restores() {
+        let scoped: &'static Telemetry = Box::leak(Box::new(Telemetry::new(true)));
+        {
+            let _scope = crate::span::scoped_collector(scoped);
+            let _g = crate::span::span("captured");
+        }
+        let spans = scoped.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "captured");
+        // Override gone: free span() goes back to the (disabled-by-default
+        // in tests) global collector, not the scoped one.
+        let before = scoped.snapshot().len();
+        let _g = crate::span::span("after-scope");
+        assert_eq!(scoped.snapshot().len(), before);
+    }
+
+    #[test]
+    fn scoped_collector_restores_across_panic() {
+        let scoped: &'static Telemetry = Box::leak(Box::new(Telemetry::new(true)));
+        let result = std::panic::catch_unwind(|| {
+            let _scope = crate::span::scoped_collector(scoped);
+            let _g = crate::span::span("doomed");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        // The unwind dropped the scope; later spans are not captured.
+        let after = scoped.snapshot().len();
+        let _g = crate::span::span("post-panic");
+        drop(_g);
+        assert_eq!(scoped.snapshot().len(), after);
+        // The doomed span itself was recorded with the panicked marker.
+        let spans = scoped.snapshot();
+        let doomed = spans.iter().find(|s| s.name == "doomed").unwrap();
+        assert_eq!(doomed.attr("panicked"), Some("true"));
+    }
+
+    #[test]
+    fn scoped_collectors_nest() {
+        let outer: &'static Telemetry = Box::leak(Box::new(Telemetry::new(true)));
+        let inner: &'static Telemetry = Box::leak(Box::new(Telemetry::new(true)));
+        {
+            let _a = crate::span::scoped_collector(outer);
+            {
+                let _b = crate::span::scoped_collector(inner);
+                let _g = crate::span::span("in-inner");
+            }
+            let _g = crate::span::span("in-outer");
+        }
+        assert_eq!(inner.snapshot()[0].name, "in-inner");
+        assert_eq!(outer.snapshot()[0].name, "in-outer");
     }
 
     #[test]

@@ -15,6 +15,14 @@ use std::fmt::Write as _;
 /// are grouped under their parent in recording order. Spans are grouped
 /// by track (`tid`) first so interleaved worker output stays readable.
 pub fn summary_tree(spans: &[SpanRecord]) -> String {
+    summary_tree_with_drops(spans, 0)
+}
+
+/// [`summary_tree`] plus a trailing `[dropped N spans past the buffer
+/// cap]` line when `dropped > 0`, so silent trace truncation
+/// ([`crate::span::MAX_SPANS`]) is visible in the rendered output. Pass
+/// [`crate::Telemetry::dropped`] for `dropped`.
+pub fn summary_tree_with_drops(spans: &[SpanRecord], dropped: u64) -> String {
     let mut out = String::new();
     let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
     tids.sort_unstable();
@@ -39,6 +47,9 @@ pub fn summary_tree(spans: &[SpanRecord]) -> String {
             }
         }
     }
+    if dropped > 0 {
+        let _ = writeln!(out, "[dropped {dropped} spans past the buffer cap]");
+    }
     out
 }
 
@@ -55,26 +66,63 @@ fn render(out: &mut String, span: &SpanRecord, track: &[&SpanRecord], depth: usi
 
 /// Renders a metrics snapshot as one `name value` line per metric, in
 /// sorted name order. Histograms expand to `.count`, `.sum`, `.mean`,
-/// `.p50`, `.p95`, `.p99`, and `.max` lines so every figure stays
-/// grep-able.
+/// `.p50`, `.p90`, `.p95`, `.p99`, `.p999`, and `.max` lines so every
+/// figure stays grep-able. Labeled families render one
+/// `name{key=value,...} ...` line per series (overflow series last, plus
+/// a `name.overflowed N` line when the cardinality cap was hit), and the
+/// dump ends with a synthetic `lgen.metrics.registry_size N` line — the
+/// total registered-name count, the figure to watch for unbounded metric
+/// growth.
 pub fn format_metrics(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
         let _ = writeln!(out, "{name} {value}");
     }
+    for (name, fam) in &snapshot.counter_families {
+        for (values, v) in &fam.series {
+            let _ = writeln!(out, "{name}{} {v}", fam.label_string(values));
+        }
+        if fam.overflowed > 0 {
+            let _ = writeln!(out, "{name}.overflowed {}", fam.overflowed);
+        }
+    }
     for (name, value) in &snapshot.gauges {
         let _ = writeln!(out, "{name} {value}");
     }
-    for (name, h) in &snapshot.histograms {
-        let _ = writeln!(out, "{name}.count {}", h.count);
-        let _ = writeln!(out, "{name}.sum {}", h.sum);
-        let _ = writeln!(out, "{name}.mean {:.1}", h.mean());
-        let _ = writeln!(out, "{name}.p50 {}", h.quantile(0.5));
-        let _ = writeln!(out, "{name}.p95 {}", h.quantile(0.95));
-        let _ = writeln!(out, "{name}.p99 {}", h.quantile(0.99));
-        let _ = writeln!(out, "{name}.max {}", h.max);
+    for (name, fam) in &snapshot.gauge_families {
+        for (values, v) in &fam.series {
+            let _ = writeln!(out, "{name}{} {v}", fam.label_string(values));
+        }
+        if fam.overflowed > 0 {
+            let _ = writeln!(out, "{name}.overflowed {}", fam.overflowed);
+        }
     }
+    for (name, h) in &snapshot.histograms {
+        write_histogram(&mut out, name, "", h);
+    }
+    for (name, fam) in &snapshot.histogram_families {
+        for (values, h) in &fam.series {
+            write_histogram(&mut out, name, &fam.label_string(values), h);
+        }
+        if fam.overflowed > 0 {
+            let _ = writeln!(out, "{name}.overflowed {}", fam.overflowed);
+        }
+    }
+    let _ = writeln!(out, "lgen.metrics.registry_size {}", snapshot.registry_size);
     out
+}
+
+fn write_histogram(out: &mut String, name: &str, labels: &str, h: &crate::HistogramSnapshot) {
+    let p = h.percentiles();
+    let _ = writeln!(out, "{name}.count{labels} {}", h.count);
+    let _ = writeln!(out, "{name}.sum{labels} {}", h.sum);
+    let _ = writeln!(out, "{name}.mean{labels} {:.1}", h.mean());
+    let _ = writeln!(out, "{name}.p50{labels} {}", p.p50);
+    let _ = writeln!(out, "{name}.p90{labels} {}", p.p90);
+    let _ = writeln!(out, "{name}.p95{labels} {}", h.quantile(0.95));
+    let _ = writeln!(out, "{name}.p99{labels} {}", p.p99);
+    let _ = writeln!(out, "{name}.p999{labels} {}", p.p999);
+    let _ = writeln!(out, "{name}.max{labels} {}", h.max);
 }
 
 #[cfg(test)]

@@ -4,7 +4,8 @@
 //! lgen-cli compile <file.blac> --socket <path> [--name <kernel>]
 //!          [--tenant <id>] [--target atom|cortex-a8|cortex-a9|arm1176]
 //!          [--variant base|align|mvm|full] [--passes <spec>] [--tune]
-//! lgen-cli stats    --socket <path>
+//! lgen-cli stats    --socket <path> [--json]
+//! lgen-cli tail     --socket <path> [--json]
 //! lgen-cli ping     --socket <path>
 //! lgen-cli shutdown --socket <path>
 //! lgen-cli replay   --socket <path> [--requests N] [--connections N]
@@ -12,10 +13,14 @@
 //!          [--seed S] [--json <file>]
 //! ```
 //!
-//! `replay` drives the deterministic load harness (`lgen::serve::replay`)
-//! against a running daemon and prints — or writes with `--json`, for
-//! `BENCH_serve.json` — the client-side outcome counts plus the
-//! daemon-side p50/p99 request latency from its metrics registry.
+//! `stats --json` prints the daemon's stable-field-order JSON stats
+//! document (per-tenant/per-verb counts, queue-wait and service-time
+//! quantiles); `tail` dumps the daemon's request flight recorder — the
+//! last N requests with cache tier, coalesce role, queue wait and
+//! service time. `replay` drives the deterministic load harness
+//! (`lgen::serve::replay`) against a running daemon and prints — or
+//! writes with `--json <file>`, for `BENCH_serve.json` — the
+//! client-side outcome counts plus the daemon-side latency quantiles.
 
 use lgen::serve::{replay, Client, ReplayConfig, Request, Verb};
 use std::path::PathBuf;
@@ -23,12 +28,15 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lgen-cli <compile|stats|ping|shutdown|replay> --socket <path> [options]\n\
+        "usage: lgen-cli <compile|stats|tail|ping|shutdown|replay> --socket <path> [options]\n\
          \n\
          compile <file.blac> [--name <kernel>] [--tenant <id>]\n\
          \x20       [--target atom|cortex-a8|cortex-a9|arm1176]\n\
          \x20       [--variant base|align|mvm|full] [--passes <spec>] [--tune]\n\
          stats      print the daemon's metrics/cache report\n\
+         \x20       [--json]  stable-order JSON stats document instead\n\
+         tail       dump the daemon's request flight recorder\n\
+         \x20       [--json]  raw dump document instead of a table\n\
          ping       liveness check\n\
          shutdown   ask the daemon to drain and exit\n\
          replay     [--requests N] [--connections N] [--tenants N]\n\
@@ -72,7 +80,25 @@ fn main() {
     let duplicate_pct = take("--duplicate-pct");
     let malformed_pct = take("--malformed-pct");
     let seed = take("--seed");
-    let json_out = take("--json");
+    // `--json` means two different things: for `replay` it takes a file
+    // path (where to write the report); for `stats`/`tail` it is a
+    // boolean (emit the raw JSON document). Parse per command so
+    // `stats --json` never eats a following argument.
+    let json_out = if cmd == "replay" {
+        take("--json")
+    } else {
+        None
+    };
+    let json_flag = if matches!(cmd.as_str(), "stats" | "tail") {
+        if let Some(i) = args.iter().position(|a| a == "--json") {
+            args.remove(i);
+            true
+        } else {
+            false
+        }
+    } else {
+        false
+    };
     let tune = if let Some(i) = args.iter().position(|a| a == "--tune") {
         args.remove(i);
         true
@@ -142,10 +168,31 @@ fn main() {
             if !args.is_empty() {
                 usage();
             }
+            let mut client = connect();
+            let resp = if json_flag {
+                client.stats_json()
+            } else {
+                client.stats()
+            }
+            .unwrap_or_else(|e| fail(format!("request: {e}")));
+            if json_flag {
+                println!("{}", resp.body.trim_end());
+            } else {
+                print!("{}", resp.body);
+            }
+        }
+        "tail" => {
+            if !args.is_empty() {
+                usage();
+            }
             let resp = connect()
-                .stats()
+                .dump()
                 .unwrap_or_else(|e| fail(format!("request: {e}")));
-            print!("{}", resp.body);
+            if json_flag {
+                println!("{}", resp.body.trim_end());
+            } else {
+                render_flight_dump(&resp.body);
+            }
         }
         "ping" => {
             if !args.is_empty() {
@@ -207,11 +254,119 @@ fn main() {
                 "daemon latency: p50 {}us, p99 {}us; malformed: {} sent, {} answered",
                 report.p50_us, report.p99_us, report.malformed_sent, report.malformed_answered
             );
+            for (tenant, requests, p99) in &report.tenants {
+                eprintln!("  {tenant}: {requests} requests, service p99 {p99}us");
+            }
             println!("{json}");
         }
         other => {
             eprintln!("lgen-cli: unknown command `{other}`");
             usage();
         }
+    }
+}
+
+/// Renders the daemon's flight-recorder dump (`lgen-cli tail`) as a
+/// human-readable table, oldest request first. The dump's field order is
+/// a stable contract (see `lgen::serve::recorder::FlightRecord`), which
+/// is what lets this scan by key without a JSON parser.
+fn render_flight_dump(body: &str) {
+    eprintln!(
+        "flight recorder: cap {}, recorded {}, dropped {}",
+        field_u64(body, "cap"),
+        field_u64(body, "recorded"),
+        field_u64(body, "dropped")
+    );
+    let records = json_objects(body, "\"records\":[");
+    if records.is_empty() {
+        eprintln!("(no requests recorded)");
+        return;
+    }
+    println!(
+        "{:>8}  {:<12} {:<8} {:<10} {:<8} {:<8} {:>10} {:>11}  {:<6} fingerprint",
+        "seq", "tenant", "verb", "outcome", "tier", "role", "wait_us", "service_us", "worker"
+    );
+    for obj in records {
+        println!(
+            "{:>8}  {:<12} {:<8} {:<10} {:<8} {:<8} {:>10} {:>11}  {:<6} {}",
+            field_u64(obj, "seq"),
+            field_str(obj, "tenant"),
+            field_str(obj, "verb"),
+            field_str(obj, "outcome"),
+            field_str(obj, "tier"),
+            field_str(obj, "role"),
+            field_u64(obj, "queue_wait_ns") / 1_000,
+            field_u64(obj, "service_ns") / 1_000,
+            field_u64(obj, "worker"),
+            field_str(obj, "fingerprint"),
+        );
+    }
+}
+
+/// Slices the top-level `[...]` array that starts right after `marker`
+/// into its `{...}` object elements (string-aware brace matching).
+fn json_objects<'a>(s: &'a str, marker: &str) -> Vec<&'a str> {
+    let Some(start) = s.find(marker).map(|i| i + marker.len()) else {
+        return Vec::new();
+    };
+    let bytes = &s.as_bytes()[start..];
+    let mut objs = Vec::new();
+    let (mut depth, mut obj_start) = (0usize, 0usize);
+    let (mut in_str, mut escaped) = (false, false);
+    for (i, &b) in bytes.iter().enumerate() {
+        if escaped {
+            escaped = false;
+        } else if in_str {
+            match b {
+                b'\\' => escaped = true,
+                b'"' => in_str = false,
+                _ => {}
+            }
+        } else {
+            match b {
+                b'"' => in_str = true,
+                b'{' => {
+                    if depth == 0 {
+                        obj_start = i;
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        objs.push(&s[start + obj_start..start + i + 1]);
+                    }
+                }
+                b']' if depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    objs
+}
+
+/// The unsigned integer value of `"key":N` in `obj`, or 0.
+fn field_u64(obj: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    obj.find(&pat)
+        .map(|i| {
+            obj[i + pat.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+        })
+        .and_then(|d| d.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The string value of `"key":"..."` in `obj`, or `""`.
+fn field_str<'a>(obj: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":\"");
+    match obj.find(&pat) {
+        Some(i) => {
+            let rest = &obj[i + pat.len()..];
+            &rest[..rest.find('"').unwrap_or(0)]
+        }
+        None => "",
     }
 }

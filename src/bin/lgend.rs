@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! lgend --socket <path> [--cache-dir <dir>] [--workers N]
-//!       [--queue-capacity N]
+//!       [--queue-capacity N] [--recorder-cap N] [--slow-ms N]
 //! ```
 //!
 //! The daemon runs until it receives a `shutdown` request (or the
@@ -16,20 +16,25 @@
 //! written temp-then-rename, and anything unreadable is quarantined on
 //! the next load).
 
-use lgen::serve::{Lgend, ServeConfig};
+use lgen::serve::{Lgend, ServeConfig, DEFAULT_RECORDER_CAP};
 use std::path::PathBuf;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: lgend --socket <path> [--cache-dir <dir>] [--workers N]\n\
-         \x20            [--queue-capacity N]\n\
+         \x20            [--queue-capacity N] [--recorder-cap N] [--slow-ms N]\n\
          \n\
          \x20 --socket <path>      Unix socket to listen on (required)\n\
          \x20 --cache-dir <dir>    persistent kernel cache directory; omit for\n\
          \x20                      a memory-only daemon\n\
          \x20 --workers N          compile worker threads (default 2)\n\
          \x20 --queue-capacity N   admission queue bound; excess requests are\n\
-         \x20                      answered `error busy` (default 64)"
+         \x20                      answered `error busy` (default 64)\n\
+         \x20 --recorder-cap N     flight-recorder ring size in requests\n\
+         \x20                      (default {DEFAULT_RECORDER_CAP}); dump with `lgen-cli tail`\n\
+         \x20 --slow-ms N          trace requests slower than N ms to\n\
+         \x20                      <socket>.slow-trace.jsonl (default: off)"
     );
     std::process::exit(2);
 }
@@ -40,6 +45,8 @@ fn main() {
     let mut cache_dir: Option<PathBuf> = None;
     let mut workers: Option<usize> = None;
     let mut queue_capacity: Option<usize> = None;
+    let mut recorder_cap: Option<usize> = None;
+    let mut slow_ms: Option<u64> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -56,6 +63,20 @@ fn main() {
             }
             "--queue-capacity" => {
                 queue_capacity = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--recorder-cap" => {
+                recorder_cap = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--slow-ms" => {
+                slow_ms = Some(
                     args.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
@@ -80,6 +101,12 @@ fn main() {
     if let Some(n) = queue_capacity {
         cfg = cfg.with_queue_capacity(n);
     }
+    if let Some(n) = recorder_cap {
+        cfg = cfg.with_recorder_cap(n);
+    }
+    if let Some(ms) = slow_ms {
+        cfg = cfg.with_slow_threshold(Duration::from_millis(ms));
+    }
 
     let daemon = match Lgend::start(cfg) {
         Ok(d) => d,
@@ -89,11 +116,14 @@ fn main() {
         }
     };
     eprintln!(
-        "lgend: serving on {}{}",
+        "lgend: serving on {}{}{}",
         socket.display(),
         cache_dir
             .as_deref()
             .map(|d| format!(" (cache: {})", d.display()))
+            .unwrap_or_default(),
+        slow_ms
+            .map(|ms| format!(" (slow-trace: >={ms}ms)"))
             .unwrap_or_default()
     );
     daemon.join();

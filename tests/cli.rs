@@ -78,6 +78,76 @@ fn missing_or_bad_flag_values_exit_with_usage() {
     assert_usage_error(&[file, "--trace-out", "/nonexistent-dir/trace.json"]);
 }
 
+/// Strict flag parsing for the `lgend` daemon binary: a missing or
+/// malformed value for any numeric flag must be a usage error (exit 2),
+/// never a daemon silently running with a default.
+#[test]
+fn lgend_flag_errors_exit_with_usage() {
+    let lgend = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_lgend"))
+            .args(args)
+            .output()
+            .expect("lgend runs")
+    };
+    let assert_usage = |args: &[&str]| {
+        let out = lgend(args);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2, stderr: {stderr}"
+        );
+        assert!(
+            stderr.contains("usage: lgend"),
+            "{args:?} must print usage, got: {stderr}"
+        );
+    };
+    // No socket at all.
+    assert_usage(&[]);
+    // --slow-ms: missing, non-numeric, and negative values.
+    assert_usage(&["--socket", "/tmp/x.sock", "--slow-ms"]);
+    assert_usage(&["--socket", "/tmp/x.sock", "--slow-ms", "fast"]);
+    assert_usage(&["--socket", "/tmp/x.sock", "--slow-ms", "-5"]);
+    // --recorder-cap: missing and non-numeric values.
+    assert_usage(&["--socket", "/tmp/x.sock", "--recorder-cap"]);
+    assert_usage(&["--socket", "/tmp/x.sock", "--recorder-cap", "lots"]);
+    // The pre-existing numeric flags stay just as strict.
+    assert_usage(&["--socket", "/tmp/x.sock", "--workers", "two"]);
+    assert_usage(&["--socket", "/tmp/x.sock", "--queue-capacity"]);
+    // Unknown flags.
+    assert_usage(&["--frobnicate"]);
+}
+
+/// `lgen-cli` flag errors: every command requires `--socket`, and the
+/// `tail`/`stats` commands reject stray positionals.
+#[test]
+fn lgen_cli_flag_errors_exit_with_usage() {
+    let cli = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_lgen-cli"))
+            .args(args)
+            .output()
+            .expect("lgen-cli runs")
+    };
+    for args in [
+        &["stats"][..],
+        &["tail"][..],
+        &["stats", "--json", "--socket"][..],
+        &["tail", "--socket", "/tmp/x.sock", "stray"][..],
+    ] {
+        let out = cli(args);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2, stderr: {stderr}"
+        );
+        assert!(
+            stderr.contains("usage: lgen-cli"),
+            "{args:?} must print usage, got: {stderr}"
+        );
+    }
+}
+
 #[test]
 fn bad_passes_spec_exits_nonzero() {
     let file = blac_file("passes");
